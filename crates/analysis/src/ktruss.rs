@@ -1,0 +1,214 @@
+//! k-truss decomposition.
+//!
+//! The paper motivates per-edge triangle counts with truss decomposition
+//! (§1, §5.3, citing Cohen \[15\]): the *k-truss* of a graph is its maximal
+//! subgraph in which every edge is supported by at least `k − 2`
+//! triangles. The *trussness* of an edge is the largest `k` for which it
+//! survives in the k-truss.
+//!
+//! [`truss_decomposition`] runs the standard support-peeling algorithm:
+//! repeatedly remove the edge of minimum remaining support, assign its
+//! trussness, and decrement the support of the edges it formed triangles
+//! with. Initial supports can come from any source — the serial CSR
+//! computation here, or the distributed
+//! `tripoll_core::surveys::local_counts::edge_triangle_counts` survey
+//! (the two are cross-validated in the integration tests).
+
+use std::collections::BTreeSet;
+
+use tripoll_graph::Csr;
+use tripoll_ygm::hash::FastMap;
+
+/// Result of a truss decomposition.
+#[derive(Debug, Clone)]
+pub struct TrussDecomposition {
+    /// Trussness per canonical edge `(min, max)`, sorted by edge.
+    pub trussness: Vec<((u64, u64), u32)>,
+    /// The largest k with a non-empty k-truss (2 for triangle-free).
+    pub max_k: u32,
+}
+
+impl TrussDecomposition {
+    /// Edges belonging to the k-truss (trussness ≥ k).
+    pub fn ktruss_edges(&self, k: u32) -> Vec<(u64, u64)> {
+        self.trussness
+            .iter()
+            .filter(|(_, t)| *t >= k)
+            .map(|(e, _)| *e)
+            .collect()
+    }
+}
+
+/// Computes the truss decomposition of the graph.
+pub fn truss_decomposition(csr: &Csr) -> TrussDecomposition {
+    let n = csr.num_vertices();
+    // Live adjacency sets (CSR indices) for common-neighbor queries.
+    let mut adj: Vec<BTreeSet<u32>> = (0..n)
+        .map(|v| csr.neighbors(v).iter().map(|&t| t as u32).collect())
+        .collect();
+
+    // Initial supports per canonical (CSR-index) edge.
+    let mut support: FastMap<(u32, u32), i64> = FastMap::default();
+    for u in 0..n {
+        for &v in csr.neighbors(u) {
+            let v = v as usize;
+            if u < v {
+                let common = adj[u].intersection(&adj[v]).count() as i64;
+                support.insert((u as u32, v as u32), common);
+            }
+        }
+    }
+
+    // Peeling queue ordered by (support, edge) — BTreeSet as a mutable
+    // priority structure.
+    let mut queue: BTreeSet<(i64, (u32, u32))> =
+        support.iter().map(|(&e, &s)| (s, e)).collect();
+    let mut trussness: FastMap<(u32, u32), u32> = FastMap::default();
+    let mut k = 2u32;
+
+    while let Some(&(s, (u, v))) = queue.iter().next() {
+        queue.remove(&(s, (u, v)));
+        support.remove(&(u, v));
+        // Trussness is monotone over the peeling order.
+        k = k.max((s + 2) as u32);
+        trussness.insert((u, v), k);
+
+        // Remove the edge; decrement supports of co-triangle edges.
+        adj[u as usize].remove(&v);
+        adj[v as usize].remove(&u);
+        let commons: Vec<u32> = adj[u as usize]
+            .intersection(&adj[v as usize])
+            .copied()
+            .collect();
+        for w in commons {
+            for e in [
+                (u.min(w), u.max(w)),
+                (v.min(w), v.max(w)),
+            ] {
+                if let Some(sup) = support.get_mut(&e) {
+                    queue.remove(&(*sup, e));
+                    *sup -= 1;
+                    queue.insert((*sup, e));
+                }
+            }
+        }
+    }
+
+    let max_k = trussness.values().copied().max().unwrap_or(2);
+    let mut out: Vec<((u64, u64), u32)> = trussness
+        .into_iter()
+        .map(|((u, v), t)| {
+            (
+                (
+                    csr.original_id(u as usize).min(csr.original_id(v as usize)),
+                    csr.original_id(u as usize).max(csr.original_id(v as usize)),
+                ),
+                t,
+            )
+        })
+        .collect();
+    out.sort_unstable();
+    TrussDecomposition {
+        trussness: out,
+        max_k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decompose(edges: &[(u64, u64)]) -> TrussDecomposition {
+        truss_decomposition(&Csr::from_edges(edges))
+    }
+
+    #[test]
+    fn triangle_is_a_3truss() {
+        let d = decompose(&[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(d.max_k, 3);
+        for (_, t) in &d.trussness {
+            assert_eq!(*t, 3);
+        }
+    }
+
+    #[test]
+    fn complete_graphs_are_n_trusses() {
+        for n in 3..=7u64 {
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    edges.push((u, v));
+                }
+            }
+            let d = decompose(&edges);
+            assert_eq!(d.max_k, n as u32, "K{n}");
+            assert!(d.trussness.iter().all(|(_, t)| *t == n as u32));
+            assert_eq!(d.ktruss_edges(n as u32).len(), edges.len());
+            assert!(d.ktruss_edges(n as u32 + 1).is_empty());
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs_are_2trusses() {
+        let d = decompose(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(d.max_k, 2);
+        assert!(d.trussness.iter().all(|(_, t)| *t == 2));
+    }
+
+    #[test]
+    fn mixed_structure() {
+        // K4 on {0..3} plus a pendant triangle {3,4,5}: K4 edges have
+        // trussness 4, the pendant triangle's 3.
+        let mut edges = vec![(3u64, 4u64), (4, 5), (5, 3)];
+        for u in 0..4u64 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+            }
+        }
+        let d = decompose(&edges);
+        assert_eq!(d.max_k, 4);
+        let t_of = |a: u64, b: u64| {
+            d.trussness
+                .iter()
+                .find(|(e, _)| *e == (a.min(b), a.max(b)))
+                .map(|(_, t)| *t)
+                .unwrap()
+        };
+        for u in 0..4u64 {
+            for v in (u + 1)..4 {
+                assert_eq!(t_of(u, v), 4, "K4 edge ({u},{v})");
+            }
+        }
+        assert_eq!(t_of(3, 4), 4.min(3).max(3)); // pendant triangle edges
+        assert_eq!(t_of(4, 5), 3);
+        assert_eq!(t_of(5, 3), 3);
+        // The 4-truss is exactly the K4.
+        assert_eq!(d.ktruss_edges(4).len(), 6);
+    }
+
+    #[test]
+    fn two_k4s_sharing_an_edge() {
+        // K4 on {0,1,2,3} and K4 on {2,3,4,5}: all edges trussness 4
+        // (the shared edge (2,3) has support 4 but peels at k=4).
+        let mut edges = Vec::new();
+        for quad in [[0u64, 1, 2, 3], [2, 3, 4, 5]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((quad[i], quad[j]));
+                }
+            }
+        }
+        let d = decompose(&edges);
+        assert_eq!(d.max_k, 4);
+        assert!(d.trussness.iter().all(|(_, t)| *t == 4));
+        // 11 distinct edges (the shared (2,3) deduplicates).
+        assert_eq!(d.trussness.len(), 11);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = decompose(&[]);
+        assert_eq!(d.max_k, 2);
+        assert!(d.trussness.is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Louvain community detection.
+//!
+//! The FQDN experiment (§5.8, Fig. 8) orders the domains co-occurring in
+//! triangles with a hub domain "based on communities identified by the
+//! Louvain method". This is that method: greedy modularity optimization
+//! with local moving and graph coarsening (Blondel et al. 2008),
+//! implemented deterministically (fixed sweep order, smallest-id
+//! tie-break) so experiment output is reproducible.
+
+use std::collections::BTreeMap;
+use std::hash::Hash;
+
+use tripoll_ygm::hash::FastMap;
+
+/// Result of a Louvain run over nodes `0..n`.
+#[derive(Debug, Clone)]
+pub struct LouvainResult {
+    /// `communities[v]` is the community of node `v`, renumbered to
+    /// `0..num_communities` in order of first appearance.
+    pub communities: Vec<usize>,
+    /// Modularity of the final partition.
+    pub modularity: f64,
+    /// Number of coarsening levels performed.
+    pub levels: usize,
+}
+
+impl LouvainResult {
+    /// Number of communities in the final partition.
+    pub fn num_communities(&self) -> usize {
+        self.communities.iter().copied().max().map_or(0, |m| m + 1)
+    }
+}
+
+/// Weighted graph in the internal format Louvain iterates on.
+struct WGraph {
+    /// Neighbor lists excluding self-loops: `adj[u] = [(v, w)]`.
+    adj: Vec<Vec<(usize, f64)>>,
+    /// Doubled self-loop weight per node (`A_ii`).
+    self_w: Vec<f64>,
+    /// Weighted degree `k_i = Σ_j A_ij` (self-loops already doubled).
+    k: Vec<f64>,
+    /// `2m = Σ_i k_i`.
+    m2: f64,
+}
+
+impl WGraph {
+    fn new(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        let mut self_w = vec![0.0; n];
+        for &(u, v, w) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range 0..{n}");
+            if u == v {
+                self_w[u] += 2.0 * w;
+            } else {
+                adj[u].push((v, w));
+                adj[v].push((u, w));
+            }
+        }
+        let k: Vec<f64> = (0..n)
+            .map(|u| self_w[u] + adj[u].iter().map(|&(_, w)| w).sum::<f64>())
+            .collect();
+        let m2 = k.iter().sum();
+        WGraph {
+            adj,
+            self_w,
+            k,
+            m2,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// One level of local moving. Returns (community of each node, improved?).
+fn one_level(g: &WGraph) -> (Vec<usize>, bool) {
+    let n = g.len();
+    let mut com: Vec<usize> = (0..n).collect();
+    let mut tot: Vec<f64> = g.k.clone();
+    let mut improved = false;
+
+    if g.m2 <= 0.0 {
+        return (com, false);
+    }
+
+    // Bounded sweeps; Louvain converges fast in practice.
+    for _sweep in 0..64 {
+        let mut moved = 0usize;
+        for u in 0..n {
+            let cu = com[u];
+            // Weights from u to each neighboring community.
+            let mut to_com: FastMap<usize, f64> = FastMap::default();
+            for &(v, w) in &g.adj[u] {
+                *to_com.entry(com[v]).or_insert(0.0) += w;
+            }
+            let k_u = g.k[u];
+            // Remove u from its community.
+            tot[cu] -= k_u;
+            let base = to_com.get(&cu).copied().unwrap_or(0.0);
+            // Gain of joining community c: k_{u→c} - tot[c]·k_u / 2m.
+            let mut best_c = cu;
+            let mut best_gain = base - tot[cu] * k_u / g.m2;
+            // Deterministic: consider candidates in ascending community id.
+            let mut candidates: Vec<usize> = to_com.keys().copied().collect();
+            candidates.sort_unstable();
+            for c in candidates {
+                if c == cu {
+                    continue;
+                }
+                let gain = to_com[&c] - tot[c] * k_u / g.m2;
+                let strictly_better = gain > best_gain + 1e-12;
+                let tie_with_smaller_id = (gain - best_gain).abs() <= 1e-12 && c < best_c;
+                if strictly_better || tie_with_smaller_id {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+            tot[best_c] += k_u;
+            if best_c != cu {
+                com[u] = best_c;
+                moved += 1;
+                improved = true;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    (com, improved)
+}
+
+/// Renumbers communities to a dense `0..k` range (first-appearance order).
+fn renumber(com: &[usize]) -> (Vec<usize>, usize) {
+    let mut map: FastMap<usize, usize> = FastMap::default();
+    let mut out = Vec::with_capacity(com.len());
+    for &c in com {
+        let next = map.len();
+        out.push(*map.entry(c).or_insert(next));
+    }
+    (out, map.len())
+}
+
+/// Coarsens: community graph with aggregated weights.
+fn coarsen(g: &WGraph, com: &[usize], ncom: usize) -> WGraph {
+    let mut self_w = vec![0.0; ncom];
+    let mut cross: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for u in 0..g.len() {
+        let cu = com[u];
+        self_w[cu] += g.self_w[u];
+        for &(v, w) in &g.adj[u] {
+            let cv = com[v];
+            if cu == cv {
+                // Each undirected edge visits twice (u→v and v→u).
+                self_w[cu] += w;
+            } else if cu < cv {
+                *cross.entry((cu, cv)).or_insert(0.0) += w;
+            }
+        }
+    }
+    let mut adj = vec![Vec::new(); ncom];
+    for (&(a, b), &w) in &cross {
+        adj[a].push((b, w));
+        adj[b].push((a, w));
+    }
+    let k: Vec<f64> = (0..ncom)
+        .map(|u| self_w[u] + adj[u].iter().map(|&(_, w)| w).sum::<f64>())
+        .collect();
+    let m2 = k.iter().sum();
+    WGraph {
+        adj,
+        self_w,
+        k,
+        m2,
+    }
+}
+
+/// Modularity of a partition on the *original* graph.
+fn modularity(g: &WGraph, com: &[usize]) -> f64 {
+    if g.m2 <= 0.0 {
+        return 0.0;
+    }
+    let ncom = com.iter().copied().max().map_or(0, |m| m + 1);
+    let mut inside = vec![0.0; ncom];
+    let mut tot = vec![0.0; ncom];
+    for u in 0..g.len() {
+        tot[com[u]] += g.k[u];
+        inside[com[u]] += g.self_w[u];
+        for &(v, w) in &g.adj[u] {
+            if com[v] == com[u] {
+                inside[com[u]] += w;
+            }
+        }
+    }
+    (0..ncom)
+        .map(|c| inside[c] / g.m2 - (tot[c] / g.m2).powi(2))
+        .sum()
+}
+
+/// Runs Louvain on a weighted undirected graph over nodes `0..n`.
+///
+/// `edges` are undirected `(u, v, weight)` records; duplicates accumulate.
+pub fn louvain(n: usize, edges: &[(usize, usize, f64)]) -> LouvainResult {
+    let original = WGraph::new(n, edges);
+    let mut g = WGraph::new(n, edges);
+    // node -> community, composed across levels.
+    let mut assignment: Vec<usize> = (0..n).collect();
+    let mut levels = 0usize;
+
+    loop {
+        let (com, improved) = one_level(&g);
+        if !improved && levels > 0 {
+            break;
+        }
+        let (dense, ncom) = renumber(&com);
+        for slot in assignment.iter_mut() {
+            *slot = dense[*slot];
+        }
+        levels += 1;
+        if ncom == g.len() {
+            // No merge happened; fixed point.
+            break;
+        }
+        g = coarsen(&g, &dense, ncom);
+        if !improved {
+            break;
+        }
+    }
+
+    let (communities, _) = renumber(&assignment);
+    let modularity = modularity(&original, &communities);
+    LouvainResult {
+        communities,
+        modularity,
+        levels,
+    }
+}
+
+/// Louvain over arbitrary hashable node labels (e.g. FQDN strings).
+///
+/// Returns `(label → community)` pairs sorted by label, plus the result.
+/// Labels are indexed in sorted order so the outcome is deterministic.
+pub fn louvain_labeled<K>(edges: &[(K, K, f64)]) -> (Vec<(K, usize)>, LouvainResult)
+where
+    K: Eq + Hash + Clone + Ord,
+{
+    let mut labels: Vec<K> = edges
+        .iter()
+        .flat_map(|(a, b, _)| [a.clone(), b.clone()])
+        .collect();
+    labels.sort();
+    labels.dedup();
+    let index: FastMap<&K, usize> = labels.iter().enumerate().map(|(i, k)| (k, i)).collect();
+    let idx_edges: Vec<(usize, usize, f64)> = edges
+        .iter()
+        .map(|(a, b, w)| (index[a], index[b], *w))
+        .collect();
+    let result = louvain(labels.len(), &idx_edges);
+    let pairs = labels
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, result.communities[i]))
+        .collect();
+    (pairs, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique_edges(members: &[usize]) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                out.push((u, v, 1.0));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn two_disjoint_edges() {
+        let r = louvain(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert_eq!(r.num_communities(), 2);
+        assert_eq!(r.communities[0], r.communities[1]);
+        assert_eq!(r.communities[2], r.communities[3]);
+        assert_ne!(r.communities[0], r.communities[2]);
+        assert!((r.modularity - 0.5).abs() < 1e-9, "Q={}", r.modularity);
+    }
+
+    #[test]
+    fn two_cliques_with_bridge() {
+        let mut edges = clique_edges(&[0, 1, 2, 3]);
+        edges.extend(clique_edges(&[4, 5, 6, 7]));
+        edges.push((3, 4, 1.0));
+        let r = louvain(8, &edges);
+        assert_eq!(r.num_communities(), 2);
+        for v in 0..4 {
+            assert_eq!(r.communities[v], r.communities[0]);
+        }
+        for v in 4..8 {
+            assert_eq!(r.communities[v], r.communities[4]);
+        }
+        assert!(r.modularity > 0.3, "Q={}", r.modularity);
+    }
+
+    #[test]
+    fn ring_of_cliques() {
+        // Four K5 cliques joined in a ring by single edges — the standard
+        // Louvain sanity benchmark; each clique is one community.
+        let mut edges = Vec::new();
+        for c in 0..4usize {
+            let members: Vec<usize> = (0..5).map(|i| c * 5 + i).collect();
+            edges.extend(clique_edges(&members));
+            edges.push((c * 5, ((c + 1) % 4) * 5 + 1, 1.0));
+        }
+        let r = louvain(20, &edges);
+        assert_eq!(r.num_communities(), 4);
+        for c in 0..4 {
+            let rep = r.communities[c * 5];
+            for i in 0..5 {
+                assert_eq!(r.communities[c * 5 + i], rep, "clique {c} split");
+            }
+        }
+        assert!(r.modularity > 0.5, "Q={}", r.modularity);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut edges = clique_edges(&[0, 1, 2]);
+        edges.extend(clique_edges(&[3, 4, 5]));
+        edges.push((2, 3, 0.5));
+        let a = louvain(6, &edges);
+        let b = louvain(6, &edges);
+        assert_eq!(a.communities, b.communities);
+        assert_eq!(a.modularity, b.modularity);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = louvain(3, &[]);
+        assert_eq!(r.communities.len(), 3);
+        assert_eq!(r.modularity, 0.0);
+    }
+
+    #[test]
+    fn self_loops_tolerated() {
+        let r = louvain(2, &[(0, 0, 5.0), (0, 1, 1.0)]);
+        assert_eq!(r.communities.len(), 2);
+        // Modularity finite and sane.
+        assert!(r.modularity.is_finite());
+    }
+
+    #[test]
+    fn weights_matter() {
+        // Path 0-1-2-3 with a heavy middle edge: {0,1} vs {2,3} split is
+        // *not* optimal; {1,2} must end up together.
+        let r = louvain(
+            4,
+            &[(0, 1, 0.1), (1, 2, 10.0), (2, 3, 0.1)],
+        );
+        assert_eq!(r.communities[1], r.communities[2]);
+    }
+
+    #[test]
+    fn labeled_interface() {
+        let edges = vec![
+            ("a".to_string(), "b".to_string(), 1.0),
+            ("b".to_string(), "c".to_string(), 1.0),
+            ("a".to_string(), "c".to_string(), 1.0),
+            ("x".to_string(), "y".to_string(), 1.0),
+            ("y".to_string(), "z".to_string(), 1.0),
+            ("x".to_string(), "z".to_string(), 1.0),
+            ("c".to_string(), "x".to_string(), 0.2),
+        ];
+        let (pairs, result) = louvain_labeled(&edges);
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(result.num_communities(), 2);
+        let get = |name: &str| {
+            pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, c)| *c)
+                .unwrap()
+        };
+        assert_eq!(get("a"), get("b"));
+        assert_eq!(get("b"), get("c"));
+        assert_eq!(get("x"), get("y"));
+        assert_ne!(get("a"), get("x"));
+    }
+
+    #[test]
+    fn modularity_improves_over_singletons() {
+        // Modularity of the found partition must beat the all-singletons
+        // partition (which has Q = -Σ(k_i/2m)² < 0).
+        let mut edges = clique_edges(&[0, 1, 2, 3, 4]);
+        edges.extend(clique_edges(&[5, 6, 7, 8, 9]));
+        edges.push((0, 5, 1.0));
+        let r = louvain(10, &edges);
+        assert!(r.modularity > 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # tripoll-baselines — the Table 2 comparison systems
+//!
+//! Re-implementations of the three tailor-made distributed triangle
+//! counters the TriPoll paper compares against (§5.6, Table 2), built on
+//! the *same* simulated runtime so the comparison isolates algorithmic
+//! differences rather than harness differences:
+//!
+//! * [`pearce`] — Pearce et al. (HPEC'17): degree-one pruning + one
+//!   asynchronous closure query **per wedge**.
+//! * [`tric`] — TriC (HPEC'20): edge-balanced contiguous partitions +
+//!   bulk-batched closure queries.
+//! * [`tom2d`] — Tom & Karypis (ICPP'19): 2D `√P×√P` decomposition with
+//!   Cannon-style masked SpGEMM; perfect-square rank counts only.
+//!
+//! Every baseline is validated against the serial oracle in
+//! `tripoll-analysis`.
+
+#![warn(missing_docs)]
+
+pub mod pearce;
+mod report;
+pub mod tom2d;
+pub mod tric;
+
+pub use pearce::{pearce_count, prune_degree_one};
+pub use report::BaselineReport;
+pub use tom2d::tom2d_count;
+pub use tric::tric_count;

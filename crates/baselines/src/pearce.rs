@@ -1,0 +1,289 @@
+//! Pearce et al. style asynchronous wedge-query triangle counting.
+//!
+//! Re-implementation of the approach of "Triangle counting for
+//! scale-free graphs at scale in distributed memory" (HPEC'17, the
+//! paper's reference \[42\]) — at the time of the TriPoll paper the only
+//! openly available code able to count the 224B-edge Web Data Commons
+//! graph, and the comparison TriPoll beats by ~1.8-6.8x in Table 2.
+//!
+//! The published algorithm:
+//!
+//! 1. *iteratively prune degree-one vertices* (they cannot participate
+//!    in triangles, and scale-free graphs have many),
+//! 2. order vertices by degree (the same DODGr construction TriPoll
+//!    uses),
+//! 3. *query wedges for closure*: for every wedge `(q, r)` anchored at a
+//!    pivot `p`, send one query record to `Rank(q)` asking whether the
+//!    closing edge `(q, r)` exists.
+//!
+//! The structural difference from TriPoll is step 3: one message **per
+//! wedge** instead of one batch per `(p, q)` pair, so the record count
+//! equals `|W+|` — more, smaller application records for the same
+//! triangles, which is exactly the traffic profile Table 2 punishes.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use tripoll_graph::{build_dist_graph, DistGraph, OrderKey, Partition};
+use tripoll_ygm::hash::FastMap;
+use tripoll_ygm::Comm;
+
+use crate::report::{BaselineReport, BaselineTimer};
+
+/// Maximum degree-one pruning sweeps (real graphs converge in a few).
+const MAX_PRUNE_ROUNDS: usize = 64;
+
+/// Iteratively removes degree-one vertices from a distributed edge set.
+///
+/// Returns this rank's share of the pruned, canonicalized undirected
+/// edges (each edge emitted exactly once, by the owner of its smaller
+/// endpoint). Collective.
+pub fn prune_degree_one(
+    comm: &Comm,
+    local_edges: Vec<(u64, u64)>,
+    partition: Partition,
+) -> Vec<(u64, u64)> {
+    let nranks = comm.nranks();
+
+    // Owner-side undirected adjacency.
+    let adj: Rc<RefCell<FastMap<u64, Vec<u64>>>> = Rc::new(RefCell::new(FastMap::default()));
+    let adj_in = adj.clone();
+    let h_edge = comm.register::<(u64, u64), _>(move |_c, (u, v)| {
+        adj_in.borrow_mut().adj_push(u, v);
+    });
+    // Removal notification: drop `u` from Adj(v).
+    let adj_rm = adj.clone();
+    let h_remove = comm.register::<(u64, u64), _>(move |_c, (v, u)| {
+        if let Some(list) = adj_rm.borrow_mut().get_mut(&v) {
+            if let Ok(pos) = list.binary_search(&u) {
+                list.remove(pos);
+            }
+        }
+    });
+
+    for (u, v) in local_edges {
+        if u == v {
+            continue;
+        }
+        comm.send(partition.owner(u, nranks), &h_edge, &(u, v));
+        comm.send(partition.owner(v, nranks), &h_edge, &(v, u));
+    }
+    comm.barrier();
+    {
+        let mut a = adj.borrow_mut();
+        for list in a.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+    }
+
+    for _round in 0..MAX_PRUNE_ROUNDS {
+        let mut removed_local = 0u64;
+        {
+            let mut a = adj.borrow_mut();
+            let doomed: Vec<(u64, u64)> = a
+                .iter()
+                .filter(|(_, list)| list.len() == 1)
+                .map(|(&u, list)| (u, list[0]))
+                .collect();
+            for (u, v) in doomed {
+                a.remove(&u);
+                removed_local += 1;
+                comm.send(partition.owner(v, nranks), &h_remove, &(v, u));
+            }
+        }
+        comm.barrier();
+        if comm.all_reduce_sum(removed_local) == 0 {
+            break;
+        }
+    }
+
+    // Emit each surviving edge once, from the smaller endpoint's owner.
+    let a = adj.borrow();
+    let mut out = Vec::new();
+    for (&u, list) in a.iter() {
+        for &v in list {
+            if u < v {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+/// Counts triangles with the wedge-query algorithm. Collective; all
+/// ranks receive the global count plus their own report.
+pub fn pearce_count(
+    comm: &Comm,
+    local_edges: Vec<(u64, u64)>,
+    partition: Partition,
+) -> (u64, BaselineReport) {
+    let timer = BaselineTimer::begin(comm, "Pearce et al.");
+
+    // Step 1: degree-one pruning.
+    let pruned = prune_degree_one(comm, local_edges, partition);
+
+    // Step 2: degree-ordered directed graph.
+    let graph: DistGraph<(), ()> = build_dist_graph(
+        comm,
+        pruned.into_iter().map(|(u, v)| (u, v, ())).collect(),
+        |_| (),
+        partition,
+    );
+
+    // Step 3: per-wedge closure queries.
+    let count = Rc::new(Cell::new(0u64));
+    let count_in = count.clone();
+    let g = graph.clone();
+    let h_query = comm.register::<(u64, u64, u64), _>(move |_c, (q, r, deg_r)| {
+        let lv = g
+            .shard()
+            .get(q)
+            .expect("queried vertex must be locally owned");
+        let key = OrderKey::new(r, deg_r);
+        _c.add_work(1 + (lv.adj.len() as u64).next_power_of_two().trailing_zeros() as u64);
+        if lv.adj.binary_search_by(|e| e.key.cmp(&key)).is_ok() {
+            count_in.set(count_in.get() + 1);
+        }
+    });
+
+    for lv in graph.shard().vertices() {
+        for (i, eq) in lv.adj.iter().enumerate() {
+            for er in &lv.adj[i + 1..] {
+                comm.send(
+                    graph.owner(eq.v),
+                    &h_query,
+                    &(eq.v, er.v, er.key.degree),
+                );
+            }
+        }
+    }
+    comm.barrier();
+
+    let global = comm.all_reduce_sum(count.get());
+    (global, timer.end())
+}
+
+/// Small helper trait so the adjacency map reads naturally above.
+trait AdjPush {
+    fn adj_push(&mut self, u: u64, v: u64);
+}
+impl AdjPush for FastMap<u64, Vec<u64>> {
+    fn adj_push(&mut self, u: u64, v: u64) {
+        self.entry(u).or_default().push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tripoll_ygm::World;
+
+    fn run(edges: &[(u64, u64)], nranks: usize) -> u64 {
+        let edges = edges.to_vec();
+        let out = World::new(nranks).run(move |comm| {
+            let local: Vec<(u64, u64)> = edges
+                .iter()
+                .skip(comm.rank())
+                .step_by(comm.nranks())
+                .copied()
+                .collect();
+            pearce_count(comm, local, Partition::Hashed).0
+        });
+        let first = out[0];
+        assert!(out.iter().all(|&c| c == first));
+        first
+    }
+
+    #[test]
+    fn counts_k5() {
+        let mut edges = Vec::new();
+        for u in 0..5u64 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        for nranks in [1, 2, 4] {
+            assert_eq!(run(&edges, nranks), 10);
+        }
+    }
+
+    #[test]
+    fn pruning_removes_pendant_trees() {
+        // Triangle with a long tail: the tail prunes away entirely.
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6)];
+        let out = World::new(2).run(move |comm| {
+            let local: Vec<(u64, u64)> = edges
+                .iter()
+                .skip(comm.rank())
+                .step_by(comm.nranks())
+                .copied()
+                .collect();
+            let pruned = prune_degree_one(comm, local, Partition::Hashed);
+            comm.barrier();
+            comm.all_reduce_sum(pruned.len() as u64)
+        });
+        // Only the triangle's 3 edges survive.
+        assert_eq!(out, vec![3, 3]);
+    }
+
+    #[test]
+    fn pruning_preserves_triangle_count() {
+        let edges = vec![
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3), // pendant
+            (0, 4),
+            (4, 1), // second triangle 0-4-1
+            (4, 5), // pendant
+        ];
+        assert_eq!(run(&edges, 3), 2);
+    }
+
+    #[test]
+    fn empty_after_pruning() {
+        // A tree has no triangles and prunes to nothing.
+        let edges = vec![(0, 1), (1, 2), (1, 3), (3, 4)];
+        assert_eq!(run(&edges, 2), 0);
+    }
+
+    #[test]
+    fn matches_oracle_on_pseudorandom_graph() {
+        let mut edges = Vec::new();
+        for u in 0..40u64 {
+            for v in (u + 1)..40 {
+                if (u * 7 + v * 13) % 6 == 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let expect =
+            tripoll_analysis::triangle_count(&tripoll_graph::Csr::from_edges(&edges));
+        assert_eq!(run(&edges, 3), expect);
+        assert!(expect > 0);
+    }
+
+    #[test]
+    fn sends_one_record_per_wedge() {
+        // On K5 with 1 rank there are sum C(d+,2) = C(4,2)+C(3,2)+C(2,2)+C(1,2)
+        // ... = 6+3+1+0 = 10 wedges; every wedge is one (local) record.
+        let mut edges = Vec::new();
+        for u in 0..5u64 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let out = World::new(1).run(move |comm| {
+            let before = comm.stats();
+            let (count, _) = pearce_count(comm, edges.clone(), Partition::Hashed);
+            let delta = comm.stats().delta(&before);
+            (count, delta)
+        });
+        let (count, delta) = &out[0];
+        assert_eq!(*count, 10);
+        // 10 edge-scatter sends x2 directions + 10 wedge queries +
+        // build exchanges; at minimum the wedge queries are present.
+        assert!(delta.records_local >= 10);
+    }
+}

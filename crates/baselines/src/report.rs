@@ -1,0 +1,42 @@
+//! Common reporting for baseline runs.
+
+use tripoll_ygm::stats::CommStats;
+use tripoll_ygm::Comm;
+
+/// Per-rank outcome of one baseline triangle count.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Which system this run emulates.
+    pub name: &'static str,
+    /// Wall-clock seconds on this rank (barrier-inclusive).
+    pub seconds: f64,
+    /// Communication-counter delta of this rank over the run.
+    pub stats: CommStats,
+}
+
+/// Times a baseline region and captures its traffic delta.
+pub(crate) struct BaselineTimer<'a> {
+    comm: &'a Comm,
+    name: &'static str,
+    start_stats: CommStats,
+    start: std::time::Instant,
+}
+
+impl<'a> BaselineTimer<'a> {
+    pub(crate) fn begin(comm: &'a Comm, name: &'static str) -> Self {
+        BaselineTimer {
+            comm,
+            name,
+            start_stats: comm.stats(),
+            start: std::time::Instant::now(),
+        }
+    }
+
+    pub(crate) fn end(self) -> BaselineReport {
+        BaselineReport {
+            name: self.name,
+            seconds: self.start.elapsed().as_secs_f64(),
+            stats: self.comm.stats().delta(&self.start_stats),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! **Figure 4** — strong scaling of the Push-Pull phases.
+//!
+//! The paper runs Push-Pull triangle counting on Friendster, Twitter,
+//! uk-2007-05 and web-cc12-hostgraph from 2 to 256 compute nodes and
+//! plots the per-phase time breakdown plus the overall speedup relative
+//! to the smallest configuration. Expected shape (paper §5.4):
+//!
+//! * good scaling to mid rank counts; efficiency tails off as fewer
+//!   edges per rank leave fewer aggregation opportunities;
+//! * the *pull* phase shrinks (relatively) with more ranks while *push*
+//!   grows — the algorithm degrades towards Push-Only at scale.
+
+use tripoll_analysis::Table;
+use tripoll_bench::{fmt_secs, rank_series, run_count, seed, size};
+use tripoll_core::EngineMode;
+use tripoll_gen::table4_suite;
+
+fn main() {
+    let ranks = rank_series();
+    println!(
+        "Reproducing Fig. 4 (Push-Pull strong scaling) on ranks {ranks:?} at {:?} scale\n",
+        size()
+    );
+
+    for ds in table4_suite(size(), seed()) {
+        let list = ds.edge_list();
+        let mut table = Table::new(
+            format!("Fig. 4: {} (|T| anchor, per-phase modeled time)", ds.name),
+            &[
+                "ranks",
+                "dry-run",
+                "push",
+                "pull",
+                "total(model)",
+                "total(wall)",
+                "speedup(model)",
+                "|T|",
+            ],
+        );
+        let mut base_model: Option<f64> = None;
+        for &n in &ranks {
+            let run = run_count(&list, n, EngineMode::PushPull);
+            let phase = |name: &str| {
+                run.phases
+                    .iter()
+                    .find(|(p, _, _)| p == name)
+                    .map(|&(_, _, modeled)| modeled)
+                    .unwrap_or(0.0)
+            };
+            let base = *base_model.get_or_insert(run.modeled_seconds);
+            table.row(&[
+                n.to_string(),
+                fmt_secs(phase("dry-run")),
+                fmt_secs(phase("push")),
+                fmt_secs(phase("pull")),
+                fmt_secs(run.modeled_seconds),
+                fmt_secs(run.wall_seconds),
+                format!("{:.2}x", base / run.modeled_seconds.max(1e-12)),
+                run.triangles.to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!("Modeled time: α-β-γ cost model on exact per-rank traffic (see tripoll_ygm::cost).");
+}

@@ -1,0 +1,61 @@
+//! **Figure 5** — weak scaling on R-MAT graphs.
+//!
+//! The paper fixes one scale-24 R-MAT per compute node (scale 24 on 1
+//! node up to scale 32 on 256) and plots the *work rate*
+//! `|W+| / (N · t)` — wedge checks per node-second. Expected shape: the
+//! rate decreases steadily with node count, because a growing graph
+//! spread over constant-size partitions offers fewer chances to
+//! aggregate candidate edges per target (paper §5.5).
+
+use tripoll_analysis::Table;
+use tripoll_bench::{fmt_secs, rank_series, run_count, seed};
+use tripoll_core::EngineMode;
+use tripoll_gen::rmat_weak_scaling;
+use tripoll_graph::EdgeList;
+
+/// Per-rank R-MAT scale (the paper's per-node "24", shrunk).
+fn base_scale() -> u32 {
+    std::env::var("TRIPOLL_BENCH_RMAT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11)
+}
+
+fn main() {
+    let ranks = rank_series();
+    let base = base_scale();
+    println!(
+        "Reproducing Fig. 5 (weak scaling, R-MAT scale {base} per rank) on ranks {ranks:?}\n"
+    );
+
+    let mut table = Table::new(
+        "Fig. 5: weak scaling of Push-Pull triangle counting",
+        &[
+            "ranks",
+            "scale",
+            "|W+|",
+            "|T|",
+            "t(model)",
+            "rate |W+|/(N*t) (model)",
+            "t(wall)",
+        ],
+    );
+    for &n in &ranks {
+        let edges = rmat_weak_scaling(base, n, seed());
+        let list = EdgeList::from_vec(edges.into_iter().map(|(u, v)| (u, v, ())).collect())
+            .canonicalize();
+        let run = run_count(&list, n, EngineMode::PushPull);
+        let rate = run.wedges as f64 / (n as f64 * run.modeled_seconds.max(1e-12));
+        table.row(&[
+            n.to_string(),
+            (base + (n as f64).log2().round() as u32).to_string(),
+            run.wedges.to_string(),
+            run.triangles.to_string(),
+            fmt_secs(run.modeled_seconds),
+            format!("{rate:.3e}"),
+            fmt_secs(run.wall_seconds),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected: the work rate decays with rank count (fewer aggregation opportunities).");
+}

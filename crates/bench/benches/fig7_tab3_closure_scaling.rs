@@ -1,0 +1,95 @@
+//! **Figure 7 + Table 3** — strong scaling of the closure-time survey.
+//!
+//! The paper scales the Reddit survey from 16 to 256 nodes, breaking
+//! time into the dry-run ("determine which vertices to pull"), push and
+//! pull phases, and reports the average number of adjacency lists
+//! pulled per rank (Table 3: 861K at 16 nodes shrinking to 42.2K at
+//! 256). Expected shapes:
+//!
+//! * overall time scales well on this social graph;
+//! * the algorithm *shifts from pull-heavy to push-heavy* as ranks grow
+//!   (fewer edges per rank → less aggregation → fewer granted pulls);
+//! * pulls per rank decrease monotonically with rank count.
+
+use tripoll_analysis::Table;
+use tripoll_bench::{fmt_secs, rank_series, seed, size, world};
+use tripoll_core::surveys::closure_times::closure_time_survey;
+use tripoll_core::EngineMode;
+use tripoll_gen::reddit_like;
+use tripoll_graph::{build_dist_graph, DistGraph, Partition};
+use tripoll_ygm::{CommStats, CostModel};
+
+fn main() {
+    let ranks = rank_series();
+    println!(
+        "Reproducing Fig. 7 / Table 3 (closure survey scaling) on ranks {ranks:?} at {:?} scale\n",
+        size()
+    );
+
+    let edges = reddit_like(size(), seed());
+    let model = CostModel::catalyst_like();
+
+    let mut fig7 = Table::new(
+        "Fig. 7: closure-time survey phase breakdown (modeled)",
+        &["ranks", "dry-run", "push", "pull", "total", "speedup", "wall"],
+    );
+    let mut tab3 = Table::new(
+        "Table 3: average adjacency lists pulled per rank",
+        &["ranks", "avg pulls/rank", "total grants"],
+    );
+
+    let mut base: Option<f64> = None;
+    let mut prev_pulls = f64::INFINITY;
+    for &n in &ranks {
+        let out = world(n).run(|comm| {
+            let local = edges.stride_for_rank(comm.rank(), comm.nranks());
+            let g: DistGraph<(), u64> =
+                build_dist_graph(comm, local, |_| (), Partition::Hashed);
+            let (hist, report) = closure_time_survey(comm, &g, EngineMode::PushPull, |&t| t);
+            (hist.total(), report)
+        });
+        let total_triangles = out[0].0;
+        assert!(out.iter().all(|(t, _)| *t == total_triangles));
+
+        let phase_modeled = |idx: usize| {
+            let per_rank: Vec<CommStats> =
+                out.iter().map(|(_, r)| r.phases[idx].stats).collect();
+            model.phase_time(&per_rank)
+        };
+        let dry = phase_modeled(0);
+        let push = phase_modeled(1);
+        let pull = phase_modeled(2);
+        let total = dry + push + pull;
+        let wall = out
+            .iter()
+            .map(|(_, r)| r.total_seconds)
+            .fold(0.0, f64::max);
+        let b = *base.get_or_insert(total);
+        fig7.row(&[
+            n.to_string(),
+            fmt_secs(dry),
+            fmt_secs(push),
+            fmt_secs(pull),
+            fmt_secs(total),
+            format!("{:.2}x", b / total.max(1e-12)),
+            fmt_secs(wall),
+        ]);
+
+        let pulls: u64 = out.iter().map(|(_, r)| r.pulled_vertices).sum();
+        let grants: u64 = out.iter().map(|(_, r)| r.pull_grants).sum();
+        let per_rank = pulls as f64 / n as f64;
+        tab3.row(&[
+            n.to_string(),
+            format!("{per_rank:.1}"),
+            grants.to_string(),
+        ]);
+        assert!(
+            per_rank <= prev_pulls,
+            "pulls per rank should shrink with rank count"
+        );
+        prev_pulls = per_rank;
+    }
+    println!("{}", fig7.render());
+    println!("{}", tab3.render());
+    println!("Expected: pull share shrinks as ranks grow (Table 3's 861K → 42.2K trend).");
+}

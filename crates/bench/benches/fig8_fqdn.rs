@@ -1,0 +1,165 @@
+//! **Figure 8 / §5.8** — FQDN analysis on the Web Data Commons graph.
+//!
+//! The paper attaches each page's fully qualified domain name as string
+//! vertex metadata, counts FQDN 3-tuples over all triangles with three
+//! distinct FQDNs (248.7B triangles, 39.2B unique tuples on the real
+//! graph), then post-processes: all tuples containing "amazon.com" form
+//! a 2D co-occurrence distribution whose rows/columns are ordered by
+//! Louvain communities — revealing the Amazon family, the competing
+//! bookseller abebooks.com, and an education/library community.
+//!
+//! §5.8 also reports the cost of carrying the string metadata: 1694.6s
+//! for the survey vs 456.7s for metadata-free counting (~3.7x). This
+//! harness reproduces both the narrative and the overhead ratio.
+
+use std::time::Instant;
+
+use tripoll_analysis::{louvain_labeled, Table};
+use tripoll_bench::{fmt_secs, seed, size, world};
+use tripoll_core::surveys::count::triangle_count;
+use tripoll_core::surveys::fqdn_tuples::fqdn_tuple_survey;
+use tripoll_core::EngineMode;
+use tripoll_gen::wdc_like;
+use tripoll_graph::{build_dist_graph, DistGraph, EdgeList, Partition};
+
+fn main() {
+    let nranks = 4;
+    println!(
+        "Reproducing Fig. 8 / §5.8 (FQDN survey) on {nranks} ranks at {:?} scale\n",
+        size()
+    );
+    let web = wdc_like(size(), seed());
+    let list = EdgeList::from_vec(web.edges.iter().map(|&(u, v)| (u, v, ())).collect())
+        .canonicalize();
+
+    // --- metadata-free counting (the §5.8 baseline time) ----------------
+    let plain = {
+        let list = &list;
+        world(nranks).run(|comm| {
+            let start = Instant::now();
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g: DistGraph<bool, ()> =
+                build_dist_graph(comm, local, |_| false, Partition::Hashed);
+            let (count, _) = triangle_count(comm, &g, EngineMode::PushPull);
+            (count, start.elapsed().as_secs_f64())
+        })
+    };
+    let plain_wall = plain.iter().map(|r| r.1).fold(0.0, f64::max);
+
+    // --- FQDN survey ------------------------------------------------------
+    let fqdn_fn = web.fqdn_fn();
+    let out = {
+        let list = &list;
+        world(nranks).run(move |comm| {
+            let start = Instant::now();
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g: DistGraph<String, ()> =
+                build_dist_graph(comm, local, fqdn_fn.clone(), Partition::Hashed);
+            let (result, _) = fqdn_tuple_survey(comm, &g, EngineMode::PushPull);
+            (result, start.elapsed().as_secs_f64())
+        })
+    };
+    let (result, _) = &out[0];
+    let survey_wall = out.iter().map(|r| r.1).fold(0.0, f64::max);
+
+    let mut summary = Table::new(
+        "§5.8 summary",
+        &[
+            "plain count",
+            "distinct-FQDN triangles",
+            "unique 3-tuples",
+            "plain time",
+            "survey time",
+            "overhead",
+        ],
+    );
+    summary.row(&[
+        plain[0].0.to_string(),
+        result.distinct_triangles.to_string(),
+        result.unique_tuples().to_string(),
+        fmt_secs(plain_wall),
+        fmt_secs(survey_wall),
+        format!("{:.2}x (paper: 3.71x)", survey_wall / plain_wall.max(1e-9)),
+    ]);
+    println!("{}", summary.render());
+
+    // --- Fig. 8 post-processing ------------------------------------------
+    // Communities come from the *full* FQDN co-occurrence graph (every
+    // tuple contributes its three pairs, weighted by count); the rows of
+    // the hub's 2-D distribution are then ordered by those communities,
+    // as the paper orders Fig. 8's axes by the Louvain method.
+    let hub = "amazon.example";
+    let pairs = result.pairs_with(hub);
+    assert!(!pairs.is_empty(), "no triangles involve the hub domain");
+    let mut co_weights: std::collections::BTreeMap<(String, String), f64> =
+        std::collections::BTreeMap::new();
+    for ((a, b, c), count) in &result.tuples {
+        for (x, y) in [(a, b), (a, c), (b, c)] {
+            *co_weights.entry((x.clone(), y.clone())).or_insert(0.0) += *count as f64;
+        }
+    }
+    let co_edges: Vec<(String, String, f64)> = co_weights
+        .into_iter()
+        .map(|((a, b), w)| (a, b, w))
+        .collect();
+    let (all_communities, louvain) = louvain_labeled(&co_edges);
+    // Restrict the display to FQDNs that co-occur with the hub.
+    let in_pairs: std::collections::BTreeSet<&str> = pairs
+        .iter()
+        .flat_map(|(a, b, _)| [a.as_str(), b.as_str()])
+        .collect();
+    let communities: Vec<(String, usize)> = all_communities
+        .iter()
+        .filter(|(name, _)| in_pairs.contains(name.as_str()))
+        .cloned()
+        .collect();
+
+    let mut fig8 = Table::new(
+        format!(
+            "Fig. 8: FQDNs co-occurring in triangles with \"{hub}\" (Louvain-ordered, Q={:.3})",
+            louvain.modularity
+        ),
+        &["community", "FQDN", "co-occurrence weight"],
+    );
+    // Order rows by (community, descending weight).
+    let weight_of = |name: &str| -> u64 {
+        pairs
+            .iter()
+            .filter(|(a, b, _)| a == name || b == name)
+            .map(|(_, _, c)| c)
+            .sum()
+    };
+    let mut rows: Vec<(usize, String, u64)> = communities
+        .iter()
+        .map(|(name, com)| (*com, name.clone(), weight_of(name)))
+        .collect();
+    rows.sort_by_key(|a| (a.0, std::cmp::Reverse(a.2)));
+    for (com, name, w) in rows.iter().take(30) {
+        fig8.row(&[com.to_string(), name.clone(), w.to_string()]);
+    }
+    println!("{}", fig8.render());
+
+    // Narrative checks: the Amazon family co-occurs with the hub; the
+    // bookseller and the library community are present.
+    let names: Vec<&str> = communities.iter().map(|(n, _)| n.as_str()).collect();
+    for expect in ["amazon.co.example", "abebooks.example"] {
+        assert!(
+            names.contains(&expect),
+            "{expect} missing from the hub's triangle neighborhood"
+        );
+    }
+    let com_of = |name: &str| {
+        all_communities
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+    };
+    if let (Some(lib_a), Some(lib_b)) = (com_of("lib0.edu.example"), com_of("lib1.edu.example")) {
+        assert_eq!(lib_a, lib_b, "library domains should share a community");
+    }
+    println!(
+        "Louvain grouped {} FQDNs into {} communities; library domains cluster together.",
+        communities.len(),
+        louvain.num_communities()
+    );
+}

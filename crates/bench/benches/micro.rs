@@ -1,0 +1,168 @@
+//! Criterion micro-benchmarks for the hot kernels underneath TriPoll:
+//! wire codec, varints, send-buffer accumulation, merge-path
+//! intersection, the deterministic hash, and counting-set increments.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use tripoll_core::merge_path;
+use tripoll_graph::OrderKey;
+use tripoll_ygm::buffer::SendBuffer;
+use tripoll_ygm::hash::hash64;
+use tripoll_ygm::wire::{from_bytes, put_varint, to_bytes, Wire, WireReader};
+
+fn bench_varint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/varint");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("encode_1k_mixed", |b| {
+        let values: Vec<u64> = (0..1024u64).map(|i| hash64(i) >> (i % 48)).collect();
+        b.iter_batched(
+            || Vec::with_capacity(16 * 1024),
+            |mut buf| {
+                for &v in &values {
+                    put_varint(&mut buf, v);
+                }
+                buf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("decode_1k_mixed", |b| {
+        let values: Vec<u64> = (0..1024u64).map(|i| hash64(i) >> (i % 48)).collect();
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        b.iter(|| {
+            let mut r = WireReader::new(&buf);
+            let mut sum = 0u64;
+            while !r.is_empty() {
+                sum = sum.wrapping_add(r.take_varint().unwrap());
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+type PushLikeMsg = (u64, u64, u64, u64, Vec<(u64, u64, u64)>);
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/codec");
+    // A realistic push message: (p, q, meta_p, meta_pq, 64 candidates).
+    let msg: PushLikeMsg = (
+        12_345,
+        67_890,
+        42,
+        7,
+        (0..64).map(|i| (hash64(i), i * 3 + 1, i)).collect(),
+    );
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("push_message_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = to_bytes(black_box(&msg));
+            let back: PushLikeMsg = from_bytes(&bytes).unwrap();
+            back.4.len()
+        })
+    });
+    group.bench_function("string_payload_roundtrip", |b| {
+        let payload: Vec<String> = (0..32)
+            .map(|i| format!("site{i}.example/path/to/page"))
+            .collect();
+        b.iter(|| {
+            let bytes = to_bytes(black_box(&payload));
+            let back: Vec<String> = from_bytes(&bytes).unwrap();
+            back.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("push_1k_records", |b| {
+        b.iter_batched(
+            SendBuffer::new,
+            |mut buf| {
+                for i in 0..1024u64 {
+                    buf.push_record(3, &(i, i * 2));
+                }
+                buf.drain().0.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_merge_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_path");
+    for size in [64usize, 1024] {
+        let left: Vec<(u64, OrderKey)> = (0..size as u64)
+            .map(|i| (i * 2, OrderKey::new(i * 2, i)))
+            .collect();
+        let right: Vec<(u64, OrderKey)> = (0..size as u64)
+            .map(|i| (i * 3, OrderKey::new(i * 3, i)))
+            .collect();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_function(format!("intersect_{size}"), |b| {
+            b.iter(|| {
+                let mut matches = 0u64;
+                merge_path(
+                    black_box(&left),
+                    black_box(&right),
+                    |l| l.1,
+                    |r| r.1,
+                    |_, _| matches += 1,
+                );
+                matches
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash64");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("mix_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..4096u64 {
+                acc ^= hash64(black_box(i));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_wire_encode_adjacency(c: &mut Criterion) {
+    // The dominant wire object of a survey: an adjacency projection.
+    let mut group = c.benchmark_group("wire/adjacency");
+    let adj: Vec<(u64, u64, u64)> = (0..512).map(|i| (hash64(i), i, i % 7)).collect();
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("encode_512_entries", |b| {
+        b.iter_batched(
+            || Vec::with_capacity(16 * 1024),
+            |mut buf| {
+                adj.encode(&mut buf);
+                buf.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_varint,
+    bench_codec,
+    bench_buffer,
+    bench_merge_path,
+    bench_hash,
+    bench_wire_encode_adjacency
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! **Table 1** — dataset overview: `|V|`, `|E|`, `|T|`, `d_max`, `d_max+`.
+//!
+//! Prints the statistics of every stand-in next to the published numbers
+//! of the real dataset it models. Absolute sizes differ by construction
+//! (the stand-ins are scaled down ~3-5 orders of magnitude); what should
+//! match is the *character* of each graph — which ones are hub-extreme
+//! (Twitter, the web graphs), which are mild (Friendster), and which are
+//! triangle-dense relative to their edge count (the web corpora).
+
+use tripoll_analysis::Table;
+use tripoll_bench::{run_count, seed, size};
+use tripoll_core::EngineMode;
+use tripoll_gen::{datasets::reddit_paper_stats, reddit_like, table2_suite, table4_suite};
+use tripoll_graph::EdgeList;
+
+fn main() {
+    let size = size();
+    let seed = seed();
+    println!("Reproducing Table 1 (dataset overview) at {size:?} scale, seed {seed}\n");
+
+    let mut table = Table::new(
+        "Table 1: datasets (stand-in measured | paper published)",
+        &[
+            "Graph", "|V|", "|E|", "|T|", "dmax", "dmax+", "paper |V|", "paper |E|",
+            "paper |T|", "paper dmax", "paper dmax+",
+        ],
+    );
+
+    let mut suite = table2_suite(size, seed);
+    // Friendster/Twitter appear in both suites; add only the web graphs
+    // unique to the Table 4 suite.
+    suite.extend(
+        table4_suite(size, seed)
+            .into_iter()
+            .filter(|d| d.name == "uk-2007-05" || d.name == "web-cc12-hostgraph"),
+    );
+
+    for ds in &suite {
+        let list = ds.edge_list();
+        let run = run_count(&list, 2, EngineMode::PushPull);
+        table.row(&[
+            ds.name.to_string(),
+            run.graph.vertices.to_string(),
+            run.graph.directed_edges.to_string(),
+            run.triangles.to_string(),
+            run.graph.max_degree.to_string(),
+            run.graph.max_out_degree.to_string(),
+            ds.paper.vertices.to_string(),
+            ds.paper.edges.to_string(),
+            ds.paper.triangles.to_string(),
+            ds.paper.dmax.to_string(),
+            ds.paper.dmax_plus.to_string(),
+        ]);
+    }
+
+    // Reddit (temporal metadata; counted topology-only here).
+    let reddit = reddit_like(size, seed);
+    let topo = EdgeList::from_vec(
+        reddit
+            .as_slice()
+            .iter()
+            .map(|&(u, v, _)| (u, v, ()))
+            .collect(),
+    )
+    .canonicalize();
+    let run = run_count(&topo, 2, EngineMode::PushPull);
+    let paper = reddit_paper_stats();
+    table.row(&[
+        "Reddit".to_string(),
+        run.graph.vertices.to_string(),
+        run.graph.directed_edges.to_string(),
+        run.triangles.to_string(),
+        run.graph.max_degree.to_string(),
+        run.graph.max_out_degree.to_string(),
+        paper.vertices.to_string(),
+        paper.edges.to_string(),
+        paper.triangles.to_string(),
+        paper.dmax.to_string(),
+        paper.dmax_plus.to_string(),
+    ]);
+
+    println!("{}", table.render());
+    println!("Note: |E| counts directed edges after symmetrization, as in the paper.");
+}

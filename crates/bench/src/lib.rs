@@ -1,0 +1,216 @@
+//! # tripoll-bench — the experiment harness
+//!
+//! Shared plumbing for the `benches/` targets, each of which regenerates
+//! one table or figure of the TriPoll paper's evaluation (§5). Run them
+//! all with `cargo bench --workspace`, or one at a time:
+//!
+//! ```text
+//! cargo bench -p tripoll-bench --bench tab4_push_vs_pushpull
+//! ```
+//!
+//! ## Knobs (environment variables)
+//!
+//! * `TRIPOLL_BENCH_SIZE` — `tiny` / `small` (default) / `medium`
+//!   dataset presets.
+//! * `TRIPOLL_BENCH_RANKS` — comma-separated simulated rank counts
+//!   (default `1,2,4,8`). One simulated rank stands for one of the
+//!   paper's compute nodes.
+//! * `TRIPOLL_BENCH_SEED` — generator seed (default 42).
+//!
+//! ## Reading the output
+//!
+//! Each run reports **measured** wall-clock of the threaded simulation
+//! *and* **modeled** cluster time from the α-β-γ cost model applied to
+//! the exact per-rank communication counters (see
+//! `tripoll_ygm::cost`). On a development box the modeled numbers carry
+//! the scaling shapes (the paper's cluster had 24 cores per node; this
+//! harness typically oversubscribes a couple of cores), while measured
+//! communication volumes are exact — those are what Table 4 compares.
+
+#![warn(missing_docs)]
+
+use tripoll_core::{EngineMode, SurveyReport};
+use tripoll_gen::DatasetSize;
+use tripoll_graph::{build_dist_graph, DistGraph, EdgeList, GraphStats, Partition};
+use tripoll_ygm::stats::CommStats;
+use tripoll_ygm::{CommConfig, CostModel, World};
+
+/// Simulated rank counts to sweep (env `TRIPOLL_BENCH_RANKS`).
+pub fn rank_series() -> Vec<usize> {
+    std::env::var("TRIPOLL_BENCH_RANKS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// Dataset size preset (env `TRIPOLL_BENCH_SIZE`).
+pub fn size() -> DatasetSize {
+    DatasetSize::from_env()
+}
+
+/// Generator seed (env `TRIPOLL_BENCH_SEED`).
+pub fn seed() -> u64 {
+    std::env::var("TRIPOLL_BENCH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// World configuration used by all experiments.
+pub fn world(nranks: usize) -> World {
+    World::new(nranks).with_config(CommConfig::default())
+}
+
+/// Aggregated outcome of one survey run at one rank count.
+#[derive(Debug, Clone)]
+pub struct CountRun {
+    /// Simulated ranks.
+    pub nranks: usize,
+    /// Engine used.
+    pub mode: EngineMode,
+    /// Global triangle count (sanity anchor across configurations).
+    pub triangles: u64,
+    /// Survey wall-clock (max over ranks), seconds.
+    pub wall_seconds: f64,
+    /// Per phase: (name, max wall over ranks, modeled cluster seconds).
+    pub phases: Vec<(String, f64, f64)>,
+    /// Remote bytes summed over ranks.
+    pub bytes_remote: u64,
+    /// All payload bytes summed over ranks (local + remote). This is the
+    /// Table 4 "communication volume" analogue: with the paper's 192+
+    /// MPI ranks, same-rank traffic is negligible, so their measured MPI
+    /// volume corresponds to our total; at 1-8 simulated ranks the
+    /// remote-only number would be distorted by the large self share.
+    pub bytes_total: u64,
+    /// Remote records summed over ranks.
+    pub records_remote: u64,
+    /// Modeled cluster time for the whole survey, seconds.
+    pub modeled_seconds: f64,
+    /// Mean adjacency lists pulled per rank (Table 3).
+    pub avg_pulls_per_rank: f64,
+    /// `|W+|` of the graph (work measure for weak scaling).
+    pub wedges: u64,
+    /// Graph statistics (shared across configurations of a dataset).
+    pub graph: GraphStats,
+}
+
+/// Builds the DODGr and runs a counting survey on `nranks` simulated
+/// ranks, aggregating per-rank reports.
+pub fn run_count(edges: &EdgeList<()>, nranks: usize, mode: EngineMode) -> CountRun {
+    let out = world(nranks).run(|comm| {
+        let local = edges.stride_for_rank(comm.rank(), comm.nranks());
+        // Dummy boolean vertex metadata, as the paper affixes for plain
+        // counting (§5.3).
+        let graph: DistGraph<bool, ()> =
+            build_dist_graph(comm, local, |_| false, Partition::Hashed);
+        let stats = graph.global_stats(comm);
+        let (count, report) = tripoll_core::surveys::count::triangle_count(comm, &graph, mode);
+        (count, report, stats)
+    });
+    aggregate(nranks, mode, out)
+}
+
+/// Folds per-rank `(count, report, stats)` tuples into a [`CountRun`].
+pub fn aggregate(
+    nranks: usize,
+    mode: EngineMode,
+    out: Vec<(u64, SurveyReport, GraphStats)>,
+) -> CountRun {
+    let model = CostModel::catalyst_like();
+    let triangles = out[0].0;
+    let graph = out[0].2;
+    assert!(
+        out.iter().all(|(c, _, _)| *c == triangles),
+        "ranks disagree on the triangle count"
+    );
+    let reports: Vec<&SurveyReport> = out.iter().map(|(_, r, _)| r).collect();
+
+    let phase_names: Vec<String> = reports[0]
+        .phases
+        .iter()
+        .map(|p| p.name.to_string())
+        .collect();
+    let mut phases = Vec::new();
+    let mut modeled_total = 0.0;
+    for (i, name) in phase_names.iter().enumerate() {
+        let wall = reports
+            .iter()
+            .map(|r| r.phases[i].seconds)
+            .fold(0.0, f64::max);
+        let per_rank: Vec<CommStats> = reports.iter().map(|r| r.phases[i].stats).collect();
+        let modeled = model.phase_time(&per_rank);
+        modeled_total += modeled;
+        phases.push((name.clone(), wall, modeled));
+    }
+
+    let total_stats = CommStats::sum(reports.iter().map(|r| r.local_stats()).collect::<Vec<_>>().iter());
+    let wall_seconds = reports.iter().map(|r| r.total_seconds).fold(0.0, f64::max);
+    let avg_pulls_per_rank =
+        reports.iter().map(|r| r.pulled_vertices).sum::<u64>() as f64 / nranks as f64;
+
+    CountRun {
+        nranks,
+        mode,
+        triangles,
+        wall_seconds,
+        phases,
+        bytes_remote: total_stats.bytes_remote,
+        bytes_total: total_stats.bytes_total(),
+        records_remote: total_stats.records_remote,
+        modeled_seconds: modeled_total,
+        avg_pulls_per_rank,
+        wedges: graph.wedges,
+        graph,
+    }
+}
+
+/// Pretty milli/second formatting re-exported for bench targets.
+pub use tripoll_analysis::{fmt_bytes, fmt_secs, Table};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_series_default() {
+        if std::env::var("TRIPOLL_BENCH_RANKS").is_err() {
+            assert_eq!(rank_series(), vec![1, 2, 4, 8]);
+        }
+    }
+
+    #[test]
+    fn run_count_on_tiny_graph() {
+        let edges = EdgeList::from_vec(vec![
+            (0u64, 1u64, ()),
+            (1, 2, ()),
+            (2, 0, ()),
+            (2, 3, ()),
+            (3, 0, ()),
+        ]);
+        for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+            let run = run_count(&edges, 2, mode);
+            assert_eq!(run.triangles, 2);
+            assert_eq!(run.nranks, 2);
+            assert!(run.wall_seconds >= 0.0);
+            assert!(run.modeled_seconds >= 0.0);
+            match mode {
+                EngineMode::PushOnly => assert_eq!(run.phases.len(), 1),
+                EngineMode::PushPull => assert_eq!(run.phases.len(), 3),
+            }
+        }
+    }
+
+    #[test]
+    fn push_pull_phases_named() {
+        let edges = EdgeList::from_vec(vec![(0u64, 1u64, ()), (1, 2, ()), (2, 0, ())]);
+        let run = run_count(&edges, 1, EngineMode::PushPull);
+        let names: Vec<&str> = run.phases.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["dry-run", "push", "pull"]);
+    }
+}

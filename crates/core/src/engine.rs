@@ -1,0 +1,219 @@
+//! Shared machinery of the survey engines.
+//!
+//! Both engines reduce triangle identification to the same kernel: a
+//! *merge-path intersection* (paper §4.3) of two lists sorted by the
+//! degree order `<+` — the suffix of `Adjm+(p)` past `q` (the candidate
+//! `r` vertices) against `Adjm+(q)`. Because [`OrderKey`] equality
+//! implies vertex equality, the intersection walks both lists with two
+//! pointers and never hashes or binary-searches.
+
+use std::time::Instant;
+
+use tripoll_graph::OrderKey;
+use tripoll_ygm::stats::CommStats;
+use tripoll_ygm::Comm;
+
+/// Which TriPoll algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// §4.3: every wedge batch is pushed to `Rank(q)`.
+    PushOnly,
+    /// §4.4: a dry-run pass decides per (source rank, target vertex)
+    /// whether to push the wedge batches or pull `Adjm+(q)` once.
+    PushPull,
+}
+
+impl std::fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineMode::PushOnly => write!(f, "Push-Only"),
+            EngineMode::PushPull => write!(f, "Push-Pull"),
+        }
+    }
+}
+
+/// Timing and traffic of one engine phase, local to this rank.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Phase name (`"dry-run"`, `"push"`, `"pull"`).
+    pub name: &'static str,
+    /// Wall-clock seconds this rank spent in the phase (barrier
+    /// inclusive, so ranks agree up to scheduling noise).
+    pub seconds: f64,
+    /// Communication-counter delta of this rank over the phase.
+    pub stats: CommStats,
+}
+
+/// Per-rank outcome of a survey run.
+#[derive(Debug, Clone)]
+pub struct SurveyReport {
+    /// Algorithm that produced this report.
+    pub mode: EngineMode,
+    /// Phase breakdown in execution order.
+    pub phases: Vec<PhaseReport>,
+    /// Total wall-clock seconds (sum of phases).
+    pub total_seconds: f64,
+    /// Adjacency lists this rank pulled (Table 3's "pulls per rank");
+    /// zero under Push-Only.
+    pub pulled_vertices: u64,
+    /// Pull requests this rank granted (adjacency lists it served).
+    pub pull_grants: u64,
+}
+
+impl SurveyReport {
+    /// Communication totals over all phases (this rank).
+    pub fn local_stats(&self) -> CommStats {
+        CommStats::sum(self.phases.iter().map(|p| &p.stats))
+    }
+
+    /// Seconds spent in the named phase (0 if absent).
+    pub fn phase_seconds(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.seconds)
+            .sum()
+    }
+}
+
+/// Tracks a phase: wraps timing and counter deltas around a closure.
+pub(crate) struct PhaseTimer<'a> {
+    comm: &'a Comm,
+    start_stats: CommStats,
+    start_time: Instant,
+    name: &'static str,
+}
+
+impl<'a> PhaseTimer<'a> {
+    pub(crate) fn begin(comm: &'a Comm, name: &'static str) -> Self {
+        PhaseTimer {
+            comm,
+            start_stats: comm.stats(),
+            start_time: Instant::now(),
+            name,
+        }
+    }
+
+    /// Ends the phase (caller must have completed its barrier).
+    pub(crate) fn end(self) -> PhaseReport {
+        PhaseReport {
+            name: self.name,
+            seconds: self.start_time.elapsed().as_secs_f64(),
+            stats: self.comm.stats().delta(&self.start_stats),
+        }
+    }
+}
+
+/// Merge-path intersection of two `<+`-sorted lists.
+///
+/// Invokes `on_match(&l, &r)` for every pair with equal [`OrderKey`].
+/// Both lists must be strictly increasing in key (adjacency lists and
+/// their suffixes are, by construction).
+#[inline]
+pub fn merge_path<L, R>(
+    left: &[L],
+    right: &[R],
+    key_l: impl Fn(&L) -> OrderKey,
+    key_r: impl Fn(&R) -> OrderKey,
+    mut on_match: impl FnMut(&L, &R),
+) {
+    let (mut a, mut b) = (0, 0);
+    while a < left.len() && b < right.len() {
+        match key_l(&left[a]).cmp(&key_r(&right[b])) {
+            std::cmp::Ordering::Less => a += 1,
+            std::cmp::Ordering::Greater => b += 1,
+            std::cmp::Ordering::Equal => {
+                on_match(&left[a], &right[b]);
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(ids: &[u64]) -> Vec<(u64, OrderKey)> {
+        // Distinct degrees so order follows the given sequence.
+        ids.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, OrderKey::new(v, i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn merge_path_intersects() {
+        // left = elements 0..6, right = evens; sorted by same key space.
+        let all = keys(&[10, 11, 12, 13, 14, 15]);
+        let left: Vec<_> = all.clone();
+        let right: Vec<_> = all
+            .iter()
+            .filter(|(v, _)| v % 2 == 0)
+            .cloned()
+            .collect();
+        let mut matches = Vec::new();
+        merge_path(
+            &left,
+            &right,
+            |l| l.1,
+            |r| r.1,
+            |l, r| {
+                assert_eq!(l.0, r.0);
+                matches.push(l.0);
+            },
+        );
+        assert_eq!(matches, vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn merge_path_empty_sides() {
+        let some = keys(&[1, 2, 3]);
+        let empty: Vec<(u64, OrderKey)> = Vec::new();
+        let mut called = false;
+        merge_path(&some, &empty, |l| l.1, |r| r.1, |_, _| called = true);
+        merge_path(&empty, &some, |l| l.1, |r| r.1, |_, _| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn merge_path_disjoint() {
+        let left = keys(&[1, 2]);
+        let right: Vec<(u64, OrderKey)> = vec![
+            (9, OrderKey::new(9, 100)),
+            (8, OrderKey::new(8, 101)),
+        ];
+        let mut called = false;
+        merge_path(&left, &right, |l| l.1, |r| r.1, |_, _| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn report_aggregation() {
+        let mk = |name, secs, bytes| PhaseReport {
+            name,
+            seconds: secs,
+            stats: CommStats {
+                bytes_remote: bytes,
+                ..Default::default()
+            },
+        };
+        let report = SurveyReport {
+            mode: EngineMode::PushPull,
+            phases: vec![mk("dry-run", 1.0, 10), mk("push", 2.0, 100), mk("pull", 0.5, 30)],
+            total_seconds: 3.5,
+            pulled_vertices: 4,
+            pull_grants: 2,
+        };
+        assert_eq!(report.local_stats().bytes_remote, 140);
+        assert!((report.phase_seconds("push") - 2.0).abs() < 1e-12);
+        assert_eq!(report.phase_seconds("nope"), 0.0);
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(EngineMode::PushOnly.to_string(), "Push-Only");
+        assert_eq!(EngineMode::PushPull.to_string(), "Push-Pull");
+    }
+}

@@ -1,0 +1,113 @@
+//! Triangle metadata passed to survey callbacks.
+//!
+//! TriPoll's defining capability (paper §1, §4.5): when a triangle
+//! `Δpqr` is identified, a *user-provided callback* runs with access to
+//! all six pieces of metadata `meta(Δpqr)` — three vertex metadata values
+//! and three edge metadata values — plus the vertex ids themselves. The
+//! callback produces whatever side effects the survey needs (increment a
+//! counter, feed a distributed counting set, write to a file); the survey
+//! itself returns nothing.
+
+use tripoll_ygm::Comm;
+
+/// Everything a callback may inspect about one discovered triangle.
+///
+/// Vertices satisfy `p <+ q <+ r` in the degree order of §3, so `r` is
+/// the (weakly) highest-degree corner. References point into rank-local
+/// storage or the just-received message — no copies are made to invoke a
+/// callback.
+#[derive(Debug)]
+pub struct TriangleMeta<'a, VM, EM> {
+    /// Pivot vertex id (`p <+ q <+ r`).
+    pub p: u64,
+    /// Middle vertex id.
+    pub q: u64,
+    /// Highest vertex id in the `<+` order.
+    pub r: u64,
+    /// `meta(p)`.
+    pub meta_p: &'a VM,
+    /// `meta(q)`.
+    pub meta_q: &'a VM,
+    /// `meta(r)`.
+    pub meta_r: &'a VM,
+    /// `meta(p, q)`.
+    pub meta_pq: &'a EM,
+    /// `meta(p, r)`.
+    pub meta_pr: &'a EM,
+    /// `meta(q, r)`.
+    pub meta_qr: &'a EM,
+}
+
+impl<'a, VM, EM> TriangleMeta<'a, VM, EM> {
+    /// The three vertex metadata values in `(p, q, r)` order.
+    pub fn vertex_meta(&self) -> [&'a VM; 3] {
+        [self.meta_p, self.meta_q, self.meta_r]
+    }
+
+    /// The three edge metadata values in `(pq, pr, qr)` order.
+    pub fn edge_meta(&self) -> [&'a EM; 3] {
+        [self.meta_pq, self.meta_pr, self.meta_qr]
+    }
+
+    /// True when the three vertex metadata values are pairwise distinct
+    /// (the filter used by Alg. 3 and the FQDN survey of §5.8).
+    pub fn vertices_distinct(&self) -> bool
+    where
+        VM: PartialEq,
+    {
+        self.meta_p != self.meta_q && self.meta_q != self.meta_r && self.meta_p != self.meta_r
+    }
+}
+
+/// The signature of a survey callback.
+///
+/// Runs on whichever rank holds all six metadata values at identification
+/// time: `Rank(q)` for pushed wedges, `Rank(p)` for pulled ones. The
+/// `&Comm` parameter lets callbacks send messages of their own (e.g.
+/// distributed counting-set updates), which interleave freely with the
+/// survey's traffic.
+pub trait SurveyCallback<VM, EM>: Fn(&Comm, &TriangleMeta<'_, VM, EM>) + 'static {}
+impl<T, VM, EM> SurveyCallback<VM, EM> for T where
+    T: Fn(&Comm, &TriangleMeta<'_, VM, EM>) + 'static
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta_fixture<'a>(
+        vm: &'a [u32; 3],
+        em: &'a [i64; 3],
+    ) -> TriangleMeta<'a, u32, i64> {
+        TriangleMeta {
+            p: 1,
+            q: 2,
+            r: 3,
+            meta_p: &vm[0],
+            meta_q: &vm[1],
+            meta_r: &vm[2],
+            meta_pq: &em[0],
+            meta_pr: &em[1],
+            meta_qr: &em[2],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let vm = [10, 20, 30];
+        let em = [-1, -2, -3];
+        let t = meta_fixture(&vm, &em);
+        assert_eq!(t.vertex_meta(), [&10, &20, &30]);
+        assert_eq!(t.edge_meta(), [&-1, &-2, &-3]);
+    }
+
+    #[test]
+    fn distinctness() {
+        let em = [0, 0, 0];
+        assert!(meta_fixture(&[1, 2, 3], &em).vertices_distinct());
+        assert!(!meta_fixture(&[1, 1, 3], &em).vertices_distinct());
+        assert!(!meta_fixture(&[1, 2, 1], &em).vertices_distinct());
+        assert!(!meta_fixture(&[1, 2, 2], &em).vertices_distinct());
+    }
+}

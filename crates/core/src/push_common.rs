@@ -1,0 +1,108 @@
+//! Wedge-batch push machinery shared by both engines.
+//!
+//! A *push* (paper §4.3, Fig. 2 right) takes the suffix of `Adjm+(p)`
+//! past an out-neighbor `q` and ships it to `Rank(q)` together with
+//! `meta(p)` and `meta(p,q)`. The receiving rank intersects the candidate
+//! list against `Adjm+(q)`; every match is a triangle `Δpqr`, and — as
+//! the paper argues — all six metadata values are colocated at that
+//! moment: `meta(p)`, `meta(pq)`, `meta(pr)` arrived with the message,
+//! `meta(q)` and `meta(q,r)` are stored at `Rank(q)`, and `meta(r)` is
+//! already in `Adjm+(q)`'s entry for `r` (it is deliberately *not*
+//! transmitted).
+
+use std::rc::Rc;
+
+use tripoll_graph::{DistGraph, OrderKey};
+use tripoll_ygm::wire::Wire;
+use tripoll_ygm::{Comm, Handler};
+
+use crate::engine::merge_path;
+use crate::meta::TriangleMeta;
+
+/// Type-erased survey callback held by engine handlers.
+pub(crate) type DynCallback<VM, EM> = Rc<dyn Fn(&Comm, &TriangleMeta<'_, VM, EM>)>;
+
+/// One candidate `r` vertex inside a push: `(r, d(r), meta(p, r))`.
+///
+/// `d(r)` rides along so the receiver can reconstruct `r`'s [`OrderKey`]
+/// without a lookup; `meta(r)` is intentionally absent (see module docs).
+pub(crate) type Candidate<EM> = (u64, u64, EM);
+
+/// A pushed wedge batch: `(p, q, meta(p), meta(p,q), candidates)`.
+pub(crate) type PushMsg<VM, EM> = (u64, u64, VM, EM, Vec<Candidate<EM>>);
+
+/// Registers the push handler: intersect candidates with `Adjm+(q)` and
+/// run the callback on every triangle. Collective (handler registration).
+pub(crate) fn register_push_handler<VM, EM>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    cb: DynCallback<VM, EM>,
+) -> Handler<PushMsg<VM, EM>>
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+{
+    let g = graph.clone();
+    comm.register::<PushMsg<VM, EM>, _>(move |c, (p, q, meta_p, meta_pq, candidates)| {
+        let lv = g.shard().get(q).unwrap_or_else(|| {
+            panic!("push for vertex {q} arrived on rank {} which does not own it", c.rank())
+        });
+        // Merge-path walks both lists once: that is the wedge-check work.
+        c.add_work((candidates.len() + lv.adj.len()) as u64);
+        merge_path(
+            &candidates,
+            &lv.adj,
+            |cand| OrderKey::new(cand.0, cand.1),
+            |e| e.key,
+            |cand, e| {
+                let tm = TriangleMeta {
+                    p,
+                    q,
+                    r: e.v,
+                    meta_p: &meta_p,
+                    meta_q: &lv.meta,
+                    meta_r: &e.vm,
+                    meta_pq: &meta_pq,
+                    meta_pr: &cand.2,
+                    meta_qr: &e.em,
+                };
+                cb(c, &tm);
+            },
+        );
+    })
+}
+
+/// Iterates this rank's vertices and pushes every wedge batch whose
+/// target is not excluded by `skip` (Push-Only passes `|_| false`;
+/// Push-Pull skips targets that will be pulled instead).
+pub(crate) fn push_wedge_batches<VM, EM>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    handler: &Handler<PushMsg<VM, EM>>,
+    mut skip: impl FnMut(u64) -> bool,
+)
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+{
+    for lv in graph.shard().vertices() {
+        for (i, e) in lv.adj.iter().enumerate() {
+            // The last out-neighbor has an empty suffix: no wedges.
+            if i + 1 >= lv.adj.len() {
+                break;
+            }
+            if skip(e.v) {
+                continue;
+            }
+            let candidates: Vec<Candidate<EM>> = lv.adj[i + 1..]
+                .iter()
+                .map(|s| (s.v, s.key.degree, s.em.clone()))
+                .collect();
+            comm.send(
+                graph.owner(e.v),
+                handler,
+                &(lv.id, e.v, lv.meta.clone(), e.em.clone(), candidates),
+            );
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! The Push-Pull survey engine (paper §4.4).
+//!
+//! Distributed triangle identification generates `O(d+(p)²)` wedge checks
+//! per vertex; the Push-Pull optimization reduces the traffic they cost
+//! by letting each (source rank, target vertex) pair choose the cheaper
+//! direction:
+//!
+//! 1. **Dry-run** — a communication-free pass counts, per target vertex
+//!    `q`, the total candidate edges this rank would push, and records
+//!    resume pointers `(p, index of q in Adjm+(p))` for the pull case.
+//!    One `(q, count)` record per target goes to `Rank(q)`, which grants
+//!    a pull when `|Adjm+(q)| < count` — i.e. shipping `q`'s adjacency
+//!    once is cheaper than receiving `count` candidates — and otherwise
+//!    replies with a push veto.
+//! 2. **Push phase** — wedge batches for vetoed targets are pushed
+//!    exactly as in Push-Only.
+//! 3. **Pull phase** — each owner ships `Adjm+(q)` once to every granted
+//!    rank (coalesced across that rank's sources); the puller resumes its
+//!    recorded pointers and intersects locally, running callbacks on
+//!    `Rank(p)` (where, by the storage design of §4.2, all six metadata
+//!    values are already resident).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tripoll_graph::{DistGraph, OrderKey};
+use tripoll_ygm::hash::{FastMap, FastSet};
+use tripoll_ygm::wire::Wire;
+use tripoll_ygm::Comm;
+
+use crate::engine::{merge_path, EngineMode, PhaseTimer, SurveyReport};
+use crate::meta::{SurveyCallback, TriangleMeta};
+use crate::push_common::{push_wedge_batches, register_push_handler, Candidate, DynCallback};
+
+/// Dry-run record: `(q, planned candidate count, source rank)`.
+type DryRunMsg = (u64, u64, u32);
+/// Pull delivery: `(q, Adjm+(q) projected to (r, d(r), meta(q,r)))`.
+type PullMsg<EM> = (u64, Vec<Candidate<EM>>);
+
+#[derive(Default)]
+struct PpState {
+    /// Per target vertex: candidate edges this rank would push.
+    planned: FastMap<u64, u64>,
+    /// Per target vertex: local `(vertex slot, adjacency index)` resume
+    /// pointers — "pointers to efficiently iterate over source vertices
+    /// stored locally" (§4.4).
+    resume: FastMap<u64, Vec<(u32, u32)>>,
+    /// Targets whose owner vetoed the pull (push instead).
+    veto: FastSet<u64>,
+    /// Local vertices q → ranks that will pull `Adjm+(q)`.
+    pull_list: FastMap<u64, Vec<u32>>,
+    /// Adjacency lists this rank pulled (received).
+    pulled: u64,
+    /// Pull requests this rank granted.
+    grants: u64,
+}
+
+/// Runs a Push-Pull triangle survey; `callback` executes once per
+/// triangle, on `Rank(q)` for pushed wedges and on `Rank(p)` for pulled
+/// ones. Collective. Returns this rank's [`SurveyReport`].
+pub fn survey_push_pull<VM, EM, F>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    callback: F,
+) -> SurveyReport
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+    F: SurveyCallback<VM, EM>,
+{
+    let cb: DynCallback<VM, EM> = Rc::new(callback);
+    let st = Rc::new(RefCell::new(PpState::default()));
+
+    // Handler registration order is part of the SPMD contract: all four
+    // registrations below happen on every rank in this exact order.
+    let push_handler = register_push_handler(comm, graph, cb.clone());
+
+    let st_veto = st.clone();
+    let veto_handler = comm.register::<u64, _>(move |_c, q| {
+        st_veto.borrow_mut().veto.insert(q);
+    });
+
+    let st_dry = st.clone();
+    let g_dry = graph.clone();
+    let dry_handler = comm.register::<DryRunMsg, _>(move |c, (q, count, src)| {
+        let dplus_q = g_dry.shard().get(q).map_or(0, |lv| lv.dplus());
+        if dplus_q < count {
+            let mut s = st_dry.borrow_mut();
+            s.pull_list.entry(q).or_default().push(src);
+            s.grants += 1;
+        } else {
+            c.send(src as usize, &veto_handler, &q);
+        }
+    });
+
+    let st_pull = st.clone();
+    let g_pull = graph.clone();
+    let cb_pull = cb.clone();
+    let pull_handler = comm.register::<PullMsg<EM>, _>(move |c, (q, pulled_adj)| {
+        st_pull.borrow_mut().pulled += 1;
+        let s = st_pull.borrow();
+        let Some(resume) = s.resume.get(&q) else {
+            return;
+        };
+        let shard = g_pull.shard();
+        for &(slot, idx) in resume {
+            let lv = &shard.vertices()[slot as usize];
+            let eq = &lv.adj[idx as usize];
+            debug_assert_eq!(eq.v, q);
+            let suffix = &lv.adj[idx as usize + 1..];
+            c.add_work((suffix.len() + pulled_adj.len()) as u64);
+            merge_path(
+                suffix,
+                &pulled_adj,
+                |s| s.key,
+                |pe| OrderKey::new(pe.0, pe.1),
+                |s_entry, pe| {
+                    let tm = TriangleMeta {
+                        p: lv.id,
+                        q,
+                        r: s_entry.v,
+                        meta_p: &lv.meta,
+                        meta_q: &eq.vm,
+                        meta_r: &s_entry.vm,
+                        meta_pq: &eq.em,
+                        meta_pr: &s_entry.em,
+                        meta_qr: &pe.2,
+                    };
+                    cb_pull(c, &tm);
+                },
+            );
+        }
+    });
+
+    // --- Phase 1: Push vs Pull Dry-Run -------------------------------
+    let timer = PhaseTimer::begin(comm, "dry-run");
+    {
+        let mut s = st.borrow_mut();
+        for (slot, lv) in graph.shard().vertices().iter().enumerate() {
+            for (i, e) in lv.adj.iter().enumerate() {
+                let suffix_len = lv.adj.len() - i - 1;
+                if suffix_len == 0 {
+                    break;
+                }
+                *s.planned.entry(e.v).or_insert(0) += suffix_len as u64;
+                s.resume
+                    .entry(e.v)
+                    .or_default()
+                    .push((slot as u32, i as u32));
+            }
+        }
+        let my_rank = comm.rank() as u32;
+        for (&q, &count) in &s.planned {
+            comm.send(graph.owner(q), &dry_handler, &(q, count, my_rank));
+        }
+    }
+    comm.barrier();
+    let dry_phase = timer.end();
+
+    // --- Phase 2: Push ------------------------------------------------
+    let timer = PhaseTimer::begin(comm, "push");
+    {
+        let s = st.borrow();
+        push_wedge_batches(comm, graph, &push_handler, |q| !s.veto.contains(&q));
+    }
+    comm.barrier();
+    let push_phase = timer.end();
+
+    // --- Phase 3: Pull --------------------------------------------------
+    let timer = PhaseTimer::begin(comm, "pull");
+    {
+        let s = st.borrow();
+        let shard = graph.shard();
+        for (&q, ranks) in &s.pull_list {
+            let lv = shard
+                .get(q)
+                .expect("pull-granted vertex must be locally owned");
+            let projected: Vec<Candidate<EM>> = lv
+                .adj
+                .iter()
+                .map(|e| (e.v, e.key.degree, e.em.clone()))
+                .collect();
+            for &src in ranks {
+                comm.send(src as usize, &pull_handler, &(q, projected.clone()));
+            }
+        }
+    }
+    comm.barrier();
+    let pull_phase = timer.end();
+
+    let s = st.borrow();
+    SurveyReport {
+        mode: EngineMode::PushPull,
+        total_seconds: dry_phase.seconds + push_phase.seconds + pull_phase.seconds,
+        phases: vec![dry_phase, push_phase, pull_phase],
+        pulled_vertices: s.pulled,
+        pull_grants: s.grants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use tripoll_graph::{build_dist_graph, EdgeList, Partition};
+    use tripoll_ygm::World;
+
+    fn run_count(edges: &[(u64, u64)], nranks: usize) -> (u64, Vec<SurveyReport>) {
+        let list = EdgeList::from_vec(
+            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        );
+        let out = World::new(nranks).run(|comm| {
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
+            let count = Rc::new(Cell::new(0u64));
+            let count2 = count.clone();
+            let report = survey_push_pull(comm, &g, move |_c, _tm| {
+                count2.set(count2.get() + 1);
+            });
+            (comm.all_reduce_sum(count.get()), report)
+        });
+        let total = out[0].0;
+        for (t, _) in &out {
+            assert_eq!(*t, total);
+        }
+        (total, out.into_iter().map(|(_, r)| r).collect())
+    }
+
+    #[test]
+    fn triangle() {
+        let (count, reports) = run_count(&[(0, 1), (1, 2), (2, 0)], 2);
+        assert_eq!(count, 1);
+        for r in &reports {
+            assert_eq!(r.mode, EngineMode::PushPull);
+            assert_eq!(r.phases.len(), 3);
+            assert_eq!(r.phases[0].name, "dry-run");
+            assert_eq!(r.phases[1].name, "push");
+            assert_eq!(r.phases[2].name, "pull");
+        }
+    }
+
+    #[test]
+    fn k6_various_ranks() {
+        let mut edges = Vec::new();
+        for u in 0..6u64 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        for nranks in [1, 2, 3, 5] {
+            let (count, _) = run_count(&edges, nranks);
+            assert_eq!(count, 20, "K6 has C(6,3)=20 triangles, nranks={nranks}");
+        }
+    }
+
+    #[test]
+    fn pull_happens_on_shared_hub_targets() {
+        // Many low-degree sources on each rank share two high-degree hubs
+        // whose adjacency is short relative to the candidates aimed at
+        // them — the Fig. 3 scenario, which must trigger pulls.
+        //
+        // Construction: k "source" vertices each adjacent to hubs h1, h2;
+        // plus the edge (h1, h2) closing k triangles. Source degree 2 <
+        // hub degree k+1, so each source points at both hubs and pushes a
+        // single candidate per wedge — unless pulling wins.
+        let k = 24u64;
+        let h1 = 1000;
+        let h2 = 1001;
+        let mut edges = vec![(h1, h2)];
+        for sv in 0..k {
+            edges.push((sv, h1));
+            edges.push((sv, h2));
+        }
+        let (count, reports) = run_count(&edges, 2);
+        assert_eq!(count, k, "one triangle per source vertex");
+        let pulled: u64 = reports.iter().map(|r| r.pulled_vertices).sum();
+        let grants: u64 = reports.iter().map(|r| r.pull_grants).sum();
+        assert!(pulled > 0, "expected pulls on hub-shared topology");
+        assert_eq!(pulled, grants, "every grant results in one delivery");
+    }
+
+    #[test]
+    fn star_has_no_wedges_no_pulls_no_pushes() {
+        // Every leaf's Adj+ is just the hub (empty suffix): no wedge
+        // batches exist, so the dry-run plans nothing and nothing moves.
+        let edges: Vec<(u64, u64)> = (1..=20u64).map(|v| (0, v)).collect();
+        let (count, reports) = run_count(&edges, 3);
+        assert_eq!(count, 0);
+        for r in &reports {
+            assert_eq!(r.pulled_vertices, 0);
+            assert_eq!(r.pull_grants, 0);
+            assert_eq!(r.phases[1].stats.records_total(), 0, "no pushes");
+        }
+    }
+
+    #[test]
+    fn single_triangle_vetoes_the_pull() {
+        // K3: the one wedge pushes one candidate to q, and |Adj+(q)| = 1
+        // is not < 1, so the owner vetoes and the wedge is pushed.
+        let (count, reports) = run_count(&[(0, 1), (1, 2), (2, 0)], 1);
+        assert_eq!(count, 1);
+        for r in &reports {
+            assert_eq!(r.pulled_vertices, 0, "K3 must not pull");
+        }
+    }
+
+    #[test]
+    fn empty_adjacency_targets_are_pulled_cheaply() {
+        // In a cycle, hash tie-breaks give some vertices d+ = 0; pulling
+        // their empty adjacency beats pushing even one candidate, so the
+        // paper's rule (|Adj+(q)| < count) grants those pulls. Counts are
+        // unaffected.
+        let n = 40u64;
+        let edges: Vec<(u64, u64)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let (count, reports) = run_count(&edges, 3);
+        assert_eq!(count, 0);
+        let pulled: u64 = reports.iter().map(|r| r.pulled_vertices).sum();
+        let grants: u64 = reports.iter().map(|r| r.pull_grants).sum();
+        assert_eq!(pulled, grants);
+    }
+
+    #[test]
+    fn metadata_correct_in_pull_path() {
+        // Same hub construction as above so the pull path executes, with
+        // content-addressed metadata validated inside the callback.
+        let k = 16u64;
+        let h1 = 500;
+        let h2 = 501;
+        let mut edges = vec![(h1, h2)];
+        for sv in 0..k {
+            edges.push((sv, h1));
+            edges.push((sv, h2));
+        }
+        let em_of = |u: u64, v: u64| (u.min(v) << 20) | u.max(v);
+        let list = EdgeList::from_vec(
+            edges
+                .iter()
+                .map(|&(u, v)| (u, v, em_of(u, v)))
+                .collect::<Vec<_>>(),
+        );
+        let out = World::new(2).run(|comm| {
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g = build_dist_graph(comm, local, |v| v * 31 + 7, Partition::Hashed);
+            let seen = Rc::new(Cell::new(0u64));
+            let seen2 = seen.clone();
+            let report = survey_push_pull(comm, &g, move |_c, tm| {
+                assert_eq!(*tm.meta_p, tm.p * 31 + 7);
+                assert_eq!(*tm.meta_q, tm.q * 31 + 7);
+                assert_eq!(*tm.meta_r, tm.r * 31 + 7);
+                assert_eq!(*tm.meta_pq, em_of(tm.p, tm.q));
+                assert_eq!(*tm.meta_pr, em_of(tm.p, tm.r));
+                assert_eq!(*tm.meta_qr, em_of(tm.q, tm.r));
+                seen2.set(seen2.get() + 1);
+            });
+            (comm.all_reduce_sum(seen.get()), report.pulled_vertices)
+        });
+        assert_eq!(out[0].0, k);
+        let pulled: u64 = out.iter().map(|(_, p)| p).sum();
+        assert!(pulled > 0, "test must exercise the pull path");
+    }
+
+    #[test]
+    fn agrees_with_push_only_on_dense_graph() {
+        use crate::push_only::survey_push_only;
+        // Random-ish deterministic graph.
+        let mut edges = Vec::new();
+        for u in 0..30u64 {
+            for v in (u + 1)..30 {
+                if (u * 7919 + v * 104729) % 5 == 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let list = EdgeList::from_vec(
+            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        );
+        let out = World::new(3).run(|comm| {
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
+            let c1 = Rc::new(Cell::new(0u64));
+            let c1b = c1.clone();
+            survey_push_only(comm, &g, move |_c, _tm| c1b.set(c1b.get() + 1));
+            let c2 = Rc::new(Cell::new(0u64));
+            let c2b = c2.clone();
+            survey_push_pull(comm, &g, move |_c, _tm| c2b.set(c2b.get() + 1));
+            (
+                comm.all_reduce_sum(c1.get()),
+                comm.all_reduce_sum(c2.get()),
+            )
+        });
+        for (push_only, push_pull) in out {
+            assert_eq!(push_only, push_pull);
+            assert!(push_only > 0, "graph should contain triangles");
+        }
+    }
+}

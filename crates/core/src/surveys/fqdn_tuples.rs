@@ -1,0 +1,158 @@
+//! FQDN 3-tuple survey (paper §5.8, Fig. 8).
+//!
+//! The Web Data Commons experiment attaches each page's fully qualified
+//! domain name as string vertex metadata and, over all triangles whose
+//! three FQDNs are pairwise distinct, counts the (unordered) 3-tuples of
+//! FQDNs. Post-processing then slices the tuple counts around a hub
+//! domain ("amazon.com" in the paper) into a 2-D co-occurrence
+//! distribution, ordered by Louvain communities.
+
+use tripoll_graph::DistGraph;
+use tripoll_ygm::container::DistCountingSet;
+use tripoll_ygm::wire::Wire;
+use tripoll_ygm::Comm;
+
+use crate::engine::{EngineMode, SurveyReport};
+use crate::surveys::survey;
+
+/// An unordered FQDN triple, stored sorted so each set counts once.
+pub type FqdnTriple = (String, String, String);
+
+/// Outcome of the FQDN survey.
+#[derive(Debug, Clone)]
+pub struct FqdnSurveyResult {
+    /// Gathered `(triple, count)` pairs, sorted by triple.
+    pub tuples: Vec<(FqdnTriple, u64)>,
+    /// Triangles with three distinct FQDNs (the paper reports 248.7B).
+    pub distinct_triangles: u64,
+}
+
+impl FqdnSurveyResult {
+    /// Number of unique 3-tuples (the paper reports 39.2B).
+    pub fn unique_tuples(&self) -> u64 {
+        self.tuples.len() as u64
+    }
+
+    /// Pairs `(other1, other2, count)` from tuples containing `hub` —
+    /// the 2-D distribution of Fig. 8.
+    pub fn pairs_with(&self, hub: &str) -> Vec<(String, String, u64)> {
+        let mut out = Vec::new();
+        for ((a, b, c), count) in &self.tuples {
+            let trio = [a, b, c];
+            if trio.iter().any(|s| s.as_str() == hub) {
+                let rest: Vec<&String> =
+                    trio.iter().filter(|s| s.as_str() != hub).copied().collect();
+                if rest.len() == 2 {
+                    out.push((rest[0].clone(), rest[1].clone(), *count));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Runs the FQDN tuple survey. Vertex metadata must be the FQDN string.
+/// Collective; all ranks receive the full result.
+pub fn fqdn_tuple_survey<EM>(
+    comm: &Comm,
+    graph: &DistGraph<String, EM>,
+    mode: EngineMode,
+) -> (FqdnSurveyResult, SurveyReport)
+where
+    EM: Wire + Clone + 'static,
+{
+    let counters = DistCountingSet::<FqdnTriple>::new(comm);
+    let counters_cb = counters.clone();
+    let distinct = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    let distinct_cb = distinct.clone();
+    let report = survey(comm, graph, mode, move |c, tm| {
+        // String comparisons, a 3-way sort, three clones and a
+        // string-keyed counting-set insert: the priciest callback here.
+        c.add_work(16);
+        if tm.vertices_distinct() {
+            distinct_cb.set(distinct_cb.get() + 1);
+            let mut trio = [tm.meta_p, tm.meta_q, tm.meta_r];
+            trio.sort();
+            counters_cb.increment(c, (trio[0].clone(), trio[1].clone(), trio[2].clone()));
+        }
+    });
+    let tuples = counters.gather(comm);
+    let distinct_triangles = comm.all_reduce_sum(distinct.get());
+    (
+        FqdnSurveyResult {
+            tuples,
+            distinct_triangles,
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tripoll_graph::{build_dist_graph, EdgeList, Partition};
+    use tripoll_ygm::World;
+
+    /// Tiny web graph: three domains, one page each except the hub with
+    /// two pages; inter-domain links create FQDN triangles.
+    fn run(nranks: usize, mode: EngineMode) -> FqdnSurveyResult {
+        // Vertices: 0,1 → hub.example ; 2 → shop.example ; 3 → lib.example
+        let fqdn = |v: u64| -> String {
+            match v {
+                0 | 1 => "hub.example".into(),
+                2 => "shop.example".into(),
+                _ => "lib.example".into(),
+            }
+        };
+        // Triangles: (0,2,3) distinct; (0,1,2) has duplicate hub FQDN.
+        let edges: Vec<(u64, u64, ())> = vec![
+            (0, 2, ()),
+            (2, 3, ()),
+            (3, 0, ()),
+            (0, 1, ()),
+            (1, 2, ()),
+        ];
+        let list = EdgeList::from_vec(edges);
+        let out = World::new(nranks).run(move |comm| {
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g = build_dist_graph(comm, local, fqdn, Partition::Hashed);
+            fqdn_tuple_survey(comm, &g, mode).0
+        });
+        out.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn counts_distinct_fqdn_triangles_only() {
+        for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+            let result = run(2, mode);
+            assert_eq!(result.distinct_triangles, 1, "{mode}");
+            assert_eq!(result.unique_tuples(), 1);
+            let ((a, b, c), count) = result.tuples[0].clone();
+            assert_eq!(
+                (a.as_str(), b.as_str(), c.as_str()),
+                ("hub.example", "lib.example", "shop.example")
+            );
+            assert_eq!(count, 1);
+        }
+    }
+
+    #[test]
+    fn pairs_with_hub() {
+        let result = run(3, EngineMode::PushPull);
+        let pairs = result.pairs_with("hub.example");
+        assert_eq!(
+            pairs,
+            vec![("lib.example".to_string(), "shop.example".to_string(), 1)]
+        );
+        assert!(result.pairs_with("unknown.example").is_empty());
+    }
+
+    #[test]
+    fn tuple_keys_are_sorted() {
+        let result = run(2, EngineMode::PushOnly);
+        for ((a, b, c), _) in &result.tuples {
+            assert!(a <= b && b <= c);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Ready-made surveys (paper §4.5, §5).
+//!
+//! Each function wires a published callback into the engines and handles
+//! the final reduction/gather, so applications get the paper's analyses
+//! as one-liners:
+//!
+//! * [`count::triangle_count`] — Alg. 2, global triangle counting.
+//! * [`max_edge_label::max_edge_label_distribution`] — Alg. 3.
+//! * [`closure_times::closure_time_survey`] — Alg. 4 / §5.7 (Reddit).
+//! * [`degree_triples::degree_triple_survey`] — the §5.9 metadata-impact
+//!   callback.
+//! * [`fqdn_tuples::fqdn_tuple_survey`] — the §5.8 Web Data Commons
+//!   FQDN analysis.
+//! * [`local_counts`] — per-vertex / per-edge triangle participation and
+//!   clustering coefficients (the §5.3 local-counting callbacks).
+
+pub mod closure_times;
+pub mod count;
+pub mod degree_triples;
+pub mod fqdn_tuples;
+pub mod local_counts;
+pub mod max_edge_label;
+
+use tripoll_graph::DistGraph;
+use tripoll_ygm::wire::Wire;
+use tripoll_ygm::Comm;
+
+use crate::engine::{EngineMode, SurveyReport};
+use crate::meta::SurveyCallback;
+
+/// Runs a triangle survey with the selected engine (the paper's
+/// `Triangle_Survey(G, user_callback, user_args)`, Alg. 1; user args are
+/// whatever state the Rust closure captures).
+pub fn survey<VM, EM, F>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    mode: EngineMode,
+    callback: F,
+) -> SurveyReport
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+    F: SurveyCallback<VM, EM>,
+{
+    match mode {
+        EngineMode::PushOnly => crate::push_only::survey_push_only(comm, graph, callback),
+        EngineMode::PushPull => crate::push_pull::survey_push_pull(comm, graph, callback),
+    }
+}

@@ -1,0 +1,297 @@
+//! Heavy-tail social-network generators.
+//!
+//! Stand-ins for the paper's social datasets (LiveJournal, Friendster,
+//! Twitter — §5.2, Table 1). Two models:
+//!
+//! * [`chung_lu_edges`] — the Chung-Lu model: endpoints sampled
+//!   proportionally to power-law weights. Controls the degree tail
+//!   precisely (Twitter's `d_max ≈ |V|/14` extreme hubs vs Friendster's
+//!   mild `d_max ≈ |V|/12600`), but produces few triangles.
+//! * [`community_social_edges`] — power-law-sized communities with dense
+//!   intra-community wiring plus Chung-Lu-style cross links. This is the
+//!   triangle-rich variant used for dataset stand-ins, since the paper's
+//!   evaluation depends on real graphs' abundant triangles.
+//!
+//! Both are deterministic in their seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tripoll_ygm::hash::hash64;
+
+/// Chung-Lu configuration.
+#[derive(Debug, Clone)]
+pub struct ChungLuConfig {
+    /// Number of vertices.
+    pub vertices: u64,
+    /// Number of edge records to draw.
+    pub edges: u64,
+    /// Power-law exponent γ of the target degree distribution
+    /// (weights `w_i ∝ (i+1)^(-1/(γ-1))`); 2.1 gives extreme hubs,
+    /// 3.0 a mild tail.
+    pub exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Samples one endpoint index from the cumulative weight table.
+#[inline]
+fn sample(cum: &[f64], total: f64, rng: &mut StdRng) -> u64 {
+    let x: f64 = rng.random::<f64>() * total;
+    cum.partition_point(|&c| c < x) as u64
+}
+
+/// Generates Chung-Lu edge records (may contain duplicates/self-loops).
+pub fn chung_lu_edges(cfg: &ChungLuConfig) -> Vec<(u64, u64)> {
+    assert!(cfg.vertices > 1);
+    assert!(cfg.exponent > 2.0, "exponent must exceed 2 for finite mean");
+    let n = cfg.vertices as usize;
+    let alpha = 1.0 / (cfg.exponent - 1.0);
+
+    // Cumulative weights; vertex i (after hashing) gets rank-i weight.
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        total += ((i + 1) as f64).powf(-alpha);
+        cum.push(total);
+    }
+
+    let mut rng = StdRng::seed_from_u64(hash64(cfg.seed));
+    let mask_shuffle = |i: u64| hash64(i.wrapping_add(cfg.seed)) % cfg.vertices;
+    (0..cfg.edges)
+        .map(|_| {
+            let u = sample(&cum, total, &mut rng);
+            let v = sample(&cum, total, &mut rng);
+            // Scramble so weight rank and vertex id are uncorrelated.
+            (mask_shuffle(u), mask_shuffle(v))
+        })
+        .collect()
+}
+
+/// How cross-community edges pick their endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrossModel {
+    /// Chung-Lu power-law endpoints — produces global hub vertices
+    /// (Twitter-like tails).
+    ChungLu {
+        /// Degree-tail exponent γ (must exceed 2).
+        exponent: f64,
+    },
+    /// Uniform endpoints — no hubs beyond what communities create
+    /// (Friendster-like mild tails, `d_max/|V| ≈ 8e-5` in the paper).
+    Uniform,
+}
+
+/// Community-structured social graph configuration.
+#[derive(Debug, Clone)]
+pub struct CommunityConfig {
+    /// Number of vertices.
+    pub vertices: u64,
+    /// Approximate number of edge records to draw.
+    pub edges: u64,
+    /// Mean community size (sizes are power-law with this mean-ish scale).
+    pub mean_community: u64,
+    /// Fraction of edges drawn inside communities (0..1); higher means
+    /// more triangles.
+    pub intra_fraction: f64,
+    /// Endpoint model for the cross-community edges.
+    pub cross: CrossModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates community-structured edge records.
+pub fn community_social_edges(cfg: &CommunityConfig) -> Vec<(u64, u64)> {
+    assert!(cfg.vertices > 2);
+    assert!((0.0..=1.0).contains(&cfg.intra_fraction));
+    let mut rng = StdRng::seed_from_u64(hash64(cfg.seed ^ 0xc0ffee));
+
+    // Partition 0..n into communities with power-law-ish sizes.
+    let mut boundaries = vec![0u64];
+    let mut at = 0u64;
+    while at < cfg.vertices {
+        // Pareto-ish size: mean * (1/u)^(1/2) capped.
+        let u: f64 = rng.random::<f64>().max(1e-9);
+        let size = ((cfg.mean_community as f64) * u.powf(-0.5)).ceil() as u64;
+        let size = size.clamp(2, cfg.vertices / 4 + 2);
+        at = (at + size).min(cfg.vertices);
+        boundaries.push(at);
+    }
+    let ncom = boundaries.len() - 1;
+
+    let n_intra = (cfg.edges as f64 * cfg.intra_fraction) as u64;
+    let n_cross = cfg.edges - n_intra;
+    let mut edges = Vec::with_capacity(cfg.edges as usize);
+
+    // Intra-community edges: communities chosen proportional to size²
+    // (bigger communities host more pairs), endpoints uniform inside.
+    let mut cum_sq = Vec::with_capacity(ncom);
+    let mut total_sq = 0.0;
+    for c in 0..ncom {
+        let size = (boundaries[c + 1] - boundaries[c]) as f64;
+        total_sq += size * size;
+        cum_sq.push(total_sq);
+    }
+    for _ in 0..n_intra {
+        let x: f64 = rng.random::<f64>() * total_sq;
+        let c = cum_sq.partition_point(|&s| s < x);
+        let lo = boundaries[c];
+        let hi = boundaries[c + 1];
+        let u = rng.random_range(lo..hi);
+        let v = rng.random_range(lo..hi);
+        edges.push((u, v));
+    }
+
+    // Cross-community edges: hub structure per the chosen model.
+    match cfg.cross {
+        CrossModel::ChungLu { exponent } => {
+            let cl = ChungLuConfig {
+                vertices: cfg.vertices,
+                edges: n_cross,
+                exponent,
+                seed: cfg.seed ^ 0xdead_beef,
+            };
+            edges.extend(chung_lu_edges(&cl));
+        }
+        CrossModel::Uniform => {
+            for _ in 0..n_cross {
+                let u = rng.random_range(0..cfg.vertices);
+                let v = rng.random_range(0..cfg.vertices);
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tripoll_graph::Csr;
+
+    #[test]
+    fn chung_lu_deterministic_and_sized() {
+        let cfg = ChungLuConfig {
+            vertices: 1000,
+            edges: 5000,
+            exponent: 2.5,
+            seed: 11,
+        };
+        let a = chung_lu_edges(&cfg);
+        let b = chung_lu_edges(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5000);
+        for &(u, v) in &a {
+            assert!(u < 1000 && v < 1000);
+        }
+    }
+
+    #[test]
+    fn lower_exponent_means_bigger_hubs() {
+        let base = ChungLuConfig {
+            vertices: 5000,
+            edges: 40_000,
+            exponent: 2.1,
+            seed: 3,
+        };
+        let heavy = chung_lu_edges(&base);
+        let light = chung_lu_edges(&ChungLuConfig {
+            exponent: 2.9,
+            ..base.clone()
+        });
+        let dmax = |edges: &[(u64, u64)]| {
+            let mut deg = vec![0u64; 5000];
+            for &(u, v) in edges {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+            }
+            *deg.iter().max().unwrap()
+        };
+        assert!(
+            dmax(&heavy) > 2 * dmax(&light),
+            "γ=2.1 dmax {} vs γ=2.9 dmax {}",
+            dmax(&heavy),
+            dmax(&light)
+        );
+    }
+
+    #[test]
+    fn community_graph_is_triangle_rich() {
+        // At social-network sparsity (avg degree ~8) community structure
+        // must yield far more triangles per edge than uniform wiring.
+        let cfg = CommunityConfig {
+            vertices: 6000,
+            edges: 24_000,
+            mean_community: 25,
+            intra_fraction: 0.7,
+            cross: CrossModel::Uniform,
+            seed: 5,
+        };
+        let com = community_social_edges(&cfg);
+        let uniform = community_social_edges(&CommunityConfig {
+            intra_fraction: 0.0,
+            ..cfg.clone()
+        });
+        let tri = |edges: &[(u64, u64)]| {
+            tripoll_analysis::triangle_count(&Csr::from_edges(edges))
+        };
+        let t_com = tri(&com);
+        let t_uni = tri(&uniform);
+        assert!(
+            t_com > 10 * t_uni.max(1),
+            "community graph should be triangle-rich: {t_com} vs uniform {t_uni}"
+        );
+    }
+
+    #[test]
+    fn community_graph_deterministic() {
+        let cfg = CommunityConfig {
+            vertices: 500,
+            edges: 3000,
+            mean_community: 20,
+            intra_fraction: 0.6,
+            cross: CrossModel::ChungLu { exponent: 2.4 },
+            seed: 9,
+        };
+        assert_eq!(community_social_edges(&cfg), community_social_edges(&cfg));
+    }
+
+    #[test]
+    fn edge_counts_roughly_requested() {
+        for cross in [CrossModel::ChungLu { exponent: 2.6 }, CrossModel::Uniform] {
+            let cfg = CommunityConfig {
+                vertices: 800,
+                edges: 6400,
+                mean_community: 25,
+                intra_fraction: 0.5,
+                cross,
+                seed: 2,
+            };
+            let edges = community_social_edges(&cfg);
+            assert_eq!(edges.len(), 6400);
+        }
+    }
+
+    #[test]
+    fn uniform_cross_model_has_mild_hubs() {
+        let base = CommunityConfig {
+            vertices: 4000,
+            edges: 40_000,
+            mean_community: 25,
+            intra_fraction: 0.3,
+            cross: CrossModel::Uniform,
+            seed: 8,
+        };
+        let mild = community_social_edges(&base);
+        let hubby = community_social_edges(&CommunityConfig {
+            cross: CrossModel::ChungLu { exponent: 2.05 },
+            ..base.clone()
+        });
+        let dmax = |edges: &[(u64, u64)]| Csr::from_edges(edges).max_degree();
+        assert!(
+            3 * dmax(&mild) < dmax(&hubby),
+            "uniform dmax {} should be far below chung-lu dmax {}",
+            dmax(&mild),
+            dmax(&hubby)
+        );
+    }
+}

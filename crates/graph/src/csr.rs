@@ -1,0 +1,168 @@
+//! Serial compressed-sparse-row graph.
+//!
+//! The single-machine view of a graph, used by the analysis crate (serial
+//! reference triangle counting, Louvain post-processing) and by tests as
+//! the oracle the distributed engines are validated against. Stores the
+//! symmetrized simple graph: `neighbors(v)` is sorted and deduplicated,
+//! and `(u,v)` present implies `(v,u)` present.
+
+use rayon::prelude::*;
+
+/// A symmetrized, deduplicated graph in CSR form.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u64>,
+    /// Dense remap: `vertex_ids[i]` is the original id of CSR vertex `i`.
+    vertex_ids: Vec<u64>,
+}
+
+impl Csr {
+    /// Builds a CSR from undirected edge records; self-loops and parallel
+    /// edges are dropped. Vertex ids may be sparse — they are compacted,
+    /// and the mapping retained in [`Csr::original_id`].
+    pub fn from_edges(edges: &[(u64, u64)]) -> Csr {
+        let mut ids: Vec<u64> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+        ids.par_sort_unstable();
+        ids.dedup();
+        let index_of = |v: u64| ids.binary_search(&v).expect("vertex present") as u64;
+
+        let mut directed: Vec<(u64, u64)> = edges
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .flat_map(|&(u, v)| {
+                let (a, b) = (index_of(u), index_of(v));
+                [(a, b), (b, a)]
+            })
+            .collect();
+        directed.par_sort_unstable();
+        directed.dedup();
+
+        let n = ids.len();
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &directed {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = directed.into_iter().map(|(_, v)| v).collect();
+        Csr {
+            offsets,
+            targets,
+            vertex_ids: ids,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_ids.len()
+    }
+
+    /// Number of *directed* edges (nonzeros of the symmetrized matrix) —
+    /// the convention of the paper's Table 1.
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted neighbor list of CSR vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u64] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of CSR vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Original id of CSR vertex `v`.
+    #[inline]
+    pub fn original_id(&self, v: usize) -> u64 {
+        self.vertex_ids[v]
+    }
+
+    /// CSR index of an original vertex id, if present.
+    pub fn csr_index(&self, original: u64) -> Option<usize> {
+        self.vertex_ids.binary_search(&original).ok()
+    }
+
+    /// True if the (undirected) edge `{u, v}` exists, by CSR indices.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&(v as u64)).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_graph() {
+        let csr = Csr::from_edges(&[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(csr.num_vertices(), 3);
+        assert_eq!(csr.num_directed_edges(), 6);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.degree(1), 2);
+        assert!(csr.has_edge(0, 2));
+    }
+
+    #[test]
+    fn symmetrization_and_dedup() {
+        // (1,2) given twice plus both directions; self-loop dropped.
+        let csr = Csr::from_edges(&[(1, 2), (2, 1), (1, 2), (3, 3)]);
+        assert_eq!(csr.num_vertices(), 3); // 1, 2, 3 (3 isolated after loop removal)
+        assert_eq!(csr.num_directed_edges(), 2);
+        let i1 = csr.csr_index(1).unwrap();
+        let i2 = csr.csr_index(2).unwrap();
+        assert!(csr.has_edge(i1, i2));
+        assert!(csr.has_edge(i2, i1));
+        let i3 = csr.csr_index(3).unwrap();
+        assert_eq!(csr.degree(i3), 0);
+    }
+
+    #[test]
+    fn sparse_ids_are_compacted() {
+        let csr = Csr::from_edges(&[(1_000_000, 5), (5, 42)]);
+        assert_eq!(csr.num_vertices(), 3);
+        let idx = csr.csr_index(1_000_000).unwrap();
+        assert_eq!(csr.original_id(idx), 1_000_000);
+        assert_eq!(csr.degree(idx), 1);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let csr = Csr::from_edges(&[(0, 5), (0, 2), (0, 9), (0, 1)]);
+        let i0 = csr.csr_index(0).unwrap();
+        let ns = csr.neighbors(i0);
+        let mut sorted = ns.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(ns, &sorted[..]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edges(&[]);
+        assert_eq!(csr.num_vertices(), 0);
+        assert_eq!(csr.num_directed_edges(), 0);
+        assert_eq!(csr.max_degree(), 0);
+    }
+
+    #[test]
+    fn max_degree_star() {
+        let edges: Vec<(u64, u64)> = (1..=7u64).map(|v| (0, v)).collect();
+        let csr = Csr::from_edges(&edges);
+        assert_eq!(csr.max_degree(), 7);
+    }
+}

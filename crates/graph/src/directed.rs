@@ -1,0 +1,173 @@
+//! Directed-graph support (paper §4, "Distributed Triangle Processing").
+//!
+//! TriPoll operates on the undirected view of a graph, but the paper
+//! notes the approach extends to directed inputs: "our augmented graph
+//! would be the original graph with many edges having their
+//! directionality reversed and any bidirectional edges having one
+//! direction removed. Additionally, each directed edge in the augmented
+//! graph may need an additional two bits of storage to give the original
+//! directionality (as-seen, reversed, or bidirectional) for use in the
+//! user callback."
+//!
+//! [`from_directed_edges`] performs exactly that preparation: it
+//! collapses a directed edge list into the undirected edge set, tagging
+//! every surviving edge with its [`Provenance`] — which survey callbacks
+//! receive as part of the edge metadata and can use to reason about the
+//! original direction.
+
+use tripoll_ygm::wire::{Wire, WireError, WireReader};
+
+use crate::edge_list::EdgeList;
+
+/// Original directionality of an undirected edge derived from a directed
+/// input graph. The "two bits of storage" of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// The input contained `(u, v)` with `u < v` only.
+    Forward,
+    /// The input contained `(v, u)` with `u < v` only.
+    Reversed,
+    /// The input contained both directions.
+    Bidirectional,
+}
+
+impl Wire for Provenance {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(match self {
+            Provenance::Forward => 0,
+            Provenance::Reversed => 1,
+            Provenance::Bidirectional => 2,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            0 => Ok(Provenance::Forward),
+            1 => Ok(Provenance::Reversed),
+            2 => Ok(Provenance::Bidirectional),
+            _ => Err(WireError::InvalidValue("Provenance discriminant")),
+        }
+    }
+}
+
+impl Provenance {
+    /// True if the original graph had an edge `from -> to`, given this
+    /// provenance tag on the canonical edge `(min, max)`.
+    pub fn has_arc(&self, from: u64, to: u64) -> bool {
+        match self {
+            Provenance::Bidirectional => true,
+            Provenance::Forward => from < to,
+            Provenance::Reversed => from > to,
+        }
+    }
+}
+
+/// Converts a *directed* edge list into the undirected, provenance-tagged
+/// edge list TriPoll consumes. Self-loops are dropped; duplicate arcs
+/// collapse; antiparallel arcs merge into one `Bidirectional` edge whose
+/// metadata comes from the `u < v` direction.
+pub fn from_directed_edges<EM: Clone>(
+    directed: Vec<(u64, u64, EM)>,
+) -> EdgeList<(Provenance, EM)> {
+    let mut arcs: Vec<(u64, u64, EM)> = directed
+        .into_iter()
+        .filter(|(u, v, _)| u != v)
+        .collect();
+    // Canonical order: group antiparallel arcs of the same pair together.
+    arcs.sort_by_key(|&(u, v, _)| (u.min(v), u.max(v), u > v));
+    arcs.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
+
+    let mut out: Vec<(u64, u64, (Provenance, EM))> = Vec::with_capacity(arcs.len());
+    let mut i = 0;
+    while i < arcs.len() {
+        let (u, v, em) = arcs[i].clone();
+        let (lo, hi) = (u.min(v), u.max(v));
+        let has_partner = i + 1 < arcs.len()
+            && (arcs[i + 1].0.min(arcs[i + 1].1), arcs[i + 1].0.max(arcs[i + 1].1))
+                == (lo, hi);
+        let provenance = if has_partner {
+            i += 1; // consume the reverse arc; keep the (u < v) metadata
+            Provenance::Bidirectional
+        } else if u < v {
+            Provenance::Forward
+        } else {
+            Provenance::Reversed
+        };
+        out.push((lo, hi, (provenance, em)));
+        i += 1;
+    }
+    EdgeList::from_vec(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_reversed_bidirectional() {
+        let list = from_directed_edges(vec![
+            (1u64, 2u64, "a"), // forward (1 < 2)
+            (4, 3, "b"),       // reversed (4 > 3)
+            (5, 6, "c"),
+            (6, 5, "d"), // together: bidirectional, keeps "c"
+        ]);
+        let edges = list.as_slice();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0], (1, 2, (Provenance::Forward, "a")));
+        assert_eq!(edges[1], (3, 4, (Provenance::Reversed, "b")));
+        assert_eq!(edges[2], (5, 6, (Provenance::Bidirectional, "c")));
+    }
+
+    #[test]
+    fn duplicate_arcs_collapse() {
+        let list = from_directed_edges(vec![(1u64, 2u64, 9), (1, 2, 8), (1, 2, 7)]);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.as_slice()[0].2 .0, Provenance::Forward);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let list = from_directed_edges(vec![(3u64, 3u64, ())]);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn has_arc_semantics() {
+        // Canonical edge (2, 5).
+        assert!(Provenance::Forward.has_arc(2, 5));
+        assert!(!Provenance::Forward.has_arc(5, 2));
+        assert!(Provenance::Reversed.has_arc(5, 2));
+        assert!(!Provenance::Reversed.has_arc(2, 5));
+        assert!(Provenance::Bidirectional.has_arc(2, 5));
+        assert!(Provenance::Bidirectional.has_arc(5, 2));
+    }
+
+    #[test]
+    fn provenance_is_wire() {
+        use tripoll_ygm::wire::{from_bytes, to_bytes};
+        for p in [
+            Provenance::Forward,
+            Provenance::Reversed,
+            Provenance::Bidirectional,
+        ] {
+            let bytes = to_bytes(&p);
+            assert_eq!(from_bytes::<Provenance>(&bytes).unwrap(), p);
+        }
+        assert!(from_bytes::<Provenance>(&[9]).is_err());
+    }
+
+    #[test]
+    fn mixed_multigraph() {
+        // 10 -> 20 twice, 20 -> 10 once: bidirectional; 30 -> 7 once:
+        // reversed.
+        let list = from_directed_edges(vec![
+            (10u64, 20u64, 1),
+            (10, 20, 2),
+            (20, 10, 3),
+            (30, 7, 4),
+        ]);
+        let edges = list.as_slice();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0], (7, 30, (Provenance::Reversed, 4)));
+        assert_eq!(edges[1].2 .0, Provenance::Bidirectional);
+    }
+}

@@ -1,0 +1,654 @@
+//! Distributed degree-ordered directed graph (DODGr) with metadata.
+//!
+//! This is TriPoll's graph storage (paper §4.2): vertices are assigned to
+//! ranks by a [`Partition`]; the owning rank stores, for each vertex `u`,
+//! its metadata `meta(u)` and the metadata-augmented out-adjacency
+//!
+//! ```text
+//! Adjm+(u) = { (v, meta(u,v), meta(v)) | v ∈ Adj+(u) }
+//! ```
+//!
+//! where `Adj+(u)` keeps only neighbors *larger* than `u` in the degree
+//! order `<+` (§3), sorted ascending by that order. Each entry also
+//! carries the target's undirected degree (which defines its `<+` key)
+//! and its DODGr out-degree `d+(v)` — the "small constant amount of
+//! additional memory per edge" (§4.4) that lets Push-Pull decide whether
+//! pulling `Adjm+(v)` is worthwhile.
+//!
+//! Construction ([`build_dist_graph`]) is a three-round asynchronous
+//! pipeline over the communicator:
+//!
+//! 1. **Scatter** — every input edge `(u,v)` is sent to `Rank(u)` as
+//!    `(u,v)` and to `Rank(v)` as `(v,u)` (symmetrization); owners sort
+//!    and deduplicate, which yields the undirected degree `d(u)`.
+//! 2. **Degree exchange** — each owner tells the owner of every neighbor
+//!    the degree of its local vertices, establishing the `<+` order.
+//! 3. **Out-degree exchange** — after orienting edges locally, `d+(v)` is
+//!    distributed the same way.
+//!
+//! Vertex metadata is produced by a deterministic function of the vertex
+//! id supplied by the caller (generators and file loaders close over
+//! their attribute tables), so `meta(v)` can be materialized on any rank
+//! without a fourth exchange; it is still *stored* per edge, reproducing
+//! the paper's `O(|E|)` vertex-metadata storage trade-off.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tripoll_ygm::hash::{FastMap, FastSet};
+use tripoll_ygm::wire::Wire;
+use tripoll_ygm::Comm;
+
+use crate::order::OrderKey;
+use crate::partition::Partition;
+
+/// One out-edge of the DODGr, with everything a survey needs colocated.
+#[derive(Debug, Clone)]
+pub struct AdjEntry<VM, EM> {
+    /// Target vertex id (`v`, with `u <+ v`).
+    pub v: u64,
+    /// Target's position in the `<+` order — the merge-path sort key.
+    pub key: OrderKey,
+    /// Target's DODGr out-degree `d+(v)` (Push-Pull decisions).
+    pub dplus_v: u64,
+    /// Edge metadata `meta(u, v)`.
+    pub em: EM,
+    /// Target vertex metadata `meta(v)` (the paper's O(|E|) storage).
+    pub vm: VM,
+}
+
+/// A vertex owned by this rank, with its augmented out-adjacency.
+#[derive(Debug, Clone)]
+pub struct LocalVertex<VM, EM> {
+    /// Vertex id.
+    pub id: u64,
+    /// Undirected degree `d(u)`.
+    pub degree: u64,
+    /// This vertex's position in the `<+` order.
+    pub key: OrderKey,
+    /// Vertex metadata `meta(u)`.
+    pub meta: VM,
+    /// `Adjm+(u)`, sorted ascending by `AdjEntry::key`.
+    pub adj: Vec<AdjEntry<VM, EM>>,
+}
+
+impl<VM, EM> LocalVertex<VM, EM> {
+    /// DODGr out-degree `d+(u)`.
+    #[inline]
+    pub fn dplus(&self) -> u64 {
+        self.adj.len() as u64
+    }
+}
+
+/// All vertices owned by one rank.
+#[derive(Debug)]
+pub struct LocalShard<VM, EM> {
+    vertices: Vec<LocalVertex<VM, EM>>,
+    index: FastMap<u64, u32>,
+}
+
+impl<VM, EM> LocalShard<VM, EM> {
+    fn new(mut vertices: Vec<LocalVertex<VM, EM>>) -> Self {
+        vertices.sort_by_key(|v| v.id);
+        let index = vertices
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.id, i as u32))
+            .collect();
+        LocalShard { vertices, index }
+    }
+
+    /// Vertices owned by this rank, sorted by id.
+    #[inline]
+    pub fn vertices(&self) -> &[LocalVertex<VM, EM>] {
+        &self.vertices
+    }
+
+    /// Looks up a locally-owned vertex by id.
+    #[inline]
+    pub fn get(&self, id: u64) -> Option<&LocalVertex<VM, EM>> {
+        self.index.get(&id).map(|&i| &self.vertices[i as usize])
+    }
+
+    /// Number of vertices owned by this rank.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True when this rank owns no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// Global graph statistics, aggregated collectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphStats {
+    /// Vertices with at least one incident edge.
+    pub vertices: u64,
+    /// Directed edges after symmetrization (Table 1's `|E|` convention).
+    pub directed_edges: u64,
+    /// Edges of the DODGr (= undirected edges).
+    pub dodgr_edges: u64,
+    /// Maximum undirected degree (`d_max`).
+    pub max_degree: u64,
+    /// Maximum DODGr out-degree (`d_max+`).
+    pub max_out_degree: u64,
+    /// `|W+|`: wedge checks the DODGr generates, `Σ_p C(d+(p), 2)` —
+    /// the work measure of the weak-scaling study (§5.5).
+    pub wedges: u64,
+}
+
+/// A distributed DODGr handle: this rank's shard plus the partition map.
+///
+/// Cheap to clone (the shard is reference-counted); message handlers
+/// capture clones.
+pub struct DistGraph<VM, EM> {
+    shard: Rc<LocalShard<VM, EM>>,
+    partition: Partition,
+    nranks: usize,
+}
+
+impl<VM, EM> Clone for DistGraph<VM, EM> {
+    fn clone(&self) -> Self {
+        DistGraph {
+            shard: Rc::clone(&self.shard),
+            partition: self.partition,
+            nranks: self.nranks,
+        }
+    }
+}
+
+impl<VM, EM> DistGraph<VM, EM> {
+    /// Rank owning vertex `v` — the paper's `Rank(v)`.
+    #[inline]
+    pub fn owner(&self, v: u64) -> usize {
+        self.partition.owner(v, self.nranks)
+    }
+
+    /// This rank's shard.
+    #[inline]
+    pub fn shard(&self) -> &Rc<LocalShard<VM, EM>> {
+        &self.shard
+    }
+
+    /// The partitioning in use.
+    #[inline]
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Statistics of this rank's shard only.
+    pub fn local_stats(&self) -> GraphStats {
+        let mut s = GraphStats {
+            vertices: self.shard.len() as u64,
+            ..Default::default()
+        };
+        for v in self.shard.vertices() {
+            s.directed_edges += v.degree;
+            s.dodgr_edges += v.dplus();
+            s.max_degree = s.max_degree.max(v.degree);
+            s.max_out_degree = s.max_out_degree.max(v.dplus());
+            let d = v.dplus();
+            s.wedges += d * d.saturating_sub(1) / 2;
+        }
+        s
+    }
+
+    /// Global statistics. Collective.
+    pub fn global_stats(&self, comm: &Comm) -> GraphStats {
+        let l = self.local_stats();
+        GraphStats {
+            vertices: comm.all_reduce_sum(l.vertices),
+            directed_edges: comm.all_reduce_sum(l.directed_edges),
+            dodgr_edges: comm.all_reduce_sum(l.dodgr_edges),
+            max_degree: comm.all_reduce_max(l.max_degree),
+            max_out_degree: comm.all_reduce_max(l.max_out_degree),
+            wedges: comm.all_reduce_sum(l.wedges),
+        }
+    }
+}
+
+/// Degree/out-degree exchange batch size: small enough to interleave,
+/// large enough to amortize the per-record varint overhead.
+const EXCHANGE_CHUNK: usize = 512;
+
+/// Builds the distributed DODGr from this rank's share of the input edge
+/// records. Collective: every rank calls with its own `local_edges`.
+///
+/// * Input edges are undirected; direction, duplicates and self-loops are
+///   normalized away during the build.
+/// * `vm_fn` must be deterministic and identical on every rank.
+pub fn build_dist_graph<VM, EM, F>(
+    comm: &Comm,
+    local_edges: Vec<(u64, u64, EM)>,
+    vm_fn: F,
+    partition: Partition,
+) -> DistGraph<VM, EM>
+where
+    VM: Clone + 'static,
+    EM: Wire + Clone + 'static,
+    F: Fn(u64) -> VM,
+{
+    let nranks = comm.nranks();
+
+    #[derive(Default)]
+    struct BuildState<EM> {
+        /// Undirected adjacency of locally-owned vertices (with edge meta).
+        adj: FastMap<u64, Vec<(u64, EM)>>,
+        /// Undirected degrees of every vertex referenced by a local edge.
+        deg: FastMap<u64, u64>,
+        /// DODGr out-degrees of every vertex referenced by a local edge.
+        dplus: FastMap<u64, u64>,
+    }
+
+    let st: Rc<RefCell<BuildState<EM>>> = Rc::new(RefCell::new(BuildState {
+        adj: FastMap::default(),
+        deg: FastMap::default(),
+        dplus: FastMap::default(),
+    }));
+
+    let st_edge = st.clone();
+    let h_edge = comm.register::<(u64, u64, EM), _>(move |_c, (u, v, em)| {
+        st_edge.borrow_mut().adj.entry(u).or_default().push((v, em));
+    });
+    let st_deg = st.clone();
+    let h_deg = comm.register::<Vec<(u64, u64)>, _>(move |_c, pairs| {
+        let mut s = st_deg.borrow_mut();
+        for (v, d) in pairs {
+            s.deg.insert(v, d);
+        }
+    });
+    let st_dplus = st.clone();
+    let h_dplus = comm.register::<Vec<(u64, u64)>, _>(move |_c, pairs| {
+        let mut s = st_dplus.borrow_mut();
+        for (v, d) in pairs {
+            s.dplus.insert(v, d);
+        }
+    });
+
+    // Round 1: scatter both directions of every edge to the endpoint
+    // owners (symmetrization on the fly).
+    for (u, v, em) in local_edges {
+        if u == v {
+            continue; // self-loops never participate in triangles
+        }
+        comm.send(partition.owner(u, nranks), &h_edge, &(u, v, em.clone()));
+        comm.send(partition.owner(v, nranks), &h_edge, &(v, u, em));
+    }
+    comm.barrier();
+
+    // Local: canonicalize each adjacency list (sort by target, collapse
+    // parallel edges). Degrees are now final.
+    let mut adj = std::mem::take(&mut st.borrow_mut().adj);
+    for list in adj.values_mut() {
+        list.sort_by_key(|(v, _)| *v);
+        list.dedup_by(|a, b| a.0 == b.0);
+    }
+
+    // Round 2: each owner announces d(v) of its local vertices to the
+    // owner of every neighbor (once per destination rank, batched).
+    exchange_per_neighbor_rank(comm, &adj, partition, nranks, &h_deg, |_, list| {
+        list.len() as u64
+    });
+    comm.barrier();
+    let deg = std::mem::take(&mut st.borrow_mut().deg);
+
+    // Local: orient edges by `<+`, producing d+(u) for local vertices.
+    let mut dplus_local: FastMap<u64, u64> = FastMap::default();
+    for (&u, list) in &adj {
+        let ku = OrderKey::new(u, list.len() as u64);
+        let dplus = list
+            .iter()
+            .filter(|(v, _)| ku < OrderKey::new(*v, deg[v]))
+            .count() as u64;
+        dplus_local.insert(u, dplus);
+    }
+
+    // Round 3: announce d+(v) along the same undirected neighborhoods.
+    exchange_per_neighbor_rank(comm, &adj, partition, nranks, &h_dplus, |u, _| {
+        dplus_local[&u]
+    });
+    comm.barrier();
+    let dplus = std::mem::take(&mut st.borrow_mut().dplus);
+
+    // Assemble the shard: keep out-edges only, sorted by `<+`, augmented
+    // with edge + target metadata.
+    let vertices: Vec<LocalVertex<VM, EM>> = adj
+        .into_iter()
+        .map(|(u, list)| {
+            let degree = list.len() as u64;
+            let key = OrderKey::new(u, degree);
+            let mut out: Vec<AdjEntry<VM, EM>> = list
+                .into_iter()
+                .filter_map(|(v, em)| {
+                    let kv = OrderKey::new(v, deg[&v]);
+                    (key < kv).then(|| AdjEntry {
+                        v,
+                        key: kv,
+                        dplus_v: dplus[&v],
+                        em,
+                        vm: vm_fn(v),
+                    })
+                })
+                .collect();
+            out.sort_by_key(|e| e.key);
+            LocalVertex {
+                id: u,
+                degree,
+                key,
+                meta: vm_fn(u),
+                adj: out,
+            }
+        })
+        .collect();
+
+    DistGraph {
+        shard: Rc::new(LocalShard::new(vertices)),
+        partition,
+        nranks,
+    }
+}
+
+/// For each local vertex `u`, sends `(u, value(u))` to the owner of every
+/// neighbor of `u`, visiting each destination rank at most once per `u`.
+fn exchange_per_neighbor_rank<EM>(
+    comm: &Comm,
+    adj: &FastMap<u64, Vec<(u64, EM)>>,
+    partition: Partition,
+    nranks: usize,
+    handler: &tripoll_ygm::Handler<Vec<(u64, u64)>>,
+    value: impl Fn(u64, &Vec<(u64, EM)>) -> u64,
+) {
+    let mut batches: Vec<Vec<(u64, u64)>> = (0..nranks).map(|_| Vec::new()).collect();
+    let mut dests: FastSet<usize> = FastSet::default();
+    for (&u, list) in adj {
+        let val = value(u, list);
+        dests.clear();
+        for (v, _) in list {
+            dests.insert(partition.owner(*v, nranks));
+        }
+        for &dst in &dests {
+            batches[dst].push((u, val));
+            if batches[dst].len() >= EXCHANGE_CHUNK {
+                comm.send(dst, handler, &batches[dst]);
+                batches[dst].clear();
+            }
+        }
+    }
+    for (dst, batch) in batches.into_iter().enumerate() {
+        if !batch.is_empty() {
+            comm.send(dst, handler, &batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::EdgeList;
+    use tripoll_ygm::World;
+
+    /// Serial reference DODGr: (u -> sorted out-neighbors) from an edge set.
+    fn serial_dodgr(edges: &[(u64, u64)]) -> FastMap<u64, Vec<u64>> {
+        let canon = EdgeList::from_vec(
+            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        )
+        .canonicalize();
+        let mut deg: FastMap<u64, u64> = FastMap::default();
+        for (u, v, _) in canon.as_slice() {
+            *deg.entry(*u).or_insert(0) += 1;
+            *deg.entry(*v).or_insert(0) += 1;
+        }
+        let mut out: FastMap<u64, Vec<u64>> = FastMap::default();
+        for &v in deg.keys() {
+            out.entry(v).or_default();
+        }
+        for (u, v, _) in canon.as_slice() {
+            let (u, v) = (*u, *v);
+            if OrderKey::new(u, deg[&u]) < OrderKey::new(v, deg[&v]) {
+                out.entry(u).or_default().push(v);
+            } else {
+                out.entry(v).or_default().push(u);
+            }
+        }
+        for (v, list) in out.iter_mut() {
+            list.sort_by_key(|t| OrderKey::new(*t, deg[t]));
+            let _ = v;
+        }
+        out
+    }
+
+    fn check_against_serial(edges: &[(u64, u64)], nranks: usize, partition: Partition) {
+        let expected = serial_dodgr(edges);
+        let edges_meta: Vec<(u64, u64, u32)> = edges
+            .iter()
+            .map(|&(u, v)| (u, v, (u * 1000 + v) as u32))
+            .collect();
+        let list = EdgeList::from_vec(edges_meta);
+
+        let shards = World::new(nranks).run(|comm| {
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g = build_dist_graph(comm, local, |v| v * 7, partition);
+            // Export (id, degree, out-neighbors, meta, target metas).
+            g.shard()
+                .vertices()
+                .iter()
+                .map(|lv| {
+                    (
+                        lv.id,
+                        lv.degree,
+                        lv.adj.iter().map(|e| e.v).collect::<Vec<_>>(),
+                        lv.meta,
+                        lv.adj.iter().map(|e| e.vm).collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+
+        let mut seen: FastMap<u64, Vec<u64>> = FastMap::default();
+        for (rank, shard) in shards.into_iter().enumerate() {
+            for (id, _degree, out, meta, target_metas) in shard {
+                assert_eq!(
+                    partition.owner(id, nranks),
+                    rank,
+                    "vertex {id} on wrong rank"
+                );
+                assert_eq!(meta, id * 7, "vertex metadata");
+                for (t, tm) in out.iter().zip(&target_metas) {
+                    assert_eq!(*tm, t * 7, "target metadata for {t}");
+                }
+                assert!(seen.insert(id, out).is_none(), "vertex {id} duplicated");
+            }
+        }
+        assert_eq!(seen.len(), expected.len(), "vertex count");
+        for (v, exp_out) in &expected {
+            assert_eq!(&seen[v], exp_out, "out-adjacency of {v}");
+        }
+    }
+
+    #[test]
+    fn triangle_on_various_rank_counts() {
+        for nranks in [1, 2, 3, 4] {
+            check_against_serial(&[(0, 1), (1, 2), (2, 0)], nranks, Partition::Hashed);
+        }
+    }
+
+    #[test]
+    fn cyclic_partition() {
+        check_against_serial(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)], 3, Partition::Cyclic);
+    }
+
+    #[test]
+    fn duplicates_and_loops_collapse() {
+        check_against_serial(
+            &[(0, 1), (1, 0), (0, 1), (1, 1), (2, 2), (1, 2)],
+            2,
+            Partition::Hashed,
+        );
+    }
+
+    #[test]
+    fn star_graph_hub_has_no_out_edges() {
+        // Star: hub 0 has the max degree, so every edge points *at* it.
+        let edges: Vec<(u64, u64)> = (1..=6).map(|v| (0u64, v)).collect();
+        let out = World::new(3).run(|comm| {
+            let list = EdgeList::from_vec(
+                edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+            );
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
+            let stats = g.global_stats(comm);
+            let hub_dplus = g.shard().get(0).map(|v| v.dplus());
+            (stats, hub_dplus)
+        });
+        let (stats, _) = out[0];
+        assert_eq!(stats.vertices, 7);
+        assert_eq!(stats.directed_edges, 12);
+        assert_eq!(stats.dodgr_edges, 6);
+        assert_eq!(stats.max_degree, 6);
+        // DODGr sends all 6 edges into the hub; leaves have d+ = 1.
+        assert_eq!(stats.max_out_degree, 1);
+        assert_eq!(stats.wedges, 0);
+        for (stats_r, hub) in out {
+            assert_eq!(stats_r, stats, "stats agree on all ranks");
+            if let Some(d) = hub {
+                assert_eq!(d, 0, "hub has no out-edges");
+            }
+        }
+    }
+
+    #[test]
+    fn dplus_annotations_match_owners() {
+        // Every AdjEntry.dplus_v must equal the actual out-degree of the
+        // target vertex, wherever it lives.
+        let edges = [(0u64, 1u64),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5)];
+        let out = World::new(4).run(|comm| {
+            let list = EdgeList::from_vec(
+                edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+            );
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
+            // Gather true out-degrees.
+            let mine: Vec<(u64, u64)> = g
+                .shard()
+                .vertices()
+                .iter()
+                .map(|v| (v.id, v.dplus()))
+                .collect();
+            let all: Vec<(u64, u64)> = comm
+                .all_gather(&mine)
+                .into_iter()
+                .flatten()
+                .collect();
+            let truth: FastMap<u64, u64> = all.into_iter().collect();
+            for lv in g.shard().vertices() {
+                for e in &lv.adj {
+                    assert_eq!(e.dplus_v, truth[&e.v], "dplus of {} at {}", e.v, lv.id);
+                }
+            }
+        });
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn adjacency_sorted_by_order_key() {
+        let edges: Vec<(u64, u64)> = (0..30u64)
+            .flat_map(|i| [(i, (i + 7) % 30), (i, (i + 13) % 30)])
+            .collect();
+        World::new(3).run(|comm| {
+            let list = EdgeList::from_vec(
+                edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+            );
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
+            for lv in g.shard().vertices() {
+                assert!(lv.adj.windows(2).all(|w| w[0].key < w[1].key));
+                for e in &lv.adj {
+                    assert!(lv.key < e.key, "out-edge must increase in <+");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn edge_metadata_preserved() {
+        let out = World::new(2).run(|comm| {
+            let edges = [(1u64, 2u64, "a".to_string()), (2, 3, "b".to_string())];
+            let local: Vec<_> = edges
+                .iter()
+                .skip(comm.rank())
+                .step_by(comm.nranks())
+                .cloned()
+                .collect();
+            let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
+            let mut found: Vec<(u64, u64, String)> = Vec::new();
+            for lv in g.shard().vertices() {
+                for e in &lv.adj {
+                    found.push((lv.id, e.v, e.em.clone()));
+                }
+            }
+            found
+        });
+        let mut all: Vec<(u64, u64, String)> = out.into_iter().flatten().collect();
+        all.sort();
+        // One DODGr edge per undirected edge, metadata intact (direction
+        // depends on the degree order; normalize endpoints).
+        let normalized: Vec<(u64, u64, String)> = all
+            .into_iter()
+            .map(|(u, v, m)| (u.min(v), u.max(v), m))
+            .collect();
+        assert_eq!(
+            normalized,
+            vec![(1, 2, "a".to_string()), (2, 3, "b".to_string())]
+        );
+    }
+
+    #[test]
+    fn wedge_count_matches_formula() {
+        // Complete graph K5: every vertex pair adjacent. |W+| must equal
+        // sum over vertices of C(d+, 2) and the DODGr of K_n has
+        // out-degrees 0..n-1 in some order → |W+| = Σ C(k,2) = C(n,3) · 3 / ...
+        // For K5: out-degrees are {4,3,2,1,0} ⇒ Σ C(k,2) = 6+3+1+0+0 = 10.
+        let mut edges = Vec::new();
+        for u in 0..5u64 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let out = World::new(2).run(|comm| {
+            let list = EdgeList::from_vec(
+                edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+            );
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
+            g.global_stats(comm).wedges
+        });
+        assert_eq!(out, vec![10, 10]);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn distributed_matches_serial(
+                edges in proptest::collection::vec((0u64..40, 0u64..40), 1..120),
+                nranks in 1usize..5,
+            ) {
+                check_against_serial(&edges, nranks, Partition::Hashed);
+            }
+        }
+    }
+}

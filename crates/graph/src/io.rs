@@ -1,0 +1,186 @@
+//! Edge-list file I/O.
+//!
+//! The paper's datasets arrive as edge-list files (SNAP/WebGraph-style
+//! text); a usable release needs loaders. The format here is the common
+//! denominator those corpora share:
+//!
+//! ```text
+//! # comment lines start with '#' (or '%', as in Matrix Market headers)
+//! <u> <v>              # topology-only line
+//! <u> <v> <attr>       # with one integer attribute (timestamp, label)
+//! ```
+//!
+//! Fields are separated by any ASCII whitespace. Lines are validated —
+//! a malformed line reports its number rather than being skipped
+//! silently.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::edge_list::EdgeList;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line that does not parse; `(line number, content)`.
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Malformed(line, content) => {
+                write!(f, "malformed edge on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.is_empty() || t.starts_with('#') || t.starts_with('%')
+}
+
+/// Parses a topology-only edge list from a reader (extra columns are
+/// ignored).
+pub fn parse_edges<R: Read>(reader: R) -> Result<Vec<(u64, u64)>, IoError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if is_comment(&line) {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        let (Some(u), Some(v)) = (it.next(), it.next()) else {
+            return Err(IoError::Malformed(idx + 1, line.clone()));
+        };
+        match (u.parse(), v.parse()) {
+            (Ok(u), Ok(v)) => out.push((u, v)),
+            _ => return Err(IoError::Malformed(idx + 1, line.clone())),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses an edge list whose third column is an integer attribute
+/// (timestamp or label). Lines without a third column default to 0.
+pub fn parse_edges_with_attr<R: Read>(reader: R) -> Result<Vec<(u64, u64, u64)>, IoError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if is_comment(&line) {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        let (Some(u), Some(v)) = (it.next(), it.next()) else {
+            return Err(IoError::Malformed(idx + 1, line.clone()));
+        };
+        let attr = it.next().unwrap_or("0");
+        match (u.parse(), v.parse(), attr.parse()) {
+            (Ok(u), Ok(v), Ok(a)) => out.push((u, v, a)),
+            _ => return Err(IoError::Malformed(idx + 1, line.clone())),
+        }
+    }
+    Ok(out)
+}
+
+/// Reads a topology-only edge-list file.
+pub fn read_edge_file<P: AsRef<Path>>(path: P) -> Result<Vec<(u64, u64)>, IoError> {
+    parse_edges(std::fs::File::open(path)?)
+}
+
+/// Reads an attributed edge-list file (third column = timestamp/label).
+pub fn read_edge_file_with_attr<P: AsRef<Path>>(
+    path: P,
+) -> Result<Vec<(u64, u64, u64)>, IoError> {
+    parse_edges_with_attr(std::fs::File::open(path)?)
+}
+
+/// Writes an attributed edge list in the same format (with a header
+/// comment), so surveys can round-trip their inputs.
+pub fn write_edge_file<P: AsRef<Path>>(
+    path: P,
+    edges: &EdgeList<u64>,
+) -> Result<(), IoError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# tripoll edge list: <u> <v> <attr>")?;
+    for (u, v, a) in edges.as_slice() {
+        writeln!(w, "{u}\t{v}\t{a}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_edges() {
+        let text = "# header\n0 1\n1 2\n\n% mm comment\n2\t0\n";
+        let edges = parse_edges(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn parses_attributes_and_defaults() {
+        let text = "5 9 1000\n9 7\n";
+        let edges = parse_edges_with_attr(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(5, 9, 1000), (9, 7, 0)]);
+    }
+
+    #[test]
+    fn extra_columns_ignored_for_topology() {
+        let text = "1 2 999 extra junk\n";
+        assert_eq!(parse_edges(text.as_bytes()).unwrap(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let text = "0 1\nnot numbers\n";
+        match parse_edges(text.as_bytes()) {
+            Err(IoError::Malformed(line, content)) => {
+                assert_eq!(line, 2);
+                assert!(content.contains("not"));
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        assert!(parse_edges("1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("tripoll-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.tsv");
+
+        let list = EdgeList::from_vec(vec![(1u64, 2u64, 100u64), (2, 3, 200)]);
+        write_edge_file(&path, &list).unwrap();
+
+        let back = read_edge_file_with_attr(&path).unwrap();
+        assert_eq!(back, vec![(1, 2, 100), (2, 3, 200)]);
+        let topo = read_edge_file(&path).unwrap();
+        assert_eq!(topo, vec![(1, 2), (2, 3)]);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_edge_file("/nonexistent/tripoll/file.tsv"),
+            Err(IoError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! # tripoll-graph — graph substrate for TriPoll
+//!
+//! Storage and preprocessing for metadata-decorated graphs, reproducing
+//! §3 and §4.2 of the TriPoll paper (SC'21, arXiv:2107.12330):
+//!
+//! * [`edge_list`] — ingest: symmetrization, self-loop removal, duplicate
+//!   collapse (with a configurable "keep chronologically first" policy for
+//!   temporal multigraphs).
+//! * [`order`] — the degree ordering `<+` with deterministic hash
+//!   tie-break.
+//! * [`partition`] — cyclic and hashed (`random`) vertex-to-rank maps.
+//! * [`dodgr`] — the distributed degree-ordered directed graph with the
+//!   metadata-augmented adjacency `Adjm+`, built in three asynchronous
+//!   communication rounds.
+//! * [`csr`] — the serial CSR view used for reference computations and
+//!   post-processing.
+//! * [`directed`] — directed-input support: collapse arcs to undirected
+//!   edges tagged with their original directionality (§4's "additional
+//!   two bits of storage").
+//! * [`io`] — SNAP-style edge-list file readers/writers.
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod directed;
+pub mod dodgr;
+pub mod edge_list;
+pub mod io;
+pub mod order;
+pub mod partition;
+
+pub use csr::Csr;
+pub use directed::{from_directed_edges, Provenance};
+pub use dodgr::{build_dist_graph, AdjEntry, DistGraph, GraphStats, LocalShard, LocalVertex};
+pub use edge_list::EdgeList;
+pub use order::{dodgr_less, OrderKey};
+pub use partition::Partition;

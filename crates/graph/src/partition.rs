@@ -1,0 +1,74 @@
+//! Vertex-to-rank partitioning (paper §4.2).
+//!
+//! TriPoll "uses random or cyclic partitionings of vertices across MPI
+//! ranks and does not attempt more sophisticated partitionings": the
+//! DODGr transformation already tames the hub vertices that would
+//! otherwise make cheap partitionings unpalatable.
+
+use tripoll_ygm::hash::hash64;
+
+/// How vertices map to owning ranks, `Rank(v)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partition {
+    /// `Rank(v) = v mod nranks` — cyclic striping of vertex ids.
+    Cyclic,
+    /// `Rank(v) = hash64(v) mod nranks` — the "random" partitioning.
+    #[default]
+    Hashed,
+}
+
+impl Partition {
+    /// The rank that owns vertex `v`'s adjacency, metadata and computation.
+    #[inline]
+    pub fn owner(&self, v: u64, nranks: usize) -> usize {
+        debug_assert!(nranks > 0);
+        match self {
+            Partition::Cyclic => (v % nranks as u64) as usize,
+            Partition::Hashed => (hash64(v) % nranks as u64) as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_is_modulo() {
+        let p = Partition::Cyclic;
+        assert_eq!(p.owner(0, 4), 0);
+        assert_eq!(p.owner(5, 4), 1);
+        assert_eq!(p.owner(7, 4), 3);
+    }
+
+    #[test]
+    fn hashed_is_stable_and_in_range() {
+        let p = Partition::Hashed;
+        for v in 0..1000u64 {
+            let o = p.owner(v, 6);
+            assert!(o < 6);
+            assert_eq!(o, p.owner(v, 6));
+        }
+    }
+
+    #[test]
+    fn hashed_spreads_sequential_ids() {
+        let p = Partition::Hashed;
+        let nranks = 5;
+        let mut counts = vec![0usize; nranks];
+        for v in 0..5000u64 {
+            counts[p.owner(v, nranks)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(Partition::Cyclic.owner(v, 1), 0);
+            assert_eq!(Partition::Hashed.owner(v, 1), 0);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-destination send buffers.
+//!
+//! YGM's central scalability trick (§4.1.1 of the paper) is that it never
+//! ships an application record on its own: records destined for the same
+//! rank are appended to a growing byte buffer and the buffer is handed to
+//! the transport only when it crosses a size threshold or the application
+//! flushes (e.g. on entering a barrier). One flush == one MPI message, so
+//! the per-message overhead of headers and handshakes is amortized over
+//! hundreds of records.
+//!
+//! [`SendBuffer`] is that accumulation buffer. It stores the concatenated
+//! `(handler_id, payload)` records plus the record count, and reports when
+//! the flush policy says it should be shipped.
+
+use crate::wire::{put_varint, Wire};
+
+/// Accumulates serialized records bound for a single destination rank.
+#[derive(Debug, Default)]
+pub struct SendBuffer {
+    data: Vec<u8>,
+    records: u64,
+}
+
+impl SendBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        SendBuffer::default()
+    }
+
+    /// Appends one `(handler_id, payload)` record.
+    ///
+    /// Returns the number of bytes the record occupies on the wire.
+    #[inline]
+    pub fn push_record<M: Wire>(&mut self, handler_id: u32, msg: &M) -> usize {
+        let before = self.data.len();
+        put_varint(&mut self.data, u64::from(handler_id));
+        msg.encode(&mut self.data);
+        self.records += 1;
+        self.data.len() - before
+    }
+
+    /// Bytes currently buffered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing is buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Records currently buffered.
+    #[inline]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// True when the buffer has reached the flush threshold.
+    #[inline]
+    pub fn should_flush(&self, threshold: usize) -> bool {
+        self.data.len() >= threshold
+    }
+
+    /// Removes and returns the buffered payload and record count, leaving
+    /// the buffer empty (its allocation is surrendered with the payload —
+    /// the receiving rank frees it, mirroring an MPI send buffer handoff).
+    #[inline]
+    pub fn drain(&mut self) -> (Vec<u8>, u64) {
+        let records = self.records;
+        self.records = 0;
+        (std::mem::take(&mut self.data), records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{WireReader, WireError};
+
+    #[test]
+    fn push_and_drain() {
+        let mut b = SendBuffer::new();
+        assert!(b.is_empty());
+        let n1 = b.push_record(3, &(7u64, 9u64));
+        let n2 = b.push_record(4, &"hi".to_string());
+        assert_eq!(b.records(), 2);
+        assert_eq!(b.len(), n1 + n2);
+
+        let (data, records) = b.drain();
+        assert_eq!(records, 2);
+        assert_eq!(data.len(), n1 + n2);
+        assert!(b.is_empty());
+        assert_eq!(b.records(), 0);
+
+        // The drained bytes decode back into the records we pushed.
+        let mut r = WireReader::new(&data);
+        assert_eq!(r.take_varint().unwrap(), 3);
+        let pair = <(u64, u64)>::decode(&mut r).unwrap();
+        assert_eq!(pair, (7, 9));
+        assert_eq!(r.take_varint().unwrap(), 4);
+        assert_eq!(String::decode(&mut r).unwrap(), "hi");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn flush_threshold() {
+        let mut b = SendBuffer::new();
+        assert!(!b.should_flush(16));
+        // Zero threshold flushes on any content.
+        b.push_record(0, &1u8);
+        assert!(b.should_flush(0));
+        assert!(b.should_flush(1));
+        assert!(!b.should_flush(1024));
+        while b.len() < 1024 {
+            b.push_record(0, &0xffff_ffff_ffffu64);
+        }
+        assert!(b.should_flush(1024));
+    }
+
+    #[test]
+    fn record_overhead_is_small() {
+        // A (u32 vertex, u32 vertex) record with a one-byte handler id must
+        // cost single-digit bytes — this is the communication-volume story.
+        let mut b = SendBuffer::new();
+        let n = b.push_record(2, &(17u32, 103u32));
+        assert!(n <= 3 + 1, "record cost {n} bytes");
+    }
+
+    #[test]
+    fn decode_error_type_is_exported() {
+        // Compile-time check that wire errors surface through the buffer's
+        // public decode path.
+        fn assert_err_ty(_e: WireError) {}
+        let _ = assert_err_ty;
+    }
+}

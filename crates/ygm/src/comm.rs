@@ -1,0 +1,765 @@
+//! The asynchronous communicator.
+//!
+//! [`Comm`] is the Rust analogue of YGM's `ygm::comm` (§4.1 of the paper):
+//! a fire-and-forget active-message endpoint held by each rank of an SPMD
+//! program. Its three pillars mirror the paper's description:
+//!
+//! * **RPC semantics** (§4.1.3): a message is a registered handler plus
+//!   serialized arguments. YGM ships a lambda offset; our ranks share one
+//!   binary and register the same handlers in the same order, so a small
+//!   integer handler id plays the same role.
+//! * **Message buffering** (§4.1.1): [`Comm::send`] appends to a
+//!   per-destination [`SendBuffer`]; buffers move to the transport only
+//!   when they cross the configured threshold or at a flush point.
+//! * **Serialization** (§4.1.2): payloads are [`Wire`]-encoded bytes, so
+//!   heterogeneous records (adjacency lists, strings, counter updates)
+//!   interleave freely in one buffer.
+//!
+//! Completion is detected by a quiescence **barrier**: fire-and-forget
+//! messages have no replies, so a phase ends when every rank has reached
+//! the barrier *and* no record anywhere remains unprocessed. Handlers may
+//! send further messages (the `visit`-chains of vertex-centric
+//! algorithms); the pending-record counter makes such chains count toward
+//! quiescence.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::buffer::SendBuffer;
+use crate::stats::RankCounters;
+use crate::wire::{Wire, WireReader};
+
+/// Index of a simulated MPI rank.
+pub type Rank = usize;
+
+/// Panic message used when a rank aborts because a peer panicked first.
+/// The world driver filters these so the root-cause panic is the one that
+/// propagates to the caller.
+pub(crate) const POISON_MSG: &str = "peer rank panicked; aborting barrier";
+
+/// Tuning knobs for the communicator.
+#[derive(Debug, Clone)]
+pub struct CommConfig {
+    /// Buffer size (bytes) at which a destination buffer is shipped.
+    ///
+    /// YGM defaults to large (~MB) buffers on a real cluster; the simulated
+    /// runtime defaults to 8 KiB so that small experiments still exercise
+    /// multi-envelope behaviour.
+    pub flush_threshold: usize,
+    /// Simulated ranks per compute node for **node-level aggregation**
+    /// (the §5.4 remedy for small-message blowup at scale: "extra
+    /// aggregation of messages at the level of compute nodes").
+    ///
+    /// With a value > 1, buffers bound for the ranks of one remote node
+    /// ship as a *single* bundled envelope to that node's gateway rank,
+    /// which re-distributes the sections locally (free of network cost).
+    /// `1` (the default) disables aggregation: every rank is its own
+    /// node, as in the paper's measured configuration.
+    pub ranks_per_node: usize,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            flush_threshold: 8 * 1024,
+            ranks_per_node: 1,
+        }
+    }
+}
+
+/// One shipped message: the unit that would be a single MPI message.
+pub(crate) enum Envelope {
+    /// Records for the receiving rank itself.
+    Direct(Vec<u8>),
+    /// Node-level aggregate: `(final rank, records)` sections for the
+    /// ranks of the gateway's node; the gateway re-distributes them.
+    Bundle(Vec<(u32, Vec<u8>)>),
+}
+
+/// State shared by all ranks of a world.
+pub(crate) struct Shared {
+    pub(crate) nranks: usize,
+    pub(crate) senders: Vec<Sender<Envelope>>,
+    /// Records sent but not yet fully processed, summed over all ranks.
+    pub(crate) pending: AtomicI64,
+    /// Ranks currently inside `barrier()`.
+    barrier_count: AtomicUsize,
+    /// Completed-barrier generation; waiters leave when it advances.
+    barrier_gen: AtomicU64,
+    /// Set when any rank panics, so peers abort instead of hanging.
+    pub(crate) poisoned: AtomicBool,
+    /// Per-rank communication counters.
+    pub(crate) counters: Vec<RankCounters>,
+    /// Scratch slots for collectives (one per rank).
+    pub(crate) slots: Vec<Mutex<Vec<u8>>>,
+}
+
+impl Shared {
+    pub(crate) fn new(nranks: usize, senders: Vec<Sender<Envelope>>) -> Self {
+        Shared {
+            nranks,
+            senders,
+            pending: AtomicI64::new(0),
+            barrier_count: AtomicUsize::new(0),
+            barrier_gen: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            counters: (0..nranks).map(|_| RankCounters::default()).collect(),
+            slots: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+}
+
+type DynHandler = Rc<dyn Fn(&Comm, &mut WireReader<'_>)>;
+
+/// Typed identifier for a registered message handler.
+///
+/// Obtained from [`Comm::register`]; all ranks must register the same
+/// handlers in the same order so that ids agree (the SPMD analogue of
+/// YGM's sender/receiver lambda-offset agreement).
+pub struct Handler<M> {
+    id: u32,
+    _marker: std::marker::PhantomData<fn(M)>,
+}
+
+impl<M> Clone for Handler<M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for Handler<M> {}
+
+impl<M> Handler<M> {
+    /// The raw handler id (diagnostics only).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+/// Per-rank communicator endpoint. Not `Send`: it lives and dies on its
+/// rank's thread, like an MPI communicator handle.
+pub struct Comm {
+    rank: Rank,
+    shared: Arc<Shared>,
+    config: CommConfig,
+    rx: Receiver<Envelope>,
+    outbufs: RefCell<Vec<SendBuffer>>,
+    handlers: RefCell<Vec<DynHandler>>,
+    /// Buffer tails whose next record's handler is not yet registered.
+    deferred: RefCell<Vec<Vec<u8>>>,
+    in_dispatch: Cell<bool>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: Rank,
+        shared: Arc<Shared>,
+        config: CommConfig,
+        rx: Receiver<Envelope>,
+    ) -> Self {
+        let nranks = shared.nranks;
+        Comm {
+            rank,
+            shared,
+            config,
+            rx,
+            outbufs: RefCell::new((0..nranks).map(|_| SendBuffer::new()).collect()),
+            handlers: RefCell::new(Vec::new()),
+            deferred: RefCell::new(Vec::new()),
+            in_dispatch: Cell::new(false),
+        }
+    }
+
+    /// This rank's index.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.shared.nranks
+    }
+
+    /// The communicator configuration in effect.
+    pub fn config(&self) -> &CommConfig {
+        &self.config
+    }
+
+    /// Live counters for this rank.
+    #[inline]
+    pub fn counters(&self) -> &RankCounters {
+        &self.shared.counters[self.rank]
+    }
+
+    /// Snapshot of this rank's communication statistics.
+    pub fn stats(&self) -> crate::stats::CommStats {
+        self.counters().snapshot()
+    }
+
+    /// Records `units` of application compute (e.g. wedge-check
+    /// comparisons). The cost model prices these as the compute term of
+    /// modeled runtimes; wall-clock is unaffected.
+    #[inline]
+    pub fn add_work(&self, units: u64) {
+        self.counters().work.fetch_add(units, Ordering::Relaxed);
+    }
+
+    /// Registers a message handler and returns its typed id.
+    ///
+    /// Must be called collectively: every rank registers the same handlers
+    /// in the same order (debug builds verify ids stay in lockstep via the
+    /// returned id; a mismatch shows up as decode failures immediately).
+    pub fn register<M, F>(&self, f: F) -> Handler<M>
+    where
+        M: Wire + 'static,
+        F: Fn(&Comm, M) + 'static,
+    {
+        let mut handlers = self.handlers.borrow_mut();
+        let id = u32::try_from(handlers.len()).expect("handler id overflow");
+        handlers.push(Rc::new(move |comm: &Comm, r: &mut WireReader<'_>| {
+            let msg = M::decode(r).unwrap_or_else(|e| {
+                panic!(
+                    "rank {}: failed to decode message for handler {id}: {e}",
+                    comm.rank()
+                )
+            });
+            f(comm, msg);
+        }));
+        Handler {
+            id,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Sends `msg` to be executed by handler `h` on rank `dest`
+    /// (fire-and-forget, buffered).
+    #[inline]
+    pub fn send<M: Wire>(&self, dest: Rank, h: &Handler<M>, msg: &M) {
+        debug_assert!(dest < self.nranks(), "send to rank {dest} of {}", self.nranks());
+        // Count the record as pending *before* it becomes visible anywhere,
+        // so the quiescence barrier can never observe a transient zero.
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+
+        let counters = self.counters();
+        let ship = {
+            let mut bufs = self.outbufs.borrow_mut();
+            let buf = &mut bufs[dest];
+            let bytes = buf.push_record(h.id, msg);
+            // "Local" means it never touches the network: self-sends
+            // always, and intra-node peers when node aggregation models
+            // multiple ranks per node.
+            if self.node_of(dest) == self.node_of(self.rank) {
+                counters.records_local.fetch_add(1, Ordering::Relaxed);
+                counters.bytes_local.fetch_add(bytes as u64, Ordering::Relaxed);
+            } else {
+                counters.records_remote.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .bytes_remote
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+            }
+            if buf.should_flush(self.config.flush_threshold) {
+                Some(buf.drain())
+            } else {
+                None
+            }
+        };
+        if let Some((data, _records)) = ship {
+            self.ship(dest, data);
+        }
+    }
+
+    /// Compute node of a rank under the configured node width.
+    #[inline]
+    fn node_of(&self, rank: Rank) -> usize {
+        rank / self.config.ranks_per_node.max(1)
+    }
+
+    /// The rank that receives bundled envelopes for a node.
+    #[inline]
+    fn gateway_of(&self, node: usize) -> Rank {
+        node * self.config.ranks_per_node.max(1)
+    }
+
+    /// Ships one drained buffer to `dest`, via the destination node's
+    /// gateway when node-level aggregation is active.
+    fn ship(&self, dest: Rank, data: Vec<u8>) {
+        let counters = self.counters();
+        if dest == self.rank {
+            counters.envelopes_local.fetch_add(1, Ordering::Relaxed);
+            self.shared.senders[dest]
+                .send(Envelope::Direct(data))
+                .expect("receiver alive while world is running");
+            return;
+        }
+        if self.config.ranks_per_node > 1 && self.node_of(dest) != self.node_of(self.rank) {
+            // A lone over-threshold buffer still travels as a (single
+            // section) bundle so the gateway accounting stays uniform.
+            let gateway = self.gateway_of(self.node_of(dest));
+            counters.envelopes_remote.fetch_add(1, Ordering::Relaxed);
+            self.shared.senders[gateway]
+                .send(Envelope::Bundle(vec![(dest as u32, data)]))
+                .expect("receiver alive while world is running");
+            return;
+        }
+        if self.node_of(dest) == self.node_of(self.rank) {
+            counters.envelopes_local.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.envelopes_remote.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.senders[dest]
+            .send(Envelope::Direct(data))
+            .expect("receiver alive while world is running");
+    }
+
+    /// Flushes every non-empty destination buffer to the transport.
+    ///
+    /// With node-level aggregation, all buffers bound for one remote node
+    /// leave as a *single* bundled envelope to that node's gateway — the
+    /// envelope-count reduction the paper prescribes for the 6144-rank
+    /// regime (§5.4).
+    pub fn flush_all(&self) {
+        let rpn = self.config.ranks_per_node.max(1);
+        if rpn == 1 {
+            for dest in 0..self.nranks() {
+                let drained = {
+                    let mut bufs = self.outbufs.borrow_mut();
+                    if bufs[dest].is_empty() {
+                        None
+                    } else {
+                        Some(bufs[dest].drain())
+                    }
+                };
+                if let Some((data, _records)) = drained {
+                    self.ship(dest, data);
+                }
+            }
+            return;
+        }
+
+        let nnodes = self.nranks().div_ceil(rpn);
+        let my_node = self.node_of(self.rank);
+        for node in 0..nnodes {
+            let lo = node * rpn;
+            let hi = ((node + 1) * rpn).min(self.nranks());
+            if node == my_node {
+                // Intra-node: deliver each rank's buffer directly (no
+                // network, no aggregation needed).
+                for dest in lo..hi {
+                    let drained = {
+                        let mut bufs = self.outbufs.borrow_mut();
+                        if bufs[dest].is_empty() {
+                            None
+                        } else {
+                            Some(bufs[dest].drain())
+                        }
+                    };
+                    if let Some((data, _records)) = drained {
+                        // Same node: shared-memory transport, no network.
+                        self.counters()
+                            .envelopes_local
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.senders[dest]
+                            .send(Envelope::Direct(data))
+                            .expect("receiver alive while world is running");
+                    }
+                }
+                continue;
+            }
+            // Remote node: bundle every non-empty section into one envelope.
+            let sections: Vec<(u32, Vec<u8>)> = {
+                let mut bufs = self.outbufs.borrow_mut();
+                let mut sections = Vec::new();
+                for d in lo..hi {
+                    if !bufs[d].is_empty() {
+                        sections.push((d as u32, bufs[d].drain().0));
+                    }
+                }
+                sections
+            };
+            if !sections.is_empty() {
+                self.counters()
+                    .envelopes_remote
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.senders[self.gateway_of(node)]
+                    .send(Envelope::Bundle(sections))
+                    .expect("receiver alive while world is running");
+            }
+        }
+    }
+
+    /// Processes every envelope currently queued for this rank.
+    ///
+    /// Returns `true` if at least one record was executed. Handlers run
+    /// here; they may send further messages (which stay buffered until the
+    /// next flush point).
+    ///
+    /// Records whose handler id this rank has not registered *yet* are
+    /// deferred, not failed: in an SPMD program a fast peer may exit a
+    /// barrier, register the next phase's handlers and start sending
+    /// while this rank is still spinning in that barrier. The deferred
+    /// bytes stay counted in the pending-record total (so no barrier can
+    /// release past them) and are retried on the next poll, by which time
+    /// this rank's own registrations have caught up.
+    pub fn poll(&self) -> bool {
+        let mut worked = false;
+        // Retry deferred tails first: registrations may have caught up.
+        let deferred: Vec<Vec<u8>> = self.deferred.borrow_mut().drain(..).collect();
+        for data in deferred {
+            worked |= self.dispatch_bytes(data);
+        }
+        while let Ok(env) = self.rx.try_recv() {
+            match env {
+                Envelope::Direct(data) => worked |= self.dispatch_bytes(data),
+                Envelope::Bundle(sections) => {
+                    // Gateway duty: keep our own section, forward the rest
+                    // over the (free) intra-node transport.
+                    for (dest, data) in sections {
+                        let dest = dest as usize;
+                        if dest == self.rank {
+                            worked |= self.dispatch_bytes(data);
+                        } else {
+                            debug_assert_eq!(
+                                self.node_of(dest),
+                                self.node_of(self.rank),
+                                "bundle section for a foreign node"
+                            );
+                            self.counters()
+                                .envelopes_local
+                                .fetch_add(1, Ordering::Relaxed);
+                            self.shared.senders[dest]
+                                .send(Envelope::Direct(data))
+                                .expect("receiver alive while world is running");
+                            worked = true;
+                        }
+                    }
+                }
+            }
+        }
+        worked
+    }
+
+    /// Dispatches the records of one buffer; returns whether at least one
+    /// record was executed. An unknown handler id defers the rest of the
+    /// buffer (records within a buffer stay in order).
+    fn dispatch_bytes(&self, data: Vec<u8>) -> bool {
+        let was = self.in_dispatch.replace(true);
+        let mut executed = false;
+        let mut reader = WireReader::new(&data);
+        while !reader.is_empty() {
+            let record_start = reader.position();
+            let hid = reader
+                .take_varint()
+                .expect("envelope corrupt: handler id") as usize;
+            let handler = {
+                let handlers = self.handlers.borrow();
+                handlers.get(hid).cloned()
+            };
+            let Some(handler) = handler else {
+                // Not registered yet on this rank: defer the remainder.
+                self.deferred
+                    .borrow_mut()
+                    .push(data[record_start..].to_vec());
+                break;
+            };
+            handler(self, &mut reader);
+            executed = true;
+            self.counters().handlers_run.fetch_add(1, Ordering::Relaxed);
+            self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.in_dispatch.set(was);
+        executed
+    }
+
+    /// Quiescence barrier (YGM `comm.barrier()`).
+    ///
+    /// Completes only when **all** ranks have entered the barrier **and**
+    /// every sent record — including records sent by handlers while ranks
+    /// were already waiting — has been executed. Must not be called from
+    /// inside a message handler.
+    pub fn barrier(&self) {
+        assert!(
+            !self.in_dispatch.get(),
+            "barrier() may not be called from inside a message handler"
+        );
+        self.flush_all();
+        let shared = &self.shared;
+        let gen = shared.barrier_gen.load(Ordering::SeqCst);
+        let arrived = shared.barrier_count.fetch_add(1, Ordering::SeqCst) + 1;
+        if arrived == self.nranks() {
+            // Last arrival: drive the world to quiescence, then release.
+            loop {
+                self.check_poison();
+                if self.poll() {
+                    self.flush_all();
+                    continue;
+                }
+                if shared.pending.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            // Reset count *before* advancing the generation: ranks can only
+            // re-enter after observing the new generation, so their
+            // increments always land on the reset counter.
+            shared.barrier_count.store(0, Ordering::SeqCst);
+            shared.barrier_gen.fetch_add(1, Ordering::SeqCst);
+        } else {
+            while shared.barrier_gen.load(Ordering::SeqCst) == gen {
+                self.check_poison();
+                if self.poll() {
+                    self.flush_all();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.counters().barriers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn check_poison(&self) {
+        if self.shared.poisoned.load(Ordering::SeqCst) {
+            panic!("{POISON_MSG} (observed on rank {})", self.rank);
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+    #[test]
+    fn ping_all_to_all() {
+        // Every rank sends its rank id to every rank; each rank must
+        // receive exactly nranks records summing to 0+1+..+n-1.
+        for nranks in [1, 2, 3, 4, 7] {
+            let sums: Vec<u64> = World::new(nranks).run(|comm| {
+                let sum = Rc::new(Cell::new(0u64));
+                let sum2 = sum.clone();
+                let h = comm.register::<u64, _>(move |_c, v| {
+                    sum2.set(sum2.get() + v);
+                });
+                for dest in 0..comm.nranks() {
+                    comm.send(dest, &h, &(comm.rank() as u64));
+                }
+                comm.barrier();
+                sum.get()
+            });
+            let expect: u64 = (0..nranks as u64).sum();
+            assert_eq!(sums, vec![expect; nranks], "nranks={nranks}");
+        }
+    }
+
+    #[test]
+    fn handler_chains_complete_before_barrier() {
+        // A message that triggers a relay: rank r forwards to (r+1)%n,
+        // decrementing a hop count. The barrier must not release until the
+        // whole chain has drained.
+        let nranks = 4;
+        let arrived = Arc::new(StdAtomicU64::new(0));
+        let arrived_outer = arrived.clone();
+        let results: Vec<u64> = World::new(nranks).run(move |comm| {
+            let arrived = arrived_outer.clone();
+            let relay: Rc<RefCell<Option<Handler<u64>>>> = Rc::new(RefCell::new(None));
+            let relay2 = relay.clone();
+            let h = comm.register::<u64, _>(move |c, hops| {
+                if hops == 0 {
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    let next = (c.rank() + 1) % c.nranks();
+                    let h = relay2.borrow().expect("registered");
+                    c.send(next, &h, &(hops - 1));
+                }
+            });
+            *relay.borrow_mut() = Some(h);
+            if comm.rank() == 0 {
+                // 25 hops wraps the ring several times.
+                comm.send(1 % comm.nranks(), &h, &25u64);
+            }
+            comm.barrier();
+            comm.counters().snapshot().handlers_run
+        });
+        assert_eq!(arrived.load(Ordering::SeqCst), 1);
+        let total_handlers: u64 = results.iter().sum();
+        assert_eq!(total_handlers, 26); // 25 relays + terminal
+    }
+
+    #[test]
+    fn multiple_barriers_in_sequence() {
+        let nranks = 3;
+        let counts: Vec<u64> = World::new(nranks).run(|comm| {
+            let seen = Rc::new(Cell::new(0u64));
+            let seen2 = seen.clone();
+            let h = comm.register::<u64, _>(move |_c, _v| {
+                seen2.set(seen2.get() + 1);
+            });
+            for phase in 0..5u64 {
+                for dest in 0..comm.nranks() {
+                    comm.send(dest, &h, &phase);
+                }
+                comm.barrier();
+                // After each barrier exactly (phase+1)*nranks records seen.
+                assert_eq!(seen.get(), (phase + 1) * comm.nranks() as u64);
+            }
+            seen.get()
+        });
+        assert_eq!(counts, vec![15; nranks]);
+    }
+
+    #[test]
+    fn heterogeneous_messages_interleave() {
+        // Two handlers with different payload types share buffers, as in
+        // YGM's serialization story (§4.1.2).
+        let nranks = 2;
+        let out: Vec<(u64, String)> = World::new(nranks).run(|comm| {
+            let nums = Rc::new(Cell::new(0u64));
+            let text = Rc::new(RefCell::new(String::new()));
+            let nums2 = nums.clone();
+            let text2 = text.clone();
+            let h_num = comm.register::<u64, _>(move |_c, v| {
+                nums2.set(nums2.get() + v);
+            });
+            let h_str = comm.register::<String, _>(move |_c, s| {
+                text2.borrow_mut().push_str(&s);
+            });
+            let dest = (comm.rank() + 1) % comm.nranks();
+            for i in 0..10u64 {
+                comm.send(dest, &h_num, &i);
+                comm.send(dest, &h_str, &"x".to_string());
+            }
+            comm.barrier();
+            let collected = text.borrow().clone();
+            (nums.get(), collected)
+        });
+        for (n, s) in out {
+            assert_eq!(n, 45);
+            assert_eq!(s, "xxxxxxxxxx");
+        }
+    }
+
+    #[test]
+    fn small_threshold_forces_many_envelopes() {
+        let config = CommConfig { flush_threshold: 4, ..Default::default() };
+        let stats = World::new(2).with_config(config).run_with_stats(|comm| {
+            let h = comm.register::<u64, _>(|_c, _v| {});
+            if comm.rank() == 0 {
+                for i in 0..100u64 {
+                    comm.send(1, &h, &i);
+                }
+            }
+            comm.barrier();
+        });
+        let s0 = stats.stats[0];
+        assert_eq!(s0.records_remote, 100);
+        // With a 4-byte threshold nearly every record ships alone.
+        assert!(s0.envelopes_remote >= 50, "envelopes {}", s0.envelopes_remote);
+    }
+
+    #[test]
+    fn large_threshold_aggregates() {
+        let config = CommConfig {
+            flush_threshold: 1 << 20,
+            ..Default::default()
+        };
+        let stats = World::new(2).with_config(config).run_with_stats(|comm| {
+            let h = comm.register::<u64, _>(|_c, _v| {});
+            if comm.rank() == 0 {
+                for i in 0..100u64 {
+                    comm.send(1, &h, &i);
+                }
+            }
+            comm.barrier();
+        });
+        let s0 = stats.stats[0];
+        assert_eq!(s0.records_remote, 100);
+        assert_eq!(s0.envelopes_remote, 1, "all records in one envelope");
+    }
+
+    #[test]
+    fn local_sends_counted_separately() {
+        let stats = World::new(2).run_with_stats(|comm| {
+            let h = comm.register::<u64, _>(|_c, _v| {});
+            comm.send(comm.rank(), &h, &1u64); // self
+            comm.barrier();
+        });
+        for s in &stats.stats {
+            assert_eq!(s.records_local, 1);
+            assert_eq!(s.records_remote, 0);
+            assert!(s.bytes_local > 0);
+            assert_eq!(s.bytes_remote, 0);
+        }
+    }
+
+    #[test]
+    fn pending_returns_to_zero() {
+        World::new(3).run(|comm| {
+            let h = comm.register::<Vec<u64>, _>(|_c, _v| {});
+            for dest in 0..comm.nranks() {
+                comm.send(dest, &h, &vec![1, 2, 3]);
+            }
+            comm.barrier();
+            assert_eq!(comm.shared().pending.load(Ordering::SeqCst), 0);
+        });
+    }
+
+    #[test]
+    fn late_registration_defers_messages() {
+        // Regression test for the phase race: a fast rank exits a
+        // barrier, registers the next phase's handler and sends to a
+        // slow rank that is still spinning inside the old barrier. The
+        // slow rank must defer the record until its own registration
+        // catches up — never crash, never lose the record.
+        for trial in 0..50 {
+            let out = World::new(3).run(|comm| {
+                let h1 = comm.register::<u64, _>(|_c, _v| {});
+                // Stagger arrival so barrier roles vary across trials.
+                if comm.rank() != 0 {
+                    std::thread::yield_now();
+                }
+                comm.send((comm.rank() + 1) % comm.nranks(), &h1, &1u64);
+                comm.barrier();
+
+                // Phase 2: register late on some ranks.
+                if comm.rank() == 2 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                let got = Rc::new(Cell::new(0u64));
+                let got2 = got.clone();
+                let h2 = comm.register::<u64, _>(move |_c, v| {
+                    got2.set(got2.get() + v);
+                });
+                for dest in 0..comm.nranks() {
+                    comm.send(dest, &h2, &10u64);
+                }
+                comm.barrier();
+                got.get()
+            });
+            assert_eq!(out, vec![30, 30, 30], "trial {trial}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 0 exploding")]
+    fn peer_panic_poisons_barrier_and_root_cause_propagates() {
+        // Rank 1 would hang in the barrier forever without poisoning; the
+        // world must terminate and re-raise rank 0's original panic.
+        World::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                panic!("rank 0 exploding");
+            }
+            comm.barrier();
+        });
+    }
+}

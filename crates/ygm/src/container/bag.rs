@@ -1,0 +1,142 @@
+//! Distributed bag: an unordered, location-transparent collection.
+//!
+//! Bulk data (edge lists read from generators or files) starts life in a
+//! bag: items are scattered round-robin across ranks as buffered async
+//! records, then each rank processes its local share. This mirrors YGM's
+//! `ygm::container::bag`, the usual entry point of its graph pipelines.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::comm::{Comm, Handler};
+use crate::wire::Wire;
+
+/// An unordered distributed collection of `T`.
+pub struct DistBag<T>
+where
+    T: Wire + 'static,
+{
+    handler: Handler<T>,
+    local: Rc<RefCell<Vec<T>>>,
+    next_dest: std::cell::Cell<usize>,
+}
+
+impl<T> DistBag<T>
+where
+    T: Wire + 'static,
+{
+    /// Creates the bag. Collective (handler registration).
+    pub fn new(comm: &Comm) -> Self {
+        let local: Rc<RefCell<Vec<T>>> = Rc::new(RefCell::new(Vec::new()));
+        let local_in = local.clone();
+        let handler = comm.register::<T, _>(move |_c, item| {
+            local_in.borrow_mut().push(item);
+        });
+        DistBag {
+            handler,
+            local,
+            // Stagger starting destinations so single-producer workloads
+            // still spread items evenly.
+            next_dest: std::cell::Cell::new(comm.rank()),
+        }
+    }
+
+    /// Adds an item, placing it on a rank chosen round-robin.
+    pub fn async_add(&self, comm: &Comm, item: T) {
+        let dest = self.next_dest.get() % comm.nranks();
+        self.next_dest.set(dest + 1);
+        comm.send(dest, &self.handler, &item);
+    }
+
+    /// Adds an item on a specific rank.
+    pub fn async_add_on(&self, comm: &Comm, dest: usize, item: T) {
+        comm.send(dest, &self.handler, &item);
+    }
+
+    /// This rank's items (valid after a barrier).
+    pub fn local(&self) -> std::cell::Ref<'_, Vec<T>> {
+        self.local.borrow()
+    }
+
+    /// Takes ownership of this rank's items, leaving the bag shard empty.
+    pub fn take_local(&self) -> Vec<T> {
+        std::mem::take(&mut *self.local.borrow_mut())
+    }
+
+    /// Items on this rank.
+    pub fn local_len(&self) -> usize {
+        self.local.borrow().len()
+    }
+
+    /// Total items across ranks. Collective; barriers first.
+    pub fn global_len(&self, comm: &Comm) -> u64 {
+        comm.barrier();
+        comm.all_reduce_sum(self.local_len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn items_are_spread_evenly() {
+        let out = World::new(4).run(|comm| {
+            let bag = DistBag::<u64>::new(comm);
+            if comm.rank() == 0 {
+                for i in 0..400u64 {
+                    bag.async_add(comm, i);
+                }
+            }
+            comm.barrier();
+            bag.local_len()
+        });
+        assert_eq!(out.iter().sum::<usize>(), 400);
+        for &n in &out {
+            assert_eq!(n, 100, "round-robin must be exact: {out:?}");
+        }
+    }
+
+    #[test]
+    fn global_len() {
+        let out = World::new(3).run(|comm| {
+            let bag = DistBag::<(u64, u64)>::new(comm);
+            for i in 0..10u64 {
+                bag.async_add(comm, (i, i + 1));
+            }
+            bag.global_len(comm)
+        });
+        assert_eq!(out, vec![30; 3]);
+    }
+
+    #[test]
+    fn directed_placement() {
+        let out = World::new(3).run(|comm| {
+            let bag = DistBag::<String>::new(comm);
+            if comm.rank() == 0 {
+                bag.async_add_on(comm, 2, "hello".to_string());
+            }
+            comm.barrier();
+            bag.local_len()
+        });
+        assert_eq!(out, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn take_local_empties_shard() {
+        let out = World::new(2).run(|comm| {
+            let bag = DistBag::<u64>::new(comm);
+            bag.async_add(comm, 1);
+            bag.async_add(comm, 2);
+            comm.barrier();
+            let taken = bag.take_local();
+            (taken.len(), bag.local_len())
+        });
+        let total: usize = out.iter().map(|(t, _)| t).sum();
+        assert_eq!(total, 4);
+        for (_, remaining) in out {
+            assert_eq!(remaining, 0);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Distributed key/value map.
+//!
+//! "This structure stores key-value pairs at deterministic MPI ranks based
+//! on a hash of the keys" (§4.1.4). TriPoll's graph storage is a custom
+//! structure following exactly this pattern, so [`DistMap`] doubles as the
+//! reference implementation for it: asynchronous inserts and merges route
+//! records to `owner_of(key)`, and after a barrier the owning rank holds
+//! the value.
+
+use std::cell::RefCell;
+use std::hash::Hash;
+use std::rc::Rc;
+
+use crate::comm::{Comm, Handler};
+use crate::container::owner_of;
+use crate::hash::FastMap;
+use crate::wire::Wire;
+
+/// A distributed hash map. Values live on `owner_of(key)`.
+pub struct DistMap<K, V>
+where
+    K: Wire + Hash + Eq + Clone + 'static,
+    V: Wire + 'static,
+{
+    insert_handler: Handler<(K, V)>,
+    merge_handler: Handler<(K, V)>,
+    local: Rc<RefCell<FastMap<K, V>>>,
+}
+
+impl<K, V> DistMap<K, V>
+where
+    K: Wire + Hash + Eq + Clone + 'static,
+    V: Wire + 'static,
+{
+    /// Creates a map whose conflicting inserts are resolved by `merge`
+    /// (applied as `merge(&mut existing, incoming)`); plain
+    /// [`DistMap::async_insert`] overwrites. Collective.
+    pub fn new_with_merge<F>(comm: &Comm, merge: F) -> Self
+    where
+        F: Fn(&mut V, V) + 'static,
+    {
+        let local: Rc<RefCell<FastMap<K, V>>> = Rc::new(RefCell::new(FastMap::default()));
+        let local_ins = local.clone();
+        let insert_handler = comm.register::<(K, V), _>(move |_c, (k, v)| {
+            local_ins.borrow_mut().insert(k, v);
+        });
+        let local_mrg = local.clone();
+        let merge_handler = comm.register::<(K, V), _>(move |_c, (k, v)| {
+            let mut map = local_mrg.borrow_mut();
+            match map.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), v),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        });
+        DistMap {
+            insert_handler,
+            merge_handler,
+            local,
+        }
+    }
+
+    /// Creates a map with overwrite-on-conflict semantics. Collective.
+    pub fn new(comm: &Comm) -> Self {
+        Self::new_with_merge(comm, |existing, incoming| *existing = incoming)
+    }
+
+    /// Owner rank of `key`.
+    #[inline]
+    pub fn owner(&self, comm: &Comm, key: &K) -> usize {
+        owner_of(key, comm.nranks())
+    }
+
+    /// Asynchronously stores `(key, value)`, overwriting any prior value.
+    /// Visible on the owner after the next barrier.
+    pub fn async_insert(&self, comm: &Comm, key: K, value: V) {
+        let dest = self.owner(comm, &key);
+        comm.send(dest, &self.insert_handler, &(key, value));
+    }
+
+    /// Asynchronously merges `value` into `key`'s entry with the map's
+    /// merge function (inserting if absent).
+    pub fn async_merge(&self, comm: &Comm, key: K, value: V) {
+        let dest = self.owner(comm, &key);
+        comm.send(dest, &self.merge_handler, &(key, value));
+    }
+
+    /// This rank's shard.
+    pub fn local(&self) -> std::cell::Ref<'_, FastMap<K, V>> {
+        self.local.borrow()
+    }
+
+    /// Mutable access to this rank's shard (rank-local post-processing).
+    pub fn local_mut(&self) -> std::cell::RefMut<'_, FastMap<K, V>> {
+        self.local.borrow_mut()
+    }
+
+    /// Entries owned by this rank.
+    pub fn local_len(&self) -> usize {
+        self.local.borrow().len()
+    }
+
+    /// Total entries across ranks. Collective; barriers first.
+    pub fn global_len(&self, comm: &Comm) -> u64 {
+        comm.barrier();
+        comm.all_reduce_sum(self.local_len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn inserts_land_on_owners() {
+        let out = World::new(4).run(|comm| {
+            let map = DistMap::<u64, String>::new(comm);
+            if comm.rank() == 0 {
+                for k in 0..100u64 {
+                    map.async_insert(comm, k, format!("v{k}"));
+                }
+            }
+            comm.barrier();
+            // Each key must be exactly on its owner.
+            for (k, v) in map.local().iter() {
+                assert_eq!(owner_of(k, comm.nranks()), comm.rank());
+                assert_eq!(v, &format!("v{k}"));
+            }
+            map.local_len() as u64
+        });
+        assert_eq!(out.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn overwrite_semantics() {
+        let out = World::new(2).run(|comm| {
+            let map = DistMap::<u64, u64>::new(comm);
+            // All ranks insert the same key; after the barrier exactly one
+            // value survives (some rank's write — both are valid).
+            map.async_insert(comm, 7, comm.rank() as u64);
+            comm.barrier();
+            map.global_len(comm)
+        });
+        assert_eq!(out, vec![1, 1]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let out = World::new(3).run(|comm| {
+            let map = DistMap::<u64, u64>::new_with_merge(comm, |e, v| *e += v);
+            for k in 0..10u64 {
+                map.async_merge(comm, k, 1);
+            }
+            comm.barrier();
+            let local_sum: u64 = map.local().values().sum();
+            comm.all_reduce_sum(local_sum)
+        });
+        // 3 ranks × 10 keys × 1 = 30.
+        assert_eq!(out, vec![30; 3]);
+    }
+
+    #[test]
+    fn merge_inserts_when_absent() {
+        let out = World::new(2).run(|comm| {
+            let map = DistMap::<String, Vec<u64>>::new_with_merge(comm, |e, mut v| {
+                e.append(&mut v);
+            });
+            map.async_merge(comm, "adj".to_string(), vec![comm.rank() as u64]);
+            comm.barrier();
+            let total: u64 = comm.all_reduce_sum(
+                map.local()
+                    .get("adj")
+                    .map(|v| v.len() as u64)
+                    .unwrap_or(0),
+            );
+            total
+        });
+        assert_eq!(out, vec![2, 2]);
+    }
+
+    #[test]
+    fn global_len_empty() {
+        let out = World::new(3).run(|comm| {
+            let map = DistMap::<u64, u64>::new(comm);
+            map.global_len(comm)
+        });
+        assert_eq!(out, vec![0; 3]);
+    }
+}

@@ -1,0 +1,607 @@
+//! Compact binary wire format for active-message payloads.
+//!
+//! The C++ TriPoll prototype relies on the `cereal` serialization library to
+//! move heterogeneous, variable-length payloads (strings, STL containers,
+//! user structs) through MPI without padding. This module is the Rust
+//! equivalent: a small, self-contained codec with
+//!
+//! * LEB128 varints for unsigned integers (so small vertex ids and counts
+//!   cost one byte on the wire, which matters when the whole point of the
+//!   evaluation is communication volume),
+//! * zigzag encoding for signed integers,
+//! * little-endian bit patterns for floats,
+//! * length-prefixed strings, vectors and maps,
+//! * tuples up to arity four.
+//!
+//! Every type that crosses a rank boundary implements [`Wire`]. Encoding
+//! appends to a caller-supplied buffer (so per-destination send buffers are
+//! filled without intermediate allocations); decoding reads from a
+//! [`WireReader`] cursor and is fully checked — a truncated or corrupt
+//! buffer yields [`WireError`], never undefined behaviour.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+/// Errors produced while decoding a wire buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The reader ran out of bytes mid-value.
+    UnexpectedEof {
+        /// Bytes that were needed to finish the value.
+        needed: usize,
+        /// Bytes that remained in the buffer.
+        remaining: usize,
+    },
+    /// A varint ran longer than the maximum encodable width.
+    VarintOverflow,
+    /// A length prefix or discriminant had an impossible value.
+    InvalidValue(&'static str),
+    /// A string payload was not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of wire buffer: needed {needed} bytes, {remaining} remaining"
+            ),
+            WireError::VarintOverflow => write!(f, "varint exceeded 64 bits"),
+            WireError::InvalidValue(what) => write!(f, "invalid wire value: {what}"),
+            WireError::InvalidUtf8 => write!(f, "string payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Checked cursor over a received byte buffer.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset from the start of the buffer.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consumes and returns exactly `n` bytes.
+    #[inline]
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes a single byte.
+    #[inline]
+    pub fn take_u8(&mut self) -> Result<u8, WireError> {
+        if self.remaining() < 1 {
+            return Err(WireError::UnexpectedEof {
+                needed: 1,
+                remaining: 0,
+            });
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Decodes an LEB128 varint of at most 64 bits.
+    #[inline]
+    pub fn take_varint(&mut self) -> Result<u64, WireError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::VarintOverflow);
+            }
+        }
+    }
+}
+
+/// Appends an LEB128 varint to `buf`.
+#[inline]
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`put_varint`] will emit for `v`.
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    // 1 + floor(bits/7); bits==0 for v==0 still needs one byte.
+    let bits = 64 - v.leading_zeros() as usize;
+    std::cmp::max(1, bits.div_ceil(7))
+}
+
+#[inline]
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Types that can cross a rank boundary.
+///
+/// The contract is symmetric: `decode(encode(x)) == x` and decode consumes
+/// exactly the bytes encode produced. The proptest suite in this module
+/// checks both properties for every implementation.
+pub trait Wire: Sized {
+    /// Appends the encoded representation to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Reads one value from `r`.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+impl Wire for () {
+    #[inline]
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    #[inline]
+    fn decode(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl Wire for bool {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::InvalidValue("bool discriminant")),
+        }
+    }
+}
+
+impl Wire for u8 {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.take_u8()
+    }
+}
+
+macro_rules! impl_wire_varint {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            #[inline]
+            fn encode(&self, buf: &mut Vec<u8>) {
+                put_varint(buf, *self as u64);
+            }
+            #[inline]
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                let v = r.take_varint()?;
+                <$t>::try_from(v).map_err(|_| WireError::InvalidValue(stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_wire_varint!(u16, u32, u64, usize);
+
+macro_rules! impl_wire_zigzag {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            #[inline]
+            fn encode(&self, buf: &mut Vec<u8>) {
+                put_varint(buf, zigzag_encode(*self as i64));
+            }
+            #[inline]
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                let v = zigzag_decode(r.take_varint()?);
+                <$t>::try_from(v).map_err(|_| WireError::InvalidValue(stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_wire_zigzag!(i8, i16, i32, i64, isize);
+
+impl Wire for f32 {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let b = r.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+impl Wire for f64 {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let b = r.take(8)?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+impl Wire for String {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_varint()? as usize;
+        let bytes = r.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError::InvalidUtf8)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(WireError::InvalidValue("Option discriminant")),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_varint()? as usize;
+        // Guard against hostile length prefixes: never pre-reserve more
+        // entries than bytes remaining (each entry costs >= 1 byte).
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K, V, S> Wire for HashMap<K, V, S>
+where
+    K: Wire + Eq + Hash,
+    V: Wire,
+    S: BuildHasher + Default,
+{
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for (k, v) in self {
+            k.encode(buf);
+            v.encode(buf);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_varint()? as usize;
+        let mut out = HashMap::with_capacity_and_hasher(len.min(r.remaining()), S::default());
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            #[inline]
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $(self.$idx.encode(buf);)+
+            }
+            #[inline]
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+
+impl_wire_tuple!(A: 0);
+impl_wire_tuple!(A: 0, B: 1);
+impl_wire_tuple!(A: 0, B: 1, C: 2);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Convenience: encode a value into a fresh buffer.
+pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    buf
+}
+
+/// Convenience: decode a value that must consume the whole buffer.
+pub fn from_bytes<T: Wire>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(bytes);
+    let v = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(WireError::InvalidValue("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        let back: T = from_bytes(&bytes).expect("decode");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn varint_small_values_are_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), 1, "value {v}");
+            assert_eq!(varint_len(v), 1);
+        }
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for (v, len) in [
+            (0u64, 1),
+            (127, 1),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u32::MAX as u64, 5),
+            (u64::MAX, 10),
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), len, "value {v}");
+            assert_eq!(varint_len(v), len, "varint_len({v})");
+            let mut r = WireReader::new(&buf);
+            assert_eq!(r.take_varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        // Eleven continuation bytes can never be a valid 64-bit varint.
+        let buf = [0xffu8; 11];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.take_varint(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn truncated_buffer_is_an_error() {
+        let bytes = to_bytes(&"hello".to_string());
+        let mut r = WireReader::new(&bytes[..3]);
+        assert!(matches!(
+            String::decode(&mut r),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(());
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(i8::MIN);
+        roundtrip(i16::MIN);
+        roundtrip(i32::MIN);
+        roundtrip(i64::MIN);
+        roundtrip(-1i64);
+        roundtrip(isize::MIN);
+        roundtrip(std::f32::consts::E);
+        roundtrip(std::f64::consts::PI);
+        roundtrip(f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small() {
+        for v in [-64i64, -1, 0, 1, 63] {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            assert_eq!(buf.len(), 1, "value {v}");
+        }
+    }
+
+    #[test]
+    fn string_roundtrips() {
+        roundtrip(String::new());
+        roundtrip("amazon.example".to_string());
+        roundtrip("ünïcödé 🎉 strings".to_string());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(from_bytes::<String>(&buf), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec![1u64, 128, 16_384, u64::MAX]);
+        roundtrip(vec!["a".to_string(), String::new(), "ccc".to_string()]);
+        roundtrip(Some(42u32));
+        roundtrip(Option::<u32>::None);
+        let mut m = HashMap::new();
+        m.insert("host".to_string(), 3u64);
+        m.insert("edge".to_string(), 0);
+        roundtrip(m);
+    }
+
+    #[test]
+    fn tuple_roundtrips() {
+        roundtrip((1u64,));
+        roundtrip((1u64, "x".to_string()));
+        roundtrip((1u64, 2u32, 3u16));
+        roundtrip((1u64, 2u32, 3u16, true));
+        roundtrip((1u64, 2u32, 3u16, true, 2.5f64));
+        roundtrip((1u64, 2u32, 3u16, true, 2.5f64, -7i32));
+    }
+
+    #[test]
+    fn nested_containers() {
+        roundtrip(vec![vec![1u32, 2], vec![], vec![3]]);
+        roundtrip(vec![(1u64, "a".to_string()), (2, "b".to_string())]);
+        roundtrip(Some(vec![(0u64, None), (1, Some(9u8))]));
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_allocate() {
+        // Length prefix claims 2^60 elements but only a few bytes follow.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1u64 << 60);
+        buf.push(1);
+        assert!(from_bytes::<Vec<u64>>(&buf).is_err());
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing_garbage() {
+        let mut bytes = to_bytes(&7u64);
+        bytes.push(0);
+        assert!(from_bytes::<u64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn bool_bad_discriminant() {
+        assert!(from_bytes::<bool>(&[2]).is_err());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn u64_roundtrip(v in any::<u64>()) {
+                roundtrip(v);
+            }
+
+            #[test]
+            fn i64_roundtrip(v in any::<i64>()) {
+                roundtrip(v);
+            }
+
+            #[test]
+            fn f64_roundtrip(v in any::<f64>()) {
+                let bytes = to_bytes(&v);
+                let back: f64 = from_bytes(&bytes).unwrap();
+                prop_assert_eq!(v.to_bits(), back.to_bits());
+            }
+
+            #[test]
+            fn string_roundtrip(v in ".*") {
+                roundtrip(v.to_string());
+            }
+
+            #[test]
+            fn vec_tuple_roundtrip(v in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..64)) {
+                roundtrip(v);
+            }
+
+            #[test]
+            fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                // Decoding arbitrary bytes must return Ok or Err, never panic.
+                let _ = from_bytes::<Vec<(u64, String)>>(&bytes);
+                let _ = from_bytes::<(u32, bool, f64)>(&bytes);
+                let _ = from_bytes::<Option<Vec<u8>>>(&bytes);
+            }
+
+            #[test]
+            fn varint_len_matches_encoding(v in any::<u64>()) {
+                let mut buf = Vec::new();
+                put_varint(&mut buf, v);
+                prop_assert_eq!(buf.len(), varint_len(v));
+            }
+        }
+    }
+}

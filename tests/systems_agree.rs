@@ -1,0 +1,97 @@
+//! The Table 2 cast — TriPoll (both engines), Pearce et al., Tom et al.
+//! and TriC — must produce identical triangle counts on every dataset
+//! stand-in, on the same simulated runtime.
+
+use tripoll::baselines::{pearce_count, tom2d_count, tric_count};
+use tripoll::gen::{self, DatasetSize};
+use tripoll::graph::{build_dist_graph, EdgeList, Partition};
+use tripoll::prelude::*;
+
+fn strided(edges: &[(u64, u64)], rank: usize, nranks: usize) -> Vec<(u64, u64)> {
+    edges.iter().skip(rank).step_by(nranks).copied().collect()
+}
+
+#[test]
+fn four_systems_one_answer() {
+    // 4 ranks: a perfect square, so the 2D baseline can participate.
+    let nranks = 4;
+    for ds in gen::table2_suite(DatasetSize::Tiny, 23) {
+        let edges = ds.edges.clone();
+        let list = EdgeList::from_vec(
+            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        );
+        let counts = World::new(nranks).run(|comm| {
+            let local_topo = strided(&edges, comm.rank(), comm.nranks());
+            let local_list = list.stride_for_rank(comm.rank(), comm.nranks());
+
+            let g = build_dist_graph(comm, local_list, |_| (), Partition::Hashed);
+            let tripoll_po = triangle_count(comm, &g, EngineMode::PushOnly).0;
+            let tripoll_pp = triangle_count(comm, &g, EngineMode::PushPull).0;
+            let (pearce, _) = pearce_count(comm, local_topo.clone(), Partition::Hashed);
+            let (tom, _) = tom2d_count(comm, local_topo.clone());
+            let (tric, _) = tric_count(comm, local_topo);
+            [tripoll_po, tripoll_pp, pearce, tom, tric]
+        });
+        for rank_counts in &counts {
+            assert!(
+                rank_counts.iter().all(|&c| c == rank_counts[0]),
+                "{}: systems disagree: {rank_counts:?}",
+                ds.name
+            );
+            assert!(rank_counts[0] > 0, "{}: no triangles found", ds.name);
+        }
+    }
+}
+
+#[test]
+fn baselines_handle_pruned_away_graphs() {
+    // A pure tree prunes to nothing under Pearce and has no triangles
+    // anywhere.
+    let edges: Vec<(u64, u64)> = (1..40u64).map(|v| (v / 2, v)).collect();
+    let out = World::new(4).run(|comm| {
+        let local = strided(&edges, comm.rank(), comm.nranks());
+        let (p, _) = pearce_count(comm, local.clone(), Partition::Hashed);
+        let (t, _) = tom2d_count(comm, local.clone());
+        let (c, _) = tric_count(comm, local);
+        (p, t, c)
+    });
+    for (p, t, c) in out {
+        assert_eq!((p, t, c), (0, 0, 0));
+    }
+}
+
+#[test]
+fn pearce_sends_more_records_than_tripoll() {
+    // The structural claim behind Table 2: Pearce's per-wedge queries
+    // cost more application records than TriPoll's batched suffixes on a
+    // wedge-heavy graph.
+    let ds = gen::twitter_like(DatasetSize::Tiny, 31);
+    let edges = ds.edges.clone();
+    let list = EdgeList::from_vec(
+        edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+    );
+    let nranks = 4;
+
+    let tripoll_out = World::new(nranks).run_with_stats(|comm| {
+        let local = list.stride_for_rank(comm.rank(), comm.nranks());
+        let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
+        let before = comm.stats();
+        let (count, _) = triangle_count(comm, &g, EngineMode::PushPull);
+        (count, comm.stats().delta(&before))
+    });
+    let pearce_out = World::new(nranks).run_with_stats(|comm| {
+        let local = strided(&edges, comm.rank(), comm.nranks());
+        pearce_count(comm, local, Partition::Hashed)
+    });
+
+    let tripoll_records: u64 = tripoll_out
+        .results
+        .iter()
+        .map(|(_, d)| d.records_total())
+        .sum();
+    let pearce_records: u64 = pearce_out.total_stats().records_total();
+    assert!(
+        pearce_records > 2 * tripoll_records,
+        "expected Pearce to send far more records: {pearce_records} vs {tripoll_records}"
+    );
+}
