@@ -69,10 +69,7 @@ impl Histogram {
 
     /// Largest non-empty bucket index, if any.
     pub fn max_bucket(&self) -> Option<u32> {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(|i| i as u32)
+        self.counts.iter().rposition(|&c| c > 0).map(|i| i as u32)
     }
 
     /// Iterates `(bucket, count)` over non-empty buckets.
@@ -106,10 +103,7 @@ impl Histogram {
             }
         };
         for (b, c) in self.counts.iter().enumerate() {
-            out.push_str(&format!(
-                "  2^{b:<3} | {:<50} {c}\n",
-                "#".repeat(scale(*c))
-            ));
+            out.push_str(&format!("  2^{b:<3} | {:<50} {c}\n", "#".repeat(scale(*c))));
         }
         out
     }

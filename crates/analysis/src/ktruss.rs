@@ -61,8 +61,7 @@ pub fn truss_decomposition(csr: &Csr) -> TrussDecomposition {
 
     // Peeling queue ordered by (support, edge) — BTreeSet as a mutable
     // priority structure.
-    let mut queue: BTreeSet<(i64, (u32, u32))> =
-        support.iter().map(|(&e, &s)| (s, e)).collect();
+    let mut queue: BTreeSet<(i64, (u32, u32))> = support.iter().map(|(&e, &s)| (s, e)).collect();
     let mut trussness: FastMap<(u32, u32), u32> = FastMap::default();
     let mut k = 2u32;
 
@@ -81,10 +80,7 @@ pub fn truss_decomposition(csr: &Csr) -> TrussDecomposition {
             .copied()
             .collect();
         for w in commons {
-            for e in [
-                (u.min(w), u.max(w)),
-                (v.min(w), v.max(w)),
-            ] {
+            for e in [(u.min(w), u.max(w)), (v.min(w), v.max(w))] {
                 if let Some(sup) = support.get_mut(&e) {
                     queue.remove(&(*sup, e));
                     *sup -= 1;
@@ -179,7 +175,7 @@ mod tests {
                 assert_eq!(t_of(u, v), 4, "K4 edge ({u},{v})");
             }
         }
-        assert_eq!(t_of(3, 4), 4.min(3).max(3)); // pendant triangle edges
+        assert_eq!(t_of(3, 4), 3); // pendant triangle edges
         assert_eq!(t_of(4, 5), 3);
         assert_eq!(t_of(5, 3), 3);
         // The 4-truss is exactly the K4.

@@ -60,12 +60,7 @@ impl WGraph {
             .map(|u| self_w[u] + adj[u].iter().map(|&(_, w)| w).sum::<f64>())
             .collect();
         let m2 = k.iter().sum();
-        WGraph {
-            adj,
-            self_w,
-            k,
-            m2,
-        }
+        WGraph { adj, self_w, k, m2 }
     }
 
     fn len(&self) -> usize {
@@ -167,12 +162,7 @@ fn coarsen(g: &WGraph, com: &[usize], ncom: usize) -> WGraph {
         .map(|u| self_w[u] + adj[u].iter().map(|&(_, w)| w).sum::<f64>())
         .collect();
     let m2 = k.iter().sum();
-    WGraph {
-        adj,
-        self_w,
-        k,
-        m2,
-    }
+    WGraph { adj, self_w, k, m2 }
 }
 
 /// Modularity of a partition on the *original* graph.
@@ -355,10 +345,7 @@ mod tests {
     fn weights_matter() {
         // Path 0-1-2-3 with a heavy middle edge: {0,1} vs {2,3} split is
         // *not* optimal; {1,2} must end up together.
-        let r = louvain(
-            4,
-            &[(0, 1, 0.1), (1, 2, 10.0), (2, 3, 0.1)],
-        );
+        let r = louvain(4, &[(0, 1, 0.1), (1, 2, 10.0), (2, 3, 0.1)]);
         assert_eq!(r.communities[1], r.communities[2]);
     }
 

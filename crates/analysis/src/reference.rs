@@ -140,10 +140,7 @@ mod tests {
     #[test]
     fn bowtie() {
         // Two triangles sharing vertex 2.
-        assert_eq!(
-            count(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]),
-            2
-        );
+        assert_eq!(count(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]), 2);
     }
 
     #[test]
@@ -178,14 +175,7 @@ mod tests {
 
     #[test]
     fn enumeration_matches_count_and_orders_vertices() {
-        let edges: Vec<(u64, u64)> = vec![
-            (0, 1),
-            (1, 2),
-            (2, 0),
-            (2, 3),
-            (3, 0),
-            (1, 3),
-        ];
+        let edges: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 0), (1, 3)];
         let csr = Csr::from_edges(&edges);
         let mut triangles = Vec::new();
         enumerate_triangles(&csr, |p, q, r| triangles.push((p, q, r)));

@@ -152,11 +152,7 @@ mod tests {
         // Columns aligned: both time cells start at the same offset.
         let lines: Vec<&str> = s.lines().collect();
         let idx = |line: &str, needle: &str| line.find(needle).unwrap();
-        assert_eq!(
-            idx(lines[3], "1.01s"),
-            idx(lines[4], "38.62s"),
-            "\n{s}"
-        );
+        assert_eq!(idx(lines[3], "1.01s"), idx(lines[4], "38.62s"), "\n{s}");
     }
 
     #[test]

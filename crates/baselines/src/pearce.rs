@@ -150,11 +150,7 @@ pub fn pearce_count(
     for lv in graph.shard().vertices() {
         for (i, eq) in lv.adj.iter().enumerate() {
             for er in &lv.adj[i + 1..] {
-                comm.send(
-                    graph.owner(eq.v),
-                    &h_query,
-                    &(eq.v, er.v, er.key.degree),
-                );
+                comm.send(graph.owner(eq.v), &h_query, &(eq.v, er.v, er.key.degree));
             }
         }
     }
@@ -258,8 +254,7 @@ mod tests {
                 }
             }
         }
-        let expect =
-            tripoll_analysis::triangle_count(&tripoll_graph::Csr::from_edges(&edges));
+        let expect = tripoll_analysis::triangle_count(&tripoll_graph::Csr::from_edges(&edges));
         assert_eq!(run(&edges, 3), expect);
         assert!(expect > 0);
     }

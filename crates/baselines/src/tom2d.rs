@@ -45,8 +45,12 @@ fn perfect_sqrt(n: usize) -> Option<usize> {
 /// Panics unless the world's rank count is a perfect square (1, 4, 9,
 /// 16, ...), mirroring the real implementation's requirement.
 pub fn tom2d_count(comm: &Comm, local_edges: Vec<(u64, u64)>) -> (u64, BaselineReport) {
-    let s = perfect_sqrt(comm.nranks())
-        .unwrap_or_else(|| panic!("2D algorithm needs a perfect-square rank count, got {}", comm.nranks()));
+    let s = perfect_sqrt(comm.nranks()).unwrap_or_else(|| {
+        panic!(
+            "2D algorithm needs a perfect-square rank count, got {}",
+            comm.nranks()
+        )
+    });
     let timer = BaselineTimer::begin(comm, "Tom et al.");
     let nranks = comm.nranks();
     let my_row = comm.rank() / s;
@@ -97,7 +101,10 @@ pub fn tom2d_count(comm: &Comm, local_edges: Vec<(u64, u64)>) -> (u64, BaselineR
             } else {
                 (v, u)
             };
-            let dest = grid((hash64(p) % s as u64) as usize, (hash64(q) % s as u64) as usize);
+            let dest = grid(
+                (hash64(p) % s as u64) as usize,
+                (hash64(q) % s as u64) as usize,
+            );
             comm.send(dest, &h_block, &(p, q));
         }
     }
@@ -126,10 +133,18 @@ pub fn tom2d_count(comm: &Comm, local_edges: Vec<(u64, u64)>) -> (u64, BaselineR
         for chunk in mine.chunks(CHUNK) {
             let payload = chunk.to_vec();
             for j in 0..s {
-                comm.send(grid(my_row, j), &h_ship, &(my_col as u64, 0u8, payload.clone()));
+                comm.send(
+                    grid(my_row, j),
+                    &h_ship,
+                    &(my_col as u64, 0u8, payload.clone()),
+                );
             }
             for i in 0..s {
-                comm.send(grid(i, my_col), &h_ship, &(my_row as u64, 1u8, payload.clone()));
+                comm.send(
+                    grid(i, my_col),
+                    &h_ship,
+                    &(my_row as u64, 1u8, payload.clone()),
+                );
             }
         }
     }
@@ -233,8 +248,7 @@ mod tests {
                 }
             }
         }
-        let expect =
-            tripoll_analysis::triangle_count(&tripoll_graph::Csr::from_edges(&edges));
+        let expect = tripoll_analysis::triangle_count(&tripoll_graph::Csr::from_edges(&edges));
         assert!(expect > 0);
         assert_eq!(run(&edges, 4), expect);
     }

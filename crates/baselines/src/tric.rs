@@ -78,8 +78,8 @@ pub fn tric_count(comm: &Comm, local_edges: Vec<(u64, u64)>) -> (u64, BaselineRe
                 continue;
             }
             let e = (*u.min(v), *u.max(v));
-            let dest = (tripoll_ygm::hash::hash64(e.0 ^ e.1.rotate_left(32)) % nranks as u64)
-                as usize;
+            let dest =
+                (tripoll_ygm::hash::hash64(e.0 ^ e.1.rotate_left(32)) % nranks as u64) as usize;
             comm.send(dest, &h_edge, &e);
         }
         comm.barrier();
@@ -153,8 +153,7 @@ pub fn tric_count(comm: &Comm, local_edges: Vec<(u64, u64)>) -> (u64, BaselineRe
 
         {
             let a = adj.borrow();
-            let mut batches: Vec<Vec<(u64, u64, u64)>> =
-                (0..nranks).map(|_| Vec::new()).collect();
+            let mut batches: Vec<Vec<(u64, u64, u64)>> = (0..nranks).map(|_| Vec::new()).collect();
             for (_p, list) in a.iter() {
                 for (i, &(q, _dq)) in list.iter().enumerate() {
                     let dest = block_owner(&boundaries, q);
@@ -226,8 +225,7 @@ mod tests {
                 }
             }
         }
-        let expect =
-            tripoll_analysis::triangle_count(&tripoll_graph::Csr::from_edges(&edges));
+        let expect = tripoll_analysis::triangle_count(&tripoll_graph::Csr::from_edges(&edges));
         assert!(expect > 0);
         assert_eq!(run(&edges, 4), expect);
     }

@@ -31,7 +31,10 @@ fn main() {
     let nranks = 4;
     let web = webcc12_like(size(), seed());
     let list = EdgeList::from_vec(
-        web.edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        web.edges
+            .iter()
+            .map(|&(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
     )
     .canonicalize();
     println!(
@@ -76,8 +79,7 @@ fn main() {
     for partition in [Partition::Cyclic, Partition::Hashed] {
         let out = World::new(nranks).run_with_stats(|comm| {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
-            let g: DistGraph<bool, ()> =
-                build_dist_graph(comm, local, |_| false, partition);
+            let g: DistGraph<bool, ()> = build_dist_graph(comm, local, |_| false, partition);
             triangle_count(comm, &g, EngineMode::PushPull).0
         });
         part_table.row(&[
@@ -109,8 +111,7 @@ fn main() {
             set.finalize(comm);
             comm.stats().delta(&before)
         });
-        let total: tripoll_ygm::CommStats =
-            tripoll_ygm::CommStats::sum(out.results.iter());
+        let total: tripoll_ygm::CommStats = tripoll_ygm::CommStats::sum(out.results.iter());
         cache_table.row(&[
             capacity.to_string(),
             total.records_total().to_string(),
@@ -123,7 +124,12 @@ fn main() {
     // --- 4. Node-level aggregation (the §5.4 remedy) -----------------------
     let mut node_table = Table::new(
         "Ablation 4: ranks per simulated node (Push-Pull count, 8 ranks)",
-        &["ranks/node", "network envelopes", "network payload", "modeled time"],
+        &[
+            "ranks/node",
+            "network envelopes",
+            "network payload",
+            "modeled time",
+        ],
     );
     for ranks_per_node in [1usize, 2, 4, 8] {
         let out = World::new(8)

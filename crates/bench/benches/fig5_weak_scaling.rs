@@ -24,9 +24,7 @@ fn base_scale() -> u32 {
 fn main() {
     let ranks = rank_series();
     let base = base_scale();
-    println!(
-        "Reproducing Fig. 5 (weak scaling, R-MAT scale {base} per rank) on ranks {ranks:?}\n"
-    );
+    println!("Reproducing Fig. 5 (weak scaling, R-MAT scale {base} per rank) on ranks {ranks:?}\n");
 
     let mut table = Table::new(
         "Fig. 5: weak scaling of Push-Pull triangle counting",
@@ -42,8 +40,8 @@ fn main() {
     );
     for &n in &ranks {
         let edges = rmat_weak_scaling(base, n, seed());
-        let list = EdgeList::from_vec(edges.into_iter().map(|(u, v)| (u, v, ())).collect())
-            .canonicalize();
+        let list =
+            EdgeList::from_vec(edges.into_iter().map(|(u, v)| (u, v, ())).collect()).canonicalize();
         let run = run_count(&list, n, EngineMode::PushPull);
         let rate = run.wedges as f64 / (n as f64 * run.modeled_seconds.max(1e-12));
         table.row(&[

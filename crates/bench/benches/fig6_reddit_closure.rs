@@ -32,8 +32,15 @@ fn main() {
     });
     let (hist, _) = &out[0];
 
-    println!("{}", hist.marginal_y().render("Distribution of closing time (bucket = ceil(log2(seconds)))"));
-    println!("{}", hist.marginal_x().render("Distribution of opening time"));
+    println!(
+        "{}",
+        hist.marginal_y()
+            .render("Distribution of closing time (bucket = ceil(log2(seconds)))")
+    );
+    println!(
+        "{}",
+        hist.marginal_x().render("Distribution of opening time")
+    );
     println!("{}", hist.render("opening time", "closing time"));
 
     // Quantified shape checks, printed for EXPERIMENTS.md.

@@ -31,7 +31,9 @@ fn main() {
 
     let mut fig7 = Table::new(
         "Fig. 7: closure-time survey phase breakdown (modeled)",
-        &["ranks", "dry-run", "push", "pull", "total", "speedup", "wall"],
+        &[
+            "ranks", "dry-run", "push", "pull", "total", "speedup", "wall",
+        ],
     );
     let mut tab3 = Table::new(
         "Table 3: average adjacency lists pulled per rank",
@@ -43,8 +45,7 @@ fn main() {
     for &n in &ranks {
         let out = world(n).run(|comm| {
             let local = edges.stride_for_rank(comm.rank(), comm.nranks());
-            let g: DistGraph<(), u64> =
-                build_dist_graph(comm, local, |_| (), Partition::Hashed);
+            let g: DistGraph<(), u64> = build_dist_graph(comm, local, |_| (), Partition::Hashed);
             let (hist, report) = closure_time_survey(comm, &g, EngineMode::PushPull, |&t| t);
             (hist.total(), report)
         });
@@ -52,18 +53,14 @@ fn main() {
         assert!(out.iter().all(|(t, _)| *t == total_triangles));
 
         let phase_modeled = |idx: usize| {
-            let per_rank: Vec<CommStats> =
-                out.iter().map(|(_, r)| r.phases[idx].stats).collect();
+            let per_rank: Vec<CommStats> = out.iter().map(|(_, r)| r.phases[idx].stats).collect();
             model.phase_time(&per_rank)
         };
         let dry = phase_modeled(0);
         let push = phase_modeled(1);
         let pull = phase_modeled(2);
         let total = dry + push + pull;
-        let wall = out
-            .iter()
-            .map(|(_, r)| r.total_seconds)
-            .fold(0.0, f64::max);
+        let wall = out.iter().map(|(_, r)| r.total_seconds).fold(0.0, f64::max);
         let b = *base.get_or_insert(total);
         fig7.row(&[
             n.to_string(),
@@ -78,11 +75,7 @@ fn main() {
         let pulls: u64 = out.iter().map(|(_, r)| r.pulled_vertices).sum();
         let grants: u64 = out.iter().map(|(_, r)| r.pull_grants).sum();
         let per_rank = pulls as f64 / n as f64;
-        tab3.row(&[
-            n.to_string(),
-            format!("{per_rank:.1}"),
-            grants.to_string(),
-        ]);
+        tab3.row(&[n.to_string(), format!("{per_rank:.1}"), grants.to_string()]);
         assert!(
             per_rank <= prev_pulls,
             "pulls per rank should shrink with rank count"

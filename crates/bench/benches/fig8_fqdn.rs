@@ -29,8 +29,8 @@ fn main() {
         size()
     );
     let web = wdc_like(size(), seed());
-    let list = EdgeList::from_vec(web.edges.iter().map(|&(u, v)| (u, v, ())).collect())
-        .canonicalize();
+    let list =
+        EdgeList::from_vec(web.edges.iter().map(|&(u, v)| (u, v, ())).collect()).canonicalize();
 
     // --- metadata-free counting (the §5.8 baseline time) ----------------
     let plain = {

@@ -57,8 +57,8 @@ fn main() {
 
     for &n in &ranks {
         let raw = rmat_weak_scaling(base, n, seed());
-        let list = EdgeList::from_vec(raw.into_iter().map(|(u, v)| (u, v, ())).collect())
-            .canonicalize();
+        let list =
+            EdgeList::from_vec(raw.into_iter().map(|(u, v)| (u, v, ())).collect()).canonicalize();
         // Degree table for the metadata runs (deterministic, shared).
         let mut deg: FastMap<u64, u64> = FastMap::default();
         for (u, v, ()) in list.as_slice() {
@@ -81,8 +81,7 @@ fn main() {
                 })
             };
             let wedges = dummy[0].1;
-            let dummy_reports: Vec<SurveyReport> =
-                dummy.into_iter().map(|(r, _)| r).collect();
+            let dummy_reports: Vec<SurveyReport> = dummy.into_iter().map(|(r, _)| r).collect();
             let t_dummy = modeled(&dummy_reports);
 
             // Degree-metadata run with the triple-counting callback.

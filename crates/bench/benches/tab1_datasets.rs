@@ -21,8 +21,17 @@ fn main() {
     let mut table = Table::new(
         "Table 1: datasets (stand-in measured | paper published)",
         &[
-            "Graph", "|V|", "|E|", "|T|", "dmax", "dmax+", "paper |V|", "paper |E|",
-            "paper |T|", "paper dmax", "paper dmax+",
+            "Graph",
+            "|V|",
+            "|E|",
+            "|T|",
+            "dmax",
+            "dmax+",
+            "paper |V|",
+            "paper |E|",
+            "paper |T|",
+            "paper dmax",
+            "paper dmax+",
         ],
     );
 

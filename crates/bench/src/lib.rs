@@ -149,7 +149,13 @@ pub fn aggregate(
         phases.push((name.clone(), wall, modeled));
     }
 
-    let total_stats = CommStats::sum(reports.iter().map(|r| r.local_stats()).collect::<Vec<_>>().iter());
+    let total_stats = CommStats::sum(
+        reports
+            .iter()
+            .map(|r| r.local_stats())
+            .collect::<Vec<_>>()
+            .iter(),
+    );
     let wall_seconds = reports.iter().map(|r| r.total_seconds).fold(0.0, f64::max);
     let avg_pulls_per_rank =
         reports.iter().map(|r| r.pulled_vertices).sum::<u64>() as f64 / nranks as f64;

@@ -148,11 +148,7 @@ mod tests {
         // left = elements 0..6, right = evens; sorted by same key space.
         let all = keys(&[10, 11, 12, 13, 14, 15]);
         let left: Vec<_> = all.clone();
-        let right: Vec<_> = all
-            .iter()
-            .filter(|(v, _)| v % 2 == 0)
-            .cloned()
-            .collect();
+        let right: Vec<_> = all.iter().filter(|(v, _)| v % 2 == 0).cloned().collect();
         let mut matches = Vec::new();
         merge_path(
             &left,
@@ -180,10 +176,8 @@ mod tests {
     #[test]
     fn merge_path_disjoint() {
         let left = keys(&[1, 2]);
-        let right: Vec<(u64, OrderKey)> = vec![
-            (9, OrderKey::new(9, 100)),
-            (8, OrderKey::new(8, 101)),
-        ];
+        let right: Vec<(u64, OrderKey)> =
+            vec![(9, OrderKey::new(9, 100)), (8, OrderKey::new(8, 101))];
         let mut called = false;
         merge_path(&left, &right, |l| l.1, |r| r.1, |_, _| called = true);
         assert!(!called);
@@ -201,7 +195,11 @@ mod tests {
         };
         let report = SurveyReport {
             mode: EngineMode::PushPull,
-            phases: vec![mk("dry-run", 1.0, 10), mk("push", 2.0, 100), mk("pull", 0.5, 30)],
+            phases: vec![
+                mk("dry-run", 1.0, 10),
+                mk("push", 2.0, 100),
+                mk("pull", 0.5, 30),
+            ],
             total_seconds: 3.5,
             pulled_vertices: 4,
             pull_grants: 2,

@@ -67,19 +67,13 @@ impl<'a, VM, EM> TriangleMeta<'a, VM, EM> {
 /// distributed counting-set updates), which interleave freely with the
 /// survey's traffic.
 pub trait SurveyCallback<VM, EM>: Fn(&Comm, &TriangleMeta<'_, VM, EM>) + 'static {}
-impl<T, VM, EM> SurveyCallback<VM, EM> for T where
-    T: Fn(&Comm, &TriangleMeta<'_, VM, EM>) + 'static
-{
-}
+impl<T, VM, EM> SurveyCallback<VM, EM> for T where T: Fn(&Comm, &TriangleMeta<'_, VM, EM>) + 'static {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn meta_fixture<'a>(
-        vm: &'a [u32; 3],
-        em: &'a [i64; 3],
-    ) -> TriangleMeta<'a, u32, i64> {
+    fn meta_fixture<'a>(vm: &'a [u32; 3], em: &'a [i64; 3]) -> TriangleMeta<'a, u32, i64> {
         TriangleMeta {
             p: 1,
             q: 2,

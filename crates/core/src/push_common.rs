@@ -12,8 +12,8 @@
 
 use std::rc::Rc;
 
-use tripoll_graph::{DistGraph, OrderKey};
-use tripoll_ygm::wire::Wire;
+use tripoll_graph::{AdjEntry, DistGraph, OrderKey};
+use tripoll_ygm::wire::{encode_seq, Wire};
 use tripoll_ygm::{Comm, Handler};
 
 use crate::engine::merge_path;
@@ -45,7 +45,10 @@ where
     let g = graph.clone();
     comm.register::<PushMsg<VM, EM>, _>(move |c, (p, q, meta_p, meta_pq, candidates)| {
         let lv = g.shard().get(q).unwrap_or_else(|| {
-            panic!("push for vertex {q} arrived on rank {} which does not own it", c.rank())
+            panic!(
+                "push for vertex {q} arrived on rank {} which does not own it",
+                c.rank()
+            )
         });
         // Merge-path walks both lists once: that is the wedge-check work.
         c.add_work((candidates.len() + lv.adj.len()) as u64);
@@ -72,16 +75,31 @@ where
     })
 }
 
+/// Appends one candidate's wire image — byte-identical to the
+/// [`Candidate`] tuple `(s.v, s.key.degree, s.em)` that the receiving
+/// handler decodes. Must stay in lockstep with the [`Candidate`] type.
+#[inline]
+pub(crate) fn encode_candidate<VM, EM: Wire>(s: &AdjEntry<VM, EM>, buf: &mut Vec<u8>) {
+    s.v.encode(buf);
+    s.key.degree.encode(buf);
+    s.em.encode(buf);
+}
+
 /// Iterates this rank's vertices and pushes every wedge batch whose
 /// target is not excluded by `skip` (Push-Only passes `|_| false`;
 /// Push-Pull skips targets that will be pulled instead).
+///
+/// Encode-once hot path: the candidate suffix serializes **directly**
+/// from the `Adjm+(p)` storage slice, and `meta(p)` / `meta(p,q)` are
+/// encoded by reference — no `Vec<Candidate>` materialization and no
+/// metadata clones per batch (the old path paid O(d²) heap allocations
+/// per vertex for exactly the data that already sat in sorted arrays).
 pub(crate) fn push_wedge_batches<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
     handler: &Handler<PushMsg<VM, EM>>,
     mut skip: impl FnMut(u64) -> bool,
-)
-where
+) where
     VM: Wire + Clone + 'static,
     EM: Wire + Clone + 'static,
 {
@@ -94,14 +112,16 @@ where
             if skip(e.v) {
                 continue;
             }
-            let candidates: Vec<Candidate<EM>> = lv.adj[i + 1..]
-                .iter()
-                .map(|s| (s.v, s.key.degree, s.em.clone()))
-                .collect();
-            comm.send(
+            comm.send_encoded(
                 graph.owner(e.v),
                 handler,
-                &(lv.id, e.v, lv.meta.clone(), e.em.clone(), candidates),
+                (
+                    lv.id,
+                    e.v,
+                    &lv.meta,
+                    &e.em,
+                    encode_seq(&lv.adj[i + 1..], |s, buf| encode_candidate(s, buf)),
+                ),
             );
         }
     }

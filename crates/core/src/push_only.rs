@@ -56,9 +56,7 @@ mod tests {
     use tripoll_ygm::World;
 
     fn count_triangles(edges: &[(u64, u64)], nranks: usize) -> u64 {
-        let list = EdgeList::from_vec(
-            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-        );
+        let list = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
         let out = World::new(nranks).run(|comm| {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);

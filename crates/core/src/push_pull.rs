@@ -25,12 +25,14 @@ use std::rc::Rc;
 
 use tripoll_graph::{DistGraph, OrderKey};
 use tripoll_ygm::hash::{FastMap, FastSet};
-use tripoll_ygm::wire::Wire;
+use tripoll_ygm::wire::{encode_seq, Wire};
 use tripoll_ygm::Comm;
 
 use crate::engine::{merge_path, EngineMode, PhaseTimer, SurveyReport};
 use crate::meta::{SurveyCallback, TriangleMeta};
-use crate::push_common::{push_wedge_batches, register_push_handler, Candidate, DynCallback};
+use crate::push_common::{
+    encode_candidate, push_wedge_batches, register_push_handler, Candidate, DynCallback,
+};
 
 /// Dry-run record: `(q, planned candidate count, source rank)`.
 type DryRunMsg = (u64, u64, u32);
@@ -157,6 +159,19 @@ where
     comm.barrier();
     let dry_phase = timer.end();
 
+    // The dry-run's bookkeeping is O(wedge targets); release what the
+    // remaining phases will never read so the push phase doesn't carry
+    // it at peak: `planned` served only the dry-run sends, and `resume`
+    // pointers of vetoed targets will be satisfied by pushes, not pulls
+    // (the veto set is final once the dry-run barrier completes).
+    {
+        let mut s = st.borrow_mut();
+        s.planned = FastMap::default();
+        let veto = std::mem::take(&mut s.veto);
+        s.resume.retain(|q, _| !veto.contains(q));
+        s.veto = veto;
+    }
+
     // --- Phase 2: Push ------------------------------------------------
     let timer = PhaseTimer::begin(comm, "push");
     {
@@ -175,14 +190,16 @@ where
             let lv = shard
                 .get(q)
                 .expect("pull-granted vertex must be locally owned");
-            let projected: Vec<Candidate<EM>> = lv
-                .adj
-                .iter()
-                .map(|e| (e.v, e.key.degree, e.em.clone()))
-                .collect();
-            for &src in ranks {
-                comm.send(src as usize, &pull_handler, &(q, projected.clone()));
-            }
+            // Encode-once fan-out: the `Adjm+(q)` projection serializes
+            // straight from graph storage exactly once, and the encoded
+            // record is memcpy'd to every granted rank (the old path
+            // materialized the projection and cloned + re-serialized it
+            // per rank).
+            comm.send_to_many(
+                ranks.iter().map(|&src| src as usize),
+                &pull_handler,
+                (q, encode_seq(&lv.adj, |e, buf| encode_candidate(e, buf))),
+            );
         }
     }
     comm.barrier();
@@ -206,9 +223,7 @@ mod tests {
     use tripoll_ygm::World;
 
     fn run_count(edges: &[(u64, u64)], nranks: usize) -> (u64, Vec<SurveyReport>) {
-        let list = EdgeList::from_vec(
-            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-        );
+        let list = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
         let out = World::new(nranks).run(|comm| {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
@@ -371,9 +386,7 @@ mod tests {
                 }
             }
         }
-        let list = EdgeList::from_vec(
-            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-        );
+        let list = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
         let out = World::new(3).run(|comm| {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
@@ -383,10 +396,7 @@ mod tests {
             let c2 = Rc::new(Cell::new(0u64));
             let c2b = c2.clone();
             survey_push_pull(comm, &g, move |_c, _tm| c2b.set(c2b.get() + 1));
-            (
-                comm.all_reduce_sum(c1.get()),
-                comm.all_reduce_sum(c2.get()),
-            )
+            (comm.all_reduce_sum(c1.get()), comm.all_reduce_sum(c2.get()))
         });
         for (push_only, push_pull) in out {
             assert_eq!(push_only, push_pull);

@@ -74,11 +74,7 @@ mod tests {
         tripoll_analysis::enumerate_triangles(&csr, |p, q, r| {
             let mut ts = [ts_of(p, q), ts_of(p, r), ts_of(q, r)];
             ts.sort_unstable();
-            hist.add(
-                ceil_log2(ts[1] - ts[0]),
-                ceil_log2(ts[2] - ts[0]),
-                1,
-            );
+            hist.add(ceil_log2(ts[1] - ts[0]), ceil_log2(ts[2] - ts[0]), 1);
         });
         hist
     }

@@ -44,7 +44,10 @@ mod tests {
 
     fn count_with(edges: &[(u64, u64)], nranks: usize, mode: EngineMode) -> u64 {
         let list = EdgeList::from_vec(
-            edges.iter().map(|&(u, v)| (u, v, false)).collect::<Vec<_>>(),
+            edges
+                .iter()
+                .map(|&(u, v)| (u, v, false))
+                .collect::<Vec<_>>(),
         );
         let out = World::new(nranks).run(|comm| {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
@@ -87,7 +90,11 @@ mod tests {
         assert!(expect > 0);
         for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
             for nranks in [1, 3] {
-                assert_eq!(count_with(&edges, nranks, mode), expect, "{mode} n={nranks}");
+                assert_eq!(
+                    count_with(&edges, nranks, mode),
+                    expect,
+                    "{mode} n={nranks}"
+                );
             }
         }
     }

@@ -57,10 +57,8 @@ mod tests {
     use tripoll_ygm::World;
 
     fn degree_table(edges: &[(u64, u64)]) -> FastMap<u64, u64> {
-        let canon = EdgeList::from_vec(
-            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-        )
-        .canonicalize();
+        let canon = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>())
+            .canonicalize();
         let mut deg: FastMap<u64, u64> = FastMap::default();
         for (u, v, _) in canon.as_slice() {
             *deg.entry(*u).or_insert(0) += 1;
@@ -85,30 +83,19 @@ mod tests {
         let csr = Csr::from_edges(&edges);
         let mut expect: FastMap<(u32, u32, u32), u64> = FastMap::default();
         tripoll_analysis::enumerate_triangles(&csr, |p, q, r| {
-            let t = (
-                ceil_log2(deg[&p]),
-                ceil_log2(deg[&q]),
-                ceil_log2(deg[&r]),
-            );
+            let t = (ceil_log2(deg[&p]), ceil_log2(deg[&q]), ceil_log2(deg[&r]));
             *expect.entry(t).or_insert(0) += 1;
         });
         assert!(!expect.is_empty());
 
-        let list = EdgeList::from_vec(
-            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-        );
+        let list = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
         for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
             let deg_for_world = deg.clone();
             let list = list.clone();
             let out = World::new(3).run(move |comm| {
                 let local = list.stride_for_rank(comm.rank(), comm.nranks());
                 let deg_inner = deg_for_world.clone();
-                let g = build_dist_graph(
-                    comm,
-                    local,
-                    move |v| deg_inner[&v],
-                    Partition::Hashed,
-                );
+                let g = build_dist_graph(comm, local, move |v| deg_inner[&v], Partition::Hashed);
                 degree_triple_survey(comm, &g, mode).0
             });
             for dist in out {
@@ -131,9 +118,7 @@ mod tests {
             }
         }
         let deg = degree_table(&edges);
-        let list = EdgeList::from_vec(
-            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-        );
+        let list = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
         let out = World::new(2).run(move |comm| {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let deg_inner = deg.clone();

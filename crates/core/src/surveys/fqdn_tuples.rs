@@ -106,13 +106,8 @@ mod tests {
             }
         };
         // Triangles: (0,2,3) distinct; (0,1,2) has duplicate hub FQDN.
-        let edges: Vec<(u64, u64, ())> = vec![
-            (0, 2, ()),
-            (2, 3, ()),
-            (3, 0, ()),
-            (0, 1, ()),
-            (1, 2, ()),
-        ];
+        let edges: Vec<(u64, u64, ())> =
+            vec![(0, 2, ()), (2, 3, ()), (3, 0, ()), (0, 1, ()), (1, 2, ())];
         let list = EdgeList::from_vec(edges);
         let out = World::new(nranks).run(move |comm| {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());

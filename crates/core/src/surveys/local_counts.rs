@@ -180,12 +180,7 @@ mod tests {
     fn clustering_coefficients_on_known_graph() {
         // Triangle + pendant: c(0)=c(1)=1, c(2)=1/3 (d=3, one of three
         // pairs closed), c(3)=0.
-        let list = EdgeList::from_vec(vec![
-            (0u64, 1u64, ()),
-            (1, 2, ()),
-            (2, 0, ()),
-            (2, 3, ()),
-        ]);
+        let list = EdgeList::from_vec(vec![(0u64, 1u64, ()), (1, 2, ()), (2, 0, ()), (2, 3, ())]);
         let out = World::new(2).run(|comm| {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
@@ -217,11 +212,7 @@ mod tests {
             let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
             let (counts, _) = vertex_triangle_counts(comm, &g, EngineMode::PushOnly);
             let total: u64 = counts.iter().map(|(_, c)| c).sum();
-            let (global, _) = crate::surveys::count::triangle_count(
-                comm,
-                &g,
-                EngineMode::PushOnly,
-            );
+            let (global, _) = crate::surveys::count::triangle_count(comm, &g, EngineMode::PushOnly);
             (total, global)
         });
         for (sum, count) in out {

@@ -82,11 +82,7 @@ mod tests {
     #[test]
     fn indistinct_vertex_labels_filtered() {
         // Triangle where two vertices share a label: must not count.
-        let list = EdgeList::from_vec(vec![
-            (0u64, 1u64, 5u64),
-            (1, 2, 6),
-            (2, 0, 7),
-        ]);
+        let list = EdgeList::from_vec(vec![(0u64, 1u64, 5u64), (1, 2, 6), (2, 0, 7)]);
         let out = World::new(2).run(|comm| {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             // meta(v) = v % 2 → labels 0, 1, 0: vertices 0 and 2 collide.
@@ -112,10 +108,8 @@ mod tests {
         let out = World::new(3).run(|comm| {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let g = build_dist_graph(comm, local, |v| v, Partition::Hashed);
-            let (a, _) =
-                max_edge_label_distribution(comm, &g, EngineMode::PushOnly, |em| *em);
-            let (b, _) =
-                max_edge_label_distribution(comm, &g, EngineMode::PushPull, |em| *em);
+            let (a, _) = max_edge_label_distribution(comm, &g, EngineMode::PushOnly, |em| *em);
+            let (b, _) = max_edge_label_distribution(comm, &g, EngineMode::PushPull, |em| *em);
             (a, b)
         });
         for (a, b) in out {

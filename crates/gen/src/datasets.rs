@@ -91,8 +91,7 @@ pub struct TopoDataset {
 impl TopoDataset {
     /// Canonical edge list with unit metadata.
     pub fn edge_list(&self) -> EdgeList<()> {
-        EdgeList::from_vec(self.edges.iter().map(|&(u, v)| (u, v, ())).collect())
-            .canonicalize()
+        EdgeList::from_vec(self.edges.iter().map(|&(u, v)| (u, v, ())).collect()).canonicalize()
     }
 }
 

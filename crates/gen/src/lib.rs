@@ -24,11 +24,12 @@ pub mod social;
 pub mod webgraph;
 
 pub use datasets::{
-    friendster_like, livejournal_like, reddit_like, rmat_weak_scaling, table2_suite,
-    table4_suite, twitter_like, uk2007_like, wdc_like, webcc12_like, DatasetSize, PaperStats,
-    TopoDataset,
+    friendster_like, livejournal_like, reddit_like, rmat_weak_scaling, table2_suite, table4_suite,
+    twitter_like, uk2007_like, wdc_like, webcc12_like, DatasetSize, PaperStats, TopoDataset,
 };
 pub use reddit::{reddit_comments, reddit_edges, RedditConfig, REDDIT_EPOCH};
 pub use rmat::{rmat_edges, RmatConfig};
-pub use social::{chung_lu_edges, community_social_edges, ChungLuConfig, CommunityConfig, CrossModel};
+pub use social::{
+    chung_lu_edges, community_social_edges, ChungLuConfig, CommunityConfig, CrossModel,
+};
 pub use webgraph::{web_graph, WebGraph, WebGraphConfig, PLANTED_DOMAINS};

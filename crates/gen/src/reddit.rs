@@ -130,11 +130,11 @@ pub fn reddit_comments(cfg: &RedditConfig) -> Vec<(u64, u64, u64)> {
         // Inter-thread gap: minutes to (rarely) days.
         let x: f64 = rng.random();
         t += if x < 0.70 {
-            rng.random_range(60..3_600)
+            rng.random_range(60u64..3_600)
         } else if x < 0.95 {
-            rng.random_range(3_600..43_200)
+            rng.random_range(3_600u64..43_200)
         } else {
-            rng.random_range(43_200..259_200)
+            rng.random_range(43_200u64..259_200)
         };
 
         let author = if !recent.is_empty() && rng.random::<f64>() < cfg.reply_locality {
@@ -164,7 +164,7 @@ pub fn reddit_comments(cfg: &RedditConfig) -> Vec<(u64, u64, u64)> {
 
         // The author replies to each participant...
         for &p in &participants {
-            t += rng.random_range(5..240);
+            t += rng.random_range(5u64..240);
             out.push((author, p, t));
             remember(&mut adj, author, p, &mut rng);
             remember_active(&mut recent, &mut recent_at, p);
@@ -174,7 +174,7 @@ pub fn reddit_comments(cfg: &RedditConfig) -> Vec<(u64, u64, u64)> {
         for i in 0..participants.len() {
             for j in (i + 1)..participants.len() {
                 if rng.random::<f64>() < 0.35 {
-                    t += rng.random_range(5..120);
+                    t += rng.random_range(5u64..120);
                     out.push((participants[i], participants[j], t));
                     remember(&mut adj, participants[i], participants[j], &mut rng);
                     remaining -= 1;

@@ -181,6 +181,9 @@ mod tests {
         let edges = rmat_edges(&cfg);
         let csr = tripoll_graph::Csr::from_edges(&edges);
         let t = tripoll_analysis::triangle_count(&csr);
-        assert!(t > 1000, "R-MAT scale 10 should have many triangles, got {t}");
+        assert!(
+            t > 1000,
+            "R-MAT scale 10 should have many triangles, got {t}"
+        );
     }
 }

@@ -231,9 +231,7 @@ mod tests {
             intra_fraction: 0.0,
             ..cfg.clone()
         });
-        let tri = |edges: &[(u64, u64)]| {
-            tripoll_analysis::triangle_count(&Csr::from_edges(edges))
-        };
+        let tri = |edges: &[(u64, u64)]| tripoll_analysis::triangle_count(&Csr::from_edges(edges));
         let t_com = tri(&com);
         let t_uni = tri(&uniform);
         assert!(

@@ -146,8 +146,7 @@ pub fn web_graph(cfg: &WebGraphConfig) -> WebGraph {
         domain_of_page.extend(std::iter::repeat_n(d as u32, size as usize));
     }
     let n_pages = domain_of_page.len() as u64;
-    let page_range =
-        |d: usize| index_page[d]..index_page[d] + sizes[d];
+    let page_range = |d: usize| index_page[d]..index_page[d] + sizes[d];
 
     // Popularity for cross-domain targeting: size^1.5, planted boosted.
     let mut cum_pop = Vec::with_capacity(total_domains);
@@ -335,7 +334,11 @@ mod tests {
     #[test]
     fn index_pages_have_domain_fqdn() {
         let g = web_graph(&small());
-        for name in ["amazon.example", "abebooks.example", "university.edu.example"] {
+        for name in [
+            "amazon.example",
+            "abebooks.example",
+            "university.edu.example",
+        ] {
             let p = g.index_page_of(name).unwrap();
             assert_eq!(g.fqdn(p), name);
         }

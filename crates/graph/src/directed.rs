@@ -65,13 +65,8 @@ impl Provenance {
 /// edge list TriPoll consumes. Self-loops are dropped; duplicate arcs
 /// collapse; antiparallel arcs merge into one `Bidirectional` edge whose
 /// metadata comes from the `u < v` direction.
-pub fn from_directed_edges<EM: Clone>(
-    directed: Vec<(u64, u64, EM)>,
-) -> EdgeList<(Provenance, EM)> {
-    let mut arcs: Vec<(u64, u64, EM)> = directed
-        .into_iter()
-        .filter(|(u, v, _)| u != v)
-        .collect();
+pub fn from_directed_edges<EM: Clone>(directed: Vec<(u64, u64, EM)>) -> EdgeList<(Provenance, EM)> {
+    let mut arcs: Vec<(u64, u64, EM)> = directed.into_iter().filter(|(u, v, _)| u != v).collect();
     // Canonical order: group antiparallel arcs of the same pair together.
     arcs.sort_by_key(|&(u, v, _)| (u.min(v), u.max(v), u > v));
     arcs.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
@@ -82,8 +77,10 @@ pub fn from_directed_edges<EM: Clone>(
         let (u, v, em) = arcs[i].clone();
         let (lo, hi) = (u.min(v), u.max(v));
         let has_partner = i + 1 < arcs.len()
-            && (arcs[i + 1].0.min(arcs[i + 1].1), arcs[i + 1].0.max(arcs[i + 1].1))
-                == (lo, hi);
+            && (
+                arcs[i + 1].0.min(arcs[i + 1].1),
+                arcs[i + 1].0.max(arcs[i + 1].1),
+            ) == (lo, hi);
         let provenance = if has_partner {
             i += 1; // consume the reverse arc; keep the (u < v) metadata
             Provenance::Bidirectional

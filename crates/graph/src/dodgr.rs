@@ -393,10 +393,8 @@ mod tests {
 
     /// Serial reference DODGr: (u -> sorted out-neighbors) from an edge set.
     fn serial_dodgr(edges: &[(u64, u64)]) -> FastMap<u64, Vec<u64>> {
-        let canon = EdgeList::from_vec(
-            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-        )
-        .canonicalize();
+        let canon = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>())
+            .canonicalize();
         let mut deg: FastMap<u64, u64> = FastMap::default();
         for (u, v, _) in canon.as_slice() {
             *deg.entry(*u).or_insert(0) += 1;
@@ -478,7 +476,11 @@ mod tests {
 
     #[test]
     fn cyclic_partition() {
-        check_against_serial(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)], 3, Partition::Cyclic);
+        check_against_serial(
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)],
+            3,
+            Partition::Cyclic,
+        );
     }
 
     #[test]
@@ -495,9 +497,8 @@ mod tests {
         // Star: hub 0 has the max degree, so every edge points *at* it.
         let edges: Vec<(u64, u64)> = (1..=6).map(|v| (0u64, v)).collect();
         let out = World::new(3).run(|comm| {
-            let list = EdgeList::from_vec(
-                edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-            );
+            let list =
+                EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
             let stats = g.global_stats(comm);
@@ -524,18 +525,19 @@ mod tests {
     fn dplus_annotations_match_owners() {
         // Every AdjEntry.dplus_v must equal the actual out-degree of the
         // target vertex, wherever it lives.
-        let edges = [(0u64, 1u64),
+        let edges = [
+            (0u64, 1u64),
             (0, 2),
             (0, 3),
             (1, 2),
             (1, 3),
             (2, 3),
             (3, 4),
-            (4, 5)];
+            (4, 5),
+        ];
         let out = World::new(4).run(|comm| {
-            let list = EdgeList::from_vec(
-                edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-            );
+            let list =
+                EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
             // Gather true out-degrees.
@@ -545,11 +547,7 @@ mod tests {
                 .iter()
                 .map(|v| (v.id, v.dplus()))
                 .collect();
-            let all: Vec<(u64, u64)> = comm
-                .all_gather(&mine)
-                .into_iter()
-                .flatten()
-                .collect();
+            let all: Vec<(u64, u64)> = comm.all_gather(&mine).into_iter().flatten().collect();
             let truth: FastMap<u64, u64> = all.into_iter().collect();
             for lv in g.shard().vertices() {
                 for e in &lv.adj {
@@ -566,9 +564,8 @@ mod tests {
             .flat_map(|i| [(i, (i + 7) % 30), (i, (i + 13) % 30)])
             .collect();
         World::new(3).run(|comm| {
-            let list = EdgeList::from_vec(
-                edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-            );
+            let list =
+                EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
             for lv in g.shard().vertices() {
@@ -626,9 +623,8 @@ mod tests {
             }
         }
         let out = World::new(2).run(|comm| {
-            let list = EdgeList::from_vec(
-                edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-            );
+            let list =
+                EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
             g.global_stats(comm).wedges

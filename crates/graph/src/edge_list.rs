@@ -62,9 +62,13 @@ impl<EM> EdgeList<EM> {
                 std::mem::swap(&mut e.0, &mut e.1);
             }
         }
+        self.edges.sort_by(|a, b| {
+            (a.0, a.1)
+                .cmp(&(b.0, b.1))
+                .then_with(|| key(&a.2).cmp(&key(&b.2)))
+        });
         self.edges
-            .sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then_with(|| key(&a.2).cmp(&key(&b.2))));
-        self.edges.dedup_by(|next, first| (next.0, next.1) == (first.0, first.1));
+            .dedup_by(|next, first| (next.0, next.1) == (first.0, first.1));
         self
     }
 
@@ -91,11 +95,7 @@ impl<EM> EdgeList<EM> {
 
     /// Number of distinct vertices touched by the records.
     pub fn vertex_count(&self) -> usize {
-        let mut ids: Vec<u64> = self
-            .edges
-            .iter()
-            .flat_map(|(u, v, _)| [*u, *v])
-            .collect();
+        let mut ids: Vec<u64> = self.edges.iter().flat_map(|(u, v, _)| [*u, *v]).collect();
         ids.sort_unstable();
         ids.dedup();
         ids.len()
@@ -122,20 +122,14 @@ mod tests {
     #[test]
     fn canonicalize_by_keeps_first_by_key() {
         // Reddit-style: keep the chronologically-first edge.
-        let list = EdgeList::from_vec(vec![
-            (2u64, 1u64, 50u64),
-            (1, 2, 10),
-            (1, 2, 99),
-        ])
-        .canonicalize_by(|t| *t);
+        let list = EdgeList::from_vec(vec![(2u64, 1u64, 50u64), (1, 2, 10), (1, 2, 99)])
+            .canonicalize_by(|t| *t);
         assert_eq!(list.as_slice(), &[(1, 2, 10)]);
     }
 
     #[test]
     fn stride_partitions_cover_all_edges() {
-        let list = EdgeList::from_vec(
-            (0..10u64).map(|i| (i, i + 1, i)).collect::<Vec<_>>(),
-        );
+        let list = EdgeList::from_vec((0..10u64).map(|i| (i, i + 1, i)).collect::<Vec<_>>());
         let nranks = 3;
         let mut all: Vec<_> = (0..nranks)
             .flat_map(|r| list.stride_for_rank(r, nranks))

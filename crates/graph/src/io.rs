@@ -101,18 +101,13 @@ pub fn read_edge_file<P: AsRef<Path>>(path: P) -> Result<Vec<(u64, u64)>, IoErro
 }
 
 /// Reads an attributed edge-list file (third column = timestamp/label).
-pub fn read_edge_file_with_attr<P: AsRef<Path>>(
-    path: P,
-) -> Result<Vec<(u64, u64, u64)>, IoError> {
+pub fn read_edge_file_with_attr<P: AsRef<Path>>(path: P) -> Result<Vec<(u64, u64, u64)>, IoError> {
     parse_edges_with_attr(std::fs::File::open(path)?)
 }
 
 /// Writes an attributed edge list in the same format (with a header
 /// comment), so surveys can round-trip their inputs.
-pub fn write_edge_file<P: AsRef<Path>>(
-    path: P,
-    edges: &EdgeList<u64>,
-) -> Result<(), IoError> {
+pub fn write_edge_file<P: AsRef<Path>>(path: P, edges: &EdgeList<u64>) -> Result<(), IoError> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
     writeln!(w, "# tripoll edge list: <u> <v> <attr>")?;
     for (u, v, a) in edges.as_slice() {

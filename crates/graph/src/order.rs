@@ -72,10 +72,12 @@ mod tests {
 
     #[test]
     fn keys_sort_by_degree_then_tie() {
-        let mut keys = [OrderKey::new(1, 10),
+        let mut keys = [
+            OrderKey::new(1, 10),
             OrderKey::new(2, 3),
             OrderKey::new(3, 3),
-            OrderKey::new(4, 1)];
+            OrderKey::new(4, 1),
+        ];
         keys.sort();
         assert_eq!(keys[0].degree, 1);
         assert_eq!(keys[3].degree, 10);

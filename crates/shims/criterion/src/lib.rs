@@ -1,0 +1,221 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides `Criterion`, benchmark groups, `iter`/`iter_batched`,
+//! throughput annotations and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a straightforward warm-up + timed-batch loop
+//! (no outlier analysis); results print one line per benchmark and are
+//! recorded on the `Criterion` value so harnesses can post-process them
+//! (e.g. emit machine-readable JSON).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration annotation, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; ignored by the shim (setup is
+/// always excluded from timing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured (after warm-up).
+    pub iterations: u64,
+    /// Throughput annotation in effect, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// A fresh driver.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let name = name.into();
+        let result = run_bench(name, None, f);
+        println!("{}", render(&result));
+        self.results.push(result);
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A named group sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let id = format!("{}/{}", self.name, name.into());
+        let result = run_bench(id, self.throughput, f);
+        println!("{}", render(&result));
+        self.criterion.results.push(result);
+    }
+
+    /// Ends the group (accounting only; nothing to flush in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; collects timing.
+pub struct Bencher {
+    /// Total time spent in measured routines.
+    elapsed: Duration,
+    /// Measured iterations.
+    iters: u64,
+    /// Target iterations for this measurement pass.
+    target: u64,
+}
+
+impl Bencher {
+    /// Times `routine` run `target` times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.target {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.target;
+    }
+
+    /// Times `routine` with per-iteration inputs from `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<S, R, Setup, Routine>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: Routine,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> R,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.target {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = self.target;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: String,
+    throughput: Option<Throughput>,
+    mut f: F,
+) -> BenchResult {
+    // Calibration pass: find an iteration count that runs ~80ms.
+    let mut target = 1u64;
+    loop {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            target,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(20) || target >= 1 << 22 {
+            let per_iter = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+            let measured = ((80e6 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+                target: measured,
+            };
+            f(&mut b);
+            return BenchResult {
+                id,
+                ns_per_iter: b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64,
+                iterations: b.iters,
+                throughput,
+            };
+        }
+        target = target.saturating_mul(4);
+    }
+}
+
+fn render(r: &BenchResult) -> String {
+    let mut line = format!("{:<44} {:>12.1} ns/iter", r.id, r.ns_per_iter);
+    match r.throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (r.ns_per_iter / 1e9);
+            line.push_str(&format!("  {:>12.2} Melem/s", rate / 1e6));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (r.ns_per_iter / 1e9);
+            line.push_str(&format!("  {:>12.2} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    line
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $( $group(&mut c); )+
+        }
+    };
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for the subset of `crossbeam` used by this workspace.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the tiny API surface it needs: an unbounded MPSC channel with the
+//! `crossbeam::channel` names (`unbounded`, `Sender`, `Receiver`,
+//! `try_recv`). Implemented over a mutex-guarded queue — adequate for the
+//! simulated-rank message traffic of the YGM runtime, where receivers
+//! poll with `try_recv` and never block.
+
+/// Multi-producer multi-consumer unbounded channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex};
+
+    struct Queue<T> {
+        items: Mutex<VecDeque<T>>,
+    }
+
+    /// Sending half of an unbounded channel. Cloneable.
+    pub struct Sender<T> {
+        q: Arc<Queue<T>>,
+    }
+
+    /// Receiving half of an unbounded channel. Cloneable.
+    pub struct Receiver<T> {
+        q: Arc<Queue<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { q: self.q.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { q: self.q.clone() }
+        }
+    }
+
+    /// Error returned by [`Sender::send`]; never produced by this shim
+    /// (the queue lives as long as any endpoint), kept for API parity.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a closed channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`] when the queue is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message was ready.
+        Empty,
+        /// All senders dropped and the queue is drained. Not produced by
+        /// this shim (endpoints share one queue), kept for API parity.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel, returning its two halves.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let q = Arc::new(Queue {
+            items: Mutex::new(VecDeque::new()),
+        });
+        (Sender { q: q.clone() }, Receiver { q })
+    }
+
+    impl<T> Sender<T> {
+        /// Appends a message to the queue. Infallible in this shim.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.q.items.lock().expect("channel lock").push_back(msg);
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Pops the oldest queued message, if any, without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.q
+                .items
+                .lock()
+                .expect("channel lock")
+                .pop_front()
+                .ok_or(TryRecvError::Empty)
+        }
+
+        /// True when no message is queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.q.items.lock().expect("channel lock").is_empty()
+        }
+
+        /// Number of messages queued right now.
+        pub fn len(&self) -> usize {
+            self.q.items.lock().expect("channel lock").len()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx2.send(i).unwrap();
+                    }
+                });
+            });
+            let mut got = Vec::new();
+            while let Ok(v) = rx.try_recv() {
+                got.push(v);
+            }
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for the subset of `parking_lot` used by this
+//! workspace: a `Mutex` whose `lock()` returns the guard directly
+//! (poisoning is treated as a fatal error, matching parking_lot's
+//! no-poisoning semantics closely enough for this runtime, which never
+//! holds a lock across a panic site).
+
+use std::sync::{Mutex as StdMutex, MutexGuard};
+
+/// A mutex with parking_lot's `lock() -> guard` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex guarding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned")
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.0.try_lock().ok()
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned")
+    }
+}

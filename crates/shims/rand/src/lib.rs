@@ -1,0 +1,231 @@
+//! Offline stand-in for the subset of `rand` used by this workspace.
+//!
+//! The dataset generators only need a seedable, deterministic,
+//! platform-independent PRNG with `random::<f64>()` and
+//! `random_range(..)`. [`rngs::StdRng`] here is xoshiro256** seeded via
+//! SplitMix64 — not the crates.io StdRng, but every generator in this
+//! workspace is specified only as "deterministic in its seed", which
+//! this satisfies bit-for-bit across platforms.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types.
+pub mod rngs {
+    /// Deterministic xoshiro256** generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into four lanes, as the
+        // xoshiro authors recommend; guarantees a non-zero state.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        rngs::StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Types that [`RngExt::random`] can produce.
+pub trait Standard: Sized {
+    /// Draws one value from the generator.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn draw(rng: &mut rngs::StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn draw(rng: &mut rngs::StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn draw(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn draw(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] can sample from, producing `T`
+/// (generic over the output type so integer literals in a range infer
+/// from the use site, as with the real rand crate).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded draw (Lemire); bias is < 2^-64
+                // per draw, irrelevant for dataset synthesis.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                if lo == 0 && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                // Span in u64 (hi - lo < type MAX after the full-range
+                // special case, so +1 cannot overflow — including
+                // ranges like 1..=MAX).
+                let span = (hi - lo) as u64 + 1;
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo + draw as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i32 => u32, i64 => u64, isize => usize);
+
+/// Convenience methods every generator exposes (the rand `Rng`-style
+/// extension trait the workspace imports as `RngExt`).
+pub trait RngExt {
+    /// Draws a value of type `T` (uniform bits; floats in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T;
+    /// Draws uniformly from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl RngExt for rngs::StdRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.random_range(3u64..7);
+            assert!((3..7).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 6;
+            let w = rng.random_range(2..=6usize);
+            assert!((2..=6).contains(&w));
+        }
+        assert!(seen_lo && seen_hi, "both ends of the range reached");
+    }
+
+    #[test]
+    fn inclusive_ranges_ending_at_max_do_not_overflow() {
+        let mut rng = rngs::StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = rng.random_range(1u8..=u8::MAX);
+            assert!(v >= 1);
+            let w = rng.random_range(0u64..=u64::MAX);
+            let _ = w;
+            let x = rng.random_range(u64::MAX - 1..=u64::MAX);
+            assert!(x >= u64::MAX - 1);
+        }
+    }
+}

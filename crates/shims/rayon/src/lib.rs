@@ -1,0 +1,171 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The container has no crates.io access, so `par_sort_unstable`,
+//! `into_par_iter` and friends execute **sequentially** here with
+//! identical results (all call sites are order-independent or sort
+//! afterwards). The adapter type [`Par`] wraps a standard iterator and
+//! forwards the rayon method names; swapping the real rayon back in is a
+//! one-line Cargo.toml change.
+
+/// The rayon prelude: traits that add `par_*` methods.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+/// Sequential stand-in for rayon's `ParallelIterator`.
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    /// Maps each item.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Filters items.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    /// Flat-maps each item through a serial iterator (rayon's
+    /// `flat_map_iter`).
+    pub fn flat_map_iter<U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        Par(self.0.flat_map(f))
+    }
+
+    /// Flat-maps each item (rayon's `flat_map`).
+    pub fn flat_map<U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        Par(self.0.flat_map(f))
+    }
+
+    /// Collects into a container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Runs `f` on each item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Folds every item into one accumulator (sequential equivalent of
+    /// rayon's identity + reduce).
+    pub fn reduce<F>(self, identity: impl Fn() -> I::Item, f: F) -> I::Item
+    where
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), f)
+    }
+
+    /// Largest item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Smallest item.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+}
+
+/// Types convertible into a (sequentially executed) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Slice sorting with rayon's `par_sort*` names.
+pub trait ParallelSliceMut<T> {
+    /// Unstable sort (sequential here).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort by key (sequential here).
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    /// Unstable sort by comparator (sequential here).
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
+    /// Stable sort (sequential here).
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_unstable_by_key(f);
+    }
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
+        self.sort_unstable_by(f);
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_pipeline_matches_serial() {
+        let out: Vec<u64> = (0..10u64)
+            .into_par_iter()
+            .flat_map_iter(|i| (0..i).map(move |j| i * 10 + j))
+            .collect();
+        let expect: Vec<u64> = (0..10u64)
+            .flat_map(|i| (0..i).map(move |j| i * 10 + j))
+            .collect();
+        assert_eq!(out, expect);
+
+        let mut v = vec![5, 3, 9, 1];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 3, 5, 9]);
+
+        let s: u64 = (0..100u64).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 9900);
+    }
+}

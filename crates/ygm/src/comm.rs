@@ -30,9 +30,9 @@ use std::sync::Arc;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
-use crate::buffer::SendBuffer;
+use crate::buffer::{BufferPool, SendBuffer};
 use crate::stats::RankCounters;
-use crate::wire::{Wire, WireReader};
+use crate::wire::{put_varint, Wire, WireEncode, WireReader};
 
 /// Index of a simulated MPI rank.
 pub type Rank = usize;
@@ -152,7 +152,18 @@ pub struct Comm {
     /// Buffer tails whose next record's handler is not yet registered.
     deferred: RefCell<Vec<Vec<u8>>>,
     in_dispatch: Cell<bool>,
+    /// Recycled envelope allocations: drained send buffers restart from
+    /// vectors this rank has finished dispatching.
+    pool: RefCell<BufferPool>,
+    /// Scratch for `send_to_many`: one record is encoded here once, then
+    /// memcpy'd into each destination buffer.
+    scratch: RefCell<Vec<u8>>,
 }
+
+/// Drained send-buffer vectors retained per rank. Bounds pooled memory
+/// near `POOL_BUFFERS × flush_threshold` while covering the steady-state
+/// envelope flow of a phase.
+const POOL_BUFFERS: usize = 32;
 
 impl Comm {
     pub(crate) fn new(
@@ -162,6 +173,10 @@ impl Comm {
         rx: Receiver<Envelope>,
     ) -> Self {
         let nranks = shared.nranks;
+        // A buffer flushes shortly past the threshold, so anything much
+        // larger is a one-off oversized record — not worth keeping
+        // resident. 4x leaves slack for big trailing records.
+        let pool_buffer_cap = config.flush_threshold.saturating_mul(4).max(64 * 1024);
         Comm {
             rank,
             shared,
@@ -171,6 +186,8 @@ impl Comm {
             handlers: RefCell::new(Vec::new()),
             deferred: RefCell::new(Vec::new()),
             in_dispatch: Cell::new(false),
+            pool: RefCell::new(BufferPool::new(POOL_BUFFERS, pool_buffer_cap)),
+            scratch: RefCell::new(Vec::new()),
         }
     }
 
@@ -241,22 +258,50 @@ impl Comm {
     /// (fire-and-forget, buffered).
     #[inline]
     pub fn send<M: Wire>(&self, dest: Rank, h: &Handler<M>, msg: &M) {
-        debug_assert!(dest < self.nranks(), "send to rank {dest} of {}", self.nranks());
+        self.send_encoded(dest, h, msg);
+    }
+
+    /// Sends a record whose payload is appended by a [`WireEncode`]
+    /// value — the encode-once path. `enc`'s byte image must match the
+    /// handler's message type `M` (see the `wire` module docs); borrowed
+    /// tuples and [`crate::wire::encode_seq`] projections serialize
+    /// straight from application storage with no intermediate `M`.
+    pub fn send_encoded<M: Wire, E: WireEncode>(&self, dest: Rank, h: &Handler<M>, enc: E) {
+        debug_assert!(
+            dest < self.nranks(),
+            "send to rank {dest} of {}",
+            self.nranks()
+        );
         // Count the record as pending *before* it becomes visible anywhere,
         // so the quiescence barrier can never observe a transient zero.
-        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        //
+        // Ordering: AcqRel suffices for the per-record counter. The
+        // quiescence invariant needs (a) each increment to precede the
+        // record's enqueue — program order here, made visible to the
+        // receiver by the channel's release/acquire handoff — and (b) each
+        // decrement to follow the record's execution, which the Release
+        // half of dispatch's AcqRel gives the barrier's SeqCst read. No
+        // cross-variable total order is required outside the barrier
+        // itself, which keeps its SeqCst load.
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
 
         let counters = self.counters();
         let ship = {
             let mut bufs = self.outbufs.borrow_mut();
             let buf = &mut bufs[dest];
-            let bytes = buf.push_record(h.id, msg);
+            let bytes = buf.push_record_with(h.id, |out| enc.encode_wire(out));
+            counters.records_encoded.fetch_add(1, Ordering::Relaxed);
+            counters
+                .bytes_encoded
+                .fetch_add(bytes as u64, Ordering::Relaxed);
             // "Local" means it never touches the network: self-sends
             // always, and intra-node peers when node aggregation models
             // multiple ranks per node.
             if self.node_of(dest) == self.node_of(self.rank) {
                 counters.records_local.fetch_add(1, Ordering::Relaxed);
-                counters.bytes_local.fetch_add(bytes as u64, Ordering::Relaxed);
+                counters
+                    .bytes_local
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
             } else {
                 counters.records_remote.fetch_add(1, Ordering::Relaxed);
                 counters
@@ -264,7 +309,7 @@ impl Comm {
                     .fetch_add(bytes as u64, Ordering::Relaxed);
             }
             if buf.should_flush(self.config.flush_threshold) {
-                Some(buf.drain())
+                Some(self.drain_pooled(buf))
             } else {
                 None
             }
@@ -272,6 +317,83 @@ impl Comm {
         if let Some((data, _records)) = ship {
             self.ship(dest, data);
         }
+    }
+
+    /// Sends one record to several destinations: the payload is encoded
+    /// **once** into scratch, then appended to each destination's buffer
+    /// by memcpy. This is the §4.4 pull-delivery pattern — one
+    /// `Adjm+(q)` projection fanned out to every granted rank — without
+    /// re-serializing (or re-materializing) the projection per rank.
+    ///
+    /// Counter contract: each destination is accounted a full record and
+    /// its bytes (the wire volume is real), but `records_encoded` rises
+    /// by one and `bytes_encoded` by one record's bytes.
+    pub fn send_to_many<M, E, I>(&self, dests: I, h: &Handler<M>, enc: E)
+    where
+        M: Wire,
+        E: WireEncode,
+        I: IntoIterator<Item = Rank>,
+    {
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.clear();
+        put_varint(&mut scratch, u64::from(h.id));
+        enc.encode_wire(&mut scratch);
+
+        let counters = self.counters();
+        let mut encoded = false;
+        for dest in dests {
+            debug_assert!(
+                dest < self.nranks(),
+                "send to rank {dest} of {}",
+                self.nranks()
+            );
+            if !encoded {
+                // First destination pays the encode; the rest are copies.
+                counters.records_encoded.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .bytes_encoded
+                    .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+                encoded = true;
+            }
+            // Same ordering argument as `send_encoded`.
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+            let ship = {
+                let mut bufs = self.outbufs.borrow_mut();
+                let buf = &mut bufs[dest];
+                let bytes = buf.push_raw(&scratch);
+                if self.node_of(dest) == self.node_of(self.rank) {
+                    counters.records_local.fetch_add(1, Ordering::Relaxed);
+                    counters
+                        .bytes_local
+                        .fetch_add(bytes as u64, Ordering::Relaxed);
+                } else {
+                    counters.records_remote.fetch_add(1, Ordering::Relaxed);
+                    counters
+                        .bytes_remote
+                        .fetch_add(bytes as u64, Ordering::Relaxed);
+                }
+                if buf.should_flush(self.config.flush_threshold) {
+                    Some(self.drain_pooled(buf))
+                } else {
+                    None
+                }
+            };
+            if let Some((data, _records)) = ship {
+                self.ship(dest, data);
+            }
+        }
+    }
+
+    /// Drains `buf`, restarting it from the recycled-allocation pool.
+    #[inline]
+    fn drain_pooled(&self, buf: &mut SendBuffer) -> (Vec<u8>, u64) {
+        let mut pool = self.pool.borrow_mut();
+        let before = pool.reuses();
+        let out = buf.drain_pooled(&mut pool);
+        if pool.reuses() > before {
+            self.counters().pool_reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        out
     }
 
     /// Compute node of a rank under the configured node width.
@@ -319,65 +441,49 @@ impl Comm {
 
     /// Flushes every non-empty destination buffer to the transport.
     ///
-    /// With node-level aggregation, all buffers bound for one remote node
-    /// leave as a *single* bundled envelope to that node's gateway — the
-    /// envelope-count reduction the paper prescribes for the 6144-rank
-    /// regime (§5.4).
+    /// One loop over node sections covers every configuration. Buffers
+    /// for this rank's own node (which, with `ranks_per_node == 1`, is
+    /// just this rank) and for any single-rank node ship as direct
+    /// envelopes; with node-level aggregation, all buffers bound for one
+    /// remote multi-rank node leave as a *single* bundled envelope to
+    /// that node's gateway — the envelope-count reduction the paper
+    /// prescribes for the 6144-rank regime (§5.4).
     pub fn flush_all(&self) {
         let rpn = self.config.ranks_per_node.max(1);
-        if rpn == 1 {
-            for dest in 0..self.nranks() {
-                let drained = {
-                    let mut bufs = self.outbufs.borrow_mut();
-                    if bufs[dest].is_empty() {
-                        None
-                    } else {
-                        Some(bufs[dest].drain())
-                    }
-                };
-                if let Some((data, _records)) = drained {
-                    self.ship(dest, data);
-                }
-            }
-            return;
-        }
-
         let nnodes = self.nranks().div_ceil(rpn);
         let my_node = self.node_of(self.rank);
         for node in 0..nnodes {
             let lo = node * rpn;
             let hi = ((node + 1) * rpn).min(self.nranks());
-            if node == my_node {
-                // Intra-node: deliver each rank's buffer directly (no
-                // network, no aggregation needed).
+            if rpn == 1 || node == my_node {
+                // Direct delivery: every rank of this section gets its
+                // own envelope. `ship` classifies local vs remote and
+                // handles the (rpn > 1, foreign node) single-buffer
+                // bundle case — unreachable here since that is the
+                // aggregated branch below.
                 for dest in lo..hi {
                     let drained = {
                         let mut bufs = self.outbufs.borrow_mut();
                         if bufs[dest].is_empty() {
                             None
                         } else {
-                            Some(bufs[dest].drain())
+                            Some(self.drain_pooled(&mut bufs[dest]))
                         }
                     };
                     if let Some((data, _records)) = drained {
-                        // Same node: shared-memory transport, no network.
-                        self.counters()
-                            .envelopes_local
-                            .fetch_add(1, Ordering::Relaxed);
-                        self.shared.senders[dest]
-                            .send(Envelope::Direct(data))
-                            .expect("receiver alive while world is running");
+                        self.ship(dest, data);
                     }
                 }
                 continue;
             }
-            // Remote node: bundle every non-empty section into one envelope.
+            // Remote multi-rank node: bundle every non-empty section
+            // into one envelope for the node's gateway.
             let sections: Vec<(u32, Vec<u8>)> = {
                 let mut bufs = self.outbufs.borrow_mut();
                 let mut sections = Vec::new();
                 for d in lo..hi {
                     if !bufs[d].is_empty() {
-                        sections.push((d as u32, bufs[d].drain().0));
+                        sections.push((d as u32, self.drain_pooled(&mut bufs[d]).0));
                     }
                 }
                 sections
@@ -453,9 +559,7 @@ impl Comm {
         let mut reader = WireReader::new(&data);
         while !reader.is_empty() {
             let record_start = reader.position();
-            let hid = reader
-                .take_varint()
-                .expect("envelope corrupt: handler id") as usize;
+            let hid = reader.take_varint().expect("envelope corrupt: handler id") as usize;
             let handler = {
                 let handlers = self.handlers.borrow();
                 handlers.get(hid).cloned()
@@ -470,9 +574,18 @@ impl Comm {
             handler(self, &mut reader);
             executed = true;
             self.counters().handlers_run.fetch_add(1, Ordering::Relaxed);
-            self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+            // AcqRel: the Release half orders the record's execution (and
+            // any sends the handler performed, whose increments precede
+            // this decrement in program order) before the decrement, so a
+            // barrier that reads 0 has synchronized with every completed
+            // record. See the invariant comment in `send_encoded`.
+            self.shared.pending.fetch_sub(1, Ordering::AcqRel);
         }
         self.in_dispatch.set(was);
+        // Recycle the envelope allocation into this rank's send pool:
+        // steady-state flushes then restart from received capacity
+        // instead of the allocator.
+        self.pool.borrow_mut().put(data);
         executed
     }
 
@@ -651,7 +764,10 @@ mod tests {
 
     #[test]
     fn small_threshold_forces_many_envelopes() {
-        let config = CommConfig { flush_threshold: 4, ..Default::default() };
+        let config = CommConfig {
+            flush_threshold: 4,
+            ..Default::default()
+        };
         let stats = World::new(2).with_config(config).run_with_stats(|comm| {
             let h = comm.register::<u64, _>(|_c, _v| {});
             if comm.rank() == 0 {
@@ -664,7 +780,11 @@ mod tests {
         let s0 = stats.stats[0];
         assert_eq!(s0.records_remote, 100);
         // With a 4-byte threshold nearly every record ships alone.
-        assert!(s0.envelopes_remote >= 50, "envelopes {}", s0.envelopes_remote);
+        assert!(
+            s0.envelopes_remote >= 50,
+            "envelopes {}",
+            s0.envelopes_remote
+        );
     }
 
     #[test]
@@ -748,6 +868,102 @@ mod tests {
             });
             assert_eq!(out, vec![30, 30, 30], "trial {trial}");
         }
+    }
+
+    #[test]
+    fn send_to_many_encodes_once_delivers_everywhere() {
+        // Rank 0 fans one record out to every rank: each rank must
+        // receive it exactly once, every delivery is a full record on
+        // the wire, but only ONE encode is performed.
+        let nranks = 4;
+        let stats = World::new(nranks).run_with_stats(|comm| {
+            let got = Rc::new(RefCell::new(Vec::new()));
+            let got2 = got.clone();
+            let h = comm.register::<(u64, Vec<u64>), _>(move |_c, msg| {
+                got2.borrow_mut().push(msg);
+            });
+            if comm.rank() == 0 {
+                let payload = (99u64, vec![1u64, 2, 3]);
+                comm.send_to_many(0..comm.nranks(), &h, &payload);
+            }
+            comm.barrier();
+            assert_eq!(got.borrow().len(), 1, "rank {}", comm.rank());
+            assert_eq!(got.borrow()[0], (99, vec![1, 2, 3]));
+        });
+        let s0 = stats.stats[0];
+        assert_eq!(s0.records_encoded, 1, "one encode serves all destinations");
+        assert_eq!(s0.records_total(), nranks as u64);
+        // 3 remote + 1 self delivery, each a full record's bytes.
+        assert_eq!(s0.records_remote, 3);
+        assert_eq!(s0.records_local, 1);
+        assert!(s0.bytes_encoded > 0);
+        assert_eq!(s0.bytes_total(), s0.bytes_encoded * nranks as u64);
+        for s in &stats.stats[1..] {
+            assert_eq!(s.records_total(), 0, "only rank 0 sent");
+        }
+    }
+
+    #[test]
+    fn send_to_many_matches_loop_of_sends_on_the_wire() {
+        // Receivers can't tell fan-out deliveries from individual sends:
+        // same records, same bytes, same decoded values.
+        let run = |fanout: bool| {
+            World::new(3).run_with_stats(move |comm| {
+                let sum = Rc::new(Cell::new(0u64));
+                let sum2 = sum.clone();
+                let h = comm.register::<(u64, u64), _>(move |_c, (a, b)| {
+                    sum2.set(sum2.get() + a + b);
+                });
+                if comm.rank() == 0 {
+                    if fanout {
+                        comm.send_to_many(0..comm.nranks(), &h, (5u64, 7u64));
+                    } else {
+                        for dest in 0..comm.nranks() {
+                            comm.send(dest, &h, &(5u64, 7u64));
+                        }
+                    }
+                }
+                comm.barrier();
+                sum.get()
+            })
+        };
+        let with_fanout = run(true);
+        let with_loop = run(false);
+        assert_eq!(with_fanout.results, with_loop.results);
+        assert_eq!(
+            with_fanout.stats[0].bytes_total(),
+            with_loop.stats[0].bytes_total()
+        );
+        assert_eq!(
+            with_fanout.stats[0].records_total(),
+            with_loop.stats[0].records_total()
+        );
+        // ...but the encoder ran once instead of nranks times.
+        assert_eq!(with_fanout.stats[0].records_encoded, 1);
+        assert_eq!(with_loop.stats[0].records_encoded, 3);
+    }
+
+    #[test]
+    fn steady_state_flushes_reuse_pooled_buffers() {
+        // Two ranks exchanging many over-threshold bursts: after the
+        // first round trips, drained buffers must restart from recycled
+        // envelope allocations.
+        let config = CommConfig {
+            flush_threshold: 256,
+            ..Default::default()
+        };
+        let stats = World::new(2).with_config(config).run_with_stats(|comm| {
+            let h = comm.register::<Vec<u64>, _>(|_c, _v| {});
+            let peer = (comm.rank() + 1) % comm.nranks();
+            for _round in 0..20 {
+                for _ in 0..8 {
+                    comm.send(peer, &h, &vec![1u64; 32]);
+                }
+                comm.barrier();
+            }
+        });
+        let total: u64 = stats.stats.iter().map(|s| s.pool_reuses).sum();
+        assert!(total > 0, "expected pooled buffer reuse, got {total}");
     }
 
     #[test]

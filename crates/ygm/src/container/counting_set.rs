@@ -155,11 +155,7 @@ where
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect();
-        let mut all: Vec<(K, u64)> = comm
-            .all_gather(&local)
-            .into_iter()
-            .flatten()
-            .collect();
+        let mut all: Vec<(K, u64)> = comm.all_gather(&local).into_iter().flatten().collect();
         all.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         all
     }

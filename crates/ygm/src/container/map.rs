@@ -169,12 +169,8 @@ mod tests {
             });
             map.async_merge(comm, "adj".to_string(), vec![comm.rank() as u64]);
             comm.barrier();
-            let total: u64 = comm.all_reduce_sum(
-                map.local()
-                    .get("adj")
-                    .map(|v| v.len() as u64)
-                    .unwrap_or(0),
-            );
+            let total: u64 =
+                comm.all_reduce_sum(map.local().get("adj").map(|v| v.len() as u64).unwrap_or(0));
             total
         });
         assert_eq!(out, vec![2, 2]);

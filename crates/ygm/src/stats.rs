@@ -40,6 +40,17 @@ pub struct RankCounters {
     pub work: AtomicU64,
     /// Quiescence barriers this rank has completed.
     pub barriers: AtomicU64,
+    /// Encode operations performed (one per `send`/`send_encoded`, one
+    /// per `send_to_many` regardless of destination count). With
+    /// fan-out, `records_total - records_encoded` deliveries were served
+    /// by memcpy of already-encoded bytes.
+    pub records_encoded: AtomicU64,
+    /// Bytes produced by the wire encoder. `bytes_total - bytes_encoded`
+    /// bytes were delivered without re-encoding (fan-out copies).
+    pub bytes_encoded: AtomicU64,
+    /// Send-buffer drains whose replacement allocation came from the
+    /// recycled-buffer pool instead of the allocator.
+    pub pool_reuses: AtomicU64,
 }
 
 impl RankCounters {
@@ -55,6 +66,9 @@ impl RankCounters {
             handlers_run: self.handlers_run.load(Ordering::Relaxed),
             work: self.work.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
+            records_encoded: self.records_encoded.load(Ordering::Relaxed),
+            bytes_encoded: self.bytes_encoded.load(Ordering::Relaxed),
+            pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,6 +94,12 @@ pub struct CommStats {
     pub work: u64,
     /// Barriers completed.
     pub barriers: u64,
+    /// Encode operations performed (fan-out deliveries excluded).
+    pub records_encoded: u64,
+    /// Bytes produced by the wire encoder (fan-out copies excluded).
+    pub bytes_encoded: u64,
+    /// Buffer drains served by the recycled-allocation pool.
+    pub pool_reuses: u64,
 }
 
 impl CommStats {
@@ -108,6 +128,9 @@ impl CommStats {
             handlers_run: self.handlers_run.saturating_sub(earlier.handlers_run),
             work: self.work.saturating_sub(earlier.work),
             barriers: self.barriers.saturating_sub(earlier.barriers),
+            records_encoded: self.records_encoded.saturating_sub(earlier.records_encoded),
+            bytes_encoded: self.bytes_encoded.saturating_sub(earlier.bytes_encoded),
+            pool_reuses: self.pool_reuses.saturating_sub(earlier.pool_reuses),
         }
     }
 
@@ -123,6 +146,9 @@ impl CommStats {
             handlers_run: self.handlers_run + other.handlers_run,
             work: self.work + other.work,
             barriers: self.barriers + other.barriers,
+            records_encoded: self.records_encoded + other.records_encoded,
+            bytes_encoded: self.bytes_encoded + other.bytes_encoded,
+            pool_reuses: self.pool_reuses + other.pool_reuses,
         }
     }
 

@@ -18,6 +18,31 @@
 //! filled without intermediate allocations); decoding reads from a
 //! [`WireReader`] cursor and is fully checked — a truncated or corrupt
 //! buffer yields [`WireError`], never undefined behaviour.
+//!
+//! # Encode-once sends: the borrowed half of the codec
+//!
+//! [`Wire`] requires an owned value, which forces a sender that holds its
+//! payload scattered across graph storage (an adjacency slice, a metadata
+//! field behind a reference) to first materialize an owned message — the
+//! `O(d²)` per-vertex `Vec` + clone churn the TriPoll hot path used to
+//! pay. [`WireEncode`] is the write-only, borrowed counterpart: anything
+//! implementing it can append a wire image **byte-identical** to some
+//! `Wire` type's encoding, straight from borrowed data.
+//!
+//! * references `&T` to any `T: Wire` encode as `T` does;
+//! * owned primitives encode as themselves (so mixed tuples work);
+//! * tuples of `WireEncode` values encode like tuples of the owned types;
+//! * [`SliceSeq`] encodes a `&[T]` byte-identically to `Vec<T>`;
+//! * [`encode_seq`] encodes a *projection* of a slice byte-identically to
+//!   `Vec<U>` without materializing any `U` — each element writes its
+//!   fields through a closure.
+//!
+//! A handler registered for `M: Wire` can therefore be fed by
+//! `Comm::send_encoded` / `Comm::send_to_many` with a `WireEncode` value
+//! whose byte image matches `M`; the byte-identity contract is checked by
+//! the property tests in this module. This is what lets a wedge-batch
+//! suffix serialize directly from `Adjm+(p)` storage, and lets one
+//! encoded adjacency projection fan out to many ranks as a memcpy.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -383,6 +408,115 @@ impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
 impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
 impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
+/// Write-only, borrowed wire encoding (see the module docs).
+///
+/// Implementors append bytes that are **byte-identical** to the
+/// [`Wire::encode`] output of some owned message type; the receiving
+/// handler decodes with that owned type's [`Wire::decode`]. The codec
+/// itself guarantees the identity for the impls in this module; adapter
+/// closures passed to [`encode_seq`] must uphold it for their element
+/// projection (encode exactly the fields, in order, that the owned
+/// element type encodes).
+pub trait WireEncode {
+    /// Appends the wire image to `buf`.
+    fn encode_wire(&self, buf: &mut Vec<u8>);
+}
+
+/// A reference encodes exactly as its referent.
+impl<T: Wire> WireEncode for &T {
+    #[inline]
+    fn encode_wire(&self, buf: &mut Vec<u8>) {
+        (*self).encode(buf);
+    }
+}
+
+macro_rules! impl_wire_encode_owned {
+    ($($t:ty),*) => {$(
+        impl WireEncode for $t {
+            #[inline]
+            fn encode_wire(&self, buf: &mut Vec<u8>) {
+                self.encode(buf);
+            }
+        }
+    )*};
+}
+
+impl_wire_encode_owned!(
+    (),
+    bool,
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64
+);
+
+macro_rules! impl_wire_encode_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: WireEncode),+> WireEncode for ($($name,)+) {
+            #[inline]
+            fn encode_wire(&self, buf: &mut Vec<u8>) {
+                $(self.$idx.encode_wire(buf);)+
+            }
+        }
+    };
+}
+
+impl_wire_encode_tuple!(A: 0);
+impl_wire_encode_tuple!(A: 0, B: 1);
+impl_wire_encode_tuple!(A: 0, B: 1, C: 2);
+impl_wire_encode_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_wire_encode_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_wire_encode_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Encodes a borrowed slice byte-identically to `Vec<T>`: length varint,
+/// then each element.
+pub struct SliceSeq<'a, T>(pub &'a [T]);
+
+impl<T: Wire> WireEncode for SliceSeq<'_, T> {
+    #[inline]
+    fn encode_wire(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.0.len() as u64);
+        for item in self.0 {
+            item.encode(buf);
+        }
+    }
+}
+
+/// Encodes a projection of a borrowed slice byte-identically to the
+/// `Vec` of projected elements, without materializing any of them.
+///
+/// `write` receives each source element and the output buffer, and must
+/// append exactly the bytes the projected element type would encode —
+/// e.g. for a candidate `(v, degree, meta)` projection of an adjacency
+/// entry: `e.v.encode(buf); e.key.degree.encode(buf); e.em.encode(buf)`.
+pub struct EncodeSeq<'a, T, F> {
+    items: &'a [T],
+    write: F,
+}
+
+/// Builds an [`EncodeSeq`] over `items`.
+pub fn encode_seq<T, F: Fn(&T, &mut Vec<u8>)>(items: &[T], write: F) -> EncodeSeq<'_, T, F> {
+    EncodeSeq { items, write }
+}
+
+impl<T, F: Fn(&T, &mut Vec<u8>)> WireEncode for EncodeSeq<'_, T, F> {
+    #[inline]
+    fn encode_wire(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.items.len() as u64);
+        for item in self.items {
+            (self.write)(item, buf);
+        }
+    }
+}
+
 /// Convenience: encode a value into a fresh buffer.
 pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -556,6 +690,64 @@ mod tests {
         assert!(from_bytes::<bool>(&[2]).is_err());
     }
 
+    /// A stand-in for graph storage: the borrowed encoders must be able
+    /// to serialize a projection of this without materializing tuples.
+    struct FakeAdjEntry {
+        v: u64,
+        degree: u64,
+        em: u64,
+    }
+
+    #[test]
+    fn slice_seq_matches_vec_encoding() {
+        let owned: Vec<u64> = vec![0, 1, 127, 128, 16_384, u64::MAX];
+        let mut via_vec = Vec::new();
+        owned.encode(&mut via_vec);
+        let mut via_slice = Vec::new();
+        SliceSeq(&owned[..]).encode_wire(&mut via_slice);
+        assert_eq!(via_vec, via_slice);
+    }
+
+    #[test]
+    fn encode_seq_matches_projected_vec_encoding() {
+        let adj: Vec<FakeAdjEntry> = (0..20)
+            .map(|i| FakeAdjEntry {
+                v: i * 1000,
+                degree: i,
+                em: i ^ 0xff,
+            })
+            .collect();
+        // Old path: materialize the candidate vector, encode it.
+        let candidates: Vec<(u64, u64, u64)> = adj.iter().map(|e| (e.v, e.degree, e.em)).collect();
+        let mut via_vec = Vec::new();
+        candidates.encode(&mut via_vec);
+        // New path: stream straight from the borrowed entries.
+        let mut via_seq = Vec::new();
+        encode_seq(&adj, |e: &FakeAdjEntry, buf| {
+            e.v.encode(buf);
+            e.degree.encode(buf);
+            e.em.encode(buf);
+        })
+        .encode_wire(&mut via_seq);
+        assert_eq!(via_vec, via_seq);
+        // And the bytes decode back through the owned type.
+        assert_eq!(
+            from_bytes::<Vec<(u64, u64, u64)>>(&via_seq).unwrap(),
+            candidates
+        );
+    }
+
+    #[test]
+    fn borrowed_tuple_matches_owned_tuple_encoding() {
+        let meta = "edge-meta".to_string();
+        let owned = (7u64, 9u64, meta.clone(), true);
+        let mut via_owned = Vec::new();
+        owned.encode(&mut via_owned);
+        let mut via_borrowed = Vec::new();
+        (7u64, 9u64, &meta, true).encode_wire(&mut via_borrowed);
+        assert_eq!(via_owned, via_borrowed);
+    }
+
     mod prop {
         use super::*;
         use proptest::prelude::*;
@@ -601,6 +793,54 @@ mod tests {
                 let mut buf = Vec::new();
                 put_varint(&mut buf, v);
                 prop_assert_eq!(buf.len(), varint_len(v));
+            }
+
+            #[test]
+            fn slice_seq_identical_to_vec(v in proptest::collection::vec(any::<u64>(), 0..64)) {
+                let mut via_vec = Vec::new();
+                v.encode(&mut via_vec);
+                let mut via_slice = Vec::new();
+                SliceSeq(&v[..]).encode_wire(&mut via_slice);
+                prop_assert_eq!(via_vec, via_slice);
+            }
+
+            #[test]
+            fn encode_seq_identical_to_projected_vec(
+                v in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..64)
+            ) {
+                // The borrowed projection of a candidate batch must be
+                // byte-identical to the owned Vec<Candidate> it replaced.
+                let mut via_vec = Vec::new();
+                v.encode(&mut via_vec);
+                let mut via_seq = Vec::new();
+                encode_seq(&v, |c: &(u64, u64, u64), buf| {
+                    c.0.encode(buf);
+                    c.1.encode(buf);
+                    c.2.encode(buf);
+                })
+                .encode_wire(&mut via_seq);
+                prop_assert_eq!(&via_vec, &via_seq);
+                prop_assert_eq!(from_bytes::<Vec<(u64, u64, u64)>>(&via_seq).unwrap(), v);
+            }
+
+            #[test]
+            fn borrowed_push_message_identical_to_owned(
+                p in any::<u64>(),
+                q in any::<u64>(),
+                meta in ".*",
+                cands in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..32)
+            ) {
+                // Shape of a full wedge-batch message, owned vs borrowed.
+                let owned = (p, q, meta.clone(), cands.clone());
+                let mut via_owned = Vec::new();
+                owned.encode(&mut via_owned);
+                let mut via_borrowed = Vec::new();
+                (p, q, &meta, encode_seq(&cands, |c: &(u64, u64), buf| {
+                    c.0.encode(buf);
+                    c.1.encode(buf);
+                }))
+                .encode_wire(&mut via_borrowed);
+                prop_assert_eq!(via_owned, via_borrowed);
             }
         }
     }

@@ -93,8 +93,7 @@ impl World {
         let config = self.config.clone();
         let f = &f;
 
-        let mut outcomes: Vec<Option<std::thread::Result<R>>> =
-            (0..nranks).map(|_| None).collect();
+        let mut outcomes: Vec<Option<std::thread::Result<R>>> = (0..nranks).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let mut joins = Vec::with_capacity(nranks);
@@ -131,10 +130,7 @@ impl World {
         if !panics.is_empty() {
             // Prefer the root-cause panic over secondary "peer panicked"
             // aborts raised by ranks that were poisoned out of a barrier.
-            let root = panics
-                .iter()
-                .position(|p| !is_poison_panic(p))
-                .unwrap_or(0);
+            let root = panics.iter().position(|p| !is_poison_panic(p)).unwrap_or(0);
             std::panic::resume_unwind(panics.swap_remove(root));
         }
 

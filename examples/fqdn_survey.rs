@@ -22,7 +22,10 @@ fn main() {
     println!("Generating a Web-Data-Commons-like page graph with FQDN metadata...");
     let web = tripoll::gen::wdc_like(DatasetSize::Tiny, 42);
     let edges = EdgeList::from_vec(
-        web.edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        web.edges
+            .iter()
+            .map(|&(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
     )
     .canonicalize();
     println!(

@@ -19,8 +19,8 @@ fn main() {
     println!("Generating R-MAT scale {scale} (edge factor 16)...");
     let cfg = RmatConfig::graph500(scale, 42);
     let raw = rmat_edges(&cfg);
-    let edges = EdgeList::from_vec(raw.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>())
-        .canonicalize();
+    let edges =
+        EdgeList::from_vec(raw.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>()).canonicalize();
     println!(
         "  {} raw records -> {} canonical undirected edges, {} vertices\n",
         raw.len(),
@@ -54,7 +54,11 @@ fn main() {
                 * 1e3
         );
         for phase in &report.phases {
-            println!("  phase {:>7}: {:.1} ms (rank 0)", phase.name, phase.seconds * 1e3);
+            println!(
+                "  phase {:>7}: {:.1} ms (rank 0)",
+                phase.name,
+                phase.seconds * 1e3
+            );
         }
         println!(
             "  communication: {} payload bytes in {} records ({} buffered messages)",

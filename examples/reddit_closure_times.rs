@@ -33,8 +33,7 @@ fn main() {
     let outputs = World::new(nranks).run(|comm| {
         let local = edges.stride_for_rank(comm.rank(), comm.nranks());
         // Timestamps ride as edge metadata; vertex metadata is unused.
-        let graph: DistGraph<(), u64> =
-            build_dist_graph(comm, local, |_| (), Partition::Hashed);
+        let graph: DistGraph<(), u64> = build_dist_graph(comm, local, |_| (), Partition::Hashed);
         closure_time_survey(comm, &graph, EngineMode::PushPull, |&t| t)
     });
     let (hist, report) = &outputs[0];

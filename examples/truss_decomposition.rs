@@ -25,7 +25,10 @@ fn main() {
     println!("Generating a web-like graph (dense domains -> dense trusses)...");
     let web = tripoll::gen::webcc12_like(DatasetSize::Tiny, 3);
     let edges = EdgeList::from_vec(
-        web.edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        web.edges
+            .iter()
+            .map(|&(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
     )
     .canonicalize();
     println!("  {} edges\n", edges.len());
@@ -38,9 +41,7 @@ fn main() {
     });
     let supports = &outputs[0];
     let supported: usize = supports.len();
-    println!(
-        "Distributed survey: {supported} edges participate in at least one triangle."
-    );
+    println!("Distributed survey: {supported} edges participate in at least one triangle.");
 
     // Serial peeling on the gathered supports.
     let d = truss_decomposition(&Csr::from_edges(&web.edges));
@@ -55,11 +56,7 @@ fn main() {
 
     // Consistency: initial supports from the distributed survey equal the
     // trussness-3 candidates.
-    let with_triangles = d
-        .trussness
-        .iter()
-        .filter(|(_, t)| *t >= 3)
-        .count();
+    let with_triangles = d.trussness.iter().filter(|(_, t)| *t >= 3).count();
     println!(
         "{with_triangles} edges have trussness >= 3; the distributed survey found \
          supports for {supported} edges."

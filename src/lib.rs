@@ -62,9 +62,7 @@ pub use tripoll_ygm as ygm;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use tripoll_analysis::{
-        ceil_log2, louvain_labeled, Histogram, JointHistogram, Table,
-    };
+    pub use tripoll_analysis::{ceil_log2, louvain_labeled, Histogram, JointHistogram, Table};
     pub use tripoll_core::surveys::closure_times::closure_time_survey;
     pub use tripoll_core::surveys::count::triangle_count;
     pub use tripoll_core::surveys::degree_triples::degree_triple_survey;

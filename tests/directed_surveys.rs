@@ -40,9 +40,7 @@ fn provenance_reaches_the_callback() {
                 ((tm.p, tm.r), tm.meta_pr.clone()),
                 ((tm.q, tm.r), tm.meta_qr.clone()),
             ] {
-                seen_cb
-                    .borrow_mut()
-                    .push((a.min(b), a.max(b), prov, label));
+                seen_cb.borrow_mut().push((a.min(b), a.max(b), prov, label));
             }
         });
         comm.barrier();

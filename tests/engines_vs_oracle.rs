@@ -15,9 +15,7 @@ fn oracle(edges: &[(u64, u64)]) -> u64 {
 }
 
 fn distributed_count(edges: &[(u64, u64)], nranks: usize, mode: EngineMode) -> u64 {
-    let list = EdgeList::from_vec(
-        edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-    );
+    let list = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
     let out = World::new(nranks).run(|comm| {
         let local = list.stride_for_rank(comm.rank(), comm.nranks());
         let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
@@ -48,7 +46,10 @@ fn counts_invariant_across_rank_counts_and_partitions() {
     let ds = gen::webcc12_like(DatasetSize::Tiny, 3);
     let expect = oracle(&ds.edges);
     let list = EdgeList::from_vec(
-        ds.edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        ds.edges
+            .iter()
+            .map(|&(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
     );
     for nranks in [1, 2, 3, 5, 8] {
         for partition in [Partition::Hashed, Partition::Cyclic] {
@@ -78,7 +79,10 @@ fn every_triangle_reported_exactly_once() {
     expected.sort_unstable();
 
     let list = EdgeList::from_vec(
-        ds.edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        ds.edges
+            .iter()
+            .map(|&(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
     );
     for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
         let out = World::new(4).run(|comm| {

@@ -48,7 +48,10 @@ fn closure_survey_matches_serial_on_reddit_standin() {
 fn fqdn_survey_engines_agree_and_find_planted_structure() {
     let web = gen::wdc_like(DatasetSize::Tiny, 13);
     let list = EdgeList::from_vec(
-        web.edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        web.edges
+            .iter()
+            .map(|&(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
     )
     .canonicalize();
     let fqdn_fn = web.fqdn_fn();
@@ -74,8 +77,9 @@ fn fqdn_survey_engines_agree_and_find_planted_structure() {
             "competitor bookseller missing from hub triangles"
         );
         assert!(
-            partners.iter().any(|p| p.starts_with("amazon")
-                || p == "audible.example"),
+            partners
+                .iter()
+                .any(|p| p.starts_with("amazon") || p == "audible.example"),
             "amazon family missing from hub triangles"
         );
     }
@@ -86,7 +90,10 @@ fn degree_triples_sum_to_triangle_count() {
     let ds = gen::livejournal_like(DatasetSize::Tiny, 21);
     let expect = analysis::triangle_count(&Csr::from_edges(&ds.edges));
     let list = EdgeList::from_vec(
-        ds.edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        ds.edges
+            .iter()
+            .map(|&(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
     )
     .canonicalize();
     // Degree table (canonical edges).
@@ -116,7 +123,10 @@ fn custom_callback_with_counting_set_composes_with_engine_traffic() {
     let ds = gen::friendster_like(DatasetSize::Tiny, 2);
     let expect = analysis::triangle_count(&Csr::from_edges(&ds.edges));
     let list = EdgeList::from_vec(
-        ds.edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        ds.edges
+            .iter()
+            .map(|&(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
     );
     let out = World::new(4).run(|comm| {
         let local = list.stride_for_rank(comm.rank(), comm.nranks());
@@ -137,7 +147,10 @@ fn custom_callback_with_counting_set_composes_with_engine_traffic() {
 fn survey_reports_are_consistent() {
     let ds = gen::webcc12_like(DatasetSize::Tiny, 4);
     let list = EdgeList::from_vec(
-        ds.edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        ds.edges
+            .iter()
+            .map(|&(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
     )
     .canonicalize();
     let out = World::new(3).run(|comm| {
@@ -166,8 +179,14 @@ fn survey_reports_are_consistent() {
     }
     // Push-Pull moves fewer payload bytes than Push-Only on this
     // hub-heavy web graph (the Table 4 headline).
-    let po_bytes: u64 = out.iter().map(|(po, _)| po.local_stats().bytes_total()).sum();
-    let pp_bytes: u64 = out.iter().map(|(_, pp)| pp.local_stats().bytes_total()).sum();
+    let po_bytes: u64 = out
+        .iter()
+        .map(|(po, _)| po.local_stats().bytes_total())
+        .sum();
+    let pp_bytes: u64 = out
+        .iter()
+        .map(|(_, pp)| pp.local_stats().bytes_total())
+        .sum();
     assert!(
         pp_bytes * 2 < po_bytes,
         "expected >=2x traffic cut on web graph: push-only {po_bytes}, push-pull {pp_bytes}"

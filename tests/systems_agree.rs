@@ -17,9 +17,7 @@ fn four_systems_one_answer() {
     let nranks = 4;
     for ds in gen::table2_suite(DatasetSize::Tiny, 23) {
         let edges = ds.edges.clone();
-        let list = EdgeList::from_vec(
-            edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-        );
+        let list = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
         let counts = World::new(nranks).run(|comm| {
             let local_topo = strided(&edges, comm.rank(), comm.nranks());
             let local_list = list.stride_for_rank(comm.rank(), comm.nranks());
@@ -67,9 +65,7 @@ fn pearce_sends_more_records_than_tripoll() {
     // wedge-heavy graph.
     let ds = gen::twitter_like(DatasetSize::Tiny, 31);
     let edges = ds.edges.clone();
-    let list = EdgeList::from_vec(
-        edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
-    );
+    let list = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
     let nranks = 4;
 
     let tripoll_out = World::new(nranks).run_with_stats(|comm| {

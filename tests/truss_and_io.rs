@@ -21,7 +21,10 @@ fn distributed_edge_supports_match_serial_truss_inputs() {
     });
 
     let list = EdgeList::from_vec(
-        ds.edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>(),
+        ds.edges
+            .iter()
+            .map(|&(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
     );
     let out = World::new(4).run(|comm| {
         let local = list.stride_for_rank(comm.rank(), comm.nranks());
@@ -84,8 +87,7 @@ fn survey_inputs_roundtrip_through_files() {
     let run = |list: &EdgeList<u64>| {
         let out = World::new(2).run(|comm| {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
-            let g: DistGraph<(), u64> =
-                build_dist_graph(comm, local, |_| (), Partition::Hashed);
+            let g: DistGraph<(), u64> = build_dist_graph(comm, local, |_| (), Partition::Hashed);
             closure_time_survey(comm, &g, EngineMode::PushPull, |&t| t).0
         });
         out.into_iter().next().unwrap()
