@@ -1,14 +1,16 @@
 //! Micro-benchmarks for the hot kernels underneath TriPoll: wire codec,
 //! varints, send-buffer accumulation, merge-path intersection, the
-//! deterministic hash — plus a head-to-head of the **materialized**
-//! (pre-PR) vs **encode-once** (current) push paths and an instrumented
-//! survey run.
+//! deterministic hash — plus head-to-heads of the **materialized**
+//! (pre-PR) vs **encode-once** (current) push encode paths, the
+//! **owned** vs **cursor** (zero-copy) receive decode paths, and an
+//! instrumented survey run.
 //!
 //! Besides the human-readable lines, the harness writes
-//! `BENCH_micro.json` (schema `tripoll-bench-micro/v1`) so successive
+//! `BENCH_micro.json` (schema `tripoll-bench-micro/v2`) so successive
 //! PRs can track the perf trajectory mechanically: kernel ns/iter,
-//! bytes sent, envelope counts, an allocation-count proxy for the push
-//! path, and wall time.
+//! bytes sent, envelope counts, allocation-count proxies for the push
+//! (encode) and recv (decode) paths, and wall time. CI diffs the recv
+//! allocation proxy against the committed baseline (`bench_diff`).
 
 use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -21,7 +23,7 @@ use tripoll_graph::{build_dist_graph, DistGraph, EdgeList, OrderKey, Partition};
 use tripoll_ygm::buffer::{BufferPool, SendBuffer};
 use tripoll_ygm::hash::hash64;
 use tripoll_ygm::wire::{
-    encode_seq, from_bytes, put_varint, to_bytes, Wire, WireEncode, WireReader,
+    encode_seq, from_bytes, put_varint, to_bytes, Lazy, SeqCursor, Wire, WireEncode, WireReader,
 };
 use tripoll_ygm::World;
 
@@ -301,6 +303,140 @@ fn compare_push_paths() -> (PathRun, PathRun) {
     (old, new)
 }
 
+/// Builds the receive side's input: `PUSH_BATCHES` wedge-batch records
+/// concatenated, exactly as one envelope's payload lays them out
+/// (handler-id varints excluded — they are identical for both decode
+/// paths and not part of the comparison).
+fn encoded_push_stream(adj: &[Entry]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for b in 0..PUSH_BATCHES {
+        (
+            b as u64,
+            b as u64 + 1,
+            &42u64,
+            &7u64,
+            encode_seq(adj, |e: &Entry, out| {
+                e.v.encode(out);
+                e.degree.encode(out);
+                e.em.encode(out);
+            }),
+        )
+            .encode_wire(&mut buf);
+    }
+    buf
+}
+
+/// The pre-PR receive path: decode an owned message (materializing the
+/// `Vec<Candidate>`), then walk the candidates. Every 8th candidate
+/// counts as a "triangle match" whose metadata is actually read.
+fn decode_batches_owned(buf: &[u8]) -> u64 {
+    let mut r = WireReader::new(buf);
+    let mut acc = 0u64;
+    while !r.is_empty() {
+        let (p, q, mp, mpq, cands): PushLikeMsg = Wire::decode(&mut r).expect("owned decode");
+        acc = acc
+            .wrapping_add(p)
+            .wrapping_add(q)
+            .wrapping_add(mp)
+            .wrapping_add(mpq);
+        for (i, c) in cands.iter().enumerate() {
+            acc = acc.wrapping_add(c.0).wrapping_add(c.1);
+            if i.is_multiple_of(8) {
+                acc = acc.wrapping_add(c.2);
+            }
+        }
+    }
+    acc
+}
+
+/// The current receive path: scalars decode eagerly, candidates stream
+/// through a [`SeqCursor`] straight off the buffer, and per-candidate
+/// metadata is a [`Lazy`] byte range decoded only on the simulated
+/// matches — zero heap allocations end to end.
+fn decode_batches_cursor(buf: &[u8]) -> u64 {
+    let mut r = WireReader::new(buf);
+    let mut acc = 0u64;
+    while !r.is_empty() {
+        let p = u64::decode(&mut r).expect("p");
+        let q = u64::decode(&mut r).expect("q");
+        let mp = u64::decode(&mut r).expect("meta_p");
+        let mpq = u64::decode(&mut r).expect("meta_pq");
+        acc = acc
+            .wrapping_add(p)
+            .wrapping_add(q)
+            .wrapping_add(mp)
+            .wrapping_add(mpq);
+        let mut cur = SeqCursor::begin(&mut r).expect("seq prefix");
+        let mut i = 0usize;
+        while let Some(item) = cur.next_with(|r| {
+            let v = u64::decode(r)?;
+            let d = u64::decode(r)?;
+            let em = Lazy::<u64>::capture(r)?;
+            Ok((v, d, em))
+        }) {
+            let (v, d, em) = item.expect("candidate");
+            acc = acc.wrapping_add(v).wrapping_add(d);
+            if i.is_multiple_of(8) {
+                acc = acc.wrapping_add(em.get().expect("match meta"));
+            }
+            i += 1;
+        }
+    }
+    acc
+}
+
+/// Old-vs-new comparison of the wedge-batch decode (receive) path.
+fn compare_recv_paths() -> (PathRun, PathRun) {
+    let adj = synthetic_adjacency(PUSH_CANDIDATES);
+    let buf = encoded_push_stream(&adj);
+    // Warm-up + differential check: both paths must read every value
+    // identically before either is timed.
+    assert_eq!(
+        decode_batches_owned(&buf),
+        decode_batches_cursor(&buf),
+        "decode paths disagree"
+    );
+    let measure = |f: &dyn Fn(&[u8]) -> u64| {
+        let before_allocs = allocs_now();
+        let start = Instant::now();
+        let acc = black_box(f(&buf));
+        let ns = start.elapsed().as_nanos() as f64;
+        let allocs = allocs_now() - before_allocs;
+        black_box(acc);
+        PathRun {
+            allocs,
+            ns,
+            bytes: buf.len(),
+        }
+    };
+    let old = measure(&decode_batches_owned);
+    let new = measure(&decode_batches_cursor);
+    println!(
+        "recv_path/materialized                    {:>12.1} ns/batch  {:>8} allocs  {:>9} bytes",
+        old.ns / PUSH_BATCHES as f64,
+        old.allocs,
+        old.bytes
+    );
+    println!(
+        "recv_path/cursor                          {:>12.1} ns/batch  {:>8} allocs  {:>9} bytes",
+        new.ns / PUSH_BATCHES as f64,
+        new.allocs,
+        new.bytes
+    );
+    // Deliberately NOT asserted to be zero here: the harness records
+    // reality in BENCH_micro.json and CI's bench_diff gate enforces the
+    // policy (committed baseline 0 allocs ⇒ any allocation fails). A
+    // hard assert would kill the bench before the report is written,
+    // leaving the gate nothing to diagnose.
+    if new.allocs > 0 {
+        println!(
+            "WARNING: cursor receive path allocated {} times (expected 0)",
+            new.allocs
+        );
+    }
+    (old, new)
+}
+
 /// Instrumented end-to-end survey: exact communication counters plus
 /// wall time for both engines on a deterministic R-MAT graph.
 struct SurveyRun {
@@ -350,10 +486,12 @@ fn write_json(
     kernels: &[criterion::BenchResult],
     old: &PathRun,
     new: &PathRun,
+    recv_old: &PathRun,
+    recv_new: &PathRun,
     surveys: &[SurveyRun],
 ) {
     let mut j = String::from("{\n");
-    j.push_str("  \"schema\": \"tripoll-bench-micro/v1\",\n");
+    j.push_str("  \"schema\": \"tripoll-bench-micro/v2\",\n");
 
     j.push_str("  \"kernels\": [\n");
     for (i, k) in kernels.iter().enumerate() {
@@ -383,6 +521,24 @@ fn write_json(
         alloc_reduction
     ));
 
+    let recv_reduction = if recv_old.allocs > 0 {
+        100.0 * (1.0 - recv_new.allocs as f64 / recv_old.allocs as f64)
+    } else {
+        0.0
+    };
+    j.push_str(&format!(
+        "  \"recv_path\": {{\n    \"batches\": {PUSH_BATCHES},\n    \"candidates_per_batch\": {PUSH_CANDIDATES},\n    \"materialized\": {{\"allocs\": {}, \"allocs_per_batch\": {:.4}, \"ns_per_batch\": {:.1}, \"bytes\": {}}},\n    \"cursor\": {{\"allocs\": {}, \"allocs_per_batch\": {:.4}, \"ns_per_batch\": {:.1}, \"bytes\": {}}},\n    \"alloc_reduction_pct\": {:.1}\n  }},\n",
+        recv_old.allocs,
+        recv_old.allocs as f64 / PUSH_BATCHES as f64,
+        recv_old.ns / PUSH_BATCHES as f64,
+        recv_old.bytes,
+        recv_new.allocs,
+        recv_new.allocs as f64 / PUSH_BATCHES as f64,
+        recv_new.ns / PUSH_BATCHES as f64,
+        recv_new.bytes,
+        recv_reduction
+    ));
+
     j.push_str("  \"surveys\": [\n");
     for (i, s) in surveys.iter().enumerate() {
         let st = &s.stats;
@@ -392,7 +548,7 @@ fn write_json(
             0.0
         };
         j.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"nranks\": {}, \"triangles\": {}, \"wall_seconds\": {:.4}, \"bytes_total\": {}, \"bytes_encoded\": {}, \"encode_savings_pct\": {:.1}, \"envelopes_total\": {}, \"records_total\": {}, \"records_encoded\": {}, \"pool_reuses\": {}}}{}\n",
+            "    {{\"mode\": \"{}\", \"nranks\": {}, \"triangles\": {}, \"wall_seconds\": {:.4}, \"bytes_total\": {}, \"bytes_encoded\": {}, \"encode_savings_pct\": {:.1}, \"envelopes_total\": {}, \"records_total\": {}, \"records_encoded\": {}, \"pool_reuses\": {}, \"records_borrowed\": {}, \"bytes_decoded_in_place\": {}}}{}\n",
             s.mode,
             s.nranks,
             s.triangles,
@@ -404,6 +560,8 @@ fn write_json(
             st.records_remote + st.records_local,
             st.records_encoded,
             st.pool_reuses,
+            st.records_borrowed,
+            st.bytes_decoded_in_place,
             if i + 1 < surveys.len() { "," } else { "" }
         ));
     }
@@ -432,6 +590,7 @@ fn main() {
 
     println!();
     let (old, new) = compare_push_paths();
+    let (recv_old, recv_new) = compare_recv_paths();
 
     let mut surveys = Vec::new();
     for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
@@ -453,5 +612,5 @@ fn main() {
     let t0 = surveys[0].triangles;
     assert!(surveys.iter().all(|s| s.triangles == t0), "count mismatch");
 
-    write_json(c.results(), &old, &new, &surveys);
+    write_json(c.results(), &old, &new, &recv_old, &recv_new, &surveys);
 }

@@ -1,0 +1,129 @@
+//! Bench-regression gate over `BENCH_micro.json`.
+//!
+//! ```text
+//! cargo run -p tripoll-bench --bin bench_diff -- <baseline.json> <new.json>
+//! ```
+//!
+//! Compares the receive-path allocation proxy (`recv_path.cursor`
+//! allocs-per-batch) of a fresh bench run against the committed
+//! baseline and exits non-zero on a >10% regression — the CI guard for
+//! the zero-copy receive property. Wall-time numbers are deliberately
+//! *not* gated (CI machines are too noisy); allocation counts are
+//! deterministic.
+//!
+//! The parser is a minimal scraper for the known
+//! `tripoll-bench-micro/v2` schema (the container vendors no JSON
+//! crate); a baseline predating the `recv_path` section passes with a
+//! notice so the gate can be adopted in the same change that introduces
+//! the section.
+
+use std::process::ExitCode;
+
+/// Allowed relative growth of allocs-per-batch before the gate fails.
+const MAX_REGRESSION: f64 = 0.10;
+
+/// Returns the text after the first occurrence of `"key"` in `s`.
+fn after_key<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    Some(&s[s.find(&needle)? + needle.len()..])
+}
+
+/// Reads the number following `"key":` in `s` (first occurrence).
+fn number_after(s: &str, key: &str) -> Option<f64> {
+    let t = after_key(s, key)?;
+    let t = t[t.find(':')? + 1..].trim_start();
+    let end = t
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(t.len());
+    t[..end].parse().ok()
+}
+
+/// Extracts `recv_path.cursor` allocs-per-batch from one report.
+fn recv_allocs_per_batch(json: &str) -> Option<f64> {
+    let recv = after_key(json, "recv_path")?;
+    let batches = number_after(recv, "batches")?;
+    let cursor = after_key(recv, "cursor")?;
+    let allocs = number_after(cursor, "allocs")?;
+    if batches <= 0.0 {
+        return None;
+    }
+    Some(allocs / batches)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, new_path] = &args[..] else {
+        eprintln!("usage: bench_diff <baseline.json> <new.json>");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(fresh)) = (read(baseline_path), read(new_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let Some(new_apb) = recv_allocs_per_batch(&fresh) else {
+        eprintln!("bench_diff: {new_path} has no recv_path section — did the micro bench run?");
+        return ExitCode::FAILURE;
+    };
+    let Some(base_apb) = recv_allocs_per_batch(&baseline) else {
+        println!(
+            "bench_diff: baseline {baseline_path} predates the recv_path section; \
+             recording {new_apb:.4} allocs/batch as the new reference"
+        );
+        return ExitCode::SUCCESS;
+    };
+
+    println!("recv-path candidate-list allocs/batch: baseline {base_apb:.4}, new {new_apb:.4}");
+    // A zero baseline is the zero-copy contract itself: any allocation
+    // at all is a regression, not a percentage.
+    let limit = if base_apb == 0.0 {
+        0.0
+    } else {
+        base_apb * (1.0 + MAX_REGRESSION)
+    };
+    if new_apb > limit {
+        eprintln!(
+            "bench_diff: FAIL — recv-path allocs/batch regressed beyond {:.0}% ({base_apb:.4} -> {new_apb:.4})",
+            MAX_REGRESSION * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_diff: OK (limit {limit:.4})");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "tripoll-bench-micro/v2",
+  "recv_path": {
+    "batches": 4096,
+    "materialized": {"allocs": 4096, "allocs_per_batch": 1.0},
+    "cursor": {"allocs": 0, "allocs_per_batch": 0.0000, "ns_per_batch": 687.1}
+  }
+}"#;
+
+    #[test]
+    fn extracts_cursor_allocs() {
+        assert_eq!(recv_allocs_per_batch(SAMPLE), Some(0.0));
+    }
+
+    #[test]
+    fn missing_section_is_none() {
+        assert_eq!(recv_allocs_per_batch("{\"schema\": \"v1\"}"), None);
+    }
+
+    #[test]
+    fn nonzero_allocs_extracted() {
+        let s = SAMPLE.replace("\"allocs\": 0,", "\"allocs\": 2048,");
+        assert_eq!(recv_allocs_per_batch(&s), Some(0.5));
+    }
+}

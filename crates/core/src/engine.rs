@@ -32,6 +32,23 @@ impl std::fmt::Display for EngineMode {
     }
 }
 
+/// How the engines decode received wedge batches.
+///
+/// Both paths are byte-compatible on the wire (senders are identical)
+/// and emit identical surveys; they differ only in receive-side cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodePath {
+    /// Cursor-decode candidate batches **in place** from the receive
+    /// buffer: zero heap allocation per batch, candidate metadata
+    /// materialized only on triangle matches. The production default.
+    #[default]
+    Cursor,
+    /// Materialize an owned `Vec<Candidate>` per batch before
+    /// intersecting — the pre-zero-copy reference path, kept for
+    /// differential testing of the cursor decoders.
+    Owned,
+}
+
 /// Timing and traffic of one engine phase, local to this rank.
 #[derive(Debug, Clone)]
 pub struct PhaseReport {
@@ -131,6 +148,42 @@ pub fn merge_path<L, R>(
     }
 }
 
+/// Streaming merge-path: intersects a cursor-produced left sequence
+/// against a `<+`-sorted slice without materializing the left side.
+///
+/// `next` yields left elements in strictly increasing key order (a
+/// [`tripoll_ygm::wire::SeqCursor`] or [`tripoll_ygm::wire::SeqWalk`]
+/// over a sorted candidate list); `on_match` runs for every key-equal
+/// pair and may fail (e.g. a lazy metadata decode). Returns early once
+/// `right` is exhausted — when the left side is a [`SeqCursor`] sharing
+/// a record-framing reader, the caller must then `skip_rest` so the
+/// record boundary stays intact.
+///
+/// [`SeqCursor`]: tripoll_ygm::wire::SeqCursor
+#[inline]
+pub fn merge_path_stream<L, R, E>(
+    mut next: impl FnMut() -> Option<Result<L, E>>,
+    right: &[R],
+    key_l: impl Fn(&L) -> OrderKey,
+    key_r: impl Fn(&R) -> OrderKey,
+    mut on_match: impl FnMut(L, &R) -> Result<(), E>,
+) -> Result<(), E> {
+    let mut b = 0;
+    while b < right.len() {
+        let Some(item) = next() else { break };
+        let l = item?;
+        let kl = key_l(&l);
+        while b < right.len() && key_r(&right[b]) < kl {
+            b += 1;
+        }
+        if b < right.len() && key_r(&right[b]) == kl {
+            on_match(l, &right[b])?;
+            b += 1;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +234,45 @@ mod tests {
         let mut called = false;
         merge_path(&left, &right, |l| l.1, |r| r.1, |_, _| called = true);
         assert!(!called);
+    }
+
+    #[test]
+    fn merge_path_stream_matches_merge_path() {
+        // Same key spaces as merge_path_intersects, fed as a stream.
+        let all = keys(&[10, 11, 12, 13, 14, 15]);
+        let right: Vec<_> = all.iter().filter(|(v, _)| v % 2 == 0).cloned().collect();
+        let mut expected = Vec::new();
+        merge_path(&all, &right, |l| l.1, |r| r.1, |l, _| expected.push(l.0));
+        let mut it = all.iter();
+        let mut streamed = Vec::new();
+        merge_path_stream(
+            || it.next().map(|l| Ok::<_, ()>(*l)),
+            &right,
+            |l| l.1,
+            |r| r.1,
+            |l, r| {
+                assert_eq!(l.0, r.0);
+                streamed.push(l.0);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(streamed, expected);
+        assert_eq!(streamed, vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn merge_path_stream_propagates_errors() {
+        let all = keys(&[1, 2, 3]);
+        let mut it = all.iter();
+        let err = merge_path_stream(
+            || it.next().map(|l| Ok::<_, &str>(*l)),
+            &all,
+            |l| l.1,
+            |r| r.1,
+            |_, _| Err("match failed"),
+        );
+        assert_eq!(err, Err("match failed"));
     }
 
     #[test]

@@ -47,8 +47,10 @@ pub mod push_only;
 pub mod push_pull;
 pub mod surveys;
 
-pub use engine::{merge_path, EngineMode, PhaseReport, SurveyReport};
+pub use engine::{
+    merge_path, merge_path_stream, DecodePath, EngineMode, PhaseReport, SurveyReport,
+};
 pub use meta::{SurveyCallback, TriangleMeta};
-pub use push_only::survey_push_only;
-pub use push_pull::survey_push_pull;
+pub use push_only::{survey_push_only, survey_push_only_with};
+pub use push_pull::{survey_push_pull, survey_push_pull_with};
 pub use surveys::survey;

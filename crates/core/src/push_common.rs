@@ -9,14 +9,39 @@
 //! `meta(q)` and `meta(q,r)` are stored at `Rank(q)`, and `meta(r)` is
 //! already in `Adjm+(q)`'s entry for `r` (it is deliberately *not*
 //! transmitted).
+//!
+//! # Zero-copy on both ends of the wire
+//!
+//! The hot path never materializes a candidate list on either side:
+//!
+//! * **Send** ([`push_wedge_batches`]): the suffix serializes directly
+//!   from `Adjm+(p)` storage via [`encode_seq`], metadata by reference —
+//!   no `Vec<Candidate>`, no metadata clones.
+//! * **Receive** (the [`DecodePath::Cursor`] handler): candidates arrive
+//!   sorted by `<+` (they are a suffix of a sorted adjacency), so the
+//!   merge-path intersection consumes them **straight off the receive
+//!   buffer** through a [`SeqCursor`] — zero heap allocations per batch.
+//!   Per-candidate `meta(p,r)` is captured as a [`Lazy`] byte range and
+//!   decoded only when the candidate actually closes a triangle; after
+//!   `Adjm+(q)` is exhausted, the cursor skip-walks the remaining
+//!   candidates to keep the envelope's record framing intact.
+//!
+//! The owned decode path ([`DecodePath::Owned`]) — decode a full
+//! [`PushMsg`], then intersect — is retained as the differential-testing
+//! reference; both paths read the same bytes and emit identical surveys.
+//!
+//! A push that arrives for a vertex its receiving rank does not own can
+//! only mean ownership disagreement between ranks (a partition bug, not
+//! a data race); the handler raises a structured [`Comm::abort`] naming
+//! the sending rank instead of unwinding mid-dispatch with a bare panic.
 
 use std::rc::Rc;
 
 use tripoll_graph::{AdjEntry, DistGraph, OrderKey};
-use tripoll_ygm::wire::{encode_seq, Wire};
+use tripoll_ygm::wire::{encode_seq, Lazy, SeqCursor, Wire, WireError, WireReader};
 use tripoll_ygm::{Comm, Handler};
 
-use crate::engine::merge_path;
+use crate::engine::{merge_path, merge_path_stream, DecodePath};
 use crate::meta::TriangleMeta;
 
 /// Type-erased survey callback held by engine handlers.
@@ -31,9 +56,121 @@ pub(crate) type Candidate<EM> = (u64, u64, EM);
 /// A pushed wedge batch: `(p, q, meta(p), meta(p,q), candidates)`.
 pub(crate) type PushMsg<VM, EM> = (u64, u64, VM, EM, Vec<Candidate<EM>>);
 
+/// A [`Candidate`] decoded in place: eager identity and sort key, lazy
+/// metadata (materialized only for triangle matches).
+pub(crate) struct CandView<'a, EM> {
+    /// Candidate vertex `r`.
+    pub v: u64,
+    /// `r`'s position in the `<+` order.
+    pub key: OrderKey,
+    /// Captured-but-undecoded `meta(p, r)`.
+    pub em: Lazy<'a, EM>,
+}
+
+/// Decodes one [`Candidate`]'s wire bytes as a [`CandView`] — the
+/// borrowed mirror of [`encode_candidate`]; must stay in lockstep with
+/// the [`Candidate`] type.
+#[inline]
+pub(crate) fn decode_candidate_view<'a, EM: Wire>(
+    r: &mut WireReader<'a>,
+) -> Result<CandView<'a, EM>, WireError> {
+    let v = u64::decode(r)?;
+    let degree = u64::decode(r)?;
+    let em = Lazy::capture(r)?;
+    Ok(CandView {
+        v,
+        key: OrderKey::new(v, degree),
+        em,
+    })
+}
+
+/// Raises the structured partition-disagreement abort for a push whose
+/// target vertex is not owned by the receiving rank. The sender of a
+/// wedge batch is the owner of its source vertex `p` — but ownership
+/// is computed from *this* rank's partition map, which is exactly what
+/// is in question when the abort fires, so it is reported as presumed.
+fn abort_unowned_push<VM, EM>(c: &Comm, g: &DistGraph<VM, EM>, p: u64, q: u64) -> ! {
+    c.abort(format_args!(
+        "push for vertex {q} (wedge source p={p}, presumed sender rank {sender} = owner of p \
+         under this rank's partition map) arrived on a rank that does not own {q} — vertex \
+         ownership disagrees across ranks; aborting survey",
+        sender = g.owner(p)
+    ))
+}
+
 /// Registers the push handler: intersect candidates with `Adjm+(q)` and
-/// run the callback on every triangle. Collective (handler registration).
+/// run the callback on every triangle. Collective (handler registration,
+/// so every rank must pass the same `decode`).
 pub(crate) fn register_push_handler<VM, EM>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    cb: DynCallback<VM, EM>,
+    decode: DecodePath,
+) -> Handler<PushMsg<VM, EM>>
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+{
+    match decode {
+        DecodePath::Cursor => register_push_handler_cursor(comm, graph, cb),
+        DecodePath::Owned => register_push_handler_owned(comm, graph, cb),
+    }
+}
+
+/// The zero-copy receive handler: merge-path directly over the wire
+/// bytes (see module docs).
+fn register_push_handler_cursor<VM, EM>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    cb: DynCallback<VM, EM>,
+) -> Handler<PushMsg<VM, EM>>
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+{
+    let g = graph.clone();
+    comm.register_borrowed::<PushMsg<VM, EM>, _>(move |c, r| {
+        let p = u64::decode(r)?;
+        let q = u64::decode(r)?;
+        let meta_p = VM::decode(r)?;
+        let meta_pq = EM::decode(r)?;
+        let mut cands = SeqCursor::begin_typed::<Candidate<EM>>(r)?;
+        let Some(lv) = g.shard().get(q) else {
+            abort_unowned_push(c, &g, p, q);
+        };
+        // Merge-path walks both lists once: that is the wedge-check work.
+        c.add_work((cands.len() + lv.adj.len()) as u64);
+        merge_path_stream(
+            || cands.next_with(decode_candidate_view::<EM>),
+            &lv.adj,
+            |cand| cand.key,
+            |e| e.key,
+            |cand, e| {
+                debug_assert_eq!(cand.v, e.v, "OrderKey equality implies vertex equality");
+                let meta_pr = cand.em.get()?;
+                let tm = TriangleMeta {
+                    p,
+                    q,
+                    r: e.v,
+                    meta_p: &meta_p,
+                    meta_q: &lv.meta,
+                    meta_r: &e.vm,
+                    meta_pq: &meta_pq,
+                    meta_pr: &meta_pr,
+                    meta_qr: &e.em,
+                };
+                cb(c, &tm);
+                Ok(())
+            },
+        )?;
+        // Adjm+(q) exhausted before the batch: restore record framing.
+        cands.skip_rest::<Candidate<EM>>()
+    })
+}
+
+/// The materializing reference handler (pre-zero-copy receive), kept
+/// for differential testing against the cursor path.
+fn register_push_handler_owned<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
     cb: DynCallback<VM, EM>,
@@ -44,13 +181,9 @@ where
 {
     let g = graph.clone();
     comm.register::<PushMsg<VM, EM>, _>(move |c, (p, q, meta_p, meta_pq, candidates)| {
-        let lv = g.shard().get(q).unwrap_or_else(|| {
-            panic!(
-                "push for vertex {q} arrived on rank {} which does not own it",
-                c.rank()
-            )
-        });
-        // Merge-path walks both lists once: that is the wedge-check work.
+        let Some(lv) = g.shard().get(q) else {
+            abort_unowned_push(c, &g, p, q);
+        };
         c.add_work((candidates.len() + lv.adj.len()) as u64);
         merge_path(
             &candidates,

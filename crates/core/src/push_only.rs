@@ -12,7 +12,7 @@ use tripoll_graph::DistGraph;
 use tripoll_ygm::wire::Wire;
 use tripoll_ygm::Comm;
 
-use crate::engine::{EngineMode, PhaseTimer, SurveyReport};
+use crate::engine::{DecodePath, EngineMode, PhaseTimer, SurveyReport};
 use crate::meta::SurveyCallback;
 use crate::push_common::{push_wedge_batches, register_push_handler, DynCallback};
 
@@ -20,7 +20,9 @@ use crate::push_common::{push_wedge_batches, register_push_handler, DynCallback}
 /// triangle on the rank where the metadata is colocated (`Rank(q)`).
 ///
 /// Collective: every rank calls with the same graph and an equivalent
-/// callback. Returns this rank's [`SurveyReport`].
+/// callback. Returns this rank's [`SurveyReport`]. Wedge batches are
+/// decoded in place ([`DecodePath::Cursor`]); see
+/// [`survey_push_only_with`] to select the decode path explicitly.
 pub fn survey_push_only<VM, EM, F>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
@@ -31,8 +33,25 @@ where
     EM: Wire + Clone + 'static,
     F: SurveyCallback<VM, EM>,
 {
+    survey_push_only_with(comm, graph, DecodePath::Cursor, callback)
+}
+
+/// [`survey_push_only`] with an explicit receive [`DecodePath`] —
+/// `decode` is part of the collective contract (same value on every
+/// rank). [`DecodePath::Owned`] exists for differential testing.
+pub fn survey_push_only_with<VM, EM, F>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    decode: DecodePath,
+    callback: F,
+) -> SurveyReport
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+    F: SurveyCallback<VM, EM>,
+{
     let cb: DynCallback<VM, EM> = Rc::new(callback);
-    let handler = register_push_handler(comm, graph, cb);
+    let handler = register_push_handler(comm, graph, cb, decode);
 
     let timer = PhaseTimer::begin(comm, "push");
     push_wedge_batches(comm, graph, &handler, |_| false);
@@ -129,6 +148,40 @@ mod tests {
         });
         // K4 on {0,1,2,3} has 4 triangles.
         assert_eq!(out, vec![4, 4, 4]);
+    }
+
+    fn misrouted_push(decode: crate::engine::DecodePath) {
+        use crate::push_common::register_push_handler;
+        // A push handler is registered normally, then one wedge batch is
+        // deliberately sent to the rank that does NOT own its target:
+        // the survey must abort with a structured error naming the
+        // sending rank, not a bare unwrap panic.
+        let edges = [(0u64, 1u64), (1, 2), (2, 0)];
+        let list = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
+        World::new(2).run(|comm| {
+            let local = list.stride_for_rank(comm.rank(), comm.nranks());
+            let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
+            let cb: crate::push_common::DynCallback<(), ()> = Rc::new(|_c, _tm| {});
+            let h = register_push_handler(comm, &g, cb, decode);
+            if comm.rank() == 0 {
+                let q = 0u64;
+                let wrong = (g.owner(q) + 1) % comm.nranks();
+                comm.send(wrong, &h, &(1u64, q, (), (), Vec::<(u64, u64, ())>::new()));
+            }
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex ownership disagrees across ranks")]
+    fn misrouted_push_aborts_cleanly_cursor() {
+        misrouted_push(crate::engine::DecodePath::Cursor);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex ownership disagrees across ranks")]
+    fn misrouted_push_aborts_cleanly_owned() {
+        misrouted_push(crate::engine::DecodePath::Owned);
     }
 
     #[test]

@@ -25,13 +25,16 @@ use std::rc::Rc;
 
 use tripoll_graph::{DistGraph, OrderKey};
 use tripoll_ygm::hash::{FastMap, FastSet};
-use tripoll_ygm::wire::{encode_seq, Wire};
-use tripoll_ygm::Comm;
+use tripoll_ygm::wire::{encode_seq, SeqView, Wire};
+use tripoll_ygm::{Comm, Handler};
 
-use crate::engine::{merge_path, EngineMode, PhaseTimer, SurveyReport};
+use crate::engine::{
+    merge_path, merge_path_stream, DecodePath, EngineMode, PhaseTimer, SurveyReport,
+};
 use crate::meta::{SurveyCallback, TriangleMeta};
 use crate::push_common::{
-    encode_candidate, push_wedge_batches, register_push_handler, Candidate, DynCallback,
+    decode_candidate_view, encode_candidate, push_wedge_batches, register_push_handler, Candidate,
+    DynCallback,
 };
 
 /// Dry-run record: `(q, planned candidate count, source rank)`.
@@ -59,10 +62,29 @@ struct PpState {
 
 /// Runs a Push-Pull triangle survey; `callback` executes once per
 /// triangle, on `Rank(q)` for pushed wedges and on `Rank(p)` for pulled
-/// ones. Collective. Returns this rank's [`SurveyReport`].
+/// ones. Collective. Returns this rank's [`SurveyReport`]. Received
+/// batches are decoded in place ([`DecodePath::Cursor`]); see
+/// [`survey_push_pull_with`] to select the decode path explicitly.
 pub fn survey_push_pull<VM, EM, F>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
+    callback: F,
+) -> SurveyReport
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+    F: SurveyCallback<VM, EM>,
+{
+    survey_push_pull_with(comm, graph, DecodePath::Cursor, callback)
+}
+
+/// [`survey_push_pull`] with an explicit receive [`DecodePath`] —
+/// `decode` is part of the collective contract (same value on every
+/// rank). [`DecodePath::Owned`] exists for differential testing.
+pub fn survey_push_pull_with<VM, EM, F>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    decode: DecodePath,
     callback: F,
 ) -> SurveyReport
 where
@@ -75,7 +97,7 @@ where
 
     // Handler registration order is part of the SPMD contract: all four
     // registrations below happen on every rank in this exact order.
-    let push_handler = register_push_handler(comm, graph, cb.clone());
+    let push_handler = register_push_handler(comm, graph, cb.clone(), decode);
 
     let st_veto = st.clone();
     let veto_handler = comm.register::<u64, _>(move |_c, q| {
@@ -95,44 +117,7 @@ where
         }
     });
 
-    let st_pull = st.clone();
-    let g_pull = graph.clone();
-    let cb_pull = cb.clone();
-    let pull_handler = comm.register::<PullMsg<EM>, _>(move |c, (q, pulled_adj)| {
-        st_pull.borrow_mut().pulled += 1;
-        let s = st_pull.borrow();
-        let Some(resume) = s.resume.get(&q) else {
-            return;
-        };
-        let shard = g_pull.shard();
-        for &(slot, idx) in resume {
-            let lv = &shard.vertices()[slot as usize];
-            let eq = &lv.adj[idx as usize];
-            debug_assert_eq!(eq.v, q);
-            let suffix = &lv.adj[idx as usize + 1..];
-            c.add_work((suffix.len() + pulled_adj.len()) as u64);
-            merge_path(
-                suffix,
-                &pulled_adj,
-                |s| s.key,
-                |pe| OrderKey::new(pe.0, pe.1),
-                |s_entry, pe| {
-                    let tm = TriangleMeta {
-                        p: lv.id,
-                        q,
-                        r: s_entry.v,
-                        meta_p: &lv.meta,
-                        meta_q: &eq.vm,
-                        meta_r: &s_entry.vm,
-                        meta_pq: &eq.em,
-                        meta_pr: &s_entry.em,
-                        meta_qr: &pe.2,
-                    };
-                    cb_pull(c, &tm);
-                },
-            );
-        }
-    });
+    let pull_handler = register_pull_handler(comm, graph, st.clone(), cb.clone(), decode);
 
     // --- Phase 1: Push vs Pull Dry-Run -------------------------------
     let timer = PhaseTimer::begin(comm, "dry-run");
@@ -212,6 +197,116 @@ where
         phases: vec![dry_phase, push_phase, pull_phase],
         pulled_vertices: s.pulled,
         pull_grants: s.grants,
+    }
+}
+
+/// Registers the pull-delivery handler. Collective (same `decode` on
+/// every rank).
+///
+/// One arriving `Adjm+(q)` projection is intersected against **every**
+/// resume suffix recorded for `q`, so the cursor path captures the
+/// sequence's byte extent once ([`SeqView`], a single skip-walk) and
+/// re-walks it per suffix in place — no `Vec<Candidate>` is ever
+/// materialized, and `meta(q,r)` is decoded lazily, only for triangle
+/// matches. The owned path is the pre-zero-copy reference.
+fn register_pull_handler<VM, EM>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    st: Rc<RefCell<PpState>>,
+    cb: DynCallback<VM, EM>,
+    decode: DecodePath,
+) -> Handler<PullMsg<EM>>
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+{
+    match decode {
+        DecodePath::Cursor => {
+            let g = graph.clone();
+            comm.register_borrowed::<PullMsg<EM>, _>(move |c, r| {
+                let q = u64::decode(r)?;
+                let view: SeqView<'_, Candidate<EM>> = SeqView::capture(r)?;
+                st.borrow_mut().pulled += 1;
+                let s = st.borrow();
+                let Some(resume) = s.resume.get(&q) else {
+                    return Ok(());
+                };
+                let shard = g.shard();
+                for &(slot, idx) in resume {
+                    let lv = &shard.vertices()[slot as usize];
+                    let eq = &lv.adj[idx as usize];
+                    debug_assert_eq!(eq.v, q);
+                    let suffix = &lv.adj[idx as usize + 1..];
+                    c.add_work((suffix.len() + view.len()) as u64);
+                    let mut walk = view.walk();
+                    merge_path_stream(
+                        || walk.next_with(decode_candidate_view::<EM>),
+                        suffix,
+                        |pe| pe.key,
+                        |s_entry| s_entry.key,
+                        |pe, s_entry| {
+                            debug_assert_eq!(
+                                pe.v, s_entry.v,
+                                "OrderKey equality implies vertex equality"
+                            );
+                            let meta_qr = pe.em.get()?;
+                            let tm = TriangleMeta {
+                                p: lv.id,
+                                q,
+                                r: s_entry.v,
+                                meta_p: &lv.meta,
+                                meta_q: &eq.vm,
+                                meta_r: &s_entry.vm,
+                                meta_pq: &eq.em,
+                                meta_pr: &s_entry.em,
+                                meta_qr: &meta_qr,
+                            };
+                            cb(c, &tm);
+                            Ok(())
+                        },
+                    )?;
+                }
+                Ok(())
+            })
+        }
+        DecodePath::Owned => {
+            let g = graph.clone();
+            comm.register::<PullMsg<EM>, _>(move |c, (q, pulled_adj)| {
+                st.borrow_mut().pulled += 1;
+                let s = st.borrow();
+                let Some(resume) = s.resume.get(&q) else {
+                    return;
+                };
+                let shard = g.shard();
+                for &(slot, idx) in resume {
+                    let lv = &shard.vertices()[slot as usize];
+                    let eq = &lv.adj[idx as usize];
+                    debug_assert_eq!(eq.v, q);
+                    let suffix = &lv.adj[idx as usize + 1..];
+                    c.add_work((suffix.len() + pulled_adj.len()) as u64);
+                    merge_path(
+                        suffix,
+                        &pulled_adj,
+                        |s| s.key,
+                        |pe| OrderKey::new(pe.0, pe.1),
+                        |s_entry, pe| {
+                            let tm = TriangleMeta {
+                                p: lv.id,
+                                q,
+                                r: s_entry.v,
+                                meta_p: &lv.meta,
+                                meta_q: &eq.vm,
+                                meta_r: &s_entry.vm,
+                                meta_pq: &eq.em,
+                                meta_pr: &s_entry.em,
+                                meta_qr: &pe.2,
+                            };
+                            cb(c, &tm);
+                        },
+                    );
+                }
+            })
+        }
     }
 }
 

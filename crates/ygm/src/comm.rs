@@ -32,7 +32,7 @@ use parking_lot::Mutex;
 
 use crate::buffer::{BufferPool, SendBuffer};
 use crate::stats::RankCounters;
-use crate::wire::{put_varint, Wire, WireEncode, WireReader};
+use crate::wire::{put_varint, Wire, WireEncode, WireError, WireReader};
 
 /// Index of a simulated MPI rank.
 pub type Rank = usize;
@@ -252,6 +252,59 @@ impl Comm {
             id,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Registers a handler that decodes its message **in place** from
+    /// the receive buffer — the zero-copy receive path, mirror of the
+    /// encode-once sends.
+    ///
+    /// The closure receives the envelope's [`WireReader`] positioned at
+    /// the start of one `M`-encoded record and must consume **exactly**
+    /// that record's bytes (use [`crate::wire::SeqCursor`] /
+    /// [`crate::wire::SeqView`] / [`crate::wire::Lazy`] to walk
+    /// sequences without materializing them; `SeqCursor::skip_rest`
+    /// restores the record boundary after an early exit). Returning an
+    /// error aborts the rank like a failed owned decode would.
+    ///
+    /// Sends target it exactly like an owned handler: `M` is the wire
+    /// type the senders encode (or match via [`WireEncode`]). Must be
+    /// registered collectively, in the same order on every rank.
+    pub fn register_borrowed<M, F>(&self, f: F) -> Handler<M>
+    where
+        M: Wire + 'static,
+        F: Fn(&Comm, &mut WireReader<'_>) -> Result<(), WireError> + 'static,
+    {
+        let mut handlers = self.handlers.borrow_mut();
+        let id = u32::try_from(handlers.len()).expect("handler id overflow");
+        handlers.push(Rc::new(move |comm: &Comm, r: &mut WireReader<'_>| {
+            let start = r.position();
+            if let Err(e) = f(comm, r) {
+                panic!(
+                    "rank {}: failed to decode message in place for handler {id}: {e}",
+                    comm.rank()
+                );
+            }
+            let counters = comm.counters();
+            counters.records_borrowed.fetch_add(1, Ordering::Relaxed);
+            counters
+                .bytes_decoded_in_place
+                .fetch_add((r.position() - start) as u64, Ordering::Relaxed);
+        }));
+        Handler {
+            id,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Aborts the world with a structured reason: peers are poisoned
+    /// out of their barriers promptly (instead of waiting for this
+    /// rank's unwind to reach the world driver), and the driver
+    /// re-raises this message — not the peers' secondary aborts — as
+    /// the root cause.
+    pub fn abort(&self, reason: impl std::fmt::Display) -> ! {
+        let msg = format!("rank {} aborted: {reason}", self.rank);
+        self.shared.poisoned.store(true, Ordering::SeqCst);
+        panic!("{msg}");
     }
 
     /// Sends `msg` to be executed by handler `h` on rank `dest`
@@ -964,6 +1017,93 @@ mod tests {
         });
         let total: u64 = stats.stats.iter().map(|s| s.pool_reuses).sum();
         assert!(total > 0, "expected pooled buffer reuse, got {total}");
+    }
+
+    #[test]
+    fn borrowed_handler_decodes_in_place_and_counts() {
+        use crate::wire::SeqCursor;
+        // Rank 0 sends (tag, candidate list) records; the receiver
+        // consumes them through a streaming cursor with no owned
+        // message, and the new counters reflect the in-place decode.
+        let nranks = 2;
+        let stats = World::new(nranks).run_with_stats(|comm| {
+            let sum = Rc::new(Cell::new(0u64));
+            let sum2 = sum.clone();
+            let h = comm.register_borrowed::<(u64, Vec<u64>), _>(move |_c, r| {
+                let tag = u64::decode(r)?;
+                let mut cur = SeqCursor::begin(r)?;
+                let mut acc = tag;
+                while let Some(v) = cur.next_value::<u64>() {
+                    acc += v?;
+                }
+                sum2.set(sum2.get() + acc);
+                Ok(())
+            });
+            if comm.rank() == 0 {
+                comm.send(1, &h, &(100u64, vec![1u64, 2, 3]));
+                comm.send(1, &h, &(200u64, vec![10u64, 20]));
+            }
+            comm.barrier();
+            if comm.rank() == 1 {
+                assert_eq!(sum.get(), 100 + 6 + 200 + 30);
+            }
+        });
+        assert_eq!(stats.stats[1].records_borrowed, 2);
+        assert!(stats.stats[1].bytes_decoded_in_place > 0);
+        // Every payload byte was decoded in place: sent bytes minus the
+        // one-byte handler id each of the two records carries.
+        assert_eq!(
+            stats.stats[1].bytes_decoded_in_place,
+            stats.stats[0].bytes_total() - 2
+        );
+        assert_eq!(stats.stats[0].records_borrowed, 0);
+    }
+
+    #[test]
+    fn borrowed_and_owned_handlers_share_envelopes() {
+        // Records for both handler kinds interleave in one buffer; the
+        // borrowed handler must leave the reader exactly at the next
+        // record (exercised by skip_rest after a partial walk).
+        use crate::wire::SeqCursor;
+        let out: Vec<(u64, u64)> = World::new(2).run(|comm| {
+            let owned_sum = Rc::new(Cell::new(0u64));
+            let borrowed_sum = Rc::new(Cell::new(0u64));
+            let os = owned_sum.clone();
+            let bs = borrowed_sum.clone();
+            let h_owned = comm.register::<u64, _>(move |_c, v| {
+                os.set(os.get() + v);
+            });
+            let h_borrowed = comm.register_borrowed::<Vec<u64>, _>(move |_c, r| {
+                let mut cur = SeqCursor::begin(r)?;
+                // Consume only the first element, then skip the rest.
+                if let Some(v) = cur.next_value::<u64>() {
+                    bs.set(bs.get() + v?);
+                }
+                cur.skip_rest::<u64>()
+            });
+            let dest = (comm.rank() + 1) % comm.nranks();
+            for i in 0..10u64 {
+                comm.send(dest, &h_owned, &i);
+                comm.send(dest, &h_borrowed, &vec![i, 1000, 2000]);
+            }
+            comm.barrier();
+            (owned_sum.get(), borrowed_sum.get())
+        });
+        for (owned, borrowed) in out {
+            assert_eq!(owned, 45);
+            assert_eq!(borrowed, 45, "only first elements summed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 aborted: bad wedge batch")]
+    fn abort_names_rank_and_reason_and_releases_peers() {
+        World::new(3).run(|comm| {
+            if comm.rank() == 1 {
+                comm.abort(format_args!("bad wedge batch from rank {}", 0));
+            }
+            comm.barrier();
+        });
     }
 
     #[test]

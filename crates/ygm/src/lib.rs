@@ -18,7 +18,11 @@
 //! * [`Comm::barrier`] is a quiescence barrier: it completes when all
 //!   ranks arrived *and* no sent record anywhere remains unprocessed.
 //! * [`wire::Wire`] is the serialization layer (the `cereal` stand-in):
-//!   varint-packed, length-prefixed, allocation-checked decoding.
+//!   varint-packed, length-prefixed, allocation-checked decoding, with
+//!   borrowed mirrors on both ends — [`wire::WireEncode`] for
+//!   encode-once sends, [`wire::WireDecode`] views ([`wire::SeqCursor`]
+//!   / [`wire::SeqView`] / [`wire::Lazy`]) for zero-copy receive via
+//!   [`Comm::register_borrowed`].
 //! * [`container`] offers the distributed map / counting set / bag that
 //!   TriPoll's storage and surveys are built from.
 //! * [`stats`] + [`cost`] expose per-rank traffic counters and an α-β-γ
@@ -73,6 +77,8 @@ pub mod prelude {
     pub use crate::cost::CostModel;
     pub use crate::hash::{hash64, FastMap, FastSet};
     pub use crate::stats::CommStats;
-    pub use crate::wire::{Wire, WireError, WireReader};
+    pub use crate::wire::{
+        Lazy, SeqCursor, SeqView, Wire, WireDecode, WireEncode, WireError, WireReader,
+    };
     pub use crate::world::{World, WorldOutput};
 }

@@ -51,6 +51,16 @@ pub struct RankCounters {
     /// Send-buffer drains whose replacement allocation came from the
     /// recycled-buffer pool instead of the allocator.
     pub pool_reuses: AtomicU64,
+    /// Records decoded **in place** from the receive buffer (zero-copy
+    /// receive handlers). `handlers_run - records_borrowed` records
+    /// were materialized through owned decode.
+    pub records_borrowed: AtomicU64,
+    /// Record bytes consumed by in-place (borrowed) handlers. A
+    /// borrowed handler may still decode individual header fields to
+    /// owned values (e.g. string vertex metadata), so this measures the
+    /// payload volume that *skipped the owned-message materialization*,
+    /// not a strict never-copied guarantee per byte.
+    pub bytes_decoded_in_place: AtomicU64,
 }
 
 impl RankCounters {
@@ -69,6 +79,8 @@ impl RankCounters {
             records_encoded: self.records_encoded.load(Ordering::Relaxed),
             bytes_encoded: self.bytes_encoded.load(Ordering::Relaxed),
             pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
+            records_borrowed: self.records_borrowed.load(Ordering::Relaxed),
+            bytes_decoded_in_place: self.bytes_decoded_in_place.load(Ordering::Relaxed),
         }
     }
 }
@@ -100,6 +112,10 @@ pub struct CommStats {
     pub bytes_encoded: u64,
     /// Buffer drains served by the recycled-allocation pool.
     pub pool_reuses: u64,
+    /// Records decoded in place from the receive buffer.
+    pub records_borrowed: u64,
+    /// Record bytes consumed by in-place (borrowed) handlers.
+    pub bytes_decoded_in_place: u64,
 }
 
 impl CommStats {
@@ -131,6 +147,12 @@ impl CommStats {
             records_encoded: self.records_encoded.saturating_sub(earlier.records_encoded),
             bytes_encoded: self.bytes_encoded.saturating_sub(earlier.bytes_encoded),
             pool_reuses: self.pool_reuses.saturating_sub(earlier.pool_reuses),
+            records_borrowed: self
+                .records_borrowed
+                .saturating_sub(earlier.records_borrowed),
+            bytes_decoded_in_place: self
+                .bytes_decoded_in_place
+                .saturating_sub(earlier.bytes_decoded_in_place),
         }
     }
 
@@ -149,6 +171,8 @@ impl CommStats {
             records_encoded: self.records_encoded + other.records_encoded,
             bytes_encoded: self.bytes_encoded + other.bytes_encoded,
             pool_reuses: self.pool_reuses + other.pool_reuses,
+            records_borrowed: self.records_borrowed + other.records_borrowed,
+            bytes_decoded_in_place: self.bytes_decoded_in_place + other.bytes_decoded_in_place,
         }
     }
 

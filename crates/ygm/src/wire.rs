@@ -43,6 +43,36 @@
 //! the property tests in this module. This is what lets a wedge-batch
 //! suffix serialize directly from `Adjm+(p)` storage, and lets one
 //! encoded adjacency projection fan out to many ranks as a memcpy.
+//!
+//! # Zero-copy receive: the borrowed half of decoding
+//!
+//! [`Wire::decode`] mirrors `Wire::encode`'s owned-value contract: it
+//! materializes the message, which for a sequence-carrying record means
+//! re-allocating exactly the sorted bytes that just arrived. The
+//! receive-side mirror of [`WireEncode`] is [`WireDecode`]: a *view*
+//! over the receive buffer, decoded in place with lifetime tied to the
+//! buffer. The building blocks:
+//!
+//! * [`Wire::skip`] advances a reader past one encoded value without
+//!   materializing it (bounds-only walks for strings, fixed widths and
+//!   length-prefixed containers);
+//! * [`SeqCursor`] streams a length-prefixed sequence off a shared
+//!   reader, one element at a time — the consumer advances the record
+//!   framing itself, so a sorted candidate list can be zipped against
+//!   local storage with **zero** heap allocation;
+//! * [`SeqView`] captures a sequence's byte extent (one cheap skip
+//!   walk) so it can be re-iterated via [`SeqView::walk`] — for
+//!   receivers that intersect one batch against many local lists;
+//! * [`Lazy`] captures a single value's byte range and decodes it only
+//!   if the consumer actually asks ([`Lazy::get`]) — metadata riding
+//!   along with every candidate is paid for only on a triangle match;
+//! * `&str` / `&[u8]` views decode length-prefixed payloads without
+//!   copying them out of the buffer.
+//!
+//! Every length prefix read by this layer (and by the owned container
+//! decoders) is validated against the bytes remaining in the cursor
+//! before any allocation or walk: a hostile or truncated prefix yields
+//! [`WireError::SeqOverrun`], never an OOM-sized reservation.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -64,6 +94,14 @@ pub enum WireError {
     InvalidValue(&'static str),
     /// A string payload was not valid UTF-8.
     InvalidUtf8,
+    /// A sequence length prefix claimed more payload than the bytes
+    /// remaining in the buffer could possibly hold.
+    SeqOverrun {
+        /// Element (or byte) count the prefix claimed.
+        claimed: u64,
+        /// Bytes that remained in the buffer.
+        remaining: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -76,6 +114,11 @@ impl fmt::Display for WireError {
             WireError::VarintOverflow => write!(f, "varint exceeded 64 bits"),
             WireError::InvalidValue(what) => write!(f, "invalid wire value: {what}"),
             WireError::InvalidUtf8 => write!(f, "string payload is not valid UTF-8"),
+            WireError::SeqOverrun { claimed, remaining } => write!(
+                f,
+                "sequence length prefix claims {claimed} elements, more than the {remaining} \
+                 remaining bytes could hold"
+            ),
         }
     }
 }
@@ -140,6 +183,27 @@ impl<'a> WireReader<'a> {
         Ok(b)
     }
 
+    /// The bytes consumed since `start` (a previously saved
+    /// [`WireReader::position`]). Borrowed from the underlying buffer,
+    /// so the slice outlives the reader — the primitive underneath
+    /// [`Lazy`] and [`SeqView`].
+    #[inline]
+    pub fn since(&self, start: usize) -> &'a [u8] {
+        &self.buf[start..self.pos]
+    }
+
+    /// Advances past one LEB128 varint without assembling its value.
+    #[inline]
+    pub fn skip_varint(&mut self) -> Result<(), WireError> {
+        // 10 bytes is the widest encoding take_varint accepts.
+        for _ in 0..10 {
+            if self.take_u8()? & 0x80 == 0 {
+                return Ok(());
+            }
+        }
+        Err(WireError::VarintOverflow)
+    }
+
     /// Decodes an LEB128 varint of at most 64 bits.
     #[inline]
     pub fn take_varint(&mut self) -> Result<u64, WireError> {
@@ -199,14 +263,88 @@ fn zigzag_decode(v: u64) -> i64 {
 /// The contract is symmetric: `decode(encode(x)) == x` and decode consumes
 /// exactly the bytes encode produced. The proptest suite in this module
 /// checks both properties for every implementation.
+///
+/// One deliberate exception: sequences of **zero-sized** elements
+/// (`MIN_ENCODED_BYTES == 0`, i.e. `()` and tuples of it) decode only up
+/// to [`ZST_SEQ_MAX`] elements — beyond that the length prefix is
+/// indistinguishable from a hostile frame that would spin the decode
+/// loop, so `decode` returns [`WireError::SeqOverrun`] even for bytes
+/// `encode` produced.
 pub trait Wire: Sized {
+    /// Minimum bytes one encoded value can occupy on the wire. Used to
+    /// reject hostile sequence length prefixes *before* any allocation
+    /// or walk: a prefix claiming `n` elements needs at least
+    /// `n * MIN_ENCODED_BYTES` bytes to follow. `0` is reserved for
+    /// zero-sized encodings (`()` and tuples thereof).
+    const MIN_ENCODED_BYTES: usize = 1;
+
     /// Appends the encoded representation to `buf`.
     fn encode(&self, buf: &mut Vec<u8>);
     /// Reads one value from `r`.
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+    /// Advances `r` past one encoded value without materializing it.
+    ///
+    /// The default decodes and drops; implementations with length
+    /// prefixes or fixed widths override it with bounds-only walks (no
+    /// allocation, no UTF-8 validation, no value assembly). Skipping
+    /// validates *structure* only: a skipped value may still fail
+    /// value-level checks (UTF-8, discriminants) when later decoded.
+    fn skip(r: &mut WireReader<'_>) -> Result<(), WireError> {
+        Self::decode(r).map(drop)
+    }
+}
+
+/// Ceiling on the element count of a sequence whose elements occupy
+/// zero wire bytes (`MIN_ENCODED_BYTES == 0`): the byte bound gives no
+/// purchase there, and without a cap a hostile length prefix would
+/// spin the decode loop up to 2^64 times. This caps decodable
+/// zero-sized sequences (see the [`Wire`] contract note).
+const ZST_SEQ_MAX: u64 = 1 << 24;
+
+/// Single home of the hostile-length-prefix policy, shared by the
+/// owned container decoders, the skip walks and the sequence cursors:
+/// each of the `claimed` elements occupies at least `min_bytes` on the
+/// wire (zero-sized elements are bounded by [`ZST_SEQ_MAX`] instead).
+#[inline]
+fn check_seq_len_min(
+    claimed: u64,
+    min_bytes: usize,
+    r: &WireReader<'_>,
+) -> Result<usize, WireError> {
+    let fits = if min_bytes == 0 {
+        claimed <= ZST_SEQ_MAX
+    } else {
+        claimed.saturating_mul(min_bytes as u64) <= r.remaining() as u64
+    };
+    if !fits {
+        return Err(WireError::SeqOverrun {
+            claimed,
+            remaining: r.remaining(),
+        });
+    }
+    Ok(claimed as usize)
+}
+
+/// [`check_seq_len_min`] with the bound taken from `T`'s encoding.
+#[inline]
+fn check_seq_len<T: Wire>(claimed: u64, r: &WireReader<'_>) -> Result<usize, WireError> {
+    check_seq_len_min(claimed, T::MIN_ENCODED_BYTES, r)
+}
+
+/// Safe pre-allocation capacity for a validated sequence length: a
+/// zero-sized wire encoding says nothing about `T`'s in-memory size,
+/// so such sequences start at capacity 0 and grow normally.
+#[inline]
+fn seq_capacity<T: Wire>(len: usize) -> usize {
+    if T::MIN_ENCODED_BYTES == 0 {
+        0
+    } else {
+        len
+    }
 }
 
 impl Wire for () {
+    const MIN_ENCODED_BYTES: usize = 0;
     #[inline]
     fn encode(&self, _buf: &mut Vec<u8>) {}
     #[inline]
@@ -253,6 +391,10 @@ macro_rules! impl_wire_varint {
                 let v = r.take_varint()?;
                 <$t>::try_from(v).map_err(|_| WireError::InvalidValue(stringify!($t)))
             }
+            #[inline]
+            fn skip(r: &mut WireReader<'_>) -> Result<(), WireError> {
+                r.skip_varint()
+            }
         }
     )*};
 }
@@ -271,6 +413,10 @@ macro_rules! impl_wire_zigzag {
                 let v = zigzag_decode(r.take_varint()?);
                 <$t>::try_from(v).map_err(|_| WireError::InvalidValue(stringify!($t)))
             }
+            #[inline]
+            fn skip(r: &mut WireReader<'_>) -> Result<(), WireError> {
+                r.skip_varint()
+            }
         }
     )*};
 }
@@ -278,6 +424,7 @@ macro_rules! impl_wire_zigzag {
 impl_wire_zigzag!(i8, i16, i32, i64, isize);
 
 impl Wire for f32 {
+    const MIN_ENCODED_BYTES: usize = 4;
     #[inline]
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.to_le_bytes());
@@ -287,9 +434,14 @@ impl Wire for f32 {
         let b = r.take(4)?;
         Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
+    #[inline]
+    fn skip(r: &mut WireReader<'_>) -> Result<(), WireError> {
+        r.take(4).map(drop)
+    }
 }
 
 impl Wire for f64 {
+    const MIN_ENCODED_BYTES: usize = 8;
     #[inline]
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.to_le_bytes());
@@ -301,6 +453,10 @@ impl Wire for f64 {
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
+    #[inline]
+    fn skip(r: &mut WireReader<'_>) -> Result<(), WireError> {
+        r.take(8).map(drop)
+    }
 }
 
 impl Wire for String {
@@ -311,11 +467,17 @@ impl Wire for String {
     }
     #[inline]
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let len = r.take_varint()? as usize;
+        let len = check_seq_len::<u8>(r.take_varint()?, r)?;
         let bytes = r.take(len)?;
         std::str::from_utf8(bytes)
             .map(str::to_owned)
             .map_err(|_| WireError::InvalidUtf8)
+    }
+    #[inline]
+    fn skip(r: &mut WireReader<'_>) -> Result<(), WireError> {
+        // Bounds-only: no copy, no UTF-8 validation.
+        let len = check_seq_len::<u8>(r.take_varint()?, r)?;
+        r.take(len).map(drop)
     }
 }
 
@@ -338,6 +500,14 @@ impl<T: Wire> Wire for Option<T> {
             _ => Err(WireError::InvalidValue("Option discriminant")),
         }
     }
+    #[inline]
+    fn skip(r: &mut WireReader<'_>) -> Result<(), WireError> {
+        match r.take_u8()? {
+            0 => Ok(()),
+            1 => T::skip(r),
+            _ => Err(WireError::InvalidValue("Option discriminant")),
+        }
+    }
 }
 
 impl<T: Wire> Wire for Vec<T> {
@@ -350,14 +520,21 @@ impl<T: Wire> Wire for Vec<T> {
     }
     #[inline]
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let len = r.take_varint()? as usize;
-        // Guard against hostile length prefixes: never pre-reserve more
-        // entries than bytes remaining (each entry costs >= 1 byte).
-        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        // A hostile length prefix errors here, before any reservation.
+        let len = check_seq_len::<T>(r.take_varint()?, r)?;
+        let mut out = Vec::with_capacity(seq_capacity::<T>(len));
         for _ in 0..len {
             out.push(T::decode(r)?);
         }
         Ok(out)
+    }
+    #[inline]
+    fn skip(r: &mut WireReader<'_>) -> Result<(), WireError> {
+        let len = check_seq_len::<T>(r.take_varint()?, r)?;
+        for _ in 0..len {
+            T::skip(r)?;
+        }
+        Ok(())
     }
 }
 
@@ -375,8 +552,8 @@ where
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let len = r.take_varint()? as usize;
-        let mut out = HashMap::with_capacity_and_hasher(len.min(r.remaining()), S::default());
+        let len = check_seq_len::<(K, V)>(r.take_varint()?, r)?;
+        let mut out = HashMap::with_capacity_and_hasher(seq_capacity::<(K, V)>(len), S::default());
         for _ in 0..len {
             let k = K::decode(r)?;
             let v = V::decode(r)?;
@@ -384,11 +561,20 @@ where
         }
         Ok(out)
     }
+    fn skip(r: &mut WireReader<'_>) -> Result<(), WireError> {
+        let len = check_seq_len::<(K, V)>(r.take_varint()?, r)?;
+        for _ in 0..len {
+            K::skip(r)?;
+            V::skip(r)?;
+        }
+        Ok(())
+    }
 }
 
 macro_rules! impl_wire_tuple {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: Wire),+> Wire for ($($name,)+) {
+            const MIN_ENCODED_BYTES: usize = $(<$name>::MIN_ENCODED_BYTES +)+ 0;
             #[inline]
             fn encode(&self, buf: &mut Vec<u8>) {
                 $(self.$idx.encode(buf);)+
@@ -396,6 +582,11 @@ macro_rules! impl_wire_tuple {
             #[inline]
             fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
                 Ok(($($name::decode(r)?,)+))
+            }
+            #[inline]
+            fn skip(r: &mut WireReader<'_>) -> Result<(), WireError> {
+                $($name::skip(r)?;)+
+                Ok(())
             }
         }
     };
@@ -517,6 +708,351 @@ impl<T, F: Fn(&T, &mut Vec<u8>)> WireEncode for EncodeSeq<'_, T, F> {
     }
 }
 
+/// Read-only, borrowed wire decoding (see the module docs) — the
+/// decode-side mirror of [`WireEncode`].
+///
+/// Implementors are **views** over a receive buffer with lifetime `'a`:
+/// decoding consumes the same bytes the corresponding owned
+/// [`Wire::decode`] would, but keeps references into the buffer instead
+/// of copying payloads out. Owned primitives implement it too (decoding
+/// as themselves), so mixed tuples of eager scalars and borrowed views
+/// decode in one call.
+pub trait WireDecode<'a>: Sized {
+    /// Reads one view from `r`, borrowing from the underlying buffer.
+    fn decode_borrowed(r: &mut WireReader<'a>) -> Result<Self, WireError>;
+}
+
+macro_rules! impl_wire_decode_owned {
+    ($($t:ty),*) => {$(
+        impl<'a> WireDecode<'a> for $t {
+            #[inline]
+            fn decode_borrowed(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+                <$t as Wire>::decode(r)
+            }
+        }
+    )*};
+}
+
+impl_wire_decode_owned!(
+    (),
+    bool,
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+macro_rules! impl_wire_decode_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<'a, $($name: WireDecode<'a>),+> WireDecode<'a> for ($($name,)+) {
+            #[inline]
+            fn decode_borrowed(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+                Ok(($($name::decode_borrowed(r)?,)+))
+            }
+        }
+    };
+}
+
+impl_wire_decode_tuple!(A: 0);
+impl_wire_decode_tuple!(A: 0, B: 1);
+impl_wire_decode_tuple!(A: 0, B: 1, C: 2);
+impl_wire_decode_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_wire_decode_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_wire_decode_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Zero-copy string view: decodes the bytes a `String` encoded, but
+/// borrows them from the receive buffer (UTF-8 validated, not copied).
+impl<'a> WireDecode<'a> for &'a str {
+    #[inline]
+    fn decode_borrowed(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let len = check_seq_len::<u8>(r.take_varint()?, r)?;
+        let start = r.position();
+        r.take(len)?;
+        std::str::from_utf8(r.since(start)).map_err(|_| WireError::InvalidUtf8)
+    }
+}
+
+/// Zero-copy byte-slice view, byte-compatible with `Vec<u8>` (whose
+/// elements encode raw, so the payload is contiguous).
+impl<'a> WireDecode<'a> for &'a [u8] {
+    #[inline]
+    fn decode_borrowed(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let len = check_seq_len::<u8>(r.take_varint()?, r)?;
+        let start = r.position();
+        r.take(len)?;
+        Ok(r.since(start))
+    }
+}
+
+/// A captured-but-undecoded value: the byte range of one `T` on the
+/// wire, skipped past structurally and decoded only if [`Lazy::get`] is
+/// called. This is how per-candidate metadata rides through the
+/// merge-path for free — it is materialized only for actual matches.
+pub struct Lazy<'a, T> {
+    bytes: &'a [u8],
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<'a, T: Wire> WireDecode<'a> for Lazy<'a, T> {
+    #[inline]
+    fn decode_borrowed(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let start = r.position();
+        T::skip(r)?;
+        Ok(Lazy {
+            bytes: r.since(start),
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+impl<'a, T: Wire> Lazy<'a, T> {
+    /// Captures one `T`'s byte range off `r` (alias of
+    /// [`WireDecode::decode_borrowed`] for call-site clarity).
+    #[inline]
+    pub fn capture(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        Self::decode_borrowed(r)
+    }
+
+    /// Decodes the captured value. Structure was validated by the skip
+    /// at capture time; this can still fail on value-level checks
+    /// (UTF-8, discriminants, integer ranges).
+    #[inline]
+    pub fn get(&self) -> Result<T, WireError> {
+        from_bytes(self.bytes)
+    }
+
+    /// The captured wire bytes.
+    #[inline]
+    pub fn raw(&self) -> &'a [u8] {
+        self.bytes
+    }
+}
+
+/// Streaming cursor over a length-prefixed sequence, sharing the
+/// caller's reader — the zero-allocation receive path for a sequence
+/// consumed in a single sweep (TriPoll's sorted candidate lists).
+///
+/// [`SeqCursor::begin`] validates the length prefix against the bytes
+/// remaining, then each element is decoded (or skipped) **in place**,
+/// advancing the shared reader. Because the reader frames subsequent
+/// records in the same envelope, a consumer that stops early must call
+/// [`SeqCursor::skip_rest`] so the record boundary stays intact.
+///
+/// Elements must occupy at least one byte on the wire (true for every
+/// sequence this runtime ships); zero-sized element sequences must use
+/// the owned `Vec` decode.
+pub struct SeqCursor<'r, 'a> {
+    r: &'r mut WireReader<'a>,
+    remaining: usize,
+    /// Set once an element decode fails: the shared reader is then
+    /// stranded mid-element, so no further framing can be trusted.
+    poisoned: bool,
+}
+
+impl<'r, 'a> SeqCursor<'r, 'a> {
+    /// Reads and validates the length prefix; the cursor is positioned
+    /// at the first element. The cursor is untyped, so the shared
+    /// length policy is applied with the 1-byte-per-element floor;
+    /// call sites that know the element type should prefer
+    /// [`SeqCursor::begin_typed`] for the tighter up-front bound.
+    pub fn begin(r: &'r mut WireReader<'a>) -> Result<Self, WireError> {
+        let claimed = r.take_varint()?;
+        let remaining = check_seq_len_min(claimed, 1, r)?;
+        Ok(SeqCursor {
+            remaining,
+            r,
+            poisoned: false,
+        })
+    }
+
+    /// [`SeqCursor::begin`] with the length prefix validated against
+    /// `T::MIN_ENCODED_BYTES` — the same bound the owned `Vec<T>`
+    /// decode applies, so both decode paths reject a given corrupt
+    /// frame at the same point with the same error.
+    pub fn begin_typed<T: Wire>(r: &'r mut WireReader<'a>) -> Result<Self, WireError> {
+        let claimed = r.take_varint()?;
+        let remaining = check_seq_len::<T>(claimed, r)?;
+        Ok(SeqCursor {
+            remaining,
+            r,
+            poisoned: false,
+        })
+    }
+
+    /// Elements not yet consumed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+
+    /// True when every element has been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Decodes the next element through `f`, which must consume exactly
+    /// one element's bytes (the decode-side mirror of [`encode_seq`]'s
+    /// write closure). Returns `None` once the sequence is exhausted.
+    ///
+    /// An element decode error **poisons** the cursor: the shared
+    /// reader is stranded mid-element, so a later [`SeqCursor::skip_rest`]
+    /// reports the corruption instead of silently misframing the
+    /// records that follow.
+    #[inline]
+    pub fn next_with<T>(
+        &mut self,
+        f: impl FnOnce(&mut WireReader<'a>) -> Result<T, WireError>,
+    ) -> Option<Result<T, WireError>> {
+        if self.poisoned || self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let out = f(self.r);
+        if out.is_err() {
+            self.poisoned = true;
+        }
+        Some(out)
+    }
+
+    /// Decodes the next element as an owned `T`.
+    #[inline]
+    pub fn next_value<T: Wire>(&mut self) -> Option<Result<T, WireError>> {
+        self.next_with(T::decode)
+    }
+
+    /// Skips every unconsumed element (cheap bounds-only walk), leaving
+    /// the shared reader at the record boundary. Errors if a prior
+    /// element decode failed — the boundary is unrecoverable then.
+    pub fn skip_rest<T: Wire>(mut self) -> Result<(), WireError> {
+        if self.poisoned {
+            return Err(WireError::InvalidValue(
+                "sequence cursor poisoned by an element decode error",
+            ));
+        }
+        while self.remaining > 0 {
+            T::skip(self.r)?;
+            self.remaining -= 1;
+        }
+        Ok(())
+    }
+}
+
+/// A captured length-prefixed sequence: one cheap skip-walk records the
+/// byte extent, after which the elements can be re-iterated any number
+/// of times via [`SeqView::walk`] — for receivers that intersect one
+/// arriving batch against several local lists (the pull delivery).
+pub struct SeqView<'a, T> {
+    bytes: &'a [u8],
+    len: usize,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<'a, T: Wire> WireDecode<'a> for SeqView<'a, T> {
+    fn decode_borrowed(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let len = check_seq_len::<T>(r.take_varint()?, r)?;
+        let start = r.position();
+        for _ in 0..len {
+            T::skip(r)?;
+        }
+        Ok(SeqView {
+            bytes: r.since(start),
+            len,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+impl<'a, T: Wire> SeqView<'a, T> {
+    /// Captures one sequence off `r` (alias of
+    /// [`WireDecode::decode_borrowed`] for call-site clarity).
+    #[inline]
+    pub fn capture(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        Self::decode_borrowed(r)
+    }
+
+    /// Number of elements in the sequence.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the sequence has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A fresh walk over the captured elements.
+    #[inline]
+    pub fn walk(&self) -> SeqWalk<'a, T> {
+        SeqWalk {
+            r: WireReader::new(self.bytes),
+            remaining: self.len,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// One pass over a [`SeqView`]'s elements. Unlike [`SeqCursor`] it owns
+/// its reader (the captured range), so it can be dropped mid-walk
+/// without disturbing any record framing.
+pub struct SeqWalk<'a, T> {
+    r: WireReader<'a>,
+    remaining: usize,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<'a, T: Wire> SeqWalk<'a, T> {
+    /// Elements not yet consumed by this walk.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Decodes the next element through `f` (one element's bytes,
+    /// exactly). Returns `None` once the walk is exhausted.
+    #[inline]
+    pub fn next_with<U>(
+        &mut self,
+        f: impl FnOnce(&mut WireReader<'a>) -> Result<U, WireError>,
+    ) -> Option<Result<U, WireError>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(f(&mut self.r))
+    }
+}
+
+impl<'a, T: Wire> Iterator for SeqWalk<'a, T> {
+    type Item = Result<T, WireError>;
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_with(T::decode)
+    }
+}
+
+/// Convenience: decode a borrowed view that must consume the whole
+/// buffer — the [`WireDecode`] mirror of [`from_bytes`].
+pub fn view_bytes<'a, T: WireDecode<'a>>(bytes: &'a [u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(bytes);
+    let v = T::decode_borrowed(&mut r)?;
+    if !r.is_empty() {
+        return Err(WireError::InvalidValue("trailing bytes after view"));
+    }
+    Ok(v)
+}
+
 /// Convenience: encode a value into a fresh buffer.
 pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -585,8 +1121,17 @@ mod tests {
 
     #[test]
     fn truncated_buffer_is_an_error() {
+        // The length prefix survives truncation but the payload does
+        // not: caught by the up-front length check.
         let bytes = to_bytes(&"hello".to_string());
         let mut r = WireReader::new(&bytes[..3]);
+        assert!(matches!(
+            String::decode(&mut r),
+            Err(WireError::SeqOverrun { .. })
+        ));
+        // Truncation inside the prefix itself is an EOF.
+        let long = to_bytes(&"x".repeat(200));
+        let mut r = WireReader::new(&long[..1]);
         assert!(matches!(
             String::decode(&mut r),
             Err(WireError::UnexpectedEof { .. })
@@ -748,6 +1293,242 @@ mod tests {
         assert_eq!(via_owned, via_borrowed);
     }
 
+    #[test]
+    fn hostile_string_length_prefix_rejected() {
+        // Length prefix claims 2^60 bytes; only two follow.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1u64 << 60);
+        buf.extend_from_slice(b"ab");
+        assert!(matches!(
+            from_bytes::<String>(&buf),
+            Err(WireError::SeqOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_vec_length_prefix_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        buf.push(1);
+        assert!(matches!(
+            from_bytes::<Vec<u64>>(&buf),
+            Err(WireError::SeqOverrun { .. })
+        ));
+        // Wide fixed-width elements tighten the bound: 4 f64s need 32
+        // bytes, so claiming 4 with 20 remaining is rejected up front.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 4);
+        buf.extend_from_slice(&[0u8; 20]);
+        assert!(matches!(
+            from_bytes::<Vec<f64>>(&buf),
+            Err(WireError::SeqOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_map_length_prefix_rejected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1u64 << 40);
+        buf.push(0);
+        assert!(matches!(
+            from_bytes::<HashMap<String, u64>>(&buf),
+            Err(WireError::SeqOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_seq_cursor_prefix_rejected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1u64 << 50);
+        buf.push(7);
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            SeqCursor::begin(&mut r),
+            Err(WireError::SeqOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_sized_element_sequences_still_roundtrip() {
+        // `()` encodes zero bytes; the length check must not misfire.
+        roundtrip(vec![(); 300]);
+    }
+
+    #[test]
+    fn hostile_zero_sized_sequence_prefix_rejected() {
+        // Zero-sized elements defeat the byte bound, so the element
+        // count itself is capped: a prefix claiming 2^60 `()`s must
+        // error, not spin the decode loop for 2^60 iterations.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1u64 << 60);
+        assert!(matches!(
+            from_bytes::<Vec<()>>(&buf),
+            Err(WireError::SeqOverrun { .. })
+        ));
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            Vec::<()>::skip(&mut r),
+            Err(WireError::SeqOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn skip_consumes_exactly_what_decode_does() {
+        fn check<T: Wire>(v: &T) {
+            let mut bytes = to_bytes(v);
+            bytes.extend_from_slice(&[0xAA; 3]); // trailing sentinel
+            let mut rd = WireReader::new(&bytes);
+            T::decode(&mut rd).expect("decode");
+            let mut rs = WireReader::new(&bytes);
+            T::skip(&mut rs).expect("skip");
+            assert_eq!(rd.position(), rs.position());
+        }
+        check(&42u64);
+        check(&-17i32);
+        check(&3.25f64);
+        check(&true);
+        check(&"ünïcödé metadata".to_string());
+        check(&vec![1u64, 128, 16_384]);
+        check(&Some(vec!["a".to_string(), "bb".to_string()]));
+        check(&(7u64, "x".to_string(), vec![1u8, 2], 2.5f32));
+        let mut m = HashMap::new();
+        m.insert("k".to_string(), 9u64);
+        check(&m);
+    }
+
+    #[test]
+    fn str_view_borrows_without_copying() {
+        let owned = "zero-copy payload".to_string();
+        let bytes = to_bytes(&owned);
+        let view: &str = view_bytes(&bytes).expect("view");
+        assert_eq!(view, owned);
+        // The view points into the encoded buffer itself.
+        let payload_start = bytes.len() - owned.len();
+        assert!(std::ptr::eq(view.as_bytes(), &bytes[payload_start..]));
+    }
+
+    #[test]
+    fn byte_slice_view_matches_vec_u8() {
+        let owned: Vec<u8> = (0..=255).collect();
+        let bytes = to_bytes(&owned);
+        let view: &[u8] = view_bytes(&bytes).expect("view");
+        assert_eq!(view, &owned[..]);
+    }
+
+    #[test]
+    fn lazy_defers_decoding_and_validation() {
+        let bytes = to_bytes(&(1u64, "meta".to_string(), 2u64));
+        let mut r = WireReader::new(&bytes);
+        let a = u64::decode(&mut r).unwrap();
+        let lazy: Lazy<'_, String> = Lazy::capture(&mut r).unwrap();
+        let b = u64::decode(&mut r).unwrap();
+        assert!(r.is_empty(), "capture consumed exactly the string");
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(lazy.get().unwrap(), "meta");
+        // Invalid UTF-8 is caught at get() time, not capture time.
+        let mut evil = Vec::new();
+        put_varint(&mut evil, 2);
+        evil.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = WireReader::new(&evil);
+        let lazy: Lazy<'_, String> = Lazy::capture(&mut r).unwrap();
+        assert_eq!(lazy.get(), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn seq_cursor_streams_what_vec_decodes() {
+        let owned: Vec<(u64, u64, u64)> = (0..50).map(|i| (i, i * 7, i ^ 3)).collect();
+        let bytes = to_bytes(&owned);
+        let mut r = WireReader::new(&bytes);
+        let mut cur = SeqCursor::begin(&mut r).unwrap();
+        assert_eq!(cur.len(), owned.len());
+        let mut streamed = Vec::new();
+        while let Some(item) = cur.next_value::<(u64, u64, u64)>() {
+            streamed.push(item.unwrap());
+        }
+        assert!(r.is_empty(), "cursor consumed the whole sequence");
+        assert_eq!(streamed, owned);
+    }
+
+    #[test]
+    fn seq_cursor_skip_rest_reaches_record_boundary() {
+        // Two records back to back; consume half of the first sequence,
+        // skip the rest, and the second record must decode cleanly.
+        let first: Vec<(u64, String)> = (0..10).map(|i| (i, format!("m{i}"))).collect();
+        let mut buf = to_bytes(&first);
+        99u64.encode(&mut buf);
+        let mut r = WireReader::new(&buf);
+        let mut cur = SeqCursor::begin(&mut r).unwrap();
+        for _ in 0..4 {
+            cur.next_value::<(u64, String)>().unwrap().unwrap();
+        }
+        cur.skip_rest::<(u64, String)>().unwrap();
+        assert_eq!(u64::decode(&mut r).unwrap(), 99);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn seq_cursor_element_error_poisons_skip_rest() {
+        // Sequence of 3 strings whose second element is truncated
+        // mid-payload: after the failed decode the reader sits inside
+        // the broken element, so skip_rest must refuse rather than
+        // "skip" from a garbage offset and pretend framing survived.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 3); // claims 3 elements
+        "ok".to_string().encode(&mut buf);
+        put_varint(&mut buf, 50); // element 2: claims 50 bytes...
+        buf.extend_from_slice(b"short"); // ...but only 5 follow
+        let mut r = WireReader::new(&buf);
+        let mut cur = SeqCursor::begin(&mut r).unwrap();
+        assert_eq!(cur.next_value::<String>().unwrap().unwrap(), "ok");
+        assert!(cur.next_value::<String>().unwrap().is_err());
+        assert!(
+            cur.next_value::<String>().is_none(),
+            "poisoned cursor stops"
+        );
+        assert!(matches!(
+            cur.skip_rest::<String>(),
+            Err(WireError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn seq_view_is_reiterable() {
+        let owned: Vec<(u64, u64)> = (0..20).map(|i| (i, i + 1)).collect();
+        let mut buf = to_bytes(&(7u64, owned.clone()));
+        buf.push(0x55); // trailing byte outside the message
+        let mut r = WireReader::new(&buf[..buf.len() - 1]);
+        let q = u64::decode(&mut r).unwrap();
+        let view: SeqView<'_, (u64, u64)> = SeqView::capture(&mut r).unwrap();
+        assert_eq!(q, 7);
+        assert!(r.is_empty(), "capture advanced past the sequence");
+        assert_eq!(view.len(), owned.len());
+        for _pass in 0..3 {
+            let walked: Vec<(u64, u64)> = view.walk().map(|e| e.unwrap()).collect();
+            assert_eq!(walked, owned);
+        }
+        // Partial walks are fine: the view owns its range.
+        {
+            let mut w = view.walk();
+            w.next();
+        }
+        assert_eq!(view.walk().count(), owned.len());
+    }
+
+    #[test]
+    fn borrowed_tuple_view_decodes_push_shaped_message() {
+        // The wedge-batch shape: eager scalars, then a candidate list.
+        let cands: Vec<(u64, u64, u64)> = (0..16).map(|i| (i * 3, i + 1, i)).collect();
+        let owned = (5u64, 9u64, "vertex-meta".to_string(), cands.clone());
+        let bytes = to_bytes(&owned);
+        let mut r = WireReader::new(&bytes);
+        let (p, q, meta, view): (u64, u64, &str, SeqView<'_, (u64, u64, u64)>) =
+            WireDecode::decode_borrowed(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!((p, q, meta), (5, 9, "vertex-meta"));
+        let walked: Vec<(u64, u64, u64)> = view.walk().map(|e| e.unwrap()).collect();
+        assert_eq!(walked, cands);
+    }
+
     mod prop {
         use super::*;
         use proptest::prelude::*;
@@ -821,6 +1602,53 @@ mod tests {
                 .encode_wire(&mut via_seq);
                 prop_assert_eq!(&via_vec, &via_seq);
                 prop_assert_eq!(from_bytes::<Vec<(u64, u64, u64)>>(&via_seq).unwrap(), v);
+            }
+
+            #[test]
+            fn skip_position_matches_decode_position(
+                v in proptest::collection::vec((any::<u64>(), ".*"), 0..32)
+            ) {
+                let bytes = to_bytes(&v);
+                let mut rd = WireReader::new(&bytes);
+                Vec::<(u64, String)>::decode(&mut rd).unwrap();
+                let mut rs = WireReader::new(&bytes);
+                Vec::<(u64, String)>::skip(&mut rs).unwrap();
+                prop_assert_eq!(rd.position(), rs.position());
+            }
+
+            #[test]
+            fn cursor_and_view_agree_with_owned_decode(
+                v in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..64)
+            ) {
+                let bytes = to_bytes(&v);
+                // Streaming cursor.
+                let mut r = WireReader::new(&bytes);
+                let mut cur = SeqCursor::begin(&mut r).unwrap();
+                let mut streamed = Vec::new();
+                while let Some(item) = cur.next_value::<(u64, u64, u64)>() {
+                    streamed.push(item.unwrap());
+                }
+                prop_assert!(r.is_empty());
+                prop_assert_eq!(&streamed, &v);
+                // Captured view.
+                let mut r = WireReader::new(&bytes);
+                let view: SeqView<'_, (u64, u64, u64)> = SeqView::capture(&mut r).unwrap();
+                prop_assert!(r.is_empty());
+                let walked: Vec<(u64, u64, u64)> =
+                    view.walk().map(|e| e.unwrap()).collect();
+                prop_assert_eq!(&walked, &v);
+            }
+
+            #[test]
+            fn skip_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let mut r = WireReader::new(&bytes);
+                let _ = Vec::<(u64, String)>::skip(&mut r);
+                let mut r = WireReader::new(&bytes);
+                let _ = <(u32, bool, f64)>::skip(&mut r);
+                let mut r = WireReader::new(&bytes);
+                if let Ok(cur) = SeqCursor::begin(&mut r) {
+                    let _ = cur.skip_rest::<(u64, String)>();
+                }
             }
 
             #[test]

@@ -1,0 +1,195 @@
+//! Differential tests of the receive decode paths.
+//!
+//! The cursor (zero-copy) handlers must be observationally identical to
+//! the owned-decode reference: same triangle counts, same metadata seen
+//! by every callback, same send-side traffic — on both engines, across
+//! rank counts, on the Table 4 topologies and on random graphs with
+//! string metadata (which exercises the lazy in-place string decode).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use tripoll::core::{
+    survey_push_only_with, survey_push_pull_with, DecodePath, EngineMode, SurveyReport,
+};
+use tripoll::gen::table4_suite;
+use tripoll::graph::{build_dist_graph, EdgeList, Partition};
+use tripoll::prelude::DatasetSize;
+use tripoll::ygm::hash::hash64;
+use tripoll::ygm::World;
+
+/// The deterministic fingerprint of one survey run: everything both
+/// decode paths must agree on. Send-side traffic is compared per
+/// phase; `handlers_run` and `work` are receive-side counters whose
+/// *phase* attribution depends on barrier timing (a rank spinning in
+/// the previous phase's quiescence barrier may execute early-arriving
+/// records there), so only their survey-wide totals are compared.
+/// (Receive-side `records_borrowed` / `bytes_decoded_in_place` are
+/// *expected* to differ — that is the point of the comparison.)
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    phases: Vec<(&'static str, u64, u64, u64, u64)>,
+    handlers_total: u64,
+    work_total: u64,
+    pulled: u64,
+    grants: u64,
+}
+
+fn fingerprint(r: &SurveyReport) -> Fingerprint {
+    Fingerprint {
+        phases: r
+            .phases
+            .iter()
+            .map(|p| {
+                (
+                    p.name,
+                    p.stats.records_remote,
+                    p.stats.records_local,
+                    p.stats.bytes_remote,
+                    p.stats.bytes_local,
+                )
+            })
+            .collect(),
+        handlers_total: r.phases.iter().map(|p| p.stats.handlers_run).sum(),
+        work_total: r.phases.iter().map(|p| p.stats.work).sum(),
+        pulled: r.pulled_vertices,
+        grants: r.pull_grants,
+    }
+}
+
+/// Runs one survey with string metadata and returns, per rank:
+/// (global triangle count, global metadata checksum, fingerprint,
+/// records decoded in place). The checksum folds all six metadata
+/// values of every triangle, so any divergence in what a callback
+/// observes — not just how many times it ran — fails the comparison.
+fn run_survey(
+    list: &EdgeList<String>,
+    nranks: usize,
+    mode: EngineMode,
+    decode: DecodePath,
+) -> Vec<(u64, u64, Fingerprint, u64)> {
+    World::new(nranks).run(|comm| {
+        let local = list.stride_for_rank(comm.rank(), comm.nranks());
+        let g = build_dist_graph(comm, local, |v| format!("v{v}"), Partition::Hashed);
+        let count = Rc::new(Cell::new(0u64));
+        let sum = Rc::new(Cell::new(0u64));
+        let (c2, s2) = (count.clone(), sum.clone());
+        let cb = move |_c: &tripoll::ygm::Comm,
+                       tm: &tripoll::core::TriangleMeta<'_, String, String>| {
+            c2.set(c2.get() + 1);
+            let mut h = hash64(tm.p) ^ hash64(tm.q).rotate_left(1) ^ hash64(tm.r).rotate_left(2);
+            for (i, m) in [
+                tm.meta_p, tm.meta_q, tm.meta_r, tm.meta_pq, tm.meta_pr, tm.meta_qr,
+            ]
+            .iter()
+            .enumerate()
+            {
+                for b in m.bytes() {
+                    h = h.rotate_left(7) ^ hash64(u64::from(b) + i as u64);
+                }
+            }
+            // Masked so the cross-rank all_reduce_sum cannot overflow.
+            s2.set(s2.get() + (h & 0xffff_ffff));
+        };
+        let report = match mode {
+            EngineMode::PushOnly => survey_push_only_with(comm, &g, decode, cb),
+            EngineMode::PushPull => survey_push_pull_with(comm, &g, decode, cb),
+        };
+        let borrowed = report
+            .phases
+            .iter()
+            .map(|p| p.stats.records_borrowed)
+            .sum::<u64>();
+        (
+            comm.all_reduce_sum(count.get()),
+            comm.all_reduce_sum(sum.get()),
+            fingerprint(&report),
+            comm.all_reduce_sum(borrowed),
+        )
+    })
+}
+
+fn labeled(edges: Vec<(u64, u64)>) -> EdgeList<String> {
+    EdgeList::from_vec(
+        edges
+            .into_iter()
+            .map(|(u, v)| (u, v, format!("e{}-{}", u.min(v), u.max(v))))
+            .collect(),
+    )
+}
+
+/// Asserts cursor ≡ owned for one graph at one configuration.
+fn assert_paths_agree(list: &EdgeList<String>, nranks: usize, mode: EngineMode, ctx: &str) {
+    let owned = run_survey(list, nranks, mode, DecodePath::Owned);
+    let cursor = run_survey(list, nranks, mode, DecodePath::Cursor);
+    for (rank, (o, c)) in owned.iter().zip(cursor.iter()).enumerate() {
+        assert_eq!(o.0, c.0, "triangle count [{ctx}, rank {rank}]");
+        assert_eq!(o.1, c.1, "metadata checksum [{ctx}, rank {rank}]");
+        assert_eq!(o.2, c.2, "send-side fingerprint [{ctx}, rank {rank}]");
+        assert_eq!(o.3, 0, "owned path must not decode in place [{ctx}]");
+        // Any triangle requires at least one received wedge batch or
+        // pull delivery, all of which the cursor path decodes in place.
+        if c.0 > 0 {
+            assert!(c.3 > 0, "cursor path must decode in place [{ctx}]");
+        }
+    }
+}
+
+#[test]
+fn tab4_topologies_identical_across_decode_paths() {
+    // The Table 4 suite at tiny scale, both engines, 1/2/4/7 ranks.
+    for ds in table4_suite(DatasetSize::Tiny, 42) {
+        let list = labeled(ds.edges.clone());
+        for nranks in [1usize, 2, 4, 7] {
+            for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+                let ctx = format!("{} {mode} n={nranks}", ds.name);
+                assert_paths_agree(&list, nranks, mode, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn hub_pull_topology_identical_across_decode_paths() {
+    // Shared-hub construction that forces the pull phase to carry the
+    // triangles, so the SeqView re-walk path is differentially tested.
+    let k = 24u64;
+    let (h1, h2) = (1000, 1001);
+    let mut edges = vec![(h1, h2)];
+    for sv in 0..k {
+        edges.push((sv, h1));
+        edges.push((sv, h2));
+    }
+    let list = labeled(edges);
+    for nranks in [1usize, 2, 4, 7] {
+        let owned = run_survey(&list, nranks, EngineMode::PushPull, DecodePath::Owned);
+        assert_eq!(owned[0].0, k);
+        assert_paths_agree(
+            &list,
+            nranks,
+            EngineMode::PushPull,
+            &format!("hub n={nranks}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn random_string_metadata_graphs_identical_across_decode_paths(
+        edges in proptest::collection::vec((0u64..40, 0u64..40), 1..120),
+        nranks in 1usize..5,
+        push_pull in any::<bool>(),
+    ) {
+        let list = labeled(edges);
+        let mode = if push_pull { EngineMode::PushPull } else { EngineMode::PushOnly };
+        let owned = run_survey(&list, nranks, mode, DecodePath::Owned);
+        let cursor = run_survey(&list, nranks, mode, DecodePath::Cursor);
+        for (o, c) in owned.iter().zip(cursor.iter()) {
+            prop_assert_eq!(o.0, c.0);
+            prop_assert_eq!(o.1, c.1);
+            prop_assert_eq!(&o.2, &c.2);
+        }
+    }
+}

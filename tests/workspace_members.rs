@@ -1,0 +1,37 @@
+//! Guards the tier-1 coverage contract: root `cargo test` covers the
+//! whole workspace because `default-members` mirrors `members`. A
+//! crate added to one list but not the other would silently fall out
+//! of the tier-1 command while `--workspace` CI stayed green — this
+//! test turns that drift into a failure.
+
+fn toml_list(manifest: &str, key: &str) -> Vec<String> {
+    let start = manifest
+        .find(&format!("{key} = ["))
+        .unwrap_or_else(|| panic!("{key} list not found in root Cargo.toml"));
+    let rest = &manifest[start..];
+    let end = rest.find(']').expect("unterminated list");
+    rest[..end]
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim().trim_end_matches(',');
+            l.strip_prefix('"')?.strip_suffix('"').map(str::to_owned)
+        })
+        .collect()
+}
+
+#[test]
+fn default_members_mirror_members() {
+    let manifest = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml"))
+        .expect("read root Cargo.toml");
+    let members = toml_list(&manifest, "members");
+    let mut defaults = toml_list(&manifest, "default-members");
+    assert!(!members.is_empty());
+    // The root package itself ("." in default-members) is an implicit
+    // workspace member, not listed under `members`.
+    defaults.retain(|m| m != ".");
+    assert_eq!(
+        members, defaults,
+        "default-members must mirror members (plus \".\"), or root `cargo test` \
+         silently loses tier-1 coverage of the missing crate"
+    );
+}
