@@ -51,7 +51,7 @@ fn main() {
     for threshold in [64usize, 1024, 8 * 1024, 64 * 1024, 1 << 20] {
         let out = World::new(nranks)
             .with_config(CommConfig {
-                flush_threshold: threshold,
+                flush_threshold: Some(threshold),
                 ..Default::default()
             })
             .run_with_stats(|comm| {

@@ -21,9 +21,10 @@ use std::time::Instant;
 use tripoll_core::{merge_path, EngineMode};
 use tripoll_graph::{build_dist_graph, DistGraph, EdgeList, OrderKey, Partition};
 use tripoll_ygm::buffer::{BufferPool, SendBuffer};
-use tripoll_ygm::hash::hash64;
+use tripoll_ygm::hash::{hash64, FastMap};
 use tripoll_ygm::wire::{
-    encode_seq, from_bytes, put_varint, to_bytes, Lazy, SeqCursor, Wire, WireEncode, WireReader,
+    encode_columns, encode_seq, from_bytes, put_varint, to_bytes, ColCursor, Lazy, SeqCursor, Wire,
+    WireEncode, WireReader,
 };
 use tripoll_ygm::World;
 
@@ -437,6 +438,282 @@ fn compare_recv_paths() -> (PathRun, PathRun) {
     (old, new)
 }
 
+/// Hub-scale adjacency for the layout comparison: vertex ids spread by
+/// hash (multi-byte varints, as scrambled R-MAT ids are) and degrees in
+/// the thousands (two-byte varints raw, one-byte deltas columnar) —
+/// the regime where the SoA layout's delta-coded degree column pays.
+fn hub_adjacency(len: usize) -> Vec<Entry> {
+    (0..len as u64)
+        .map(|i| Entry {
+            v: hash64(i),
+            degree: 4096 + i * 3,
+            em: i % 7,
+        })
+        .collect()
+}
+
+/// Encodes the columnar push stream (headers + `encode_columns`
+/// candidates, as the production sender does).
+fn layout_stream_columnar(adj: &[Entry]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for b in 0..PUSH_BATCHES {
+        (
+            b as u64,
+            b as u64 + 1,
+            &42u64,
+            &7u64,
+            encode_columns(
+                adj,
+                |e: &Entry| e.v,
+                |e| e.degree,
+                |e, out| e.em.encode(out),
+            ),
+        )
+            .encode_wire(&mut buf);
+    }
+    buf
+}
+
+/// Columnar mirror of [`decode_batches_cursor`]: key columns walked
+/// eagerly, metadata column touched only on the simulated matches
+/// (every 8th candidate) — the production recv path's access pattern.
+fn decode_batches_columnar(buf: &[u8]) -> u64 {
+    let mut r = WireReader::new(buf);
+    let mut acc = 0u64;
+    while !r.is_empty() {
+        let p = u64::decode(&mut r).expect("p");
+        let q = u64::decode(&mut r).expect("q");
+        let mp = u64::decode(&mut r).expect("meta_p");
+        let mpq = u64::decode(&mut r).expect("meta_pq");
+        acc = acc
+            .wrapping_add(p)
+            .wrapping_add(q)
+            .wrapping_add(mp)
+            .wrapping_add(mpq);
+        let mut cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).expect("columns");
+        while let Some(k) = cur.keys.next_key() {
+            let k = k.expect("key");
+            acc = acc.wrapping_add(k.v).wrapping_add(k.degree);
+            if k.idx.is_multiple_of(8) {
+                acc = acc.wrapping_add(cur.metas.get(k.idx).expect("match meta"));
+            }
+        }
+    }
+    acc
+}
+
+/// Measurement of one layout: wire volume plus steady-state encode and
+/// decode cost.
+struct LayoutRun {
+    bytes: usize,
+    encode: PathRun,
+    decode: PathRun,
+}
+
+/// Head-to-head of the wedge-batch wire layouts on hub-scale batches:
+/// bytes per candidate (the §5.4 communication-volume story) and the
+/// encode/decode proxies that CI gates.
+fn compare_batch_layouts() -> (LayoutRun, LayoutRun) {
+    let adj = hub_adjacency(PUSH_CANDIDATES);
+    // Differential check before anything is timed: both layouts carry
+    // the same logical stream.
+    // The interleaved side reuses the recv-path stream/decoder (same
+    // wire format, same every-8th match rule).
+    let int_stream = encoded_push_stream(&adj);
+    let col_stream = layout_stream_columnar(&adj);
+    assert_eq!(
+        decode_batches_cursor(&int_stream),
+        decode_batches_columnar(&col_stream),
+        "layouts disagree"
+    );
+
+    let encode_with = |columnar: bool| {
+        measure_path(|buf, pool| {
+            let mut total = 0;
+            for b in 0..PUSH_BATCHES {
+                total += buf.push_record_with(3, |out| {
+                    if columnar {
+                        (
+                            b as u64,
+                            b as u64 + 1,
+                            &42u64,
+                            &7u64,
+                            encode_columns(
+                                &adj,
+                                |e: &Entry| e.v,
+                                |e| e.degree,
+                                |e, out| e.em.encode(out),
+                            ),
+                        )
+                            .encode_wire(out)
+                    } else {
+                        (
+                            b as u64,
+                            b as u64 + 1,
+                            &42u64,
+                            &7u64,
+                            encode_seq(&adj, |e: &Entry, out| {
+                                e.v.encode(out);
+                                e.degree.encode(out);
+                                e.em.encode(out);
+                            }),
+                        )
+                            .encode_wire(out)
+                    }
+                });
+                if buf.len() > FLUSH_BYTES {
+                    let (data, _) = buf.drain_pooled(pool);
+                    pool.put(data);
+                }
+            }
+            total
+        })
+    };
+    let decode_with = |f: &dyn Fn(&[u8]) -> u64, buf: &[u8]| {
+        let _warm = black_box(f(buf));
+        let before_allocs = allocs_now();
+        let start = Instant::now();
+        let acc = black_box(f(buf));
+        let ns = start.elapsed().as_nanos() as f64;
+        let allocs = allocs_now() - before_allocs;
+        black_box(acc);
+        PathRun {
+            allocs,
+            ns,
+            bytes: buf.len(),
+        }
+    };
+
+    let interleaved = LayoutRun {
+        bytes: int_stream.len(),
+        encode: encode_with(false),
+        decode: decode_with(&decode_batches_cursor, &int_stream),
+    };
+    let columnar = LayoutRun {
+        bytes: col_stream.len(),
+        encode: encode_with(true),
+        decode: decode_with(&decode_batches_columnar, &col_stream),
+    };
+    let per_cand = |bytes: usize| bytes as f64 / (PUSH_BATCHES * PUSH_CANDIDATES) as f64;
+    for (name, run) in [("interleaved", &interleaved), ("columnar", &columnar)] {
+        println!(
+            "batch_layout/{name:<12} {:>7.2} B/cand  encode {:>8.1} ns/batch {:>4} allocs  decode {:>8.1} ns/batch {:>4} allocs",
+            per_cand(run.bytes),
+            run.encode.ns / PUSH_BATCHES as f64,
+            run.encode.allocs,
+            run.decode.ns / PUSH_BATCHES as f64,
+            run.decode.allocs,
+        );
+    }
+    if columnar.bytes >= interleaved.bytes {
+        println!(
+            "WARNING: columnar layout did not shrink the stream ({} vs {})",
+            columnar.bytes, interleaved.bytes
+        );
+    }
+    if columnar.decode.allocs > 0 {
+        println!(
+            "WARNING: columnar recv path allocated {} times (expected 0)",
+            columnar.decode.allocs
+        );
+    }
+    (interleaved, columnar)
+}
+
+/// Synthetic dry-run input: `verts` local vertices, each with `deg`
+/// wedge targets spread over a hashed id space.
+fn dry_run_adjacency(verts: usize, deg: usize) -> Vec<Vec<u64>> {
+    (0..verts as u64)
+        .map(|s| {
+            (0..deg as u64)
+                .map(|i| hash64(s * 131 + i) % (verts as u64 * 2))
+                .collect()
+        })
+        .collect()
+}
+
+/// The retired dry-run bookkeeping: per-target hash maps for planned
+/// counts and resume pointers (one heap vector per distinct target).
+fn plan_hashed(adj: &[Vec<u64>]) -> (u64, usize) {
+    let mut planned: FastMap<u64, u64> = FastMap::default();
+    let mut resume: FastMap<u64, Vec<(u32, u32)>> = FastMap::default();
+    for (slot, targets) in adj.iter().enumerate() {
+        for (i, &q) in targets.iter().enumerate() {
+            let suffix = targets.len() - i - 1;
+            if suffix == 0 {
+                break;
+            }
+            *planned.entry(q).or_insert(0) += suffix as u64;
+            resume.entry(q).or_default().push((slot as u32, i as u32));
+        }
+    }
+    (planned.values().sum(), resume.len())
+}
+
+/// The current dry-run bookkeeping: one sorted `(q, slot, idx)` vector;
+/// planned counts derived from the contiguous runs.
+fn plan_sorted(adj: &[Vec<u64>]) -> (u64, usize) {
+    let mut entries: Vec<(u64, u32, u32)> = Vec::new();
+    for (slot, targets) in adj.iter().enumerate() {
+        for (i, &q) in targets.iter().enumerate() {
+            if targets.len() - i - 1 == 0 {
+                break;
+            }
+            entries.push((q, slot as u32, i as u32));
+        }
+    }
+    entries.sort_unstable();
+    let mut total = 0u64;
+    let mut runs = 0usize;
+    for run in entries.chunk_by(|a, b| a.0 == b.0) {
+        runs += 1;
+        total += run
+            .iter()
+            .map(|&(_, slot, i)| (adj[slot as usize].len() - i as usize - 1) as u64)
+            .sum::<u64>();
+    }
+    (total, runs)
+}
+
+const DRY_RUN_VERTS: usize = 2048;
+const DRY_RUN_DEG: usize = 16;
+
+/// Old-vs-new comparison of the Push-Pull dry-run planning structures
+/// (ROADMAP "dry-run maps" item; allocation counts are the gate-worthy
+/// signal, wall time is context).
+fn compare_dry_run_plans() -> (PathRun, PathRun) {
+    let adj = dry_run_adjacency(DRY_RUN_VERTS, DRY_RUN_DEG);
+    assert_eq!(
+        plan_hashed(&adj),
+        plan_sorted(&adj),
+        "planning structures disagree"
+    );
+    type PlanFn = dyn Fn(&[Vec<u64>]) -> (u64, usize);
+    let measure = |f: &PlanFn| {
+        let _warm = black_box(f(&adj));
+        let before_allocs = allocs_now();
+        let start = Instant::now();
+        let out = black_box(f(&adj));
+        let ns = start.elapsed().as_nanos() as f64;
+        PathRun {
+            allocs: allocs_now() - before_allocs,
+            ns,
+            bytes: out.1, // distinct targets, for the report
+        }
+    };
+    let old = measure(&plan_hashed);
+    let new = measure(&plan_sorted);
+    println!(
+        "dry_run_plan/hashed_maps                  {:>12.1} ns  {:>8} allocs  {:>9} targets",
+        old.ns, old.allocs, old.bytes
+    );
+    println!(
+        "dry_run_plan/sorted_vec                   {:>12.1} ns  {:>8} allocs  {:>9} targets",
+        new.ns, new.allocs, new.bytes
+    );
+    (old, new)
+}
+
 /// Instrumented end-to-end survey: exact communication counters plus
 /// wall time for both engines on a deterministic R-MAT graph.
 struct SurveyRun {
@@ -482,16 +759,21 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     kernels: &[criterion::BenchResult],
     old: &PathRun,
     new: &PathRun,
     recv_old: &PathRun,
     recv_new: &PathRun,
+    layout_int: &LayoutRun,
+    layout_col: &LayoutRun,
+    dry_old: &PathRun,
+    dry_new: &PathRun,
     surveys: &[SurveyRun],
 ) {
     let mut j = String::from("{\n");
-    j.push_str("  \"schema\": \"tripoll-bench-micro/v2\",\n");
+    j.push_str("  \"schema\": \"tripoll-bench-micro/v3\",\n");
 
     j.push_str("  \"kernels\": [\n");
     for (i, k) in kernels.iter().enumerate() {
@@ -537,6 +819,36 @@ fn write_json(
         recv_new.ns / PUSH_BATCHES as f64,
         recv_new.bytes,
         recv_reduction
+    ));
+
+    let per_cand = |bytes: usize| bytes as f64 / (PUSH_BATCHES * PUSH_CANDIDATES) as f64;
+    let layout_obj = |r: &LayoutRun| {
+        format!(
+            "{{\"bytes\": {}, \"bytes_per_candidate\": {:.3}, \"encode_allocs\": {}, \"encode_ns_per_batch\": {:.1}, \"decode_allocs\": {}, \"decode_allocs_per_batch\": {:.4}, \"decode_ns_per_batch\": {:.1}}}",
+            r.bytes,
+            per_cand(r.bytes),
+            r.encode.allocs,
+            r.encode.ns / PUSH_BATCHES as f64,
+            r.decode.allocs,
+            r.decode.allocs as f64 / PUSH_BATCHES as f64,
+            r.decode.ns / PUSH_BATCHES as f64,
+        )
+    };
+    j.push_str(&format!(
+        "  \"batch_layout\": {{\n    \"batches\": {PUSH_BATCHES},\n    \"candidates_per_batch\": {PUSH_CANDIDATES},\n    \"interleaved\": {},\n    \"columnar\": {},\n    \"bytes_reduction_pct\": {:.1}\n  }},\n",
+        layout_obj(layout_int),
+        layout_obj(layout_col),
+        100.0 * (1.0 - layout_col.bytes as f64 / layout_int.bytes as f64),
+    ));
+
+    let dry_reduction = if dry_old.allocs > 0 {
+        100.0 * (1.0 - dry_new.allocs as f64 / dry_old.allocs as f64)
+    } else {
+        0.0
+    };
+    j.push_str(&format!(
+        "  \"dry_run_plan\": {{\n    \"vertices\": {DRY_RUN_VERTS},\n    \"targets_per_vertex\": {DRY_RUN_DEG},\n    \"hashed_maps\": {{\"allocs\": {}, \"ns\": {:.1}}},\n    \"sorted_vec\": {{\"allocs\": {}, \"ns\": {:.1}}},\n    \"alloc_reduction_pct\": {:.1}\n  }},\n",
+        dry_old.allocs, dry_old.ns, dry_new.allocs, dry_new.ns, dry_reduction
     ));
 
     j.push_str("  \"surveys\": [\n");
@@ -591,6 +903,8 @@ fn main() {
     println!();
     let (old, new) = compare_push_paths();
     let (recv_old, recv_new) = compare_recv_paths();
+    let (layout_int, layout_col) = compare_batch_layouts();
+    let (dry_old, dry_new) = compare_dry_run_plans();
 
     let mut surveys = Vec::new();
     for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
@@ -612,5 +926,16 @@ fn main() {
     let t0 = surveys[0].triangles;
     assert!(surveys.iter().all(|s| s.triangles == t0), "count mismatch");
 
-    write_json(c.results(), &old, &new, &recv_old, &recv_new, &surveys);
+    write_json(
+        c.results(),
+        &old,
+        &new,
+        &recv_old,
+        &recv_new,
+        &layout_int,
+        &layout_col,
+        &dry_old,
+        &dry_new,
+        &surveys,
+    );
 }

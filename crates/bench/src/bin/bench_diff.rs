@@ -4,22 +4,30 @@
 //! cargo run -p tripoll-bench --bin bench_diff -- <baseline.json> <new.json>
 //! ```
 //!
-//! Compares the receive-path allocation proxy (`recv_path.cursor`
-//! allocs-per-batch) of a fresh bench run against the committed
-//! baseline and exits non-zero on a >10% regression — the CI guard for
-//! the zero-copy receive property. Wall-time numbers are deliberately
-//! *not* gated (CI machines are too noisy); allocation counts are
-//! deterministic.
+//! Compares the deterministic perf proxies of a fresh bench run against
+//! the committed baseline and exits non-zero on a regression:
+//!
+//! * `recv_path.cursor` allocs-per-batch — the zero-copy receive
+//!   property of the interleaved cursor decoders;
+//! * `batch_layout.columnar` decode allocs-per-batch — the zero-alloc
+//!   invariant of the production columnar recv path (a zero baseline
+//!   means **any** allocation fails, not a percentage);
+//! * `batch_layout.columnar` bytes-per-candidate — the communication
+//!   volume the SoA layout exists to shrink.
+//!
+//! Each gate allows 10% relative growth over the baseline; wall-time
+//! numbers are deliberately *not* gated (CI machines are too noisy),
+//! while allocation counts and encoded byte volumes are deterministic.
 //!
 //! The parser is a minimal scraper for the known
-//! `tripoll-bench-micro/v2` schema (the container vendors no JSON
-//! crate); a baseline predating the `recv_path` section passes with a
-//! notice so the gate can be adopted in the same change that introduces
-//! the section.
+//! `tripoll-bench-micro/v3` schema (the container vendors no JSON
+//! crate); a baseline predating a gated section passes with a notice so
+//! a gate can be adopted in the same change that introduces its
+//! section.
 
 use std::process::ExitCode;
 
-/// Allowed relative growth of allocs-per-batch before the gate fails.
+/// Allowed relative growth of a gated metric before the gate fails.
 const MAX_REGRESSION: f64 = 0.10;
 
 /// Returns the text after the first occurrence of `"key"` in `s`.
@@ -50,6 +58,57 @@ fn recv_allocs_per_batch(json: &str) -> Option<f64> {
     Some(allocs / batches)
 }
 
+/// Extracts `batch_layout.columnar` decode allocs-per-batch.
+fn columnar_decode_allocs_per_batch(json: &str) -> Option<f64> {
+    let layout = after_key(json, "batch_layout")?;
+    let batches = number_after(layout, "batches")?;
+    let columnar = after_key(layout, "columnar")?;
+    let allocs = number_after(columnar, "decode_allocs")?;
+    if batches <= 0.0 {
+        return None;
+    }
+    Some(allocs / batches)
+}
+
+/// Extracts `batch_layout.columnar` bytes-per-candidate.
+fn columnar_bytes_per_candidate(json: &str) -> Option<f64> {
+    let layout = after_key(json, "batch_layout")?;
+    let columnar = after_key(layout, "columnar")?;
+    number_after(columnar, "bytes_per_candidate")
+}
+
+/// One gated metric: compares fresh vs baseline under the shared
+/// regression policy. Returns false on failure. A zero baseline is an
+/// invariant, not a ratio: any growth at all fails.
+fn gate(name: &str, baseline: Option<f64>, fresh: Option<f64>, new_path: &str) -> bool {
+    let Some(new_v) = fresh else {
+        eprintln!("bench_diff: {new_path} has no {name} metric — did the micro bench run?");
+        return false;
+    };
+    let Some(base_v) = baseline else {
+        println!(
+            "bench_diff: baseline predates the {name} metric; gate passes \
+             (new value {new_v:.4} — commit the fresh BENCH_micro.json to make it the reference)"
+        );
+        return true;
+    };
+    println!("{name}: baseline {base_v:.4}, new {new_v:.4}");
+    let limit = if base_v == 0.0 {
+        0.0
+    } else {
+        base_v * (1.0 + MAX_REGRESSION)
+    };
+    if new_v > limit {
+        eprintln!(
+            "bench_diff: FAIL — {name} regressed beyond {:.0}% ({base_v:.4} -> {new_v:.4})",
+            MAX_REGRESSION * 100.0
+        );
+        return false;
+    }
+    println!("bench_diff: OK (limit {limit:.4})");
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_path, new_path] = &args[..] else {
@@ -67,35 +126,33 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let Some(new_apb) = recv_allocs_per_batch(&fresh) else {
-        eprintln!("bench_diff: {new_path} has no recv_path section — did the micro bench run?");
-        return ExitCode::FAILURE;
-    };
-    let Some(base_apb) = recv_allocs_per_batch(&baseline) else {
-        println!(
-            "bench_diff: baseline {baseline_path} predates the recv_path section; \
-             recording {new_apb:.4} allocs/batch as the new reference"
-        );
-        return ExitCode::SUCCESS;
-    };
-
-    println!("recv-path candidate-list allocs/batch: baseline {base_apb:.4}, new {new_apb:.4}");
-    // A zero baseline is the zero-copy contract itself: any allocation
-    // at all is a regression, not a percentage.
-    let limit = if base_apb == 0.0 {
-        0.0
+    let ok = [
+        gate(
+            "recv-path candidate-list allocs/batch",
+            recv_allocs_per_batch(&baseline),
+            recv_allocs_per_batch(&fresh),
+            new_path,
+        ),
+        gate(
+            "columnar recv-path allocs/batch",
+            columnar_decode_allocs_per_batch(&baseline),
+            columnar_decode_allocs_per_batch(&fresh),
+            new_path,
+        ),
+        gate(
+            "columnar bytes/candidate",
+            columnar_bytes_per_candidate(&baseline),
+            columnar_bytes_per_candidate(&fresh),
+            new_path,
+        ),
+    ]
+    .into_iter()
+    .all(|g| g);
+    if ok {
+        ExitCode::SUCCESS
     } else {
-        base_apb * (1.0 + MAX_REGRESSION)
-    };
-    if new_apb > limit {
-        eprintln!(
-            "bench_diff: FAIL — recv-path allocs/batch regressed beyond {:.0}% ({base_apb:.4} -> {new_apb:.4})",
-            MAX_REGRESSION * 100.0
-        );
-        return ExitCode::FAILURE;
+        ExitCode::FAILURE
     }
-    println!("bench_diff: OK (limit {limit:.4})");
-    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -103,11 +160,18 @@ mod tests {
     use super::*;
 
     const SAMPLE: &str = r#"{
-  "schema": "tripoll-bench-micro/v2",
+  "schema": "tripoll-bench-micro/v3",
   "recv_path": {
     "batches": 4096,
     "materialized": {"allocs": 4096, "allocs_per_batch": 1.0},
     "cursor": {"allocs": 0, "allocs_per_batch": 0.0000, "ns_per_batch": 687.1}
+  },
+  "batch_layout": {
+    "batches": 4096,
+    "candidates_per_batch": 64,
+    "interleaved": {"bytes": 3203072, "bytes_per_candidate": 12.219, "decode_allocs": 0},
+    "columnar": {"bytes": 2953216, "bytes_per_candidate": 11.266, "encode_allocs": 0, "decode_allocs": 0, "decode_allocs_per_batch": 0.0000},
+    "bytes_reduction_pct": 7.8
   }
 }"#;
 
@@ -119,11 +183,43 @@ mod tests {
     #[test]
     fn missing_section_is_none() {
         assert_eq!(recv_allocs_per_batch("{\"schema\": \"v1\"}"), None);
+        assert_eq!(
+            columnar_decode_allocs_per_batch("{\"schema\": \"v1\"}"),
+            None
+        );
+        assert_eq!(columnar_bytes_per_candidate("{\"schema\": \"v1\"}"), None);
     }
 
     #[test]
     fn nonzero_allocs_extracted() {
         let s = SAMPLE.replace("\"allocs\": 0,", "\"allocs\": 2048,");
         assert_eq!(recv_allocs_per_batch(&s), Some(0.5));
+    }
+
+    #[test]
+    fn extracts_columnar_metrics() {
+        assert_eq!(columnar_decode_allocs_per_batch(SAMPLE), Some(0.0));
+        assert_eq!(columnar_bytes_per_candidate(SAMPLE), Some(11.266));
+        // The interleaved object's decode_allocs must not shadow the
+        // columnar one.
+        let s = SAMPLE.replace(
+            "\"bytes_per_candidate\": 11.266, \"encode_allocs\": 0, \"decode_allocs\": 0",
+            "\"bytes_per_candidate\": 11.266, \"encode_allocs\": 0, \"decode_allocs\": 4096",
+        );
+        assert_eq!(columnar_decode_allocs_per_batch(&s), Some(1.0));
+    }
+
+    #[test]
+    fn gate_policy() {
+        // Zero baseline: any allocation fails.
+        assert!(gate("g", Some(0.0), Some(0.0), "x"));
+        assert!(!gate("g", Some(0.0), Some(0.001), "x"));
+        // Nonzero baseline: 10% headroom.
+        assert!(gate("g", Some(10.0), Some(10.9), "x"));
+        assert!(!gate("g", Some(10.0), Some(11.1), "x"));
+        // Adoption path: metric missing from the baseline passes.
+        assert!(gate("g", None, Some(5.0), "x"));
+        // Metric missing from the fresh run fails.
+        assert!(!gate("g", Some(1.0), None, "x"));
     }
 }

@@ -34,8 +34,9 @@ impl std::fmt::Display for EngineMode {
 
 /// How the engines decode received wedge batches.
 ///
-/// Both paths are byte-compatible on the wire (senders are identical)
-/// and emit identical surveys; they differ only in receive-side cost.
+/// For a fixed [`BatchLayout`] both paths read the same bytes (senders
+/// are identical) and emit identical surveys; they differ only in
+/// receive-side cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DecodePath {
     /// Cursor-decode candidate batches **in place** from the receive
@@ -43,10 +44,98 @@ pub enum DecodePath {
     /// materialized only on triangle matches. The production default.
     #[default]
     Cursor,
-    /// Materialize an owned `Vec<Candidate>` per batch before
-    /// intersecting — the pre-zero-copy reference path, kept for
-    /// differential testing of the cursor decoders.
+    /// Materialize an owned candidate batch before intersecting — the
+    /// materializing reference path, kept for differential testing of
+    /// the cursor decoders.
     Owned,
+}
+
+/// How wedge-candidate batches are laid out on the wire.
+///
+/// The layout is a collective contract exactly like [`DecodePath`]:
+/// senders and the registered handlers must agree, so every rank runs a
+/// survey with the same value. Layouts differ in bytes (so send-side
+/// traffic fingerprints are only comparable within one layout) but the
+/// surveys they produce are identical — differentially tested in
+/// `tests/decode_paths.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchLayout {
+    /// Structure-of-arrays: three packed columns (vertices, delta-coded
+    /// degrees, metadata), so the merge-path walks only the key columns
+    /// and the metadata column is decoded per element on triangle
+    /// matches alone. Fewer bytes per candidate and the prerequisite
+    /// for a SIMD/blocked merge-path. The production default.
+    #[default]
+    Columnar,
+    /// Array-of-structures: candidates interleaved as
+    /// `(vertex, degree, meta)` tuples — the original wire format,
+    /// retained for differential testing (mirroring
+    /// [`DecodePath::Owned`] on the decode axis).
+    Interleaved,
+}
+
+impl std::fmt::Display for BatchLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchLayout::Columnar => write!(f, "Columnar"),
+            BatchLayout::Interleaved => write!(f, "Interleaved"),
+        }
+    }
+}
+
+/// Per-survey engine configuration: the wire layout of candidate
+/// batches and the receive decode path. Both axes are collective
+/// contracts (same value on every rank). The default —
+/// [`BatchLayout::Columnar`] decoded by [`DecodePath::Cursor`] — is the
+/// production hot path; the other three combinations exist for
+/// differential testing, and every combination yields an identical
+/// survey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SurveyConfig {
+    /// Wire layout of wedge-candidate batches.
+    pub layout: BatchLayout,
+    /// Receive-side decode strategy.
+    pub decode: DecodePath,
+}
+
+impl SurveyConfig {
+    /// The production configuration (columnar batches, cursor decode).
+    pub fn new() -> Self {
+        SurveyConfig::default()
+    }
+
+    /// This configuration with the given batch layout.
+    pub fn with_layout(mut self, layout: BatchLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// This configuration with the given decode path.
+    pub fn with_decode(mut self, decode: DecodePath) -> Self {
+        self.decode = decode;
+        self
+    }
+}
+
+/// A bare decode path selects that path under the default (columnar)
+/// layout.
+impl From<DecodePath> for SurveyConfig {
+    fn from(decode: DecodePath) -> Self {
+        SurveyConfig {
+            decode,
+            ..SurveyConfig::default()
+        }
+    }
+}
+
+/// A bare layout selects that layout under the default (cursor) decode.
+impl From<BatchLayout> for SurveyConfig {
+    fn from(layout: BatchLayout) -> Self {
+        SurveyConfig {
+            layout,
+            ..SurveyConfig::default()
+        }
+    }
 }
 
 /// Timing and traffic of one engine phase, local to this rank.
@@ -305,5 +394,34 @@ mod tests {
     fn mode_display() {
         assert_eq!(EngineMode::PushOnly.to_string(), "Push-Only");
         assert_eq!(EngineMode::PushPull.to_string(), "Push-Pull");
+        assert_eq!(BatchLayout::Columnar.to_string(), "Columnar");
+        assert_eq!(BatchLayout::Interleaved.to_string(), "Interleaved");
+    }
+
+    #[test]
+    fn survey_config_defaults_and_conversions() {
+        // Production default: columnar batches decoded in place.
+        let d = SurveyConfig::default();
+        assert_eq!(d.layout, BatchLayout::Columnar);
+        assert_eq!(d.decode, DecodePath::Cursor);
+        assert_eq!(SurveyConfig::new(), d);
+        // A bare axis value fixes that axis, leaving the other default.
+        assert_eq!(
+            SurveyConfig::from(DecodePath::Owned),
+            d.with_decode(DecodePath::Owned)
+        );
+        assert_eq!(
+            SurveyConfig::from(BatchLayout::Interleaved),
+            d.with_layout(BatchLayout::Interleaved)
+        );
+        assert_eq!(
+            SurveyConfig::default()
+                .with_layout(BatchLayout::Interleaved)
+                .with_decode(DecodePath::Owned),
+            SurveyConfig {
+                layout: BatchLayout::Interleaved,
+                decode: DecodePath::Owned,
+            }
+        );
     }
 }

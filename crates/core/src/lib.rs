@@ -48,7 +48,8 @@ pub mod push_pull;
 pub mod surveys;
 
 pub use engine::{
-    merge_path, merge_path_stream, DecodePath, EngineMode, PhaseReport, SurveyReport,
+    merge_path, merge_path_stream, BatchLayout, DecodePath, EngineMode, PhaseReport, SurveyConfig,
+    SurveyReport,
 };
 pub use meta::{SurveyCallback, TriangleMeta};
 pub use push_only::{survey_push_only, survey_push_only_with};

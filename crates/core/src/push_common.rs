@@ -10,25 +10,27 @@
 //! already in `Adjm+(q)`'s entry for `r` (it is deliberately *not*
 //! transmitted).
 //!
-//! # Zero-copy on both ends of the wire
+//! # Layout-generic, zero-copy on both ends of the wire
 //!
-//! The hot path never materializes a candidate list on either side:
+//! The candidate batch crosses the wire in one of two [`BatchLayout`]s,
+//! and the machinery here is generic over that axis:
 //!
-//! * **Send** ([`push_wedge_batches`]): the suffix serializes directly
-//!   from `Adjm+(p)` storage via [`encode_seq`], metadata by reference —
-//!   no `Vec<Candidate>`, no metadata clones.
-//! * **Receive** (the [`DecodePath::Cursor`] handler): candidates arrive
-//!   sorted by `<+` (they are a suffix of a sorted adjacency), so the
-//!   merge-path intersection consumes them **straight off the receive
-//!   buffer** through a [`SeqCursor`] — zero heap allocations per batch.
-//!   Per-candidate `meta(p,r)` is captured as a [`Lazy`] byte range and
-//!   decoded only when the candidate actually closes a triangle; after
-//!   `Adjm+(q)` is exhausted, the cursor skip-walks the remaining
-//!   candidates to keep the envelope's record framing intact.
+//! * **Columnar** (production default): the suffix serializes as three
+//!   packed columns straight from `Adjm+(p)` storage
+//!   ([`encode_candidate_columns`]); the receiving handler intersects
+//!   by walking only the two key columns ([`ColCursor`]), and the
+//!   metadata column is decoded per element exclusively on triangle
+//!   matches — the [`tripoll_ygm::wire::Lazy`] decode-on-match idea
+//!   promoted from per-record to per-column. The frame is fully
+//!   consumed at capture, so early exits leave no record-framing debt.
+//! * **Interleaved**: candidates as `(r, d(r), meta)` tuples via
+//!   [`encode_seq`], received through a [`SeqCursor`] with per-record
+//!   [`Lazy`] metadata — the original layout, retained for
+//!   differential testing.
 //!
-//! The owned decode path ([`DecodePath::Owned`]) — decode a full
-//! [`PushMsg`], then intersect — is retained as the differential-testing
-//! reference; both paths read the same bytes and emit identical surveys.
+//! On the orthogonal [`DecodePath`] axis, each layout also has a
+//! materializing `Owned` reference handler; all four combinations emit
+//! identical surveys.
 //!
 //! A push that arrives for a vertex its receiving rank does not own can
 //! only mean ownership disagreement between ranks (a partition bug, not
@@ -38,10 +40,13 @@
 use std::rc::Rc;
 
 use tripoll_graph::{AdjEntry, DistGraph, OrderKey};
-use tripoll_ygm::wire::{encode_seq, Lazy, SeqCursor, Wire, WireError, WireReader};
+use tripoll_ygm::wire::{
+    encode_columns, encode_seq, ColBatch, ColCursor, Lazy, SeqCursor, Wire, WireEncode, WireError,
+    WireReader,
+};
 use tripoll_ygm::{Comm, Handler};
 
-use crate::engine::{merge_path, merge_path_stream, DecodePath};
+use crate::engine::{merge_path, merge_path_stream, BatchLayout, DecodePath, SurveyConfig};
 use crate::meta::TriangleMeta;
 
 /// Type-erased survey callback held by engine handlers.
@@ -53,8 +58,23 @@ pub(crate) type DynCallback<VM, EM> = Rc<dyn Fn(&Comm, &TriangleMeta<'_, VM, EM>
 /// without a lookup; `meta(r)` is intentionally absent (see module docs).
 pub(crate) type Candidate<EM> = (u64, u64, EM);
 
-/// A pushed wedge batch: `(p, q, meta(p), meta(p,q), candidates)`.
+/// An interleaved wedge batch: `(p, q, meta(p), meta(p,q), candidates)`.
 pub(crate) type PushMsg<VM, EM> = (u64, u64, VM, EM, Vec<Candidate<EM>>);
+
+/// A columnar wedge batch: same fields, candidates as a [`ColBatch`]
+/// (vertex column, delta-coded degree column, metadata column).
+pub(crate) type PushMsgCol<VM, EM> = (u64, u64, VM, EM, ColBatch<EM>);
+
+/// The registered push handler, keyed by the batch layout its wire type
+/// encodes. Senders must route through the matching arm — the enum
+/// makes mixing layouts a compile-time impossibility rather than a
+/// decode error on a remote rank.
+pub(crate) enum PushHandler<VM, EM> {
+    /// Handler for [`PushMsg`] (interleaved candidates).
+    Interleaved(Handler<PushMsg<VM, EM>>),
+    /// Handler for [`PushMsgCol`] (columnar candidates).
+    Columnar(Handler<PushMsgCol<VM, EM>>),
+}
 
 /// A [`Candidate`] decoded in place: eager identity and sort key, lazy
 /// metadata (materialized only for triangle matches).
@@ -98,27 +118,134 @@ fn abort_unowned_push<VM, EM>(c: &Comm, g: &DistGraph<VM, EM>, p: u64, q: u64) -
     ))
 }
 
-/// Registers the push handler: intersect candidates with `Adjm+(q)` and
-/// run the callback on every triangle. Collective (handler registration,
-/// so every rank must pass the same `decode`).
+/// Registers the push handler for the configured layout and decode
+/// path: intersect candidates with `Adjm+(q)` and run the callback on
+/// every triangle. Collective (handler registration, so every rank must
+/// pass the same `config`).
 pub(crate) fn register_push_handler<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
     cb: DynCallback<VM, EM>,
-    decode: DecodePath,
-) -> Handler<PushMsg<VM, EM>>
+    config: SurveyConfig,
+) -> PushHandler<VM, EM>
 where
     VM: Wire + Clone + 'static,
     EM: Wire + Clone + 'static,
 {
-    match decode {
-        DecodePath::Cursor => register_push_handler_cursor(comm, graph, cb),
-        DecodePath::Owned => register_push_handler_owned(comm, graph, cb),
+    match (config.layout, config.decode) {
+        (BatchLayout::Columnar, DecodePath::Cursor) => {
+            PushHandler::Columnar(register_push_handler_columnar_cursor(comm, graph, cb))
+        }
+        (BatchLayout::Columnar, DecodePath::Owned) => {
+            PushHandler::Columnar(register_push_handler_columnar_owned(comm, graph, cb))
+        }
+        (BatchLayout::Interleaved, DecodePath::Cursor) => {
+            PushHandler::Interleaved(register_push_handler_cursor(comm, graph, cb))
+        }
+        (BatchLayout::Interleaved, DecodePath::Owned) => {
+            PushHandler::Interleaved(register_push_handler_owned(comm, graph, cb))
+        }
     }
 }
 
-/// The zero-copy receive handler: merge-path directly over the wire
-/// bytes (see module docs).
+/// The production receive handler: capture the columnar frame, walk the
+/// key columns through the merge-path, decode metadata on match only.
+fn register_push_handler_columnar_cursor<VM, EM>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    cb: DynCallback<VM, EM>,
+) -> Handler<PushMsgCol<VM, EM>>
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+{
+    let g = graph.clone();
+    comm.register_borrowed::<PushMsgCol<VM, EM>, _>(move |c, r| {
+        let p = u64::decode(r)?;
+        let q = u64::decode(r)?;
+        let meta_p = VM::decode(r)?;
+        let meta_pq = EM::decode(r)?;
+        // The frame is fully consumed here (bounded column takes), so
+        // record framing is intact no matter where the merge stops.
+        let cur: ColCursor<'_, EM> = ColCursor::begin(r)?;
+        let Some(lv) = g.shard().get(q) else {
+            abort_unowned_push(c, &g, p, q);
+        };
+        // Merge-path walks both lists once: that is the wedge-check work.
+        c.add_work((cur.len() + lv.adj.len()) as u64);
+        let ColCursor {
+            mut keys,
+            mut metas,
+        } = cur;
+        merge_path_stream(
+            || keys.next_key(),
+            &lv.adj,
+            |k| OrderKey::new(k.v, k.degree),
+            |e| e.key,
+            |k, e| {
+                debug_assert_eq!(k.v, e.v, "OrderKey equality implies vertex equality");
+                let meta_pr = metas.get(k.idx)?;
+                let tm = TriangleMeta {
+                    p,
+                    q,
+                    r: e.v,
+                    meta_p: &meta_p,
+                    meta_q: &lv.meta,
+                    meta_r: &e.vm,
+                    meta_pq: &meta_pq,
+                    meta_pr: &meta_pr,
+                    meta_qr: &e.em,
+                };
+                cb(c, &tm);
+                Ok(())
+            },
+        )
+    })
+}
+
+/// Materializing reference handler for the columnar layout: decode the
+/// owned [`ColBatch`], then intersect — differential-testing mirror of
+/// the column cursors.
+fn register_push_handler_columnar_owned<VM, EM>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    cb: DynCallback<VM, EM>,
+) -> Handler<PushMsgCol<VM, EM>>
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+{
+    let g = graph.clone();
+    comm.register::<PushMsgCol<VM, EM>, _>(move |c, (p, q, meta_p, meta_pq, batch)| {
+        let Some(lv) = g.shard().get(q) else {
+            abort_unowned_push(c, &g, p, q);
+        };
+        c.add_work((batch.0.len() + lv.adj.len()) as u64);
+        merge_path(
+            &batch.0,
+            &lv.adj,
+            |cand| OrderKey::new(cand.0, cand.1),
+            |e| e.key,
+            |cand, e| {
+                let tm = TriangleMeta {
+                    p,
+                    q,
+                    r: e.v,
+                    meta_p: &meta_p,
+                    meta_q: &lv.meta,
+                    meta_r: &e.vm,
+                    meta_pq: &meta_pq,
+                    meta_pr: &cand.2,
+                    meta_qr: &e.em,
+                };
+                cb(c, &tm);
+            },
+        );
+    })
+}
+
+/// The interleaved zero-copy receive handler: merge-path directly over
+/// the wire bytes through a [`SeqCursor`] (see module docs).
 fn register_push_handler_cursor<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
@@ -168,8 +295,8 @@ where
     })
 }
 
-/// The materializing reference handler (pre-zero-copy receive), kept
-/// for differential testing against the cursor path.
+/// The materializing reference handler for the interleaved layout,
+/// kept for differential testing against the cursor path.
 fn register_push_handler_owned<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
@@ -208,9 +335,10 @@ where
     })
 }
 
-/// Appends one candidate's wire image — byte-identical to the
-/// [`Candidate`] tuple `(s.v, s.key.degree, s.em)` that the receiving
-/// handler decodes. Must stay in lockstep with the [`Candidate`] type.
+/// Appends one candidate's interleaved wire image — byte-identical to
+/// the [`Candidate`] tuple `(s.v, s.key.degree, s.em)` that the
+/// receiving handler decodes. Must stay in lockstep with the
+/// [`Candidate`] type.
 #[inline]
 pub(crate) fn encode_candidate<VM, EM: Wire>(s: &AdjEntry<VM, EM>, buf: &mut Vec<u8>) {
     s.v.encode(buf);
@@ -218,19 +346,30 @@ pub(crate) fn encode_candidate<VM, EM: Wire>(s: &AdjEntry<VM, EM>, buf: &mut Vec
     s.em.encode(buf);
 }
 
+/// The columnar projection of an adjacency slice: serializes the
+/// candidate batch as three packed columns straight from `Adjm+`
+/// storage, byte-identical to the [`ColBatch`] the receiving handler
+/// is keyed on. The degree column delta-codes for free here because
+/// the slice is `<+`-sorted, so degrees are monotone non-decreasing.
+#[inline]
+pub(crate) fn encode_candidate_columns<VM, EM: Wire>(
+    adj: &[AdjEntry<VM, EM>],
+) -> impl WireEncode + '_ {
+    encode_columns(adj, |s| s.v, |s| s.key.degree, |s, buf| s.em.encode(buf))
+}
+
 /// Iterates this rank's vertices and pushes every wedge batch whose
 /// target is not excluded by `skip` (Push-Only passes `|_| false`;
 /// Push-Pull skips targets that will be pulled instead).
 ///
-/// Encode-once hot path: the candidate suffix serializes **directly**
-/// from the `Adjm+(p)` storage slice, and `meta(p)` / `meta(p,q)` are
-/// encoded by reference — no `Vec<Candidate>` materialization and no
-/// metadata clones per batch (the old path paid O(d²) heap allocations
-/// per vertex for exactly the data that already sat in sorted arrays).
+/// Encode-once hot path for either layout: the candidate suffix
+/// serializes **directly** from the `Adjm+(p)` storage slice, and
+/// `meta(p)` / `meta(p,q)` are encoded by reference — no candidate
+/// materialization and no metadata clones per batch.
 pub(crate) fn push_wedge_batches<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
-    handler: &Handler<PushMsg<VM, EM>>,
+    handler: &PushHandler<VM, EM>,
     mut skip: impl FnMut(u64) -> bool,
 ) where
     VM: Wire + Clone + 'static,
@@ -245,17 +384,32 @@ pub(crate) fn push_wedge_batches<VM, EM>(
             if skip(e.v) {
                 continue;
             }
-            comm.send_encoded(
-                graph.owner(e.v),
-                handler,
-                (
-                    lv.id,
-                    e.v,
-                    &lv.meta,
-                    &e.em,
-                    encode_seq(&lv.adj[i + 1..], |s, buf| encode_candidate(s, buf)),
+            let dest = graph.owner(e.v);
+            let suffix = &lv.adj[i + 1..];
+            match handler {
+                PushHandler::Interleaved(h) => comm.send_encoded(
+                    dest,
+                    h,
+                    (
+                        lv.id,
+                        e.v,
+                        &lv.meta,
+                        &e.em,
+                        encode_seq(suffix, |s, buf| encode_candidate(s, buf)),
+                    ),
                 ),
-            );
+                PushHandler::Columnar(h) => comm.send_encoded(
+                    dest,
+                    h,
+                    (
+                        lv.id,
+                        e.v,
+                        &lv.meta,
+                        &e.em,
+                        encode_candidate_columns(suffix),
+                    ),
+                ),
+            }
         }
     }
 }

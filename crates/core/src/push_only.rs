@@ -12,7 +12,7 @@ use tripoll_graph::DistGraph;
 use tripoll_ygm::wire::Wire;
 use tripoll_ygm::Comm;
 
-use crate::engine::{DecodePath, EngineMode, PhaseTimer, SurveyReport};
+use crate::engine::{EngineMode, PhaseTimer, SurveyConfig, SurveyReport};
 use crate::meta::SurveyCallback;
 use crate::push_common::{push_wedge_batches, register_push_handler, DynCallback};
 
@@ -20,9 +20,9 @@ use crate::push_common::{push_wedge_batches, register_push_handler, DynCallback}
 /// triangle on the rank where the metadata is colocated (`Rank(q)`).
 ///
 /// Collective: every rank calls with the same graph and an equivalent
-/// callback. Returns this rank's [`SurveyReport`]. Wedge batches are
-/// decoded in place ([`DecodePath::Cursor`]); see
-/// [`survey_push_only_with`] to select the decode path explicitly.
+/// callback. Returns this rank's [`SurveyReport`]. Runs the production
+/// [`SurveyConfig`] (columnar batches, cursor decode); see
+/// [`survey_push_only_with`] to select the configuration explicitly.
 pub fn survey_push_only<VM, EM, F>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
@@ -33,16 +33,18 @@ where
     EM: Wire + Clone + 'static,
     F: SurveyCallback<VM, EM>,
 {
-    survey_push_only_with(comm, graph, DecodePath::Cursor, callback)
+    survey_push_only_with(comm, graph, SurveyConfig::default(), callback)
 }
 
-/// [`survey_push_only`] with an explicit receive [`DecodePath`] —
-/// `decode` is part of the collective contract (same value on every
-/// rank). [`DecodePath::Owned`] exists for differential testing.
+/// [`survey_push_only`] with an explicit [`SurveyConfig`] (or a bare
+/// [`crate::engine::BatchLayout`] / [`crate::engine::DecodePath`], via
+/// `Into`) — the configuration is part of the collective contract (same
+/// value on every rank). The non-default combinations exist for
+/// differential testing.
 pub fn survey_push_only_with<VM, EM, F>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
-    decode: DecodePath,
+    config: impl Into<SurveyConfig>,
     callback: F,
 ) -> SurveyReport
 where
@@ -51,7 +53,7 @@ where
     F: SurveyCallback<VM, EM>,
 {
     let cb: DynCallback<VM, EM> = Rc::new(callback);
-    let handler = register_push_handler(comm, graph, cb, decode);
+    let handler = register_push_handler(comm, graph, cb, config.into());
 
     let timer = PhaseTimer::begin(comm, "push");
     push_wedge_batches(comm, graph, &handler, |_| false);
@@ -150,8 +152,9 @@ mod tests {
         assert_eq!(out, vec![4, 4, 4]);
     }
 
-    fn misrouted_push(decode: crate::engine::DecodePath) {
-        use crate::push_common::register_push_handler;
+    fn misrouted_push(config: SurveyConfig) {
+        use crate::push_common::{register_push_handler, PushHandler};
+        use tripoll_ygm::wire::ColBatch;
         // A push handler is registered normally, then one wedge batch is
         // deliberately sent to the rank that does NOT own its target:
         // the survey must abort with a structured error naming the
@@ -162,11 +165,18 @@ mod tests {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
             let cb: crate::push_common::DynCallback<(), ()> = Rc::new(|_c, _tm| {});
-            let h = register_push_handler(comm, &g, cb, decode);
+            let h = register_push_handler(comm, &g, cb, config);
             if comm.rank() == 0 {
                 let q = 0u64;
                 let wrong = (g.owner(q) + 1) % comm.nranks();
-                comm.send(wrong, &h, &(1u64, q, (), (), Vec::<(u64, u64, ())>::new()));
+                match &h {
+                    PushHandler::Interleaved(h) => {
+                        comm.send(wrong, h, &(1u64, q, (), (), Vec::<(u64, u64, ())>::new()));
+                    }
+                    PushHandler::Columnar(h) => {
+                        comm.send(wrong, h, &(1u64, q, (), (), ColBatch::<()>::default()));
+                    }
+                }
             }
             comm.barrier();
         });
@@ -175,13 +185,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "vertex ownership disagrees across ranks")]
     fn misrouted_push_aborts_cleanly_cursor() {
-        misrouted_push(crate::engine::DecodePath::Cursor);
+        misrouted_push(SurveyConfig::default());
     }
 
     #[test]
     #[should_panic(expected = "vertex ownership disagrees across ranks")]
     fn misrouted_push_aborts_cleanly_owned() {
-        misrouted_push(crate::engine::DecodePath::Owned);
+        misrouted_push(SurveyConfig::from(crate::engine::DecodePath::Owned));
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex ownership disagrees across ranks")]
+    fn misrouted_push_aborts_cleanly_interleaved() {
+        misrouted_push(SurveyConfig::from(crate::engine::BatchLayout::Interleaved));
     }
 
     #[test]

@@ -5,13 +5,15 @@
 //! by letting each (source rank, target vertex) pair choose the cheaper
 //! direction:
 //!
-//! 1. **Dry-run** — a communication-free pass counts, per target vertex
-//!    `q`, the total candidate edges this rank would push, and records
-//!    resume pointers `(p, index of q in Adjm+(p))` for the pull case.
-//!    One `(q, count)` record per target goes to `Rank(q)`, which grants
-//!    a pull when `|Adjm+(q)| < count` — i.e. shipping `q`'s adjacency
-//!    once is cheaper than receiving `count` candidates — and otherwise
-//!    replies with a push veto.
+//! 1. **Dry-run** — a communication-free pass records, per target vertex
+//!    `q`, resume pointers `(p, index of q in Adjm+(p))` for the pull
+//!    case ([`ResumePlan`]: one sorted vector with run-length grouping,
+//!    not a hash map per target). One `(q, count)` record per target —
+//!    the count of candidate edges this rank would push, derived from
+//!    the grouped pointers — goes to `Rank(q)`, which grants a pull when
+//!    `|Adjm+(q)| < count` — i.e. shipping `q`'s adjacency once is
+//!    cheaper than receiving `count` candidates — and otherwise replies
+//!    with a push veto.
 //! 2. **Push phase** — wedge batches for vetoed targets are pushed
 //!    exactly as in Push-Only.
 //! 3. **Pull phase** — each owner ships `Adjm+(q)` once to every granted
@@ -19,37 +21,103 @@
 //!    recorded pointers and intersects locally, running callbacks on
 //!    `Rank(p)` (where, by the storage design of §4.2, all six metadata
 //!    values are already resident).
+//!
+//! Like the push path, the pull delivery is layout-generic
+//! ([`crate::engine::BatchLayout`]): columnar deliveries are captured
+//! once as a [`ColView`] (three bounded takes) and re-walked per resume
+//! suffix with metadata decoded only on matches; interleaved deliveries
+//! use the [`SeqView`] skip-walk capture.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use tripoll_graph::{DistGraph, OrderKey};
 use tripoll_ygm::hash::{FastMap, FastSet};
-use tripoll_ygm::wire::{encode_seq, SeqView, Wire};
+use tripoll_ygm::wire::{encode_seq, ColBatch, ColCursor, ColView, SeqView, Wire};
 use tripoll_ygm::{Comm, Handler};
 
 use crate::engine::{
-    merge_path, merge_path_stream, DecodePath, EngineMode, PhaseTimer, SurveyReport,
+    merge_path, merge_path_stream, BatchLayout, DecodePath, EngineMode, PhaseTimer, SurveyConfig,
+    SurveyReport,
 };
 use crate::meta::{SurveyCallback, TriangleMeta};
 use crate::push_common::{
-    decode_candidate_view, encode_candidate, push_wedge_batches, register_push_handler, Candidate,
-    DynCallback,
+    decode_candidate_view, encode_candidate, encode_candidate_columns, push_wedge_batches,
+    register_push_handler, Candidate, DynCallback,
 };
 
 /// Dry-run record: `(q, planned candidate count, source rank)`.
 type DryRunMsg = (u64, u64, u32);
-/// Pull delivery: `(q, Adjm+(q) projected to (r, d(r), meta(q,r)))`.
+/// Interleaved pull delivery: `(q, Adjm+(q) projected to (r, d(r), meta(q,r)))`.
 type PullMsg<EM> = (u64, Vec<Candidate<EM>>);
+/// Columnar pull delivery: same projection as three packed columns.
+type PullMsgCol<EM> = (u64, ColBatch<EM>);
+
+/// The registered pull handler, keyed by the delivery's batch layout
+/// (mirror of [`crate::push_common::PushHandler`]).
+enum PullHandler<EM> {
+    Interleaved(Handler<PullMsg<EM>>),
+    Columnar(Handler<PullMsgCol<EM>>),
+}
+
+/// Dry-run resume pointers, grouped by wedge target.
+///
+/// The paper's "pointers to efficiently iterate over source vertices
+/// stored locally" (§4.4). Stored as **one** `(q, slot, index)` vector
+/// sorted by `q` — runs of equal `q` are contiguous — instead of the
+/// former pair of hash maps (`planned` counts plus per-target pointer
+/// vectors): building it is a push per wedge target plus one sort with
+/// no per-target allocation, the planned candidate count is derived
+/// from a run when the dry-run record is sent (so no second map), a
+/// target's pointers are found by binary search, and the post-dry-run
+/// veto filtering is an in-place `retain`.
+#[derive(Default)]
+struct ResumePlan {
+    /// `(q, vertex slot, adjacency index)`, sorted by `q` after
+    /// [`ResumePlan::seal`].
+    entries: Vec<(u64, u32, u32)>,
+}
+
+impl ResumePlan {
+    /// Records one resume pointer (pre-seal, vertex-major order).
+    #[inline]
+    fn push(&mut self, q: u64, slot: u32, idx: u32) {
+        self.entries.push((q, slot, idx));
+    }
+
+    /// Sorts the pointers by target so equal-`q` runs are contiguous.
+    fn seal(&mut self) {
+        self.entries.sort_unstable();
+    }
+
+    /// The contiguous runs, one per distinct target (requires a sealed
+    /// plan).
+    fn runs(&self) -> impl Iterator<Item = (u64, &[(u64, u32, u32)])> {
+        self.entries
+            .chunk_by(|a, b| a.0 == b.0)
+            .map(|run| (run[0].0, run))
+    }
+
+    /// The resume pointers recorded for `q` (empty if none). Binary
+    /// search over the sealed vector — the lookup the former hash map
+    /// provided, without its per-target allocations.
+    fn get(&self, q: u64) -> &[(u64, u32, u32)] {
+        let start = self.entries.partition_point(|e| e.0 < q);
+        let end = start + self.entries[start..].partition_point(|e| e.0 == q);
+        &self.entries[start..end]
+    }
+
+    /// Drops every pointer whose target fails `keep`, in place.
+    fn retain_targets(&mut self, mut keep: impl FnMut(u64) -> bool) {
+        self.entries.retain(|&(q, _, _)| keep(q));
+    }
+}
 
 #[derive(Default)]
 struct PpState {
-    /// Per target vertex: candidate edges this rank would push.
-    planned: FastMap<u64, u64>,
-    /// Per target vertex: local `(vertex slot, adjacency index)` resume
-    /// pointers — "pointers to efficiently iterate over source vertices
-    /// stored locally" (§4.4).
-    resume: FastMap<u64, Vec<(u32, u32)>>,
+    /// Resume pointers per wedge target (also yields the dry-run
+    /// planned counts; see [`ResumePlan`]).
+    resume: ResumePlan,
     /// Targets whose owner vetoed the pull (push instead).
     veto: FastSet<u64>,
     /// Local vertices q → ranks that will pull `Adjm+(q)`.
@@ -62,9 +130,9 @@ struct PpState {
 
 /// Runs a Push-Pull triangle survey; `callback` executes once per
 /// triangle, on `Rank(q)` for pushed wedges and on `Rank(p)` for pulled
-/// ones. Collective. Returns this rank's [`SurveyReport`]. Received
-/// batches are decoded in place ([`DecodePath::Cursor`]); see
-/// [`survey_push_pull_with`] to select the decode path explicitly.
+/// ones. Collective. Returns this rank's [`SurveyReport`]. Runs the
+/// production [`SurveyConfig`] (columnar batches, cursor decode); see
+/// [`survey_push_pull_with`] to select the configuration explicitly.
 pub fn survey_push_pull<VM, EM, F>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
@@ -75,16 +143,17 @@ where
     EM: Wire + Clone + 'static,
     F: SurveyCallback<VM, EM>,
 {
-    survey_push_pull_with(comm, graph, DecodePath::Cursor, callback)
+    survey_push_pull_with(comm, graph, SurveyConfig::default(), callback)
 }
 
-/// [`survey_push_pull`] with an explicit receive [`DecodePath`] —
-/// `decode` is part of the collective contract (same value on every
-/// rank). [`DecodePath::Owned`] exists for differential testing.
+/// [`survey_push_pull`] with an explicit [`SurveyConfig`] (or a bare
+/// [`BatchLayout`] / [`DecodePath`], via `Into`) — the configuration is
+/// part of the collective contract (same value on every rank). The
+/// non-default combinations exist for differential testing.
 pub fn survey_push_pull_with<VM, EM, F>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
-    decode: DecodePath,
+    config: impl Into<SurveyConfig>,
     callback: F,
 ) -> SurveyReport
 where
@@ -92,12 +161,13 @@ where
     EM: Wire + Clone + 'static,
     F: SurveyCallback<VM, EM>,
 {
+    let config = config.into();
     let cb: DynCallback<VM, EM> = Rc::new(callback);
     let st = Rc::new(RefCell::new(PpState::default()));
 
     // Handler registration order is part of the SPMD contract: all four
     // registrations below happen on every rank in this exact order.
-    let push_handler = register_push_handler(comm, graph, cb.clone(), decode);
+    let push_handler = register_push_handler(comm, graph, cb.clone(), config);
 
     let st_veto = st.clone();
     let veto_handler = comm.register::<u64, _>(move |_c, q| {
@@ -117,7 +187,7 @@ where
         }
     });
 
-    let pull_handler = register_pull_handler(comm, graph, st.clone(), cb.clone(), decode);
+    let pull_handler = register_pull_handler(comm, graph, st.clone(), cb.clone(), config);
 
     // --- Phase 1: Push vs Pull Dry-Run -------------------------------
     let timer = PhaseTimer::begin(comm, "dry-run");
@@ -129,15 +199,25 @@ where
                 if suffix_len == 0 {
                     break;
                 }
-                *s.planned.entry(e.v).or_insert(0) += suffix_len as u64;
-                s.resume
-                    .entry(e.v)
-                    .or_default()
-                    .push((slot as u32, i as u32));
+                s.resume.push(e.v, slot as u32, i as u32);
             }
         }
+        s.resume.seal();
+    }
+    {
+        // One dry-run record per run; the planned candidate count is
+        // recomputed from the run's pointers (suffix lengths), which is
+        // exactly what the retired `planned` hash map used to store.
+        let s = st.borrow();
+        let shard = graph.shard();
         let my_rank = comm.rank() as u32;
-        for (&q, &count) in &s.planned {
+        for (q, run) in s.resume.runs() {
+            let count: u64 = run
+                .iter()
+                .map(|&(_, slot, i)| {
+                    (shard.vertices()[slot as usize].adj.len() - i as usize - 1) as u64
+                })
+                .sum();
             comm.send(graph.owner(q), &dry_handler, &(q, count, my_rank));
         }
     }
@@ -146,14 +226,13 @@ where
 
     // The dry-run's bookkeeping is O(wedge targets); release what the
     // remaining phases will never read so the push phase doesn't carry
-    // it at peak: `planned` served only the dry-run sends, and `resume`
-    // pointers of vetoed targets will be satisfied by pushes, not pulls
-    // (the veto set is final once the dry-run barrier completes).
+    // it at peak: resume pointers of vetoed targets will be satisfied
+    // by pushes, not pulls (the veto set is final once the dry-run
+    // barrier completes).
     {
         let mut s = st.borrow_mut();
-        s.planned = FastMap::default();
         let veto = std::mem::take(&mut s.veto);
-        s.resume.retain(|q, _| !veto.contains(q));
+        s.resume.retain_targets(|q| !veto.contains(&q));
         s.veto = veto;
     }
 
@@ -176,15 +255,20 @@ where
                 .get(q)
                 .expect("pull-granted vertex must be locally owned");
             // Encode-once fan-out: the `Adjm+(q)` projection serializes
-            // straight from graph storage exactly once, and the encoded
-            // record is memcpy'd to every granted rank (the old path
-            // materialized the projection and cloned + re-serialized it
-            // per rank).
-            comm.send_to_many(
-                ranks.iter().map(|&src| src as usize),
-                &pull_handler,
-                (q, encode_seq(&lv.adj, |e, buf| encode_candidate(e, buf))),
-            );
+            // straight from graph storage exactly once (in the survey's
+            // batch layout), and the encoded record is memcpy'd to
+            // every granted rank.
+            let dests = ranks.iter().map(|&src| src as usize);
+            match &pull_handler {
+                PullHandler::Interleaved(h) => comm.send_to_many(
+                    dests,
+                    h,
+                    (q, encode_seq(&lv.adj, |e, buf| encode_candidate(e, buf))),
+                ),
+                PullHandler::Columnar(h) => {
+                    comm.send_to_many(dests, h, (q, encode_candidate_columns(&lv.adj)))
+                }
+            }
         }
     }
     comm.barrier();
@@ -200,39 +284,121 @@ where
     }
 }
 
-/// Registers the pull-delivery handler. Collective (same `decode` on
-/// every rank).
+/// Registers the pull-delivery handler for the configured layout and
+/// decode path. Collective (same `config` on every rank).
 ///
 /// One arriving `Adjm+(q)` projection is intersected against **every**
-/// resume suffix recorded for `q`, so the cursor path captures the
-/// sequence's byte extent once ([`SeqView`], a single skip-walk) and
-/// re-walks it per suffix in place — no `Vec<Candidate>` is ever
-/// materialized, and `meta(q,r)` is decoded lazily, only for triangle
-/// matches. The owned path is the pre-zero-copy reference.
+/// resume suffix recorded for `q`. The columnar cursor path captures
+/// the frame's column extents once ([`ColView`], three bounded takes)
+/// and re-walks the key columns per suffix, decoding `meta(q,r)` only
+/// for triangle matches; the interleaved cursor path does the same
+/// through a [`SeqView`] (one skip-walk capture, [`tripoll_ygm::wire::Lazy`]
+/// per-candidate metadata). The owned paths materialize the projection
+/// and are the differential-testing references.
 fn register_pull_handler<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
     st: Rc<RefCell<PpState>>,
     cb: DynCallback<VM, EM>,
-    decode: DecodePath,
-) -> Handler<PullMsg<EM>>
+    config: SurveyConfig,
+) -> PullHandler<EM>
 where
     VM: Wire + Clone + 'static,
     EM: Wire + Clone + 'static,
 {
-    match decode {
-        DecodePath::Cursor => {
+    match (config.layout, config.decode) {
+        (BatchLayout::Columnar, DecodePath::Cursor) => {
             let g = graph.clone();
-            comm.register_borrowed::<PullMsg<EM>, _>(move |c, r| {
+            PullHandler::Columnar(comm.register_borrowed::<PullMsgCol<EM>, _>(move |c, r| {
+                let q = u64::decode(r)?;
+                let view: ColView<'_, EM> = ColView::capture(r)?;
+                st.borrow_mut().pulled += 1;
+                let s = st.borrow();
+                let shard = g.shard();
+                for &(_, slot, idx) in s.resume.get(q) {
+                    let lv = &shard.vertices()[slot as usize];
+                    let eq = &lv.adj[idx as usize];
+                    debug_assert_eq!(eq.v, q);
+                    let suffix = &lv.adj[idx as usize + 1..];
+                    c.add_work((suffix.len() + view.len()) as u64);
+                    let ColCursor {
+                        mut keys,
+                        mut metas,
+                    } = view.walk();
+                    merge_path_stream(
+                        || keys.next_key(),
+                        suffix,
+                        |k| OrderKey::new(k.v, k.degree),
+                        |s_entry| s_entry.key,
+                        |k, s_entry| {
+                            debug_assert_eq!(
+                                k.v, s_entry.v,
+                                "OrderKey equality implies vertex equality"
+                            );
+                            let meta_qr = metas.get(k.idx)?;
+                            let tm = TriangleMeta {
+                                p: lv.id,
+                                q,
+                                r: s_entry.v,
+                                meta_p: &lv.meta,
+                                meta_q: &eq.vm,
+                                meta_r: &s_entry.vm,
+                                meta_pq: &eq.em,
+                                meta_pr: &s_entry.em,
+                                meta_qr: &meta_qr,
+                            };
+                            cb(c, &tm);
+                            Ok(())
+                        },
+                    )?;
+                }
+                Ok(())
+            }))
+        }
+        (BatchLayout::Columnar, DecodePath::Owned) => {
+            let g = graph.clone();
+            PullHandler::Columnar(comm.register::<PullMsgCol<EM>, _>(move |c, (q, batch)| {
+                st.borrow_mut().pulled += 1;
+                let s = st.borrow();
+                let shard = g.shard();
+                for &(_, slot, idx) in s.resume.get(q) {
+                    let lv = &shard.vertices()[slot as usize];
+                    let eq = &lv.adj[idx as usize];
+                    debug_assert_eq!(eq.v, q);
+                    let suffix = &lv.adj[idx as usize + 1..];
+                    c.add_work((suffix.len() + batch.0.len()) as u64);
+                    merge_path(
+                        suffix,
+                        &batch.0,
+                        |s| s.key,
+                        |pe| OrderKey::new(pe.0, pe.1),
+                        |s_entry, pe| {
+                            let tm = TriangleMeta {
+                                p: lv.id,
+                                q,
+                                r: s_entry.v,
+                                meta_p: &lv.meta,
+                                meta_q: &eq.vm,
+                                meta_r: &s_entry.vm,
+                                meta_pq: &eq.em,
+                                meta_pr: &s_entry.em,
+                                meta_qr: &pe.2,
+                            };
+                            cb(c, &tm);
+                        },
+                    );
+                }
+            }))
+        }
+        (BatchLayout::Interleaved, DecodePath::Cursor) => {
+            let g = graph.clone();
+            PullHandler::Interleaved(comm.register_borrowed::<PullMsg<EM>, _>(move |c, r| {
                 let q = u64::decode(r)?;
                 let view: SeqView<'_, Candidate<EM>> = SeqView::capture(r)?;
                 st.borrow_mut().pulled += 1;
                 let s = st.borrow();
-                let Some(resume) = s.resume.get(&q) else {
-                    return Ok(());
-                };
                 let shard = g.shard();
-                for &(slot, idx) in resume {
+                for &(_, slot, idx) in s.resume.get(q) {
                     let lv = &shard.vertices()[slot as usize];
                     let eq = &lv.adj[idx as usize];
                     debug_assert_eq!(eq.v, q);
@@ -267,18 +433,15 @@ where
                     )?;
                 }
                 Ok(())
-            })
+            }))
         }
-        DecodePath::Owned => {
+        (BatchLayout::Interleaved, DecodePath::Owned) => {
             let g = graph.clone();
-            comm.register::<PullMsg<EM>, _>(move |c, (q, pulled_adj)| {
+            PullHandler::Interleaved(comm.register::<PullMsg<EM>, _>(move |c, (q, pulled_adj)| {
                 st.borrow_mut().pulled += 1;
                 let s = st.borrow();
-                let Some(resume) = s.resume.get(&q) else {
-                    return;
-                };
                 let shard = g.shard();
-                for &(slot, idx) in resume {
+                for &(_, slot, idx) in s.resume.get(q) {
                     let lv = &shard.vertices()[slot as usize];
                     let eq = &lv.adj[idx as usize];
                     debug_assert_eq!(eq.v, q);
@@ -305,7 +468,7 @@ where
                         },
                     );
                 }
-            })
+            }))
         }
     }
 }
@@ -316,6 +479,28 @@ mod tests {
     use std::cell::Cell;
     use tripoll_graph::{build_dist_graph, EdgeList, Partition};
     use tripoll_ygm::World;
+
+    #[test]
+    fn resume_plan_groups_sorts_and_retains() {
+        let mut plan = ResumePlan::default();
+        // Vertex-major insertion order, targets deliberately shuffled.
+        plan.push(9, 0, 0);
+        plan.push(2, 0, 1);
+        plan.push(9, 1, 0);
+        plan.push(5, 1, 1);
+        plan.push(2, 2, 0);
+        plan.seal();
+        let runs: Vec<(u64, usize)> = plan.runs().map(|(q, run)| (q, run.len())).collect();
+        assert_eq!(runs, vec![(2, 2), (5, 1), (9, 2)]);
+        assert_eq!(plan.get(9), &[(9, 0, 0), (9, 1, 0)]);
+        assert_eq!(plan.get(5), &[(5, 1, 1)]);
+        assert!(plan.get(7).is_empty());
+        plan.retain_targets(|q| q != 9);
+        assert!(plan.get(9).is_empty());
+        assert_eq!(plan.get(2), &[(2, 0, 1), (2, 2, 0)]);
+        let runs: Vec<u64> = plan.runs().map(|(q, _)| q).collect();
+        assert_eq!(runs, vec![2, 5]);
+    }
 
     fn run_count(edges: &[(u64, u64)], nranks: usize) -> (u64, Vec<SurveyReport>) {
         let list = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
@@ -432,41 +617,45 @@ mod tests {
     #[test]
     fn metadata_correct_in_pull_path() {
         // Same hub construction as above so the pull path executes, with
-        // content-addressed metadata validated inside the callback.
-        let k = 16u64;
-        let h1 = 500;
-        let h2 = 501;
-        let mut edges = vec![(h1, h2)];
-        for sv in 0..k {
-            edges.push((sv, h1));
-            edges.push((sv, h2));
-        }
-        let em_of = |u: u64, v: u64| (u.min(v) << 20) | u.max(v);
-        let list = EdgeList::from_vec(
-            edges
-                .iter()
-                .map(|&(u, v)| (u, v, em_of(u, v)))
-                .collect::<Vec<_>>(),
-        );
-        let out = World::new(2).run(|comm| {
-            let local = list.stride_for_rank(comm.rank(), comm.nranks());
-            let g = build_dist_graph(comm, local, |v| v * 31 + 7, Partition::Hashed);
-            let seen = Rc::new(Cell::new(0u64));
-            let seen2 = seen.clone();
-            let report = survey_push_pull(comm, &g, move |_c, tm| {
-                assert_eq!(*tm.meta_p, tm.p * 31 + 7);
-                assert_eq!(*tm.meta_q, tm.q * 31 + 7);
-                assert_eq!(*tm.meta_r, tm.r * 31 + 7);
-                assert_eq!(*tm.meta_pq, em_of(tm.p, tm.q));
-                assert_eq!(*tm.meta_pr, em_of(tm.p, tm.r));
-                assert_eq!(*tm.meta_qr, em_of(tm.q, tm.r));
-                seen2.set(seen2.get() + 1);
+        // content-addressed metadata validated inside the callback —
+        // once per layout, so both the ColView and SeqView re-walks are
+        // covered.
+        for layout in [BatchLayout::Columnar, BatchLayout::Interleaved] {
+            let k = 16u64;
+            let h1 = 500;
+            let h2 = 501;
+            let mut edges = vec![(h1, h2)];
+            for sv in 0..k {
+                edges.push((sv, h1));
+                edges.push((sv, h2));
+            }
+            let em_of = |u: u64, v: u64| (u.min(v) << 20) | u.max(v);
+            let list = EdgeList::from_vec(
+                edges
+                    .iter()
+                    .map(|&(u, v)| (u, v, em_of(u, v)))
+                    .collect::<Vec<_>>(),
+            );
+            let out = World::new(2).run(|comm| {
+                let local = list.stride_for_rank(comm.rank(), comm.nranks());
+                let g = build_dist_graph(comm, local, |v| v * 31 + 7, Partition::Hashed);
+                let seen = Rc::new(Cell::new(0u64));
+                let seen2 = seen.clone();
+                let report = survey_push_pull_with(comm, &g, layout, move |_c, tm| {
+                    assert_eq!(*tm.meta_p, tm.p * 31 + 7);
+                    assert_eq!(*tm.meta_q, tm.q * 31 + 7);
+                    assert_eq!(*tm.meta_r, tm.r * 31 + 7);
+                    assert_eq!(*tm.meta_pq, em_of(tm.p, tm.q));
+                    assert_eq!(*tm.meta_pr, em_of(tm.p, tm.r));
+                    assert_eq!(*tm.meta_qr, em_of(tm.q, tm.r));
+                    seen2.set(seen2.get() + 1);
+                });
+                (comm.all_reduce_sum(seen.get()), report.pulled_vertices)
             });
-            (comm.all_reduce_sum(seen.get()), report.pulled_vertices)
-        });
-        assert_eq!(out[0].0, k);
-        let pulled: u64 = out.iter().map(|(_, p)| p).sum();
-        assert!(pulled > 0, "test must exercise the pull path");
+            assert_eq!(out[0].0, k, "layout {layout}");
+            let pulled: u64 = out.iter().map(|(_, p)| p).sum();
+            assert!(pulled > 0, "test must exercise the pull path ({layout})");
+        }
     }
 
     #[test]

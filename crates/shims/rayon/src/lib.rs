@@ -1,125 +1,269 @@
 //! Offline stand-in for the subset of `rayon` this workspace uses.
 //!
-//! The container has no crates.io access, so `par_sort_unstable`,
-//! `into_par_iter` and friends execute **sequentially** here with
-//! identical results (all call sites are order-independent or sort
-//! afterwards). The adapter type [`Par`] wraps a standard iterator and
-//! forwards the rayon method names; swapping the real rayon back in is a
-//! one-line Cargo.toml change.
+//! The container has no crates.io access, so this shim provides the
+//! rayon method names with **real parallelism** built on
+//! `std::thread::scope`: `into_par_iter` pipelines execute their
+//! adapters eagerly over contiguous chunks (one scoped thread per
+//! chunk, results concatenated in order), and `par_sort_unstable*` is a
+//! parallel quicksort (median partition via `select_nth_unstable_by`,
+//! halves sorted in sibling scoped threads). Small inputs skip the
+//! thread machinery entirely and run sequentially, so tiny call sites
+//! pay nothing.
+//!
+//! Closure and item bounds mirror real rayon (`Fn + Sync`, items
+//! `Send`), so swapping the real crate back in is a one-line Cargo.toml
+//! change. Two deliberate deviations, both safe for this workspace's
+//! call sites: adapters are eager (each `map`/`filter` materializes a
+//! `Vec`, costing memory proportional to the intermediate stage), and
+//! the *stable* `par_sort` remains sequential.
+
+use std::cmp::Ordering;
+use std::num::NonZeroUsize;
+use std::thread;
 
 /// The rayon prelude: traits that add `par_*` methods.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSliceMut};
 }
 
-/// Sequential stand-in for rayon's `ParallelIterator`.
-pub struct Par<I>(I);
+/// Inputs shorter than this run sequentially: a scoped thread costs
+/// tens of microseconds, so parallelism only pays past a few thousand
+/// elements of per-item work.
+const SEQ_CUTOFF: usize = 1024;
 
-impl<I: Iterator> Par<I> {
-    /// Maps each item.
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
+/// Sub-slices shorter than this sort sequentially.
+const SORT_SEQ_CUTOFF: usize = 4096;
+
+fn workers() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `items` into at most `workers()` contiguous chunks, runs
+/// `run` on each in its own scoped thread, and concatenates the
+/// results in chunk order (so every adapter preserves input order).
+/// Worker panics propagate with their original payload.
+fn chunked<T: Send, B: Send>(items: Vec<T>, run: impl Fn(Vec<T>) -> Vec<B> + Sync) -> Vec<B> {
+    let nworkers = workers();
+    if nworkers <= 1 || items.len() < SEQ_CUTOFF {
+        return run(items);
+    }
+    let chunk_len = items.len().div_ceil(nworkers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(nworkers);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let run = &run;
+    thread::scope(|s| {
+        // The calling thread works the last chunk itself instead of
+        // idling at the join (same pattern as the sort's inline half).
+        let last = chunks.pop().expect("at least one chunk");
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || run(chunk)))
+            .collect();
+        let tail = run(last);
+        let mut out = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out.extend(tail);
+        out
+    })
+}
+
+/// A materialized parallel iterator: adapters execute eagerly over
+/// scoped-thread chunks, preserving element order.
+pub struct Par<T>(Vec<T>);
+
+impl<T: Send> Par<T> {
+    /// Maps each item (in parallel past the cutoff).
+    pub fn map<B, F>(self, f: F) -> Par<B>
+    where
+        B: Send,
+        F: Fn(T) -> B + Sync,
+    {
+        Par(chunked(self.0, |chunk| chunk.into_iter().map(&f).collect()))
     }
 
     /// Filters items.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
-        Par(self.0.filter(f))
+    pub fn filter<F>(self, f: F) -> Par<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        Par(chunked(self.0, |chunk| {
+            chunk.into_iter().filter(&f).collect()
+        }))
     }
 
     /// Flat-maps each item through a serial iterator (rayon's
-    /// `flat_map_iter`).
-    pub fn flat_map_iter<U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+    /// `flat_map_iter`): the produced iterators are consumed on the
+    /// worker that ran the closure.
+    pub fn flat_map_iter<U, F>(self, f: F) -> Par<U::Item>
     where
         U: IntoIterator,
-        F: FnMut(I::Item) -> U,
+        U::Item: Send,
+        F: Fn(T) -> U + Sync,
     {
-        Par(self.0.flat_map(f))
+        Par(chunked(self.0, |chunk| {
+            chunk.into_iter().flat_map(&f).collect()
+        }))
     }
 
     /// Flat-maps each item (rayon's `flat_map`).
-    pub fn flat_map<U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+    pub fn flat_map<U, F>(self, f: F) -> Par<U::Item>
     where
         U: IntoIterator,
-        F: FnMut(I::Item) -> U,
+        U::Item: Send,
+        F: Fn(T) -> U + Sync,
     {
-        Par(self.0.flat_map(f))
+        self.flat_map_iter(f)
     }
 
     /// Collects into a container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.0.into_iter().collect()
     }
 
-    /// Sums the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    /// Sums the items (chunk partials, then a fold of the partials —
+    /// rayon's `Sum<T> + Sum<S>` shape).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        chunked(self.0, |chunk| vec![chunk.into_iter().sum::<S>()])
+            .into_iter()
+            .sum()
     }
 
     /// Counts the items.
     pub fn count(self) -> usize {
-        self.0.count()
+        self.0.len()
     }
 
     /// Runs `f` on each item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        chunked(self.0, |chunk| {
+            chunk.into_iter().for_each(&f);
+            Vec::<()>::new()
+        });
     }
 
-    /// Folds every item into one accumulator (sequential equivalent of
-    /// rayon's identity + reduce).
-    pub fn reduce<F>(self, identity: impl Fn() -> I::Item, f: F) -> I::Item
+    /// Folds chunks from `identity` and combines the partials (rayon's
+    /// identity + associative-operator reduce).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
     where
-        F: FnMut(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
     {
-        self.0.fold(identity(), f)
+        chunked(self.0, |chunk| {
+            vec![chunk.into_iter().fold(identity(), &op)]
+        })
+        .into_iter()
+        .fold(identity(), &op)
     }
 
     /// Largest item.
-    pub fn max(self) -> Option<I::Item>
+    pub fn max(self) -> Option<T>
     where
-        I::Item: Ord,
+        T: Ord,
     {
-        self.0.max()
+        chunked(self.0, |chunk| {
+            chunk.into_iter().max().into_iter().collect()
+        })
+        .into_iter()
+        .max()
     }
 
     /// Smallest item.
-    pub fn min(self) -> Option<I::Item>
+    pub fn min(self) -> Option<T>
     where
-        I::Item: Ord,
+        T: Ord,
     {
-        self.0.min()
+        chunked(self.0, |chunk| {
+            chunk.into_iter().min().into_iter().collect()
+        })
+        .into_iter()
+        .min()
     }
 }
 
-/// Types convertible into a (sequentially executed) parallel iterator.
+/// Types convertible into a parallel iterator.
 pub trait IntoParallelIterator {
-    /// Underlying iterator type.
-    type Iter: Iterator<Item = Self::Item>;
     /// Item type.
     type Item;
-    /// Converts `self`.
-    fn into_par_iter(self) -> Par<Self::Iter>;
+    /// Converts `self` (materializing the source).
+    fn into_par_iter(self) -> Par<Self::Item>;
 }
 
 impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
     type Item = T::Item;
-    fn into_par_iter(self) -> Par<T::IntoIter> {
-        Par(self.into_iter())
+    fn into_par_iter(self) -> Par<T::Item> {
+        Par(self.into_iter().collect())
+    }
+}
+
+/// Parallel quicksort: partition around the median element with the
+/// standard library's `select_nth_unstable_by` (O(n), in place, safe),
+/// then sort the two halves in sibling scoped threads. `depth` bounds
+/// thread fan-out near the core count.
+fn par_qsort<T, F>(v: &mut [T], cmp: &F, depth: usize)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if v.len() <= SORT_SEQ_CUTOFF || depth == 0 {
+        v.sort_unstable_by(|a, b| cmp(a, b));
+        return;
+    }
+    let mid = v.len() / 2;
+    let (lo, _pivot, hi) = v.select_nth_unstable_by(mid, |a, b| cmp(a, b));
+    thread::scope(|s| {
+        s.spawn(|| par_qsort(lo, cmp, depth - 1));
+        par_qsort(hi, cmp, depth - 1);
+    });
+}
+
+fn sort_depth() -> usize {
+    // log2(workers) splits yield ~workers leaves; a single-core box
+    // gets depth 0, i.e. the plain sequential sort with no partition
+    // or scope overhead.
+    let w = workers();
+    if w <= 1 {
+        0
+    } else {
+        w.next_power_of_two().trailing_zeros() as usize + 1
     }
 }
 
 /// Slice sorting with rayon's `par_sort*` names.
 pub trait ParallelSliceMut<T> {
-    /// Unstable sort (sequential here).
+    /// Unstable parallel sort.
     fn par_sort_unstable(&mut self)
     where
-        T: Ord;
-    /// Unstable sort by key (sequential here).
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
-    /// Unstable sort by comparator (sequential here).
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
-    /// Stable sort (sequential here).
+        T: Ord + Send;
+    /// Unstable parallel sort by key.
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        T: Send,
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+    /// Unstable parallel sort by comparator.
+    fn par_sort_unstable_by<F>(&mut self, f: F)
+    where
+        T: Send,
+        F: Fn(&T, &T) -> Ordering + Sync;
+    /// Stable sort (sequential in this shim).
     fn par_sort(&mut self)
     where
         T: Ord;
@@ -128,15 +272,24 @@ pub trait ParallelSliceMut<T> {
 impl<T> ParallelSliceMut<T> for [T] {
     fn par_sort_unstable(&mut self)
     where
-        T: Ord,
+        T: Ord + Send,
     {
-        self.sort_unstable();
+        par_qsort(self, &|a: &T, b: &T| a.cmp(b), sort_depth());
     }
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
-        self.sort_unstable_by_key(f);
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        T: Send,
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        par_qsort(self, &|a: &T, b: &T| f(a).cmp(&f(b)), sort_depth());
     }
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
-        self.sort_unstable_by(f);
+    fn par_sort_unstable_by<F>(&mut self, f: F)
+    where
+        T: Send,
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        par_qsort(self, &f, sort_depth());
     }
     fn par_sort(&mut self)
     where
@@ -149,6 +302,7 @@ impl<T> ParallelSliceMut<T> for [T] {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_pipeline_matches_serial() {
@@ -167,5 +321,84 @@ mod tests {
 
         let s: u64 = (0..100u64).into_par_iter().map(|x| x * 2).sum();
         assert_eq!(s, 9900);
+    }
+
+    #[test]
+    fn large_pipeline_preserves_order_and_results() {
+        // Large enough to cross SEQ_CUTOFF, so the chunked path runs.
+        let n = 100_000u64;
+        let out: Vec<u64> = (0..n)
+            .into_par_iter()
+            .map(|x| x.wrapping_mul(2654435761))
+            .filter(|x| x % 3 != 0)
+            .collect();
+        let expect: Vec<u64> = (0..n)
+            .map(|x| x.wrapping_mul(2654435761))
+            .filter(|x| x % 3 != 0)
+            .collect();
+        assert_eq!(out, expect);
+        let sum: u64 = (0..n).into_par_iter().map(|x| x % 97).sum();
+        let expect_sum: u64 = (0..n).map(|x| x % 97).sum();
+        assert_eq!(sum, expect_sum);
+        assert_eq!((0..n).into_par_iter().max(), Some(n - 1));
+        assert_eq!((0..n).into_par_iter().min(), Some(0));
+        let reduced = (0..n)
+            .into_par_iter()
+            .reduce(|| 0u64, |a, b| a.wrapping_add(b));
+        assert_eq!(reduced, (0..n).sum::<u64>());
+    }
+
+    #[test]
+    fn large_sorts_match_std() {
+        let mk =
+            |n: u64| -> Vec<u64> { (0..n).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect() };
+        // Crosses SORT_SEQ_CUTOFF: the parallel quicksort path.
+        let mut a = mk(200_000);
+        let mut b = a.clone();
+        a.par_sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        let mut a = mk(50_000);
+        let mut b = a.clone();
+        a.par_sort_unstable_by(|x, y| y.cmp(x));
+        b.sort_unstable_by(|x, y| y.cmp(x));
+        assert_eq!(a, b);
+
+        let mut a = mk(50_000);
+        let mut b = a.clone();
+        a.par_sort_unstable_by_key(|x| x % 1000);
+        b.sort_unstable_by_key(|x| x % 1000);
+        // Unstable by-key: compare as multisets per key bucket.
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        if workers() < 2 {
+            return; // nothing to prove on a single-core box
+        }
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..10_000u64).into_par_iter().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(
+            seen.lock().unwrap().len() >= 2,
+            "chunked for_each ran on one thread"
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            (0..10_000u64).into_par_iter().for_each(|i| {
+                assert!(i < 9_999, "deliberate worker panic");
+            });
+        });
+        assert!(result.is_err());
     }
 }

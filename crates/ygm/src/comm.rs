@@ -47,10 +47,15 @@ pub(crate) const POISON_MSG: &str = "peer rank panicked; aborting barrier";
 pub struct CommConfig {
     /// Buffer size (bytes) at which a destination buffer is shipped.
     ///
-    /// YGM defaults to large (~MB) buffers on a real cluster; the simulated
-    /// runtime defaults to 8 KiB so that small experiments still exercise
-    /// multi-envelope behaviour.
-    pub flush_threshold: usize,
+    /// `None` (the default) resolves **adaptively** at world
+    /// construction: [`crate::cost::CostModel::adaptive_flush_threshold`]
+    /// scales the per-buffer threshold with the rank count, from the
+    /// tiny-world 8 KiB floor (so small experiments still exercise
+    /// multi-envelope behaviour) up to YGM's real-cluster ~MB buffers —
+    /// a fixed threshold would degenerate into the §5.4 small-message
+    /// blowup as the world grows. `Some(bytes)` is the explicit
+    /// override, used by tests and the ablation study.
+    pub flush_threshold: Option<usize>,
     /// Simulated ranks per compute node for **node-level aggregation**
     /// (the §5.4 remedy for small-message blowup at scale: "extra
     /// aggregation of messages at the level of compute nodes").
@@ -66,9 +71,19 @@ pub struct CommConfig {
 impl Default for CommConfig {
     fn default() -> Self {
         CommConfig {
-            flush_threshold: 8 * 1024,
+            flush_threshold: None,
             ranks_per_node: 1,
         }
+    }
+}
+
+impl CommConfig {
+    /// The threshold a world of `nranks` ranks will run with: the
+    /// explicit override if set, otherwise the cost model's adaptive
+    /// default.
+    pub fn effective_flush_threshold(&self, nranks: usize) -> usize {
+        self.flush_threshold
+            .unwrap_or_else(|| crate::cost::CostModel::default().adaptive_flush_threshold(nranks))
     }
 }
 
@@ -146,6 +161,9 @@ pub struct Comm {
     rank: Rank,
     shared: Arc<Shared>,
     config: CommConfig,
+    /// `config.flush_threshold` resolved against the world size at
+    /// construction (adaptive unless explicitly overridden).
+    flush_threshold: usize,
     rx: Receiver<Envelope>,
     outbufs: RefCell<Vec<SendBuffer>>,
     handlers: RefCell<Vec<DynHandler>>,
@@ -173,14 +191,16 @@ impl Comm {
         rx: Receiver<Envelope>,
     ) -> Self {
         let nranks = shared.nranks;
+        let flush_threshold = config.effective_flush_threshold(nranks);
         // A buffer flushes shortly past the threshold, so anything much
         // larger is a one-off oversized record — not worth keeping
         // resident. 4x leaves slack for big trailing records.
-        let pool_buffer_cap = config.flush_threshold.saturating_mul(4).max(64 * 1024);
+        let pool_buffer_cap = flush_threshold.saturating_mul(4).max(64 * 1024);
         Comm {
             rank,
             shared,
             config,
+            flush_threshold,
             rx,
             outbufs: RefCell::new((0..nranks).map(|_| SendBuffer::new()).collect()),
             handlers: RefCell::new(Vec::new()),
@@ -206,6 +226,13 @@ impl Comm {
     /// The communicator configuration in effect.
     pub fn config(&self) -> &CommConfig {
         &self.config
+    }
+
+    /// The flush threshold this world runs with (adaptive default
+    /// resolved, or the explicit override).
+    #[inline]
+    pub fn flush_threshold(&self) -> usize {
+        self.flush_threshold
     }
 
     /// Live counters for this rank.
@@ -361,7 +388,7 @@ impl Comm {
                     .bytes_remote
                     .fetch_add(bytes as u64, Ordering::Relaxed);
             }
-            if buf.should_flush(self.config.flush_threshold) {
+            if buf.should_flush(self.flush_threshold) {
                 Some(self.drain_pooled(buf))
             } else {
                 None
@@ -425,7 +452,7 @@ impl Comm {
                         .bytes_remote
                         .fetch_add(bytes as u64, Ordering::Relaxed);
                 }
-                if buf.should_flush(self.config.flush_threshold) {
+                if buf.should_flush(self.flush_threshold) {
                     Some(self.drain_pooled(buf))
                 } else {
                     None
@@ -818,7 +845,7 @@ mod tests {
     #[test]
     fn small_threshold_forces_many_envelopes() {
         let config = CommConfig {
-            flush_threshold: 4,
+            flush_threshold: Some(4),
             ..Default::default()
         };
         let stats = World::new(2).with_config(config).run_with_stats(|comm| {
@@ -843,7 +870,7 @@ mod tests {
     #[test]
     fn large_threshold_aggregates() {
         let config = CommConfig {
-            flush_threshold: 1 << 20,
+            flush_threshold: Some(1 << 20),
             ..Default::default()
         };
         let stats = World::new(2).with_config(config).run_with_stats(|comm| {
@@ -858,6 +885,29 @@ mod tests {
         let s0 = stats.stats[0];
         assert_eq!(s0.records_remote, 100);
         assert_eq!(s0.envelopes_remote, 1, "all records in one envelope");
+    }
+
+    #[test]
+    fn flush_threshold_resolves_adaptively_and_respects_override() {
+        // Default config: the resolved threshold follows the cost
+        // model's nranks scaling (tiny worlds sit on the 8 KiB floor).
+        for nranks in [1usize, 2, 4] {
+            let expect = CommConfig::default().effective_flush_threshold(nranks);
+            let got = World::new(nranks).run(|comm| comm.flush_threshold());
+            assert_eq!(got, vec![expect; nranks], "nranks={nranks}");
+            assert_eq!(
+                expect,
+                crate::cost::CostModel::default().adaptive_flush_threshold(nranks)
+            );
+        }
+        // Explicit override wins regardless of world size.
+        let got = World::new(3)
+            .with_config(CommConfig {
+                flush_threshold: Some(999),
+                ..Default::default()
+            })
+            .run(|comm| comm.flush_threshold());
+        assert_eq!(got, vec![999; 3]);
     }
 
     #[test]
@@ -1002,7 +1052,7 @@ mod tests {
         // first round trips, drained buffers must restart from recycled
         // envelope allocations.
         let config = CommConfig {
-            flush_threshold: 256,
+            flush_threshold: Some(256),
             ..Default::default()
         };
         let stats = World::new(2).with_config(config).run_with_stats(|comm| {

@@ -54,6 +54,32 @@ impl CostModel {
         }
     }
 
+    /// The latency–bandwidth product `α·β` in bytes: the envelope size
+    /// at which per-message overhead and wire time break even. Buffers
+    /// below this waste `α`; the flush threshold should sit at or above
+    /// it.
+    pub fn latency_bandwidth_product(&self) -> usize {
+        (self.latency_per_message * self.bandwidth_bytes_per_sec) as usize
+    }
+
+    /// The adaptive flush threshold for a world of `nranks` ranks (the
+    /// resolution of [`crate::CommConfig`]'s `flush_threshold: None`).
+    ///
+    /// Rationale: a fixed phase volume splits across `nranks` times more
+    /// destination buffers as the world grows, so each buffer fills
+    /// `nranks` times slower and a fixed threshold degenerates into the
+    /// §5.4 small-message blowup. Scaling the per-buffer threshold with
+    /// `nranks` holds the modeled envelope count per rank roughly flat,
+    /// floored at the `α·β` break-even (never below the tiny-world 8 KiB
+    /// default) and capped at 1 MiB — the order of YGM's real-cluster
+    /// buffers — so per-rank buffer memory stays bounded.
+    pub fn adaptive_flush_threshold(&self, nranks: usize) -> usize {
+        let per_rank = self
+            .latency_bandwidth_product()
+            .saturating_mul(nranks.max(1));
+        per_rank.clamp(8 * 1024, 1 << 20)
+    }
+
     /// Modeled time for one rank's traffic.
     pub fn rank_time(&self, stats: &CommStats) -> f64 {
         let msgs = stats.envelopes_remote as f64;
@@ -131,6 +157,26 @@ mod tests {
         let unbuffered = stats(1_000_000, 8_000_000, 1_000_000);
         let buffered = stats(1_000, 8_000_000, 1_000_000);
         assert!(m.rank_time(&buffered) < m.rank_time(&unbuffered));
+    }
+
+    #[test]
+    fn adaptive_threshold_scales_and_clamps() {
+        let m = CostModel::catalyst_like();
+        // Catalyst-like α·β ≈ 5.2 KB, so tiny worlds sit on the 8 KiB floor.
+        assert_eq!(m.adaptive_flush_threshold(0), 8 * 1024);
+        assert_eq!(m.adaptive_flush_threshold(1), 8 * 1024);
+        // Growth is monotone in the rank count...
+        let mut last = 0;
+        for nranks in [2, 4, 16, 64, 256, 4096] {
+            let t = m.adaptive_flush_threshold(nranks);
+            assert!(t >= last, "threshold shrank at nranks={nranks}");
+            last = t;
+        }
+        // ...tracks α·β·nranks in the mid range...
+        let t4 = m.adaptive_flush_threshold(4);
+        assert_eq!(t4, m.latency_bandwidth_product() * 4);
+        // ...and caps at the 1 MiB buffer bound.
+        assert_eq!(m.adaptive_flush_threshold(1 << 20), 1 << 20);
     }
 
     #[test]

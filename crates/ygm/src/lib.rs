@@ -22,7 +22,10 @@
 //!   borrowed mirrors on both ends — [`wire::WireEncode`] for
 //!   encode-once sends, [`wire::WireDecode`] views ([`wire::SeqCursor`]
 //!   / [`wire::SeqView`] / [`wire::Lazy`]) for zero-copy receive via
-//!   [`Comm::register_borrowed`].
+//!   [`Comm::register_borrowed`], and a columnar (SoA) batch frame
+//!   ([`wire::ColBatch`] / [`wire::encode_columns`] /
+//!   [`wire::ColCursor`] / [`wire::ColView`]) whose key columns are
+//!   walked during intersection while metadata decodes on match only.
 //! * [`container`] offers the distributed map / counting set / bag that
 //!   TriPoll's storage and surveys are built from.
 //! * [`stats`] + [`cost`] expose per-rank traffic counters and an α-β-γ
@@ -78,7 +81,8 @@ pub mod prelude {
     pub use crate::hash::{hash64, FastMap, FastSet};
     pub use crate::stats::CommStats;
     pub use crate::wire::{
-        Lazy, SeqCursor, SeqView, Wire, WireDecode, WireEncode, WireError, WireReader,
+        ColBatch, ColCursor, ColView, Lazy, SeqCursor, SeqView, Wire, WireDecode, WireEncode,
+        WireError, WireReader,
     };
     pub use crate::world::{World, WorldOutput};
 }

@@ -73,6 +73,60 @@
 //! decoders) is validated against the bytes remaining in the cursor
 //! before any allocation or walk: a hostile or truncated prefix yields
 //! [`WireError::SeqOverrun`], never an OOM-sized reservation.
+//!
+//! # Columnar (SoA) sequences: the wedge-batch frame
+//!
+//! The interleaved sequence layouts above ship a candidate batch as
+//! `n × (vertex, degree, meta)` tuples. The columnar frame stores the
+//! same batch as three packed columns instead — better varint locality
+//! (like values compress alike and prefetch alike), fewer bytes per
+//! candidate (the degree column is delta-coded), and a receive side
+//! that can intersect on the key columns while leaving the metadata
+//! column untouched until a triangle actually matches. The wire image,
+//! in order:
+//!
+//! ```text
+//! varint n                    element count
+//! varint vbytes ; vertex column   n raw varints
+//! varint dbytes ; degree column   first value raw, then zigzag varint
+//!                                 deltas (wrapping, so any sequence
+//!                                 round-trips; sorted batches yield
+//!                                 1-byte deltas)
+//! varint mbytes ; meta column     n × T wire encodings
+//! ```
+//!
+//! Each column carries its **byte length**, so capturing a whole frame
+//! is three bounded `take`s — no element walk, unlike [`SeqView`] —
+//! and a consumer that exits the merge early leaves no framing debt
+//! (the record was fully consumed at capture; contrast
+//! [`SeqCursor::skip_rest`]). Hardening mirrors the interleaved path,
+//! applied per column: `n` is rejected if it exceeds the bytes
+//! remaining ([`WireError::SeqOverrun`] — every vertex varint costs at
+//! least one byte), each byte-length prefix is validated against the
+//! bytes remaining before its column is sliced, each column must hold
+//! at least `n × MIN_ENCODED_BYTES` of its element type, and a
+//! zero-element frame must have empty columns. Beyond the bounds
+//! checks, columns must be consumed *byte-budget exactly* — trailing
+//! bytes inside a column are an error, not slack — enforced wherever a
+//! column is actually walked to its end: always by the owned
+//! [`ColBatch`] decode, by [`ColKeys`] when the key walk completes,
+//! and by [`ColMetas`] when the final metadata element is decoded
+//! (bytes behind an early exit are never walked; see [`ColMetas`]).
+//!
+//! The shapes:
+//!
+//! * [`ColBatch`] — the owned message type (`Vec<(u64, u64, T)>` with
+//!   the columnar wire image); the reference decode path.
+//! * [`encode_columns`] / [`ColumnSeq`] — the borrowed encoder: three
+//!   projection closures stream the columns straight from application
+//!   storage, byte-identical to [`ColBatch`], with the meta column
+//!   staged through a capacity-capped thread-local scratch (zero
+//!   steady-state allocation).
+//! * [`ColCursor`] — single-pass decode: [`ColKeys`] walks the two key
+//!   columns in lockstep while [`ColMetas`] advances the meta column
+//!   lazily, only as far as the indices actually requested.
+//! * [`ColView`] — a captured frame that can be re-walked any number
+//!   of times (the pull delivery's one-batch-many-suffixes pattern).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -1042,6 +1096,469 @@ impl<'a, T: Wire> Iterator for SeqWalk<'a, T> {
     }
 }
 
+// --------------------------------------------------------------------
+// Columnar (SoA) sequences — see the module docs for the frame layout.
+// --------------------------------------------------------------------
+
+/// Capacity above which the thread-local meta-column scratch is dropped
+/// instead of retained (one giant hub batch must not stay resident).
+const COL_SCRATCH_MAX: usize = 1 << 20;
+
+thread_local! {
+    /// Scratch for staging a meta column so its byte length can prefix
+    /// it. Taken out of the cell while in use, so a re-entrant encode
+    /// (a `T` whose encoding itself builds a columnar frame) falls back
+    /// to a fresh vector instead of corrupting the outer column.
+    static COL_SCRATCH: std::cell::Cell<Vec<u8>> = const { std::cell::Cell::new(Vec::new()) };
+}
+
+fn with_col_scratch<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+    COL_SCRATCH.with(|cell| {
+        let mut s = cell.take();
+        s.clear();
+        let out = f(&mut s);
+        if s.capacity() <= COL_SCRATCH_MAX {
+            cell.set(s);
+        }
+        out
+    })
+}
+
+/// Writes one byte-length-prefixed column of raw varints. The byte
+/// budget is computed by an arithmetic pre-pass ([`varint_len`]), so no
+/// scratch staging is needed.
+fn write_raw_col(buf: &mut Vec<u8>, vals: impl Iterator<Item = u64> + Clone) {
+    let bytes: usize = vals.clone().map(varint_len).sum();
+    put_varint(buf, bytes as u64);
+    for v in vals {
+        put_varint(buf, v);
+    }
+}
+
+/// Writes one byte-length-prefixed delta-coded column: first value raw,
+/// then zigzag varints of wrapping differences. Monotone inputs (a
+/// `<+`-sorted batch's degrees) become one-byte deltas; arbitrary
+/// inputs still round-trip via the wrapping arithmetic.
+fn write_delta_col(buf: &mut Vec<u8>, vals: impl Iterator<Item = u64> + Clone) {
+    let mut bytes = 0usize;
+    let mut prev = 0u64;
+    let mut first = true;
+    for v in vals.clone() {
+        bytes += if first {
+            first = false;
+            varint_len(v)
+        } else {
+            varint_len(zigzag_encode(v.wrapping_sub(prev) as i64))
+        };
+        prev = v;
+    }
+    put_varint(buf, bytes as u64);
+    let mut prev = 0u64;
+    let mut first = true;
+    for v in vals {
+        if first {
+            first = false;
+            put_varint(buf, v);
+        } else {
+            put_varint(buf, zigzag_encode(v.wrapping_sub(prev) as i64));
+        }
+        prev = v;
+    }
+}
+
+/// Writes the byte-length-prefixed meta column: `write_all` appends
+/// every element's encoding to the scratch, which is then measured and
+/// copied behind its prefix.
+fn write_meta_col(buf: &mut Vec<u8>, write_all: impl FnOnce(&mut Vec<u8>)) {
+    with_col_scratch(|s| {
+        write_all(s);
+        put_varint(buf, s.len() as u64);
+        buf.extend_from_slice(s);
+    });
+}
+
+/// Takes one byte-length-prefixed column off `r`, validating the prefix
+/// against the bytes remaining and the `n × min_bytes` element floor
+/// before slicing — the per-column [`WireError::SeqOverrun`] hardening.
+fn take_col<'a>(r: &mut WireReader<'a>, n: usize, min_bytes: usize) -> Result<&'a [u8], WireError> {
+    let claimed = r.take_varint()?;
+    if claimed > r.remaining() as u64 {
+        return Err(WireError::SeqOverrun {
+            claimed,
+            remaining: r.remaining(),
+        });
+    }
+    let bytes = claimed as usize;
+    if (n as u64).saturating_mul(min_bytes as u64) > bytes as u64 {
+        return Err(WireError::SeqOverrun {
+            claimed: n as u64,
+            remaining: bytes,
+        });
+    }
+    r.take(bytes)
+}
+
+/// The captured column extents of one frame: `(n, vertex column,
+/// degree column, meta column)`.
+type ColExtents<'a> = (usize, &'a [u8], &'a [u8], &'a [u8]);
+
+/// Captures the three column extents of one frame (bounded takes only —
+/// no element walks, no allocation). Shared by the owned decode, the
+/// skip walk and both borrowed cursor shapes, so every path rejects a
+/// given hostile frame at the same point with the same error.
+fn capture_cols<'a, T: Wire>(r: &mut WireReader<'a>) -> Result<ColExtents<'a>, WireError> {
+    let n64 = r.take_varint()?;
+    // Every vertex-column element costs at least one byte, so a count
+    // beyond the whole buffer is hostile before any prefix is read.
+    if n64 > r.remaining() as u64 {
+        return Err(WireError::SeqOverrun {
+            claimed: n64,
+            remaining: r.remaining(),
+        });
+    }
+    let n = n64 as usize;
+    let vcol = take_col(r, n, 1)?;
+    let dcol = take_col(r, n, 1)?;
+    let mcol = take_col(r, n, T::MIN_ENCODED_BYTES)?;
+    // A zero-element frame with nonempty columns would evade every
+    // walk-time budget check (there is nothing to walk); reject it here
+    // so all decode paths refuse it identically.
+    if n == 0 && (!vcol.is_empty() || !dcol.is_empty() || !mcol.is_empty()) {
+        return Err(WireError::InvalidValue("columnar byte budget mismatch"));
+    }
+    Ok((n, vcol, dcol, mcol))
+}
+
+/// An owned `(u64, u64, T)` batch with the **columnar** wire image —
+/// the SoA counterpart of `Vec<(u64, u64, T)>` (which encodes
+/// interleaved). This is the message type columnar handlers are keyed
+/// on and the reference decode path for differential testing; the hot
+/// send path never materializes one (see [`encode_columns`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ColBatch<T>(pub Vec<(u64, u64, T)>);
+
+impl<T: Wire> Wire for ColBatch<T> {
+    /// Empty frame: a zero count plus three zero byte-length prefixes.
+    const MIN_ENCODED_BYTES: usize = 4;
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.0.len() as u64);
+        write_raw_col(buf, self.0.iter().map(|c| c.0));
+        write_delta_col(buf, self.0.iter().map(|c| c.1));
+        write_meta_col(buf, |s| {
+            for c in &self.0 {
+                c.2.encode(s);
+            }
+        });
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let (n, vcol, dcol, mcol) = capture_cols::<T>(r)?;
+        let mut vr = WireReader::new(vcol);
+        let mut dr = WireReader::new(dcol);
+        let mut mr = WireReader::new(mcol);
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for i in 0..n {
+            let v = vr.take_varint()?;
+            let d = if i == 0 {
+                dr.take_varint()?
+            } else {
+                prev.wrapping_add(zigzag_decode(dr.take_varint()?) as u64)
+            };
+            prev = d;
+            out.push((v, d, T::decode(&mut mr)?));
+        }
+        if !vr.is_empty() || !dr.is_empty() || !mr.is_empty() {
+            return Err(WireError::InvalidValue("columnar byte budget mismatch"));
+        }
+        Ok(ColBatch(out))
+    }
+
+    fn skip(r: &mut WireReader<'_>) -> Result<(), WireError> {
+        // Structure-only: the byte prefixes bound the whole frame, so a
+        // columnar batch skips in O(columns), not O(elements).
+        capture_cols::<T>(r).map(drop)
+    }
+}
+
+/// Borrowed columnar encoder: serializes a projection of `&[S]` as
+/// three packed columns, **byte-identical** to the [`ColBatch`] of the
+/// projected tuples, without materializing any of them. Built by
+/// [`encode_columns`].
+pub struct ColumnSeq<'a, S, FV, FD, FM> {
+    items: &'a [S],
+    v: FV,
+    d: FD,
+    m: FM,
+}
+
+/// Builds a [`ColumnSeq`] over `items`: `v` and `d` project the two key
+/// columns, `m` appends one element's metadata encoding (exactly the
+/// bytes the owned element type would encode — the same adapter
+/// contract as [`encode_seq`]).
+pub fn encode_columns<S, FV, FD, FM>(
+    items: &[S],
+    v: FV,
+    d: FD,
+    m: FM,
+) -> ColumnSeq<'_, S, FV, FD, FM>
+where
+    FV: Fn(&S) -> u64,
+    FD: Fn(&S) -> u64,
+    FM: Fn(&S, &mut Vec<u8>),
+{
+    ColumnSeq { items, v, d, m }
+}
+
+impl<S, FV, FD, FM> WireEncode for ColumnSeq<'_, S, FV, FD, FM>
+where
+    FV: Fn(&S) -> u64,
+    FD: Fn(&S) -> u64,
+    FM: Fn(&S, &mut Vec<u8>),
+{
+    fn encode_wire(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.items.len() as u64);
+        write_raw_col(buf, self.items.iter().map(&self.v));
+        write_delta_col(buf, self.items.iter().map(&self.d));
+        write_meta_col(buf, |s| {
+            for item in self.items {
+                (self.m)(item, s);
+            }
+        });
+    }
+}
+
+/// One element of the key columns: its batch index plus the two eagerly
+/// decoded key values. The metadata at `idx` is fetched separately —
+/// and only on demand — through [`ColMetas::get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColKey {
+    /// Position of this element within the batch.
+    pub idx: usize,
+    /// First key column value (the candidate vertex id).
+    pub v: u64,
+    /// Second key column value (delta-decoded; the candidate degree).
+    pub degree: u64,
+}
+
+/// Lockstep walk of the two key columns — the only bytes the merge-path
+/// intersection touches. A decode error exhausts the walk (the column
+/// readers are stranded mid-element), mirroring [`SeqCursor`] poisoning.
+pub struct ColKeys<'a> {
+    v: WireReader<'a>,
+    d: WireReader<'a>,
+    prev: u64,
+    idx: usize,
+    n: usize,
+}
+
+impl ColKeys<'_> {
+    /// Elements not yet walked.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.n - self.idx
+    }
+
+    /// Decodes the next key pair, `None` once exhausted. The final
+    /// element also enforces the byte budget: key columns longer than
+    /// the element count are corrupt, not slack.
+    #[inline]
+    pub fn next_key(&mut self) -> Option<Result<ColKey, WireError>> {
+        if self.idx == self.n {
+            return None;
+        }
+        let out = (|| {
+            let v = self.v.take_varint()?;
+            let degree = if self.idx == 0 {
+                self.d.take_varint()?
+            } else {
+                self.prev
+                    .wrapping_add(zigzag_decode(self.d.take_varint()?) as u64)
+            };
+            if self.idx + 1 == self.n && (!self.v.is_empty() || !self.d.is_empty()) {
+                return Err(WireError::InvalidValue("columnar byte budget mismatch"));
+            }
+            Ok(ColKey {
+                idx: self.idx,
+                v,
+                degree,
+            })
+        })();
+        match &out {
+            Ok(k) => {
+                self.prev = k.degree;
+                self.idx += 1;
+            }
+            Err(_) => self.idx = self.n,
+        }
+        Some(out)
+    }
+}
+
+impl Iterator for ColKeys<'_> {
+    type Item = Result<ColKey, WireError>;
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_key()
+    }
+}
+
+/// Lazy forward reader over the meta column: [`ColMetas::get`] skips to
+/// the requested index (bounds-only walks) and decodes exactly one
+/// element. Indices must be requested in increasing order — which a
+/// merge-path intersection produces by construction — so misses cost a
+/// skip, not a decode, and unmatched tails cost nothing at all.
+///
+/// The laziness is a deliberate trade against validation depth: the
+/// column's *byte extent* was bounds-checked at capture (it can never
+/// be over-read), but elements behind the last index actually requested
+/// are not even structurally walked, so value-level corruption hiding
+/// there goes unreported — one step lazier than the interleaved path's
+/// [`Lazy`], which skip-walks every element's structure. The owned
+/// [`ColBatch`] decode, which materializes everything, is the strict
+/// reference: it rejects any column not consumed byte-budget exactly.
+pub struct ColMetas<'a, T> {
+    r: WireReader<'a>,
+    pos: usize,
+    n: usize,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Wire> ColMetas<'_, T> {
+    /// Decodes the metadata of batch element `idx`. Errors on repeated,
+    /// backward or out-of-range indices. A request that consumes the
+    /// final element also enforces the column's byte budget (trailing
+    /// bytes are corruption, not slack); budgets of elements *behind*
+    /// an early exit are never walked — that is the laziness contract
+    /// (see the type docs).
+    pub fn get(&mut self, idx: usize) -> Result<T, WireError> {
+        if idx >= self.n {
+            return Err(WireError::InvalidValue("meta column index out of range"));
+        }
+        if idx < self.pos {
+            return Err(WireError::InvalidValue(
+                "meta column indices must be requested in increasing order",
+            ));
+        }
+        while self.pos < idx {
+            T::skip(&mut self.r)?;
+            self.pos += 1;
+        }
+        self.pos += 1;
+        let out = T::decode(&mut self.r)?;
+        if self.pos == self.n && !self.r.is_empty() {
+            return Err(WireError::InvalidValue("columnar byte budget mismatch"));
+        }
+        Ok(out)
+    }
+}
+
+/// Single-pass decode of one columnar frame. [`ColCursor::begin`]
+/// captures the whole frame off the shared envelope reader (three
+/// bounded takes), so unlike [`SeqCursor`] there is no framing debt: a
+/// consumer may stop anywhere and the next record still decodes.
+///
+/// The two halves are independent fields so the key walk and the lazy
+/// meta reads can be borrowed by different closures of one merge-path
+/// call.
+pub struct ColCursor<'a, T> {
+    /// The key columns, walked during intersection.
+    pub keys: ColKeys<'a>,
+    /// The meta column, decoded on match only.
+    pub metas: ColMetas<'a, T>,
+}
+
+impl<'a, T: Wire> ColCursor<'a, T> {
+    /// Captures one frame off `r` and positions both column walks at
+    /// the first element.
+    pub fn begin(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let (n, vcol, dcol, mcol) = capture_cols::<T>(r)?;
+        Ok(Self::from_cols(n, vcol, dcol, mcol))
+    }
+
+    fn from_cols(n: usize, vcol: &'a [u8], dcol: &'a [u8], mcol: &'a [u8]) -> Self {
+        ColCursor {
+            keys: ColKeys {
+                v: WireReader::new(vcol),
+                d: WireReader::new(dcol),
+                prev: 0,
+                idx: 0,
+                n,
+            },
+            metas: ColMetas {
+                r: WireReader::new(mcol),
+                pos: 0,
+                n,
+                _marker: std::marker::PhantomData,
+            },
+        }
+    }
+
+    /// Total elements in the frame.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.n
+    }
+
+    /// True when the frame holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.n == 0
+    }
+}
+
+/// A captured columnar frame that can be walked any number of times —
+/// the columnar counterpart of [`SeqView`], but captured with three
+/// bounded takes instead of an O(n) skip walk.
+pub struct ColView<'a, T> {
+    n: usize,
+    vcol: &'a [u8],
+    dcol: &'a [u8],
+    mcol: &'a [u8],
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<'a, T: Wire> WireDecode<'a> for ColView<'a, T> {
+    fn decode_borrowed(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let (n, vcol, dcol, mcol) = capture_cols::<T>(r)?;
+        Ok(ColView {
+            n,
+            vcol,
+            dcol,
+            mcol,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+impl<'a, T: Wire> ColView<'a, T> {
+    /// Captures one frame off `r` (alias of
+    /// [`WireDecode::decode_borrowed`] for call-site clarity).
+    #[inline]
+    pub fn capture(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        Self::decode_borrowed(r)
+    }
+
+    /// Number of elements in the frame.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the frame holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// A fresh single-pass walk over the captured columns.
+    #[inline]
+    pub fn walk(&self) -> ColCursor<'a, T> {
+        ColCursor::from_cols(self.n, self.vcol, self.dcol, self.mcol)
+    }
+}
+
 /// Convenience: decode a borrowed view that must consume the whole
 /// buffer — the [`WireDecode`] mirror of [`from_bytes`].
 pub fn view_bytes<'a, T: WireDecode<'a>>(bytes: &'a [u8]) -> Result<T, WireError> {
@@ -1241,6 +1758,11 @@ mod tests {
         v: u64,
         degree: u64,
         em: u64,
+    }
+
+    /// Deterministic id spreader for synthetic batches.
+    fn hashish(i: u64) -> u64 {
+        crate::hash::hash64(i)
     }
 
     #[test]
@@ -1529,6 +2051,313 @@ mod tests {
         assert_eq!(walked, cands);
     }
 
+    /// The candidate projection used by columnar tests: byte-identity
+    /// between the borrowed encoder and the owned `ColBatch`.
+    fn encode_cols_of(adj: &[FakeAdjEntry], buf: &mut Vec<u8>) {
+        encode_columns(adj, |e| e.v, |e| e.degree, |e, b| e.em.encode(b)).encode_wire(buf);
+    }
+
+    #[test]
+    fn column_seq_matches_col_batch_encoding() {
+        let adj: Vec<FakeAdjEntry> = (0..40)
+            .map(|i| FakeAdjEntry {
+                v: hashish(i),
+                degree: 100 + i * 3, // monotone, as a sorted batch's degrees are
+                em: i ^ 0xff,
+            })
+            .collect();
+        let owned = ColBatch(
+            adj.iter()
+                .map(|e| (e.v, e.degree, e.em))
+                .collect::<Vec<_>>(),
+        );
+        let mut via_owned = Vec::new();
+        owned.encode(&mut via_owned);
+        let mut via_cols = Vec::new();
+        encode_cols_of(&adj, &mut via_cols);
+        assert_eq!(via_owned, via_cols);
+        assert_eq!(from_bytes::<ColBatch<u64>>(&via_cols).unwrap(), owned);
+    }
+
+    #[test]
+    fn columnar_beats_interleaved_on_sorted_batches() {
+        // The communication claim itself: same candidates, fewer bytes,
+        // because the monotone degree column delta-codes to one byte per
+        // element while the interleaved layout re-pays the full varint.
+        let cands: Vec<(u64, u64, u64)> =
+            (0..64).map(|i| (hashish(i), 5000 + i * 7, i % 7)).collect();
+        let interleaved = to_bytes(&cands);
+        let columnar = to_bytes(&ColBatch(cands));
+        assert!(
+            columnar.len() < interleaved.len(),
+            "columnar {} >= interleaved {}",
+            columnar.len(),
+            interleaved.len()
+        );
+    }
+
+    #[test]
+    fn col_batch_roundtrips_edge_cases() {
+        roundtrip(ColBatch::<u64>(Vec::new()));
+        roundtrip(ColBatch(vec![(7u64, 9u64, "meta".to_string())]));
+        // Descending and wrapping degree sequences survive delta coding.
+        roundtrip(ColBatch(vec![
+            (1u64, u64::MAX, ()),
+            (2, 0, ()),
+            (3, 1u64 << 63, ()),
+        ]));
+        roundtrip(ColBatch(
+            (0..300u64)
+                .map(|i| (i, 300 - i, i as u8))
+                .collect::<Vec<_>>(),
+        ));
+    }
+
+    #[test]
+    fn col_cursor_streams_what_owned_decodes() {
+        let owned = ColBatch(
+            (0..50u64)
+                .map(|i| (hashish(i), 10 + i, format!("m{i}")))
+                .collect::<Vec<_>>(),
+        );
+        let bytes = to_bytes(&owned);
+        let mut r = WireReader::new(&bytes);
+        let mut cur: ColCursor<'_, String> = ColCursor::begin(&mut r).unwrap();
+        assert!(r.is_empty(), "frame fully consumed at begin");
+        assert_eq!(cur.len(), 50);
+        let mut got = Vec::new();
+        while let Some(k) = cur.keys.next_key() {
+            let k = k.unwrap();
+            got.push((k.v, k.degree, cur.metas.get(k.idx).unwrap()));
+        }
+        assert_eq!(got, owned.0);
+    }
+
+    #[test]
+    fn col_metas_skips_unmatched_and_rejects_backward_access() {
+        let owned = ColBatch(
+            (0..10u64)
+                .map(|i| (i, i, format!("meta-{i}")))
+                .collect::<Vec<_>>(),
+        );
+        let bytes = to_bytes(&owned);
+        let mut r = WireReader::new(&bytes);
+        let mut cur: ColCursor<'_, String> = ColCursor::begin(&mut r).unwrap();
+        // Sparse increasing access decodes only the requested elements.
+        assert_eq!(cur.metas.get(3).unwrap(), "meta-3");
+        assert_eq!(cur.metas.get(7).unwrap(), "meta-7");
+        assert_eq!(
+            cur.metas.get(7),
+            Err(WireError::InvalidValue(
+                "meta column indices must be requested in increasing order",
+            )),
+            "repeat access rejected"
+        );
+        assert!(cur.metas.get(5).is_err(), "backward access rejected");
+        assert_eq!(
+            cur.metas.get(10),
+            Err(WireError::InvalidValue("meta column index out of range")),
+            "out of range rejected"
+        );
+    }
+
+    #[test]
+    fn col_meta_decoded_only_on_demand() {
+        // A frame whose meta column is invalid UTF-8 still walks its key
+        // columns cleanly; the corruption surfaces only if a meta is
+        // actually requested. (Built by the adapter contract being
+        // violated on purpose.)
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 1); // n = 1
+        write_raw_col(&mut bytes, [42u64].into_iter());
+        write_delta_col(&mut bytes, [7u64].into_iter());
+        let mut evil = Vec::new();
+        put_varint(&mut evil, 2);
+        evil.extend_from_slice(&[0xff, 0xfe]);
+        put_varint(&mut bytes, evil.len() as u64);
+        bytes.extend_from_slice(&evil);
+        let mut r = WireReader::new(&bytes);
+        let mut cur: ColCursor<'_, String> = ColCursor::begin(&mut r).unwrap();
+        let k = cur.keys.next_key().unwrap().unwrap();
+        assert_eq!((k.v, k.degree), (42, 7));
+        assert_eq!(cur.metas.get(0), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn col_view_is_reiterable() {
+        let owned = ColBatch((0..20u64).map(|i| (i * 3, i + 1, i)).collect::<Vec<_>>());
+        let mut buf = to_bytes(&(9u64, owned.clone()));
+        buf.push(0x55);
+        let mut r = WireReader::new(&buf[..buf.len() - 1]);
+        let q = u64::decode(&mut r).unwrap();
+        let view: ColView<'_, u64> = ColView::capture(&mut r).unwrap();
+        assert_eq!(q, 9);
+        assert!(r.is_empty());
+        assert_eq!(view.len(), 20);
+        for _pass in 0..3 {
+            let mut cur = view.walk();
+            let mut walked = Vec::new();
+            while let Some(k) = cur.keys.next_key() {
+                let k = k.unwrap();
+                walked.push((k.v, k.degree, cur.metas.get(k.idx).unwrap()));
+            }
+            assert_eq!(walked, owned.0);
+        }
+        // Partial walks leave the view intact.
+        {
+            let mut cur = view.walk();
+            cur.keys.next_key();
+        }
+        assert_eq!(view.walk().keys.count(), 20);
+    }
+
+    #[test]
+    fn col_skip_consumes_exactly_what_decode_does() {
+        let owned = ColBatch(
+            (0..17u64)
+                .map(|i| (i, i * i, format!("s{i}")))
+                .collect::<Vec<_>>(),
+        );
+        let mut bytes = to_bytes(&owned);
+        bytes.extend_from_slice(&[0xAA; 3]);
+        let mut rd = WireReader::new(&bytes);
+        ColBatch::<String>::decode(&mut rd).unwrap();
+        let mut rs = WireReader::new(&bytes);
+        ColBatch::<String>::skip(&mut rs).unwrap();
+        assert_eq!(rd.position(), rs.position());
+    }
+
+    #[test]
+    fn hostile_columnar_prefixes_rejected() {
+        // Hostile element count: claims 2^60 elements, 3 bytes follow.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1u64 << 60);
+        buf.extend_from_slice(&[0, 0, 0]);
+        assert!(matches!(
+            from_bytes::<ColBatch<u64>>(&buf),
+            Err(WireError::SeqOverrun { .. })
+        ));
+        // Hostile column byte length: vertex column claims 2^50 bytes.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2); // n
+        put_varint(&mut buf, 1u64 << 50);
+        buf.push(1);
+        assert!(matches!(
+            from_bytes::<ColBatch<u64>>(&buf),
+            Err(WireError::SeqOverrun { .. })
+        ));
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            ColCursor::<u64>::begin(&mut r),
+            Err(WireError::SeqOverrun { .. })
+        ));
+        // Column too short for its element floor: n=4 but 2-byte column.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 4);
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[1, 1]);
+        assert!(matches!(
+            from_bytes::<ColBatch<u64>>(&buf),
+            Err(WireError::SeqOverrun { .. })
+        ));
+        // Wide fixed-width metas tighten the meta-column floor.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2); // n = 2
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[1, 1]); // vertex col
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[1, 1]); // degree col
+        put_varint(&mut buf, 9); // meta col: 2 f64s need 16
+        buf.extend_from_slice(&[0u8; 9]);
+        assert!(matches!(
+            from_bytes::<ColBatch<f64>>(&buf),
+            Err(WireError::SeqOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn columnar_byte_budget_mismatch_rejected() {
+        // A key column longer than the element count is corrupt on both
+        // decode paths: the owned decode and the streaming key walk.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1); // n = 1
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[1, 1]); // vertex col: TWO varints
+        write_delta_col(&mut buf, [5u64].into_iter());
+        write_meta_col(&mut buf, |s| 3u64.encode(s));
+        assert_eq!(
+            from_bytes::<ColBatch<u64>>(&buf),
+            Err(WireError::InvalidValue("columnar byte budget mismatch"))
+        );
+        let mut r = WireReader::new(&buf);
+        let mut cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).unwrap();
+        assert!(cur.keys.next_key().unwrap().is_err());
+        assert!(cur.keys.next_key().is_none(), "errored walk is exhausted");
+    }
+
+    #[test]
+    fn zero_element_frame_with_nonempty_columns_rejected_everywhere() {
+        // n = 0 means there is nothing to walk, so walk-time budget
+        // checks never run — the capture itself must reject smuggled
+        // column bytes, identically on every decode path.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 0); // n = 0
+        put_varint(&mut buf, 1);
+        buf.push(7); // vertex column: 1 stray byte
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 0);
+        assert_eq!(
+            from_bytes::<ColBatch<u64>>(&buf),
+            Err(WireError::InvalidValue("columnar byte budget mismatch"))
+        );
+        let mut r = WireReader::new(&buf);
+        assert!(ColCursor::<u64>::begin(&mut r).is_err());
+        let mut r = WireReader::new(&buf);
+        assert!(ColBatch::<u64>::skip(&mut r).is_err());
+        // Stray bytes in the meta column are caught the same way.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 1);
+        buf.push(7);
+        assert!(from_bytes::<ColBatch<u64>>(&buf).is_err());
+        let mut r = WireReader::new(&buf);
+        assert!(ColView::<u64>::capture(&mut r).is_err());
+    }
+
+    #[test]
+    fn meta_column_trailing_garbage_caught_on_final_decode() {
+        // One element, but the meta column carries an extra byte: the
+        // owned decode rejects, and the lazy reader rejects too once it
+        // consumes the final element.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1); // n = 1
+        write_raw_col(&mut buf, [42u64].into_iter());
+        write_delta_col(&mut buf, [7u64].into_iter());
+        put_varint(&mut buf, 2); // meta column: element + 1 stray byte
+        3u64.encode(&mut buf);
+        buf.push(0x55);
+        assert_eq!(
+            from_bytes::<ColBatch<u64>>(&buf),
+            Err(WireError::InvalidValue("columnar byte budget mismatch"))
+        );
+        let mut r = WireReader::new(&buf);
+        let mut cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).unwrap();
+        assert!(cur.keys.next_key().unwrap().is_ok());
+        assert_eq!(
+            cur.metas.get(0),
+            Err(WireError::InvalidValue("columnar byte budget mismatch"))
+        );
+    }
+
+    #[test]
+    fn columnar_zst_meta_column_roundtrips() {
+        roundtrip(ColBatch(
+            (0..100u64).map(|i| (i, i, ())).collect::<Vec<_>>(),
+        ));
+    }
+
     mod prop {
         use super::*;
         use proptest::prelude::*;
@@ -1648,6 +2477,77 @@ mod tests {
                 let mut r = WireReader::new(&bytes);
                 if let Ok(cur) = SeqCursor::begin(&mut r) {
                     let _ = cur.skip_rest::<(u64, String)>();
+                }
+            }
+
+            #[test]
+            fn col_batch_roundtrips(
+                v in proptest::collection::vec((any::<u64>(), any::<u64>(), ".*"), 0..64)
+            ) {
+                // Arbitrary (unsorted, wrapping) key columns and string
+                // metadata round-trip through the columnar frame.
+                roundtrip(ColBatch(v.into_iter().map(|(a, b, s)| (a, b, s.to_string())).collect::<Vec<_>>()));
+            }
+
+            #[test]
+            fn column_seq_identical_to_col_batch(
+                v in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..64)
+            ) {
+                let adj: Vec<FakeAdjEntry> = v
+                    .iter()
+                    .map(|&(v, degree, em)| FakeAdjEntry { v, degree, em })
+                    .collect();
+                let mut via_owned = Vec::new();
+                ColBatch(v.clone()).encode(&mut via_owned);
+                let mut via_cols = Vec::new();
+                encode_cols_of(&adj, &mut via_cols);
+                prop_assert_eq!(&via_owned, &via_cols);
+                prop_assert_eq!(from_bytes::<ColBatch<u64>>(&via_cols).unwrap().0, v);
+            }
+
+            #[test]
+            fn col_cursor_agrees_with_owned_and_is_budget_exact(
+                v in proptest::collection::vec((any::<u64>(), any::<u64>(), ".*"), 0..48)
+            ) {
+                let owned = ColBatch(
+                    v.iter().map(|(a, b, s)| (*a, *b, s.to_string())).collect::<Vec<_>>(),
+                );
+                let mut bytes = to_bytes(&owned);
+                bytes.extend_from_slice(&[0xAA; 3]); // trailing sentinel
+                // Owned decode, cursor walk and skip all consume exactly
+                // the encoded extent — byte-budget exact framing.
+                let mut rd = WireReader::new(&bytes);
+                let back = ColBatch::<String>::decode(&mut rd).unwrap();
+                prop_assert_eq!(&back, &owned);
+                prop_assert_eq!(rd.remaining(), 3);
+                let mut rs = WireReader::new(&bytes);
+                ColBatch::<String>::skip(&mut rs).unwrap();
+                prop_assert_eq!(rs.position(), rd.position());
+                let mut rc = WireReader::new(&bytes);
+                let mut cur: ColCursor<'_, String> = ColCursor::begin(&mut rc).unwrap();
+                prop_assert_eq!(rc.position(), rd.position());
+                let mut walked = Vec::new();
+                while let Some(k) = cur.keys.next_key() {
+                    let k = k.unwrap();
+                    walked.push((k.v, k.degree, cur.metas.get(k.idx).unwrap()));
+                }
+                prop_assert_eq!(walked, owned.0);
+            }
+
+            #[test]
+            fn col_decode_never_panics_on_garbage(
+                bytes in proptest::collection::vec(any::<u8>(), 0..256)
+            ) {
+                let _ = from_bytes::<ColBatch<u64>>(&bytes);
+                let _ = from_bytes::<ColBatch<String>>(&bytes);
+                let mut r = WireReader::new(&bytes);
+                let _ = ColBatch::<u64>::skip(&mut r);
+                let mut r = WireReader::new(&bytes);
+                if let Ok(mut cur) = ColCursor::<String>::begin(&mut r) {
+                    while let Some(k) = cur.keys.next_key() {
+                        let Ok(k) = k else { break };
+                        let _ = cur.metas.get(k.idx);
+                    }
                 }
             }
 

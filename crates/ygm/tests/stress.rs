@@ -60,7 +60,7 @@ fn container_storm() {
     // Map, bag and counting set all active at once with a tiny flush
     // threshold, interleaving three handler types in shared buffers.
     let config = CommConfig {
-        flush_threshold: 48,
+        flush_threshold: Some(48),
         ..Default::default()
     };
     let out = World::new(5).with_config(config).run_with_stats(|comm| {

@@ -73,7 +73,7 @@ pub mod prelude {
     pub use tripoll_core::surveys::max_edge_label::max_edge_label_distribution;
     pub use tripoll_core::{
         survey, survey_push_only, survey_push_only_with, survey_push_pull, survey_push_pull_with,
-        DecodePath, EngineMode, SurveyReport, TriangleMeta,
+        BatchLayout, DecodePath, EngineMode, SurveyConfig, SurveyReport, TriangleMeta,
     };
     pub use tripoll_gen::{
         rmat_edges, web_graph, DatasetSize, RedditConfig, RmatConfig, WebGraphConfig,

@@ -1,17 +1,25 @@
-//! Differential tests of the receive decode paths.
+//! Differential tests of the wedge-batch wire layouts and receive
+//! decode paths.
 //!
-//! The cursor (zero-copy) handlers must be observationally identical to
-//! the owned-decode reference: same triangle counts, same metadata seen
-//! by every callback, same send-side traffic — on both engines, across
-//! rank counts, on the Table 4 topologies and on random graphs with
-//! string metadata (which exercises the lazy in-place string decode).
+//! The engine configuration is a 2×2 matrix — [`BatchLayout`]
+//! (columnar vs interleaved wire format) × [`DecodePath`] (in-place
+//! cursor vs materializing owned decode) — and every cell must be
+//! observationally identical: same triangle counts, same metadata seen
+//! by every callback, on both engines, across rank counts, on the
+//! Table 4 topologies and on random graphs with string metadata (which
+//! exercises the lazy in-place string decode). Within one layout the
+//! two decode paths must additionally produce identical send-side
+//! traffic fingerprints (the bytes are the same bytes); across layouts
+//! the byte counts legitimately differ — that is the point of the
+//! columnar format — so only the survey outcome is compared.
 
 use std::cell::Cell;
 use std::rc::Rc;
 
 use proptest::prelude::*;
 use tripoll::core::{
-    survey_push_only_with, survey_push_pull_with, DecodePath, EngineMode, SurveyReport,
+    survey_push_only_with, survey_push_pull_with, BatchLayout, DecodePath, EngineMode,
+    SurveyConfig, SurveyReport,
 };
 use tripoll::gen::table4_suite;
 use tripoll::graph::{build_dist_graph, EdgeList, Partition};
@@ -19,14 +27,35 @@ use tripoll::prelude::DatasetSize;
 use tripoll::ygm::hash::hash64;
 use tripoll::ygm::World;
 
+/// Every configuration cell, production default first.
+const MATRIX: [SurveyConfig; 4] = [
+    SurveyConfig {
+        layout: BatchLayout::Columnar,
+        decode: DecodePath::Cursor,
+    },
+    SurveyConfig {
+        layout: BatchLayout::Columnar,
+        decode: DecodePath::Owned,
+    },
+    SurveyConfig {
+        layout: BatchLayout::Interleaved,
+        decode: DecodePath::Cursor,
+    },
+    SurveyConfig {
+        layout: BatchLayout::Interleaved,
+        decode: DecodePath::Owned,
+    },
+];
+
 /// The deterministic fingerprint of one survey run: everything both
-/// decode paths must agree on. Send-side traffic is compared per
-/// phase; `handlers_run` and `work` are receive-side counters whose
-/// *phase* attribution depends on barrier timing (a rank spinning in
-/// the previous phase's quiescence barrier may execute early-arriving
-/// records there), so only their survey-wide totals are compared.
-/// (Receive-side `records_borrowed` / `bytes_decoded_in_place` are
-/// *expected* to differ — that is the point of the comparison.)
+/// decode paths of one layout must agree on. Send-side traffic is
+/// compared per phase; `handlers_run` and `work` are receive-side
+/// counters whose *phase* attribution depends on barrier timing (a rank
+/// spinning in the previous phase's quiescence barrier may execute
+/// early-arriving records there), so only their survey-wide totals are
+/// compared. (Receive-side `records_borrowed` /
+/// `bytes_decoded_in_place` are *expected* to differ — that is the
+/// point of the comparison.)
 #[derive(Debug, PartialEq, Eq)]
 struct Fingerprint {
     phases: Vec<(&'static str, u64, u64, u64, u64)>,
@@ -58,17 +87,25 @@ fn fingerprint(r: &SurveyReport) -> Fingerprint {
     }
 }
 
-/// Runs one survey with string metadata and returns, per rank:
-/// (global triangle count, global metadata checksum, fingerprint,
-/// records decoded in place). The checksum folds all six metadata
-/// values of every triangle, so any divergence in what a callback
-/// observes — not just how many times it ran — fails the comparison.
+/// One run's observable outcome per rank: (global triangle count,
+/// global metadata checksum, fingerprint, records decoded in place).
+struct Outcome {
+    count: u64,
+    checksum: u64,
+    fingerprint: Fingerprint,
+    borrowed: u64,
+}
+
+/// Runs one survey with string metadata. The checksum folds all six
+/// metadata values of every triangle, so any divergence in what a
+/// callback observes — not just how many times it ran — fails the
+/// comparison.
 fn run_survey(
     list: &EdgeList<String>,
     nranks: usize,
     mode: EngineMode,
-    decode: DecodePath,
-) -> Vec<(u64, u64, Fingerprint, u64)> {
+    config: SurveyConfig,
+) -> Vec<Outcome> {
     World::new(nranks).run(|comm| {
         let local = list.stride_for_rank(comm.rank(), comm.nranks());
         let g = build_dist_graph(comm, local, |v| format!("v{v}"), Partition::Hashed);
@@ -93,20 +130,20 @@ fn run_survey(
             s2.set(s2.get() + (h & 0xffff_ffff));
         };
         let report = match mode {
-            EngineMode::PushOnly => survey_push_only_with(comm, &g, decode, cb),
-            EngineMode::PushPull => survey_push_pull_with(comm, &g, decode, cb),
+            EngineMode::PushOnly => survey_push_only_with(comm, &g, config, cb),
+            EngineMode::PushPull => survey_push_pull_with(comm, &g, config, cb),
         };
         let borrowed = report
             .phases
             .iter()
             .map(|p| p.stats.records_borrowed)
             .sum::<u64>();
-        (
-            comm.all_reduce_sum(count.get()),
-            comm.all_reduce_sum(sum.get()),
-            fingerprint(&report),
-            comm.all_reduce_sum(borrowed),
-        )
+        Outcome {
+            count: comm.all_reduce_sum(count.get()),
+            checksum: comm.all_reduce_sum(sum.get()),
+            fingerprint: fingerprint(&report),
+            borrowed: comm.all_reduce_sum(borrowed),
+        }
     })
 }
 
@@ -119,41 +156,73 @@ fn labeled(edges: Vec<(u64, u64)>) -> EdgeList<String> {
     )
 }
 
-/// Asserts cursor ≡ owned for one graph at one configuration.
-fn assert_paths_agree(list: &EdgeList<String>, nranks: usize, mode: EngineMode, ctx: &str) {
-    let owned = run_survey(list, nranks, mode, DecodePath::Owned);
-    let cursor = run_survey(list, nranks, mode, DecodePath::Cursor);
-    for (rank, (o, c)) in owned.iter().zip(cursor.iter()).enumerate() {
-        assert_eq!(o.0, c.0, "triangle count [{ctx}, rank {rank}]");
-        assert_eq!(o.1, c.1, "metadata checksum [{ctx}, rank {rank}]");
-        assert_eq!(o.2, c.2, "send-side fingerprint [{ctx}, rank {rank}]");
-        assert_eq!(o.3, 0, "owned path must not decode in place [{ctx}]");
-        // Any triangle requires at least one received wedge batch or
-        // pull delivery, all of which the cursor path decodes in place.
-        if c.0 > 0 {
-            assert!(c.3 > 0, "cursor path must decode in place [{ctx}]");
+/// Asserts the full configuration matrix agrees for one graph at one
+/// (nranks, mode): identical surveys everywhere, identical send
+/// fingerprints within each layout, and the expected decode-in-place
+/// accounting per decode path.
+fn assert_matrix_agrees(list: &EdgeList<String>, nranks: usize, mode: EngineMode, ctx: &str) {
+    let runs: Vec<(SurveyConfig, Vec<Outcome>)> = MATRIX
+        .iter()
+        .map(|&config| (config, run_survey(list, nranks, mode, config)))
+        .collect();
+    let (_, reference) = &runs[0];
+    for (config, outcomes) in &runs {
+        for (rank, (o, r)) in outcomes.iter().zip(reference.iter()).enumerate() {
+            let ctx = format!("{ctx}, {config:?}, rank {rank}");
+            assert_eq!(o.count, r.count, "triangle count [{ctx}]");
+            assert_eq!(o.checksum, r.checksum, "metadata checksum [{ctx}]");
+            match config.decode {
+                DecodePath::Owned => {
+                    assert_eq!(o.borrowed, 0, "owned path must not decode in place [{ctx}]");
+                }
+                DecodePath::Cursor => {
+                    // Any triangle requires at least one received wedge
+                    // batch or pull delivery, all of which the cursor
+                    // path decodes in place.
+                    if o.count > 0 {
+                        assert!(o.borrowed > 0, "cursor path must decode in place [{ctx}]");
+                    }
+                }
+            }
         }
     }
-}
-
-#[test]
-fn tab4_topologies_identical_across_decode_paths() {
-    // The Table 4 suite at tiny scale, both engines, 1/2/4/7 ranks.
-    for ds in table4_suite(DatasetSize::Tiny, 42) {
-        let list = labeled(ds.edges.clone());
-        for nranks in [1usize, 2, 4, 7] {
-            for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
-                let ctx = format!("{} {mode} n={nranks}", ds.name);
-                assert_paths_agree(&list, nranks, mode, &ctx);
+    // Same layout ⇒ same bytes on the wire ⇒ identical fingerprints.
+    for layout in [BatchLayout::Columnar, BatchLayout::Interleaved] {
+        let in_layout: Vec<&Vec<Outcome>> = runs
+            .iter()
+            .filter(|(c, _)| c.layout == layout)
+            .map(|(_, o)| o)
+            .collect();
+        for pair in in_layout.windows(2) {
+            for (rank, (a, b)) in pair[0].iter().zip(pair[1].iter()).enumerate() {
+                assert_eq!(
+                    a.fingerprint, b.fingerprint,
+                    "send-side fingerprint [{ctx}, {layout}, rank {rank}]"
+                );
             }
         }
     }
 }
 
 #[test]
-fn hub_pull_topology_identical_across_decode_paths() {
+fn tab4_topologies_identical_across_layouts_and_decode_paths() {
+    // The Table 4 suite at tiny scale, both engines, 1/2/4/7 ranks.
+    for ds in table4_suite(DatasetSize::Tiny, 42) {
+        let list = labeled(ds.edges.clone());
+        for nranks in [1usize, 2, 4, 7] {
+            for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+                let ctx = format!("{} {mode} n={nranks}", ds.name);
+                assert_matrix_agrees(&list, nranks, mode, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn hub_pull_topology_identical_across_layouts_and_decode_paths() {
     // Shared-hub construction that forces the pull phase to carry the
-    // triangles, so the SeqView re-walk path is differentially tested.
+    // triangles, so the ColView / SeqView re-walk paths are
+    // differentially tested.
     let k = 24u64;
     let (h1, h2) = (1000, 1001);
     let mut edges = vec![(h1, h2)];
@@ -163,9 +232,9 @@ fn hub_pull_topology_identical_across_decode_paths() {
     }
     let list = labeled(edges);
     for nranks in [1usize, 2, 4, 7] {
-        let owned = run_survey(&list, nranks, EngineMode::PushPull, DecodePath::Owned);
-        assert_eq!(owned[0].0, k);
-        assert_paths_agree(
+        let reference = run_survey(&list, nranks, EngineMode::PushPull, MATRIX[0]);
+        assert_eq!(reference[0].count, k);
+        assert_matrix_agrees(
             &list,
             nranks,
             EngineMode::PushPull,
@@ -177,19 +246,30 @@ fn hub_pull_topology_identical_across_decode_paths() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
     #[test]
-    fn random_string_metadata_graphs_identical_across_decode_paths(
+    fn random_string_metadata_graphs_identical_across_matrix(
         edges in proptest::collection::vec((0u64..40, 0u64..40), 1..120),
         nranks in 1usize..5,
         push_pull in any::<bool>(),
     ) {
         let list = labeled(edges);
         let mode = if push_pull { EngineMode::PushPull } else { EngineMode::PushOnly };
-        let owned = run_survey(&list, nranks, mode, DecodePath::Owned);
-        let cursor = run_survey(&list, nranks, mode, DecodePath::Cursor);
-        for (o, c) in owned.iter().zip(cursor.iter()) {
-            prop_assert_eq!(o.0, c.0);
-            prop_assert_eq!(o.1, c.1);
-            prop_assert_eq!(&o.2, &c.2);
+        let runs: Vec<Vec<Outcome>> = MATRIX
+            .iter()
+            .map(|&config| run_survey(&list, nranks, mode, config))
+            .collect();
+        for alt in &runs[1..] {
+            for (r, o) in runs[0].iter().zip(alt.iter()) {
+                prop_assert_eq!(r.count, o.count);
+                prop_assert_eq!(r.checksum, o.checksum);
+            }
+        }
+        // Decode paths within one layout share bytes exactly — both the
+        // columnar pair and the interleaved pair.
+        for (a, b) in runs[0].iter().zip(runs[1].iter()) {
+            prop_assert_eq!(&a.fingerprint, &b.fingerprint);
+        }
+        for (a, b) in runs[2].iter().zip(runs[3].iter()) {
+            prop_assert_eq!(&a.fingerprint, &b.fingerprint);
         }
     }
 }
