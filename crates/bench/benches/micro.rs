@@ -6,11 +6,14 @@
 //! instrumented survey run.
 //!
 //! Besides the human-readable lines, the harness writes
-//! `BENCH_micro.json` (schema `tripoll-bench-micro/v2`) so successive
+//! `BENCH_micro.json` (schema `tripoll-bench-micro/v4`) so successive
 //! PRs can track the perf trajectory mechanically: kernel ns/iter,
 //! bytes sent, envelope counts, allocation-count proxies for the push
-//! (encode) and recv (decode) paths, and wall time. CI diffs the recv
-//! allocation proxy against the committed baseline (`bench_diff`).
+//! (encode) and recv (decode) paths, the intersection-kernel
+//! comparison (scalar vs gallop vs blocked at four degree skews, with
+//! deterministic compare counters), and wall time. CI diffs the recv
+//! allocation proxies, columnar bytes/candidate and the Auto kernel's
+//! compares/candidate against the committed baseline (`bench_diff`).
 
 use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -18,13 +21,13 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tripoll_core::{merge_path, EngineMode};
+use tripoll_core::{intersect_col, kernel_stats_take, merge_path, EngineMode, IntersectKernel};
 use tripoll_graph::{build_dist_graph, DistGraph, EdgeList, OrderKey, Partition};
 use tripoll_ygm::buffer::{BufferPool, SendBuffer};
 use tripoll_ygm::hash::{hash64, FastMap};
 use tripoll_ygm::wire::{
-    encode_columns, encode_seq, from_bytes, put_varint, to_bytes, ColCursor, Lazy, SeqCursor, Wire,
-    WireEncode, WireReader,
+    encode_columns, encode_seq, from_bytes, put_varint, to_bytes, ColBatch, ColCursor, KeyBlock,
+    Lazy, SeqCursor, Wire, WireEncode, WireReader, KEY_BLOCK_LEN,
 };
 use tripoll_ygm::World;
 
@@ -474,10 +477,14 @@ fn layout_stream_columnar(adj: &[Entry]) -> Vec<u8> {
     buf
 }
 
-/// Columnar mirror of [`decode_batches_cursor`]: key columns walked
-/// eagerly, metadata column touched only on the simulated matches
-/// (every 8th candidate) — the production recv path's access pattern.
-fn decode_batches_columnar(buf: &[u8]) -> u64 {
+/// Columnar scalar-walk mirror of [`decode_batches_cursor`]: key
+/// columns walked one element at a time, metadata column touched only
+/// on the simulated matches (every 8th candidate). This was the
+/// pre-kernel production access pattern — kept as the "before" side of
+/// the blocked-decode comparison (it was measurably *slower* than the
+/// interleaved decode, the ROADMAP regression the blocked kernel
+/// fixes).
+fn decode_batches_columnar_scalar(buf: &[u8]) -> u64 {
     let mut r = WireReader::new(buf);
     let mut acc = 0u64;
     while !r.is_empty() {
@@ -502,12 +509,50 @@ fn decode_batches_columnar(buf: &[u8]) -> u64 {
     acc
 }
 
+/// The current columnar decode proxy: key columns decoded through the
+/// blocked kernel's [`KeyBlock`] bulk walk ([`ColKeys::next_block`]),
+/// so the varint-decode loop runs tight over each column and the
+/// consumer scans stack arrays — the access pattern the
+/// `BlockedMerge`/`Auto` production kernel uses.
+///
+/// [`ColKeys::next_block`]: tripoll_ygm::wire::ColKeys::next_block
+fn decode_batches_columnar(buf: &[u8]) -> u64 {
+    let mut r = WireReader::new(buf);
+    let mut acc = 0u64;
+    let mut block = KeyBlock::new();
+    while !r.is_empty() {
+        let p = u64::decode(&mut r).expect("p");
+        let q = u64::decode(&mut r).expect("q");
+        let mp = u64::decode(&mut r).expect("meta_p");
+        let mpq = u64::decode(&mut r).expect("meta_pq");
+        acc = acc
+            .wrapping_add(p)
+            .wrapping_add(q)
+            .wrapping_add(mp)
+            .wrapping_add(mpq);
+        let mut cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).expect("columns");
+        while let Some(res) = cur.keys.next_block(&mut block) {
+            res.expect("key block");
+            for i in 0..block.len {
+                acc = acc.wrapping_add(block.v[i]).wrapping_add(block.degree[i]);
+                let idx = block.base + i;
+                if idx.is_multiple_of(8) {
+                    acc = acc.wrapping_add(cur.metas.get(idx).expect("match meta"));
+                }
+            }
+        }
+    }
+    acc
+}
+
 /// Measurement of one layout: wire volume plus steady-state encode and
-/// decode cost.
+/// decode cost. The columnar layout also carries the scalar-walk
+/// decode measurement (the pre-kernel "before" path).
 struct LayoutRun {
     bytes: usize,
     encode: PathRun,
     decode: PathRun,
+    decode_scalar: Option<PathRun>,
 }
 
 /// Head-to-head of the wedge-batch wire layouts on hub-scale batches:
@@ -516,7 +561,8 @@ struct LayoutRun {
 fn compare_batch_layouts() -> (LayoutRun, LayoutRun) {
     let adj = hub_adjacency(PUSH_CANDIDATES);
     // Differential check before anything is timed: both layouts carry
-    // the same logical stream.
+    // the same logical stream, and both columnar walks (scalar and
+    // blocked) read every value identically.
     // The interleaved side reuses the recv-path stream/decoder (same
     // wire format, same every-8th match rule).
     let int_stream = encoded_push_stream(&adj);
@@ -525,6 +571,11 @@ fn compare_batch_layouts() -> (LayoutRun, LayoutRun) {
         decode_batches_cursor(&int_stream),
         decode_batches_columnar(&col_stream),
         "layouts disagree"
+    );
+    assert_eq!(
+        decode_batches_columnar_scalar(&col_stream),
+        decode_batches_columnar(&col_stream),
+        "columnar walks disagree"
     );
 
     let encode_with = |columnar: bool| {
@@ -588,11 +639,13 @@ fn compare_batch_layouts() -> (LayoutRun, LayoutRun) {
         bytes: int_stream.len(),
         encode: encode_with(false),
         decode: decode_with(&decode_batches_cursor, &int_stream),
+        decode_scalar: None,
     };
     let columnar = LayoutRun {
         bytes: col_stream.len(),
         encode: encode_with(true),
         decode: decode_with(&decode_batches_columnar, &col_stream),
+        decode_scalar: Some(decode_with(&decode_batches_columnar_scalar, &col_stream)),
     };
     let per_cand = |bytes: usize| bytes as f64 / (PUSH_BATCHES * PUSH_CANDIDATES) as f64;
     for (name, run) in [("interleaved", &interleaved), ("columnar", &columnar)] {
@@ -603,6 +656,14 @@ fn compare_batch_layouts() -> (LayoutRun, LayoutRun) {
             run.encode.allocs,
             run.decode.ns / PUSH_BATCHES as f64,
             run.decode.allocs,
+        );
+    }
+    if let Some(scalar) = &columnar.decode_scalar {
+        println!(
+            "batch_layout/columnar_scalar_walk (before) decode {:>8.1} ns/batch {:>4} allocs  -> blocked {:>8.1} ns/batch",
+            scalar.ns / PUSH_BATCHES as f64,
+            scalar.allocs,
+            columnar.decode.ns / PUSH_BATCHES as f64,
         );
     }
     if columnar.bytes >= interleaved.bytes {
@@ -618,6 +679,172 @@ fn compare_batch_layouts() -> (LayoutRun, LayoutRun) {
         );
     }
     (interleaved, columnar)
+}
+
+/// One kernel's measurement at one skew.
+struct KernelRun {
+    name: &'static str,
+    ns_per_candidate: f64,
+    compares_per_candidate: f64,
+    allocs: u64,
+    matches_per_iter: u64,
+}
+
+/// One skew point of the intersection-kernel comparison.
+struct SkewRun {
+    name: &'static str,
+    left: usize,
+    right: usize,
+    runs: Vec<KernelRun>,
+}
+
+/// Passes per (skew, kernel) measurement.
+const KERNEL_ITERS: usize = 64;
+
+/// Head-to-head of the intersection kernels over a real columnar frame
+/// (the production shape: keys decoded off the wire, right side in
+/// storage, metadata decoded on match only) at four degree skews (balanced, 10:1, 1000:1 and its reverse).
+/// The compare counters are deterministic — CI gates the Auto kernel's
+/// compares-per-candidate — while ns/candidate is context.
+fn compare_intersect_kernels() -> (Vec<SkewRun>, f64) {
+    let mut skews = Vec::new();
+    let (mut auto_compares, mut auto_candidates) = (0u64, 0u64);
+    for (name, left_n, right_n) in [
+        ("balanced", 4096usize, 4096usize),
+        ("skew_10_1", 512, 5120),
+        ("skew_1000_1", 64, 64_000),
+        ("skew_1_1000", 64_000, 64),
+    ] {
+        // The denser side holds every even value; the sparser side
+        // spreads across that range, alternating hits (even values)
+        // and off-by-one misses (odd values). Key order follows the
+        // value (degree = value).
+        let (dense_n, sparse_n) = (left_n.max(right_n), left_n.min(right_n));
+        let dense: Vec<u64> = (0..dense_n as u64).map(|i| 2 * i).collect();
+        let step = 2 * (dense_n / sparse_n) as u64;
+        let sparse: Vec<u64> = (0..sparse_n as u64).map(|i| i * step + (i % 2)).collect();
+        let (left_vals, right_vals) = if right_n >= left_n {
+            (sparse, dense)
+        } else {
+            (dense, sparse)
+        };
+        let right: Vec<(u64, OrderKey)> = right_vals
+            .iter()
+            .map(|&v| (v, OrderKey::new(v, v)))
+            .collect();
+        let left: Vec<(u64, u64)> = left_vals.iter().map(|&v| (v, v)).collect();
+        let frame = to_bytes(&ColBatch::<u64>(
+            left.iter()
+                .enumerate()
+                .map(|(i, &(v, d))| (v, d, i as u64))
+                .collect(),
+        ));
+        // Oracle: the expected match count per pass.
+        let left_keys: Vec<(u64, OrderKey)> = left
+            .iter()
+            .map(|&(v, d)| (v, OrderKey::new(v, d)))
+            .collect();
+        let mut expected = 0u64;
+        merge_path(&left_keys, &right, |l| l.1, |r| r.1, |_, _| expected += 1);
+        assert!(expected > 0, "skew {name} must produce matches");
+
+        let mut runs = Vec::new();
+        for (kname, kernel) in [
+            ("scalar", IntersectKernel::MergeScalar),
+            ("gallop", IntersectKernel::Gallop),
+            ("blocked", IntersectKernel::BlockedMerge),
+            ("auto", IntersectKernel::Auto),
+        ] {
+            let one_pass = |acc: &mut u64, matches: &mut u64| {
+                let mut r = WireReader::new(&frame);
+                let cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).expect("frame");
+                let ColCursor {
+                    mut keys,
+                    mut metas,
+                } = cur;
+                intersect_col(
+                    kernel,
+                    &mut keys,
+                    &right,
+                    |e| e.1,
+                    |k, e| {
+                        // Production pattern: metadata decoded on match.
+                        *acc = acc.wrapping_add(metas.get(k.idx)?).wrapping_add(e.0);
+                        *matches += 1;
+                        Ok(())
+                    },
+                )
+                .expect("intersect");
+            };
+            // Warm-up, then a counted, timed, alloc-metered run.
+            let (mut acc, mut warm_matches) = (0u64, 0u64);
+            one_pass(&mut acc, &mut warm_matches);
+            assert_eq!(warm_matches, expected, "kernel {kname} disagrees at {name}");
+            let _ = kernel_stats_take();
+            let mut matches = 0u64;
+            let before_allocs = allocs_now();
+            let start = Instant::now();
+            for _ in 0..KERNEL_ITERS {
+                one_pass(&mut acc, &mut matches);
+            }
+            let ns = start.elapsed().as_nanos() as f64;
+            let allocs = allocs_now() - before_allocs;
+            black_box(acc);
+            let ks = kernel_stats_take();
+            let candidates = (left_n * KERNEL_ITERS) as u64;
+            if kernel == IntersectKernel::Auto {
+                auto_compares += ks.compares;
+                auto_candidates += candidates;
+            }
+            runs.push(KernelRun {
+                name: kname,
+                ns_per_candidate: ns / candidates as f64,
+                compares_per_candidate: ks.compares as f64 / candidates as f64,
+                allocs,
+                matches_per_iter: matches / KERNEL_ITERS as u64,
+            });
+        }
+        for r in &runs {
+            println!(
+                "intersect_kernel/{name:<12}/{:<8} {:>8.2} ns/cand  {:>8.2} compares/cand  {:>4} allocs  {:>6} matches",
+                r.name, r.ns_per_candidate, r.compares_per_candidate, r.allocs, r.matches_per_iter
+            );
+            if r.allocs > 0 {
+                println!(
+                    "WARNING: kernel {} allocated {} times at {} (expected 0)",
+                    r.name, r.allocs, name
+                );
+            }
+        }
+        skews.push(SkewRun {
+            name,
+            left: left_n,
+            right: right_n,
+            runs,
+        });
+    }
+    // The headline claim: at 1000:1 skew the gallop or blocked kernel
+    // must beat the scalar merge on ns/candidate.
+    if let Some(s) = skews.iter().find(|s| s.name == "skew_1000_1") {
+        let ns_of = |n: &str| {
+            s.runs
+                .iter()
+                .find(|r| r.name == n)
+                .map(|r| r.ns_per_candidate)
+        };
+        let (scalar, gallop, blocked) = (
+            ns_of("scalar").unwrap(),
+            ns_of("gallop").unwrap(),
+            ns_of("blocked").unwrap(),
+        );
+        if gallop.min(blocked) >= scalar {
+            println!(
+                "WARNING: neither gallop ({gallop:.2}) nor blocked ({blocked:.2}) beat scalar \
+                 ({scalar:.2}) ns/candidate at 1000:1 skew"
+            );
+        }
+    }
+    (skews, auto_compares as f64 / auto_candidates as f64)
 }
 
 /// Synthetic dry-run input: `verts` local vertices, each with `deg`
@@ -770,10 +997,12 @@ fn write_json(
     layout_col: &LayoutRun,
     dry_old: &PathRun,
     dry_new: &PathRun,
+    kernel_skews: &[SkewRun],
+    kernel_cpc: f64,
     surveys: &[SurveyRun],
 ) {
     let mut j = String::from("{\n");
-    j.push_str("  \"schema\": \"tripoll-bench-micro/v3\",\n");
+    j.push_str("  \"schema\": \"tripoll-bench-micro/v4\",\n");
 
     j.push_str("  \"kernels\": [\n");
     for (i, k) in kernels.iter().enumerate() {
@@ -823,8 +1052,17 @@ fn write_json(
 
     let per_cand = |bytes: usize| bytes as f64 / (PUSH_BATCHES * PUSH_CANDIDATES) as f64;
     let layout_obj = |r: &LayoutRun| {
+        // The columnar object carries the pre-kernel scalar-walk decode
+        // as the before/after record of the blocked-decode fix.
+        let scalar_walk = r.decode_scalar.as_ref().map_or(String::new(), |s| {
+            format!(
+                ", \"decode_scalar_walk_ns_per_batch\": {:.1}, \"decode_scalar_walk_allocs\": {}",
+                s.ns / PUSH_BATCHES as f64,
+                s.allocs
+            )
+        });
         format!(
-            "{{\"bytes\": {}, \"bytes_per_candidate\": {:.3}, \"encode_allocs\": {}, \"encode_ns_per_batch\": {:.1}, \"decode_allocs\": {}, \"decode_allocs_per_batch\": {:.4}, \"decode_ns_per_batch\": {:.1}}}",
+            "{{\"bytes\": {}, \"bytes_per_candidate\": {:.3}, \"encode_allocs\": {}, \"encode_ns_per_batch\": {:.1}, \"decode_allocs\": {}, \"decode_allocs_per_batch\": {:.4}, \"decode_ns_per_batch\": {:.1}{}}}",
             r.bytes,
             per_cand(r.bytes),
             r.encode.allocs,
@@ -832,6 +1070,7 @@ fn write_json(
             r.decode.allocs,
             r.decode.allocs as f64 / PUSH_BATCHES as f64,
             r.decode.ns / PUSH_BATCHES as f64,
+            scalar_walk,
         )
     };
     j.push_str(&format!(
@@ -850,6 +1089,30 @@ fn write_json(
         "  \"dry_run_plan\": {{\n    \"vertices\": {DRY_RUN_VERTS},\n    \"targets_per_vertex\": {DRY_RUN_DEG},\n    \"hashed_maps\": {{\"allocs\": {}, \"ns\": {:.1}}},\n    \"sorted_vec\": {{\"allocs\": {}, \"ns\": {:.1}}},\n    \"alloc_reduction_pct\": {:.1}\n  }},\n",
         dry_old.allocs, dry_old.ns, dry_new.allocs, dry_new.ns, dry_reduction
     ));
+
+    // The gated summary (Auto compares/candidate over all skews) leads
+    // the section so the minimal scraper in bench_diff reads it first.
+    j.push_str(&format!(
+        "  \"intersect_kernel\": {{\n    \"compares_per_candidate\": {kernel_cpc:.4},\n    \"block_len\": {KEY_BLOCK_LEN},\n    \"iters\": {KERNEL_ITERS},\n    \"skews\": [\n"
+    ));
+    for (i, s) in kernel_skews.iter().enumerate() {
+        let kernel_obj = |r: &KernelRun| {
+            format!(
+                "\"{}\": {{\"ns_per_candidate\": {:.3}, \"kernel_compares_per_candidate\": {:.4}, \"allocs\": {}, \"matches_per_iter\": {}}}",
+                r.name, r.ns_per_candidate, r.compares_per_candidate, r.allocs, r.matches_per_iter
+            )
+        };
+        let runs: Vec<String> = s.runs.iter().map(kernel_obj).collect();
+        j.push_str(&format!(
+            "      {{\"skew\": \"{}\", \"left\": {}, \"right\": {}, {}}}{}\n",
+            s.name,
+            s.left,
+            s.right,
+            runs.join(", "),
+            if i + 1 < kernel_skews.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("    ]\n  },\n");
 
     j.push_str("  \"surveys\": [\n");
     for (i, s) in surveys.iter().enumerate() {
@@ -905,6 +1168,7 @@ fn main() {
     let (recv_old, recv_new) = compare_recv_paths();
     let (layout_int, layout_col) = compare_batch_layouts();
     let (dry_old, dry_new) = compare_dry_run_plans();
+    let (kernel_skews, kernel_cpc) = compare_intersect_kernels();
 
     let mut surveys = Vec::new();
     for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
@@ -936,6 +1200,8 @@ fn main() {
         &layout_col,
         &dry_old,
         &dry_new,
+        &kernel_skews,
+        kernel_cpc,
         &surveys,
     );
 }

@@ -13,14 +13,19 @@
 //!   invariant of the production columnar recv path (a zero baseline
 //!   means **any** allocation fails, not a percentage);
 //! * `batch_layout.columnar` bytes-per-candidate — the communication
-//!   volume the SoA layout exists to shrink.
+//!   volume the SoA layout exists to shrink;
+//! * `intersect_kernel.compares_per_candidate` — the Auto kernel's
+//!   deterministic key-compare count per candidate, summed over the
+//!   fixed skew points (balanced, 10:1, 1000:1 and its reverse) — the
+//!   work the gallop and blocked kernels exist to avoid.
 //!
 //! Each gate allows 10% relative growth over the baseline; wall-time
 //! numbers are deliberately *not* gated (CI machines are too noisy),
-//! while allocation counts and encoded byte volumes are deterministic.
+//! while allocation counts, encoded byte volumes and kernel compare
+//! counters are deterministic.
 //!
 //! The parser is a minimal scraper for the known
-//! `tripoll-bench-micro/v3` schema (the container vendors no JSON
+//! `tripoll-bench-micro/v4` schema (the container vendors no JSON
 //! crate); a baseline predating a gated section passes with a notice so
 //! a gate can be adopted in the same change that introduces its
 //! section.
@@ -75,6 +80,15 @@ fn columnar_bytes_per_candidate(json: &str) -> Option<f64> {
     let layout = after_key(json, "batch_layout")?;
     let columnar = after_key(layout, "columnar")?;
     number_after(columnar, "bytes_per_candidate")
+}
+
+/// Extracts `intersect_kernel.compares_per_candidate` (the Auto
+/// kernel's deterministic summary, first field of its section; the
+/// per-kernel skew entries use a distinct key so this scrape cannot
+/// drift onto them).
+fn kernel_compares_per_candidate(json: &str) -> Option<f64> {
+    let section = after_key(json, "intersect_kernel")?;
+    number_after(section, "compares_per_candidate")
 }
 
 /// One gated metric: compares fresh vs baseline under the shared
@@ -145,6 +159,12 @@ fn main() -> ExitCode {
             columnar_bytes_per_candidate(&fresh),
             new_path,
         ),
+        gate(
+            "intersect-kernel compares/candidate",
+            kernel_compares_per_candidate(&baseline),
+            kernel_compares_per_candidate(&fresh),
+            new_path,
+        ),
     ]
     .into_iter()
     .all(|g| g);
@@ -160,7 +180,7 @@ mod tests {
     use super::*;
 
     const SAMPLE: &str = r#"{
-  "schema": "tripoll-bench-micro/v3",
+  "schema": "tripoll-bench-micro/v4",
   "recv_path": {
     "batches": 4096,
     "materialized": {"allocs": 4096, "allocs_per_batch": 1.0},
@@ -170,8 +190,15 @@ mod tests {
     "batches": 4096,
     "candidates_per_batch": 64,
     "interleaved": {"bytes": 3203072, "bytes_per_candidate": 12.219, "decode_allocs": 0},
-    "columnar": {"bytes": 2953216, "bytes_per_candidate": 11.266, "encode_allocs": 0, "decode_allocs": 0, "decode_allocs_per_batch": 0.0000},
+    "columnar": {"bytes": 2953216, "bytes_per_candidate": 11.266, "encode_allocs": 0, "decode_allocs": 0, "decode_allocs_per_batch": 0.0000, "decode_scalar_walk_ns_per_batch": 900.0, "decode_scalar_walk_allocs": 0},
     "bytes_reduction_pct": 7.8
+  },
+  "intersect_kernel": {
+    "compares_per_candidate": 3.75,
+    "block_len": 32,
+    "skews": [
+      {"skew": "balanced", "left": 4096, "right": 4096, "scalar": {"ns_per_candidate": 4.1, "kernel_compares_per_candidate": 2.0, "allocs": 0, "matches_per_iter": 2048}, "auto": {"ns_per_candidate": 3.0, "kernel_compares_per_candidate": 2.1, "allocs": 0, "matches_per_iter": 2048}}
+    ]
   }
 }"#;
 
@@ -188,6 +215,13 @@ mod tests {
             None
         );
         assert_eq!(columnar_bytes_per_candidate("{\"schema\": \"v1\"}"), None);
+        assert_eq!(kernel_compares_per_candidate("{\"schema\": \"v1\"}"), None);
+    }
+
+    #[test]
+    fn extracts_kernel_compares() {
+        // The section-level summary, not a per-kernel skew entry.
+        assert_eq!(kernel_compares_per_candidate(SAMPLE), Some(3.75));
     }
 
     #[test]

@@ -1,16 +1,67 @@
 //! Shared machinery of the survey engines.
 //!
-//! Both engines reduce triangle identification to the same kernel: a
-//! *merge-path intersection* (paper §4.3) of two lists sorted by the
-//! degree order `<+` — the suffix of `Adjm+(p)` past `q` (the candidate
-//! `r` vertices) against `Adjm+(q)`. Because [`OrderKey`] equality
-//! implies vertex equality, the intersection walks both lists with two
-//! pointers and never hashes or binary-searches.
+//! Both engines reduce triangle identification to the same kernel: an
+//! *intersection* (paper §4.3) of two lists sorted by the degree order
+//! `<+` — the suffix of `Adjm+(p)` past `q` (the candidate `r`
+//! vertices) against `Adjm+(q)`. Because [`OrderKey`] equality implies
+//! vertex equality, the intersection compares keys and never hashes.
+//!
+//! # Intersection kernels
+//!
+//! *How* the two sorted sides are compared is the third engine
+//! dimension, next to [`BatchLayout`] and [`DecodePath`]: the
+//! [`IntersectKernel`] selected by [`SurveyConfig::kernel`]. All
+//! kernels emit the **identical match sequence** (same pairs, same
+//! callback order — differentially tested in `tests/kernels.rs`); they
+//! differ only in compares and decode cost per candidate:
+//!
+//! * [`IntersectKernel::MergeScalar`] — the classic element-wise
+//!   two-pointer merge ([`merge_path`] / [`merge_path_stream`]): one
+//!   key compare per pointer step. The reference kernel and the
+//!   differential oracle.
+//! * [`IntersectKernel::Gallop`] — exponential (galloping) search:
+//!   each key of the smaller side seeks its position in the larger
+//!   side by doubling probes plus a binary search, `O(s·log(L/s))`
+//!   compares instead of `O(L)`. Wins exactly when the sides are
+//!   skewed (`|small|·K < |large|` — a low-degree candidate batch
+//!   against a hub adjacency), loses slightly on balanced sides.
+//! * [`IntersectKernel::BlockedMerge`] — decodes fixed-size key
+//!   blocks ([`tripoll_ygm::wire::KeyBlock`], [`KEY_BLOCK_LEN`] keys)
+//!   from the columnar key columns into stack arrays and intersects
+//!   block-by-block: one *wide* compare (the block's last key against
+//!   the merge frontier) skips a whole block of misses, and keys that
+//!   do engage the merge are scanned with a tight advance loop over
+//!   the cache-resident stack run. Separating the varint-decode loop
+//!   from the compare loop is what the columnar wire layout (PR 3)
+//!   exists to enable (Pashanasangi & Seshadhri, arXiv:2106.02762,
+//!   make this locality argument).
+//! * [`IntersectKernel::Auto`] (production default) — per-batch
+//!   size-ratio heuristic, shape-aware. Over random-access slices
+//!   ([`IntersectKernel::select`]): gallop when either side is at
+//!   least [`GALLOP_RATIO`]× the other (`min·K < max`), blocked merge
+//!   otherwise. Over a streaming left side that must be decoded
+//!   sequentially regardless ([`IntersectKernel::select_streaming`]):
+//!   gallop only when the *right* side is the much larger one
+//!   (`left·K < right`); a much larger left resolves to the blocked
+//!   merge, whose whole-block skips are the only win available when
+//!   decode cost dominates. Both lengths are known before any element
+//!   is decoded (the batch count rides in the frame header, the local
+//!   adjacency length is in storage), so selection is free and
+//!   deterministic.
+//!
+//! Every kernel tallies deterministic counters ([`KernelStats`]:
+//! compares, candidates, matches, per-kernel dispatch counts) into a
+//! thread-local, read via [`kernel_stats`] / [`kernel_stats_take`] —
+//! the bench harness gates compares-per-candidate on them and the
+//! differential suite cross-checks match counts against the scalar
+//! oracle.
 
+use std::cell::Cell;
 use std::time::Instant;
 
 use tripoll_graph::OrderKey;
 use tripoll_ygm::stats::CommStats;
+use tripoll_ygm::wire::{ColKey, ColKeys, KeyBlock, WireError, KEY_BLOCK_LEN};
 use tripoll_ygm::Comm;
 
 /// Which TriPoll algorithm to run.
@@ -83,23 +134,116 @@ impl std::fmt::Display for BatchLayout {
     }
 }
 
+/// Which intersection kernel compares the two sorted sides of every
+/// wedge check (see the module docs for the full taxonomy). Purely a
+/// local compute choice: unlike the other two [`SurveyConfig`] axes it
+/// moves no bytes, so any rank could pick independently — it is still
+/// carried in [`SurveyConfig`] so a survey names one reproducible
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntersectKernel {
+    /// Per-batch size-ratio heuristic: [`IntersectKernel::Gallop`]
+    /// when `min·`[`GALLOP_RATIO`]` < max`, else
+    /// [`IntersectKernel::BlockedMerge`]. The production default.
+    #[default]
+    Auto,
+    /// Element-wise two-pointer merge — the reference kernel and the
+    /// differential oracle.
+    MergeScalar,
+    /// Exponential-search seek through the larger side.
+    Gallop,
+    /// Fixed-size key blocks decoded into stack arrays, intersected
+    /// with branch-light wide compares.
+    BlockedMerge,
+}
+
+/// Skew ratio at which [`IntersectKernel::Auto`] switches from the
+/// blocked merge to galloping: gallop when `min(|l|,|r|)·K < max`.
+///
+/// At ratio `K` the merge walks `max ≥ K·min` keys while galloping
+/// costs about `min·(2·log₂(max/min)+2)` compares; `K = 8` is where
+/// the gallop's per-seek overhead (probe + binary search ≈ 2·log₂ 8 +
+/// 2 = 8 compares) breaks even with the walk it skips.
+pub const GALLOP_RATIO: usize = 8;
+
+impl IntersectKernel {
+    /// Resolves [`IntersectKernel::Auto`] for one intersection over
+    /// two *random-access* sides (slices); explicit kernels return
+    /// themselves. Symmetric: a heavy skew in either direction picks
+    /// the gallop (it can seek into whichever side is larger).
+    /// Deterministic, and both lengths are known up front.
+    #[inline]
+    pub fn select(self, left_len: usize, right_len: usize) -> IntersectKernel {
+        match self {
+            IntersectKernel::Auto => {
+                let (small, large) = if left_len <= right_len {
+                    (left_len, right_len)
+                } else {
+                    (right_len, left_len)
+                };
+                if small.saturating_mul(GALLOP_RATIO) < large {
+                    IntersectKernel::Gallop
+                } else {
+                    IntersectKernel::BlockedMerge
+                }
+            }
+            k => k,
+        }
+    }
+
+    /// Resolves [`IntersectKernel::Auto`] for a *streaming* left side
+    /// (a wire cursor that must be decoded sequentially regardless of
+    /// kernel): galloping only pays when it seeks into a much larger
+    /// **right** side, so a much larger *left* resolves to the blocked
+    /// merge instead — its bulk decode plus one-compare whole-block
+    /// skips are the only lever when the decode itself dominates.
+    #[inline]
+    pub fn select_streaming(self, left_len: usize, right_len: usize) -> IntersectKernel {
+        match self {
+            IntersectKernel::Auto => {
+                if left_len.saturating_mul(GALLOP_RATIO) < right_len {
+                    IntersectKernel::Gallop
+                } else {
+                    IntersectKernel::BlockedMerge
+                }
+            }
+            k => k,
+        }
+    }
+}
+
+impl std::fmt::Display for IntersectKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntersectKernel::Auto => write!(f, "Auto"),
+            IntersectKernel::MergeScalar => write!(f, "MergeScalar"),
+            IntersectKernel::Gallop => write!(f, "Gallop"),
+            IntersectKernel::BlockedMerge => write!(f, "BlockedMerge"),
+        }
+    }
+}
+
 /// Per-survey engine configuration: the wire layout of candidate
-/// batches and the receive decode path. Both axes are collective
-/// contracts (same value on every rank). The default —
-/// [`BatchLayout::Columnar`] decoded by [`DecodePath::Cursor`] — is the
-/// production hot path; the other three combinations exist for
-/// differential testing, and every combination yields an identical
-/// survey.
+/// batches, the receive decode path, and the intersection kernel. The
+/// first two axes are collective contracts (same value on every rank);
+/// the kernel is a local compute choice carried alongside them for
+/// reproducibility. The default — [`BatchLayout::Columnar`] decoded by
+/// [`DecodePath::Cursor`] and intersected by [`IntersectKernel::Auto`]
+/// — is the production hot path; every other combination yields an
+/// identical survey and exists for differential testing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SurveyConfig {
     /// Wire layout of wedge-candidate batches.
     pub layout: BatchLayout,
     /// Receive-side decode strategy.
     pub decode: DecodePath,
+    /// Intersection kernel for every wedge check.
+    pub kernel: IntersectKernel,
 }
 
 impl SurveyConfig {
-    /// The production configuration (columnar batches, cursor decode).
+    /// The production configuration (columnar batches, cursor decode,
+    /// auto-selected kernel).
     pub fn new() -> Self {
         SurveyConfig::default()
     }
@@ -113,6 +257,12 @@ impl SurveyConfig {
     /// This configuration with the given decode path.
     pub fn with_decode(mut self, decode: DecodePath) -> Self {
         self.decode = decode;
+        self
+    }
+
+    /// This configuration with the given intersection kernel.
+    pub fn with_kernel(mut self, kernel: IntersectKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -133,6 +283,16 @@ impl From<BatchLayout> for SurveyConfig {
     fn from(layout: BatchLayout) -> Self {
         SurveyConfig {
             layout,
+            ..SurveyConfig::default()
+        }
+    }
+}
+
+/// A bare kernel selects that kernel under the default layout/decode.
+impl From<IntersectKernel> for SurveyConfig {
+    fn from(kernel: IntersectKernel) -> Self {
+        SurveyConfig {
+            kernel,
             ..SurveyConfig::default()
         }
     }
@@ -273,6 +433,493 @@ pub fn merge_path_stream<L, R, E>(
     Ok(())
 }
 
+// --------------------------------------------------------------------
+// Intersection-kernel layer — see the module docs for the taxonomy.
+// --------------------------------------------------------------------
+
+/// Deterministic tallies of the kernel layer, accumulated per thread
+/// (one simulated rank = one thread). Counter semantics:
+///
+/// * `compares` — key comparisons performed (three-way compares,
+///   gallop probes and binary-search steps, block-skip checks and the
+///   equality check after a gallop each count one);
+/// * `candidates` — left-side elements decoded or visited (blocked
+///   kernels decode whole blocks, so this may exceed what the scalar
+///   kernel touches before an early exit);
+/// * `matches` — key-equal pairs emitted, identical across kernels by
+///   the differential contract;
+/// * `*_runs` — intersections dispatched per resolved kernel (what
+///   [`IntersectKernel::Auto`] actually picked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Key comparisons performed.
+    pub compares: u64,
+    /// Left-side elements decoded or visited.
+    pub candidates: u64,
+    /// Key-equal pairs emitted.
+    pub matches: u64,
+    /// Intersections run by the scalar merge kernel.
+    pub scalar_runs: u64,
+    /// Intersections run by the galloping kernel.
+    pub gallop_runs: u64,
+    /// Intersections run by the blocked-merge kernel.
+    pub blocked_runs: u64,
+}
+
+impl KernelStats {
+    const ZERO: KernelStats = KernelStats {
+        compares: 0,
+        candidates: 0,
+        matches: 0,
+        scalar_runs: 0,
+        gallop_runs: 0,
+        blocked_runs: 0,
+    };
+}
+
+thread_local! {
+    static KERNEL_STATS: Cell<KernelStats> = const { Cell::new(KernelStats::ZERO) };
+}
+
+/// This thread's accumulated [`KernelStats`] since the last
+/// [`kernel_stats_take`].
+pub fn kernel_stats() -> KernelStats {
+    KERNEL_STATS.with(Cell::get)
+}
+
+/// Reads and resets this thread's accumulated [`KernelStats`].
+pub fn kernel_stats_take() -> KernelStats {
+    KERNEL_STATS.with(|c| c.replace(KernelStats::ZERO))
+}
+
+/// Flushes one intersection's local tallies into the thread counter —
+/// a single `Cell` write per intersection, so the hot loops count into
+/// registers.
+#[inline]
+fn record_kernel(resolved: IntersectKernel, compares: u64, candidates: u64, matches: u64) {
+    KERNEL_STATS.with(|c| {
+        let mut s = c.get();
+        s.compares += compares;
+        s.candidates += candidates;
+        s.matches += matches;
+        match resolved {
+            IntersectKernel::MergeScalar => s.scalar_runs += 1,
+            IntersectKernel::Gallop => s.gallop_runs += 1,
+            IntersectKernel::BlockedMerge => s.blocked_runs += 1,
+            IntersectKernel::Auto => unreachable!("Auto resolves before recording"),
+        }
+        c.set(s);
+    });
+}
+
+/// First index in `right[from..]` whose key is `>= target`, found by
+/// exponential probing (1, 2, 4, … steps) and a binary search of the
+/// final window — `O(log distance)` compares regardless of how far the
+/// seek lands.
+#[inline]
+fn gallop_seek<R>(
+    right: &[R],
+    key_r: &impl Fn(&R) -> OrderKey,
+    from: usize,
+    target: OrderKey,
+    compares: &mut u64,
+) -> usize {
+    let n = right.len();
+    if from >= n {
+        return n;
+    }
+    *compares += 1;
+    if key_r(&right[from]) >= target {
+        return from;
+    }
+    // Invariant: key(right[lo]) < target; hi is n or has key >= target.
+    let mut lo = from;
+    let mut hi = n;
+    let mut step = 1usize;
+    while lo + step < n {
+        *compares += 1;
+        if key_r(&right[lo + step]) < target {
+            lo += step;
+            step <<= 1;
+        } else {
+            hi = lo + step;
+            break;
+        }
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        *compares += 1;
+        if key_r(&right[mid]) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Intersects two `<+`-sorted slices with the selected kernel,
+/// invoking `on_match` for every key-equal pair in increasing key
+/// order — the kernel-dispatching generalization of [`merge_path`]
+/// (which remains the scalar reference). Used by the materializing
+/// (`Owned`) decode paths of both engines.
+pub fn intersect_slices<L, R>(
+    kernel: IntersectKernel,
+    left: &[L],
+    right: &[R],
+    key_l: impl Fn(&L) -> OrderKey,
+    key_r: impl Fn(&R) -> OrderKey,
+    mut on_match: impl FnMut(&L, &R),
+) {
+    let resolved = kernel.select(left.len(), right.len());
+    let (mut compares, mut matches) = (0u64, 0u64);
+    match resolved {
+        IntersectKernel::MergeScalar => {
+            let (mut a, mut b) = (0, 0);
+            while a < left.len() && b < right.len() {
+                compares += 1;
+                match key_l(&left[a]).cmp(&key_r(&right[b])) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        on_match(&left[a], &right[b]);
+                        matches += 1;
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+        }
+        IntersectKernel::Gallop => {
+            if left.len() <= right.len() {
+                let mut b = 0;
+                for l in left {
+                    if b >= right.len() {
+                        break;
+                    }
+                    let kl = key_l(l);
+                    b = gallop_seek(right, &key_r, b, kl, &mut compares);
+                    if b < right.len() {
+                        compares += 1;
+                        if key_r(&right[b]) == kl {
+                            on_match(l, &right[b]);
+                            matches += 1;
+                            b += 1;
+                        }
+                    }
+                }
+            } else {
+                let mut a = 0;
+                for r in right {
+                    if a >= left.len() {
+                        break;
+                    }
+                    let kr = key_r(r);
+                    a = gallop_seek(left, &key_l, a, kr, &mut compares);
+                    if a < left.len() {
+                        compares += 1;
+                        if key_l(&left[a]) == kr {
+                            on_match(&left[a], r);
+                            matches += 1;
+                            a += 1;
+                        }
+                    }
+                }
+            }
+        }
+        IntersectKernel::BlockedMerge => {
+            let (mut a, mut b) = (0, 0);
+            while a < left.len() && b < right.len() {
+                let end = (a + KEY_BLOCK_LEN).min(left.len());
+                // One wide compare decides whether the whole block is
+                // strictly below the merge frontier.
+                compares += 1;
+                if key_l(&left[end - 1]) < key_r(&right[b]) {
+                    a = end;
+                    continue;
+                }
+                while a < end && b < right.len() {
+                    // Tight advance on a register-resident key, then
+                    // one equality check at the landing spot.
+                    let kl = key_l(&left[a]);
+                    while b < right.len() {
+                        compares += 1;
+                        if key_r(&right[b]) < kl {
+                            b += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if b < right.len() {
+                        compares += 1;
+                        if key_r(&right[b]) == kl {
+                            on_match(&left[a], &right[b]);
+                            matches += 1;
+                            b += 1;
+                        }
+                    }
+                    a += 1;
+                }
+            }
+        }
+        IntersectKernel::Auto => unreachable!("select never returns Auto"),
+    }
+    record_kernel(resolved, compares, left.len() as u64, matches);
+}
+
+/// Intersects the key columns of one columnar frame against a
+/// `<+`-sorted slice with the selected kernel — the production
+/// (columnar × cursor) hot path. `on_match` receives the matching
+/// [`ColKey`] (whose `idx` indexes the frame's metadata column) and may
+/// fail (a lazy metadata decode); key-decode errors from the frame
+/// propagate the same way. Matches are emitted in increasing key
+/// order, identically across kernels.
+///
+/// The blocked kernel is where the columnar layout pays: keys are
+/// decoded [`KEY_BLOCK_LEN`] at a time into stack arrays
+/// ([`KeyBlock`]) so the varint-decode loop and the branch-light
+/// compare loop each run tight over contiguous memory.
+pub fn intersect_col<R>(
+    kernel: IntersectKernel,
+    keys: &mut ColKeys<'_>,
+    right: &[R],
+    key_r: impl Fn(&R) -> OrderKey,
+    mut on_match: impl FnMut(ColKey, &R) -> Result<(), WireError>,
+) -> Result<(), WireError> {
+    let resolved = kernel.select_streaming(keys.remaining(), right.len());
+    let (mut compares, mut candidates, mut matches) = (0u64, 0u64, 0u64);
+    let out = (|| {
+        match resolved {
+            IntersectKernel::MergeScalar => {
+                let mut b = 0;
+                while b < right.len() {
+                    let Some(k) = keys.next_key() else { break };
+                    let k = k?;
+                    candidates += 1;
+                    let kl = OrderKey::new(k.v, k.degree);
+                    while b < right.len() {
+                        compares += 1;
+                        if key_r(&right[b]) < kl {
+                            b += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if b < right.len() {
+                        compares += 1;
+                        if key_r(&right[b]) == kl {
+                            on_match(k, &right[b])?;
+                            matches += 1;
+                            b += 1;
+                        }
+                    }
+                }
+            }
+            IntersectKernel::Gallop => {
+                let mut b = 0;
+                while b < right.len() {
+                    let Some(k) = keys.next_key() else { break };
+                    let k = k?;
+                    candidates += 1;
+                    let kl = OrderKey::new(k.v, k.degree);
+                    b = gallop_seek(right, &key_r, b, kl, &mut compares);
+                    if b < right.len() {
+                        compares += 1;
+                        if key_r(&right[b]) == kl {
+                            on_match(k, &right[b])?;
+                            matches += 1;
+                            b += 1;
+                        }
+                    }
+                }
+            }
+            IntersectKernel::BlockedMerge => {
+                let mut block = KeyBlock::new();
+                let mut bkeys = [OrderKey { degree: 0, tie: 0 }; KEY_BLOCK_LEN];
+                let mut b = 0;
+                while b < right.len() {
+                    let Some(res) = keys.next_block(&mut block) else {
+                        break;
+                    };
+                    res?;
+                    candidates += block.len as u64;
+                    for ((k, &v), &d) in bkeys
+                        .iter_mut()
+                        .zip(&block.v)
+                        .zip(&block.degree)
+                        .take(block.len)
+                    {
+                        *k = OrderKey::new(v, d);
+                    }
+                    compares += 1;
+                    if bkeys[block.len - 1] < key_r(&right[b]) {
+                        continue;
+                    }
+                    for (i, &kl) in bkeys.iter().enumerate().take(block.len) {
+                        if b >= right.len() {
+                            break;
+                        }
+                        // Tight advance on a register-resident key,
+                        // then one equality check at the landing spot.
+                        while b < right.len() {
+                            compares += 1;
+                            if key_r(&right[b]) < kl {
+                                b += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        if b < right.len() {
+                            compares += 1;
+                            if key_r(&right[b]) == kl {
+                                on_match(
+                                    ColKey {
+                                        idx: block.base + i,
+                                        v: block.v[i],
+                                        degree: block.degree[i],
+                                    },
+                                    &right[b],
+                                )?;
+                                matches += 1;
+                                b += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            IntersectKernel::Auto => unreachable!("select never returns Auto"),
+        }
+        Ok(())
+    })();
+    record_kernel(resolved, compares, candidates, matches);
+    out
+}
+
+/// Intersects a cursor-produced left stream against a `<+`-sorted
+/// slice with the selected kernel — the kernel-dispatching
+/// generalization of [`merge_path_stream`], used by the interleaved
+/// cursor decode paths. The same early-exit contract applies: once
+/// `right` is exhausted no further left elements are pulled (beyond
+/// the block the blocked kernel already buffered), so a [`SeqCursor`]
+/// caller must still `skip_rest`.
+///
+/// `L: Copy` because the blocked kernel buffers up to [`KEY_BLOCK_LEN`]
+/// decoded views in a stack array — views are borrowed byte ranges
+/// plus eager scalars, so the bound is free for every wire view in
+/// this workspace.
+///
+/// [`SeqCursor`]: tripoll_ygm::wire::SeqCursor
+pub fn intersect_stream<L: Copy, R, E>(
+    kernel: IntersectKernel,
+    left_len: usize,
+    mut next: impl FnMut() -> Option<Result<L, E>>,
+    right: &[R],
+    key_l: impl Fn(&L) -> OrderKey,
+    key_r: impl Fn(&R) -> OrderKey,
+    mut on_match: impl FnMut(L, &R) -> Result<(), E>,
+) -> Result<(), E> {
+    let resolved = kernel.select_streaming(left_len, right.len());
+    let (mut compares, mut candidates, mut matches) = (0u64, 0u64, 0u64);
+    let out = (|| {
+        match resolved {
+            IntersectKernel::MergeScalar => {
+                let mut b = 0;
+                while b < right.len() {
+                    let Some(item) = next() else { break };
+                    let l = item?;
+                    candidates += 1;
+                    let kl = key_l(&l);
+                    while b < right.len() {
+                        compares += 1;
+                        if key_r(&right[b]) < kl {
+                            b += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if b < right.len() {
+                        compares += 1;
+                        if key_r(&right[b]) == kl {
+                            on_match(l, &right[b])?;
+                            matches += 1;
+                            b += 1;
+                        }
+                    }
+                }
+            }
+            IntersectKernel::Gallop => {
+                let mut b = 0;
+                while b < right.len() {
+                    let Some(item) = next() else { break };
+                    let l = item?;
+                    candidates += 1;
+                    let kl = key_l(&l);
+                    b = gallop_seek(right, &key_r, b, kl, &mut compares);
+                    if b < right.len() {
+                        compares += 1;
+                        if key_r(&right[b]) == kl {
+                            on_match(l, &right[b])?;
+                            matches += 1;
+                            b += 1;
+                        }
+                    }
+                }
+            }
+            IntersectKernel::BlockedMerge => {
+                let mut buf: [Option<L>; KEY_BLOCK_LEN] = [None; KEY_BLOCK_LEN];
+                let mut bkeys = [OrderKey { degree: 0, tie: 0 }; KEY_BLOCK_LEN];
+                let mut b = 0;
+                while b < right.len() {
+                    let mut len = 0;
+                    while len < KEY_BLOCK_LEN {
+                        let Some(item) = next() else { break };
+                        let l = item?;
+                        bkeys[len] = key_l(&l);
+                        buf[len] = Some(l);
+                        len += 1;
+                    }
+                    if len == 0 {
+                        break;
+                    }
+                    candidates += len as u64;
+                    compares += 1;
+                    if bkeys[len - 1] < key_r(&right[b]) {
+                        continue;
+                    }
+                    for (&kl, slot) in bkeys.iter().zip(buf.iter_mut()).take(len) {
+                        if b >= right.len() {
+                            break;
+                        }
+                        // Tight advance on a register-resident key,
+                        // then one equality check at the landing spot.
+                        while b < right.len() {
+                            compares += 1;
+                            if key_r(&right[b]) < kl {
+                                b += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        if b < right.len() {
+                            compares += 1;
+                            if key_r(&right[b]) == kl {
+                                let l = slot.take().expect("buffered block element");
+                                on_match(l, &right[b])?;
+                                matches += 1;
+                                b += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            IntersectKernel::Auto => unreachable!("select never returns Auto"),
+        }
+        Ok(())
+    })();
+    record_kernel(resolved, compares, candidates, matches);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,12 +1047,14 @@ mod tests {
 
     #[test]
     fn survey_config_defaults_and_conversions() {
-        // Production default: columnar batches decoded in place.
+        // Production default: columnar batches decoded in place,
+        // auto-selected kernel.
         let d = SurveyConfig::default();
         assert_eq!(d.layout, BatchLayout::Columnar);
         assert_eq!(d.decode, DecodePath::Cursor);
+        assert_eq!(d.kernel, IntersectKernel::Auto);
         assert_eq!(SurveyConfig::new(), d);
-        // A bare axis value fixes that axis, leaving the other default.
+        // A bare axis value fixes that axis, leaving the others default.
         assert_eq!(
             SurveyConfig::from(DecodePath::Owned),
             d.with_decode(DecodePath::Owned)
@@ -415,13 +1064,165 @@ mod tests {
             d.with_layout(BatchLayout::Interleaved)
         );
         assert_eq!(
+            SurveyConfig::from(IntersectKernel::Gallop),
+            d.with_kernel(IntersectKernel::Gallop)
+        );
+        assert_eq!(
             SurveyConfig::default()
                 .with_layout(BatchLayout::Interleaved)
-                .with_decode(DecodePath::Owned),
+                .with_decode(DecodePath::Owned)
+                .with_kernel(IntersectKernel::MergeScalar),
             SurveyConfig {
                 layout: BatchLayout::Interleaved,
                 decode: DecodePath::Owned,
+                kernel: IntersectKernel::MergeScalar,
             }
         );
+    }
+
+    #[test]
+    fn auto_kernel_selection_follows_the_skew_ratio() {
+        let auto = IntersectKernel::Auto;
+        // Balanced or mildly skewed sides: blocked merge.
+        assert_eq!(auto.select(100, 100), IntersectKernel::BlockedMerge);
+        assert_eq!(auto.select(100, 799), IntersectKernel::BlockedMerge);
+        assert_eq!(auto.select(799, 100), IntersectKernel::BlockedMerge);
+        // Past GALLOP_RATIO in either direction: gallop.
+        assert_eq!(auto.select(100, 801), IntersectKernel::Gallop);
+        assert_eq!(auto.select(801, 100), IntersectKernel::Gallop);
+        assert_eq!(auto.select(0, 1), IntersectKernel::Gallop);
+        // Streaming left side: gallop only into a much larger right; a
+        // much larger (decode-bound) left resolves to the blocked
+        // merge.
+        assert_eq!(auto.select_streaming(100, 801), IntersectKernel::Gallop);
+        assert_eq!(
+            auto.select_streaming(801, 100),
+            IntersectKernel::BlockedMerge
+        );
+        assert_eq!(
+            auto.select_streaming(100, 100),
+            IntersectKernel::BlockedMerge
+        );
+        assert_eq!(
+            IntersectKernel::MergeScalar.select_streaming(1, 1_000_000),
+            IntersectKernel::MergeScalar
+        );
+        // Explicit kernels resolve to themselves at any skew.
+        for k in [
+            IntersectKernel::MergeScalar,
+            IntersectKernel::Gallop,
+            IntersectKernel::BlockedMerge,
+        ] {
+            assert_eq!(k.select(1, 1_000_000), k);
+            assert_eq!(k.select(5, 5), k);
+        }
+    }
+
+    #[test]
+    fn gallop_seek_finds_the_lower_bound() {
+        let list: Vec<(u64, OrderKey)> = (0..200u64)
+            .map(|i| (i * 2, OrderKey::new(i * 2, i * 2)))
+            .collect();
+        let key = |e: &(u64, OrderKey)| e.1;
+        let mut compares = 0u64;
+        for target_v in 0..420u64 {
+            let target = OrderKey::new(target_v, target_v);
+            for from in [0usize, 3, 150, 199, 200] {
+                let got = gallop_seek(&list, &key, from, target, &mut compares);
+                // Reference: first index >= from with key >= target.
+                let mut reference = list.len();
+                for (i, e) in list.iter().enumerate().skip(from) {
+                    if key(e) >= target {
+                        reference = i;
+                        break;
+                    }
+                }
+                assert_eq!(got, reference, "target {target_v} from {from}");
+            }
+        }
+        assert!(compares > 0);
+    }
+
+    /// Every kernel must emit exactly the match sequence of
+    /// `merge_path`, on slices, for assorted shapes.
+    #[test]
+    fn slice_kernels_agree_with_merge_path() {
+        let mk = |vals: &[u64]| -> Vec<(u64, OrderKey)> {
+            vals.iter().map(|&v| (v, OrderKey::new(v, v))).collect()
+        };
+        let cases: &[(Vec<u64>, Vec<u64>)] = &[
+            (vec![], vec![]),
+            (vec![1, 2, 3], vec![]),
+            (vec![], vec![1, 2, 3]),
+            (
+                (0..200).map(|i| i * 2).collect(),
+                (0..200).map(|i| i * 3).collect(),
+            ),
+            ((0..500).collect(), vec![250]),
+            (vec![250], (0..500).collect()),
+            (vec![7, 7, 7], vec![7, 7]),
+        ];
+        for (lv, rv) in cases {
+            let left = mk(lv);
+            let right = mk(rv);
+            let mut oracle = Vec::new();
+            merge_path(
+                &left,
+                &right,
+                |l| l.1,
+                |r| r.1,
+                |l, r| oracle.push((l.0, r.0)),
+            );
+            for kernel in [
+                IntersectKernel::Auto,
+                IntersectKernel::MergeScalar,
+                IntersectKernel::Gallop,
+                IntersectKernel::BlockedMerge,
+            ] {
+                let mut got = Vec::new();
+                intersect_slices(
+                    kernel,
+                    &left,
+                    &right,
+                    |l| l.1,
+                    |r| r.1,
+                    |l, r| got.push((l.0, r.0)),
+                );
+                assert_eq!(got, oracle, "kernel {kernel} on {lv:?} x {rv:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_stats_accumulate_and_reset() {
+        let _ = kernel_stats_take();
+        let left: Vec<(u64, OrderKey)> = (0..64u64).map(|v| (v, OrderKey::new(v, v))).collect();
+        intersect_slices(
+            IntersectKernel::MergeScalar,
+            &left,
+            &left,
+            |l| l.1,
+            |r| r.1,
+            |_, _| {},
+        );
+        let s = kernel_stats();
+        assert_eq!(s.matches, 64);
+        assert_eq!(s.candidates, 64);
+        assert_eq!(s.scalar_runs, 1);
+        assert!(s.compares >= 64);
+        // Auto at heavy skew dispatches the gallop kernel.
+        let small = &left[..4];
+        intersect_slices(
+            IntersectKernel::Auto,
+            small,
+            &left,
+            |l| l.1,
+            |r| r.1,
+            |_, _| {},
+        );
+        assert_eq!(kernel_stats().gallop_runs, 1);
+        let taken = kernel_stats_take();
+        assert_eq!(taken.matches, 68);
+        assert_eq!(kernel_stats(), KernelStats::default());
     }
 }

@@ -48,8 +48,9 @@ pub mod push_pull;
 pub mod surveys;
 
 pub use engine::{
-    merge_path, merge_path_stream, BatchLayout, DecodePath, EngineMode, PhaseReport, SurveyConfig,
-    SurveyReport,
+    intersect_col, intersect_slices, intersect_stream, kernel_stats, kernel_stats_take, merge_path,
+    merge_path_stream, BatchLayout, DecodePath, EngineMode, IntersectKernel, KernelStats,
+    PhaseReport, SurveyConfig, SurveyReport, GALLOP_RATIO,
 };
 pub use meta::{SurveyCallback, TriangleMeta};
 pub use push_only::{survey_push_only, survey_push_only_with};

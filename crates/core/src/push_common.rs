@@ -30,7 +30,10 @@
 //!
 //! On the orthogonal [`DecodePath`] axis, each layout also has a
 //! materializing `Owned` reference handler; all four combinations emit
-//! identical surveys.
+//! identical surveys. The intersection itself dispatches through the
+//! configured [`IntersectKernel`] (scalar merge, galloping search, or
+//! blocked branch-light merge — see [`crate::engine`]), a third axis
+//! that every handler threads through to the kernel layer.
 //!
 //! A push that arrives for a vertex its receiving rank does not own can
 //! only mean ownership disagreement between ranks (a partition bug, not
@@ -46,7 +49,10 @@ use tripoll_ygm::wire::{
 };
 use tripoll_ygm::{Comm, Handler};
 
-use crate::engine::{merge_path, merge_path_stream, BatchLayout, DecodePath, SurveyConfig};
+use crate::engine::{
+    intersect_col, intersect_slices, intersect_stream, BatchLayout, DecodePath, IntersectKernel,
+    SurveyConfig,
+};
 use crate::meta::TriangleMeta;
 
 /// Type-erased survey callback held by engine handlers.
@@ -86,6 +92,16 @@ pub(crate) struct CandView<'a, EM> {
     /// Captured-but-undecoded `meta(p, r)`.
     pub em: Lazy<'a, EM>,
 }
+
+// Manual impls (a derive would bound `EM`): the view is two scalars
+// plus a borrowed byte range, freely copyable — which is what lets the
+// blocked intersection kernel buffer views in a stack array.
+impl<EM> Clone for CandView<'_, EM> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<EM> Copy for CandView<'_, EM> {}
 
 /// Decodes one [`Candidate`]'s wire bytes as a [`CandView`] — the
 /// borrowed mirror of [`encode_candidate`]; must stay in lockstep with
@@ -133,27 +149,29 @@ where
     EM: Wire + Clone + 'static,
 {
     match (config.layout, config.decode) {
-        (BatchLayout::Columnar, DecodePath::Cursor) => {
-            PushHandler::Columnar(register_push_handler_columnar_cursor(comm, graph, cb))
-        }
-        (BatchLayout::Columnar, DecodePath::Owned) => {
-            PushHandler::Columnar(register_push_handler_columnar_owned(comm, graph, cb))
-        }
+        (BatchLayout::Columnar, DecodePath::Cursor) => PushHandler::Columnar(
+            register_push_handler_columnar_cursor(comm, graph, cb, config.kernel),
+        ),
+        (BatchLayout::Columnar, DecodePath::Owned) => PushHandler::Columnar(
+            register_push_handler_columnar_owned(comm, graph, cb, config.kernel),
+        ),
         (BatchLayout::Interleaved, DecodePath::Cursor) => {
-            PushHandler::Interleaved(register_push_handler_cursor(comm, graph, cb))
+            PushHandler::Interleaved(register_push_handler_cursor(comm, graph, cb, config.kernel))
         }
         (BatchLayout::Interleaved, DecodePath::Owned) => {
-            PushHandler::Interleaved(register_push_handler_owned(comm, graph, cb))
+            PushHandler::Interleaved(register_push_handler_owned(comm, graph, cb, config.kernel))
         }
     }
 }
 
-/// The production receive handler: capture the columnar frame, walk the
-/// key columns through the merge-path, decode metadata on match only.
+/// The production receive handler: capture the columnar frame, run the
+/// configured intersection kernel over the key columns, decode
+/// metadata on match only.
 fn register_push_handler_columnar_cursor<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
     cb: DynCallback<VM, EM>,
+    kernel: IntersectKernel,
 ) -> Handler<PushMsgCol<VM, EM>>
 where
     VM: Wire + Clone + 'static,
@@ -171,16 +189,17 @@ where
         let Some(lv) = g.shard().get(q) else {
             abort_unowned_push(c, &g, p, q);
         };
-        // Merge-path walks both lists once: that is the wedge-check work.
+        // The intersection visits both lists once: that is the
+        // wedge-check work (kernel-independent by design).
         c.add_work((cur.len() + lv.adj.len()) as u64);
         let ColCursor {
             mut keys,
             mut metas,
         } = cur;
-        merge_path_stream(
-            || keys.next_key(),
+        intersect_col(
+            kernel,
+            &mut keys,
             &lv.adj,
-            |k| OrderKey::new(k.v, k.degree),
             |e| e.key,
             |k, e| {
                 debug_assert_eq!(k.v, e.v, "OrderKey equality implies vertex equality");
@@ -210,6 +229,7 @@ fn register_push_handler_columnar_owned<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
     cb: DynCallback<VM, EM>,
+    kernel: IntersectKernel,
 ) -> Handler<PushMsgCol<VM, EM>>
 where
     VM: Wire + Clone + 'static,
@@ -221,7 +241,8 @@ where
             abort_unowned_push(c, &g, p, q);
         };
         c.add_work((batch.0.len() + lv.adj.len()) as u64);
-        merge_path(
+        intersect_slices(
+            kernel,
             &batch.0,
             &lv.adj,
             |cand| OrderKey::new(cand.0, cand.1),
@@ -244,12 +265,14 @@ where
     })
 }
 
-/// The interleaved zero-copy receive handler: merge-path directly over
-/// the wire bytes through a [`SeqCursor`] (see module docs).
+/// The interleaved zero-copy receive handler: the configured kernel
+/// runs directly over the wire bytes through a [`SeqCursor`] (see
+/// module docs).
 fn register_push_handler_cursor<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
     cb: DynCallback<VM, EM>,
+    kernel: IntersectKernel,
 ) -> Handler<PushMsg<VM, EM>>
 where
     VM: Wire + Clone + 'static,
@@ -265,9 +288,12 @@ where
         let Some(lv) = g.shard().get(q) else {
             abort_unowned_push(c, &g, p, q);
         };
-        // Merge-path walks both lists once: that is the wedge-check work.
+        // The intersection visits both lists once: that is the
+        // wedge-check work (kernel-independent by design).
         c.add_work((cands.len() + lv.adj.len()) as u64);
-        merge_path_stream(
+        intersect_stream(
+            kernel,
+            cands.len(),
             || cands.next_with(decode_candidate_view::<EM>),
             &lv.adj,
             |cand| cand.key,
@@ -301,6 +327,7 @@ fn register_push_handler_owned<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
     cb: DynCallback<VM, EM>,
+    kernel: IntersectKernel,
 ) -> Handler<PushMsg<VM, EM>>
 where
     VM: Wire + Clone + 'static,
@@ -312,7 +339,8 @@ where
             abort_unowned_push(c, &g, p, q);
         };
         c.add_work((candidates.len() + lv.adj.len()) as u64);
-        merge_path(
+        intersect_slices(
+            kernel,
             &candidates,
             &lv.adj,
             |cand| OrderKey::new(cand.0, cand.1),

@@ -37,10 +37,11 @@ where
 }
 
 /// [`survey_push_only`] with an explicit [`SurveyConfig`] (or a bare
-/// [`crate::engine::BatchLayout`] / [`crate::engine::DecodePath`], via
-/// `Into`) — the configuration is part of the collective contract (same
-/// value on every rank). The non-default combinations exist for
-/// differential testing.
+/// [`crate::engine::BatchLayout`] / [`crate::engine::DecodePath`] /
+/// [`crate::engine::IntersectKernel`], via `Into`) — the layout and
+/// decode axes are part of the collective contract (same value on
+/// every rank); the kernel is a local compute choice. The non-default
+/// combinations exist for differential testing.
 pub fn survey_push_only_with<VM, EM, F>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
@@ -198,6 +199,37 @@ mod tests {
     #[should_panic(expected = "vertex ownership disagrees across ranks")]
     fn misrouted_push_aborts_cleanly_interleaved() {
         misrouted_push(SurveyConfig::from(crate::engine::BatchLayout::Interleaved));
+    }
+
+    #[test]
+    fn explicit_kernels_count_like_the_default() {
+        use crate::engine::IntersectKernel;
+        // K5 on 2 ranks under every explicit kernel: same 10 triangles
+        // as the default (Auto) configuration.
+        let mut edges = Vec::new();
+        for u in 0..5u64 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let list = EdgeList::from_vec(edges.iter().map(|&(u, v)| (u, v, ())).collect::<Vec<_>>());
+        for kernel in [
+            IntersectKernel::MergeScalar,
+            IntersectKernel::Gallop,
+            IntersectKernel::BlockedMerge,
+        ] {
+            let out = World::new(2).run(|comm| {
+                let local = list.stride_for_rank(comm.rank(), comm.nranks());
+                let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
+                let count = Rc::new(Cell::new(0u64));
+                let count2 = count.clone();
+                survey_push_only_with(comm, &g, kernel, move |_c, _tm| {
+                    count2.set(count2.get() + 1);
+                });
+                comm.all_reduce_sum(count.get())
+            });
+            assert_eq!(out, vec![10, 10], "kernel {kernel}");
+        }
     }
 
     #[test]

@@ -37,8 +37,8 @@ use tripoll_ygm::wire::{encode_seq, ColBatch, ColCursor, ColView, SeqView, Wire}
 use tripoll_ygm::{Comm, Handler};
 
 use crate::engine::{
-    merge_path, merge_path_stream, BatchLayout, DecodePath, EngineMode, PhaseTimer, SurveyConfig,
-    SurveyReport,
+    intersect_col, intersect_slices, intersect_stream, BatchLayout, DecodePath, EngineMode,
+    PhaseTimer, SurveyConfig, SurveyReport,
 };
 use crate::meta::{SurveyCallback, TriangleMeta};
 use crate::push_common::{
@@ -306,6 +306,7 @@ where
     VM: Wire + Clone + 'static,
     EM: Wire + Clone + 'static,
 {
+    let kernel = config.kernel;
     match (config.layout, config.decode) {
         (BatchLayout::Columnar, DecodePath::Cursor) => {
             let g = graph.clone();
@@ -325,10 +326,10 @@ where
                         mut keys,
                         mut metas,
                     } = view.walk();
-                    merge_path_stream(
-                        || keys.next_key(),
+                    intersect_col(
+                        kernel,
+                        &mut keys,
                         suffix,
-                        |k| OrderKey::new(k.v, k.degree),
                         |s_entry| s_entry.key,
                         |k, s_entry| {
                             debug_assert_eq!(
@@ -367,7 +368,8 @@ where
                     debug_assert_eq!(eq.v, q);
                     let suffix = &lv.adj[idx as usize + 1..];
                     c.add_work((suffix.len() + batch.0.len()) as u64);
-                    merge_path(
+                    intersect_slices(
+                        kernel,
                         suffix,
                         &batch.0,
                         |s| s.key,
@@ -405,7 +407,9 @@ where
                     let suffix = &lv.adj[idx as usize + 1..];
                     c.add_work((suffix.len() + view.len()) as u64);
                     let mut walk = view.walk();
-                    merge_path_stream(
+                    intersect_stream(
+                        kernel,
+                        view.len(),
                         || walk.next_with(decode_candidate_view::<EM>),
                         suffix,
                         |pe| pe.key,
@@ -447,7 +451,8 @@ where
                     debug_assert_eq!(eq.v, q);
                     let suffix = &lv.adj[idx as usize + 1..];
                     c.add_work((suffix.len() + pulled_adj.len()) as u64);
-                    merge_path(
+                    intersect_slices(
+                        kernel,
                         suffix,
                         &pulled_adj,
                         |s| s.key,

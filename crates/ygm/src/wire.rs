@@ -856,6 +856,15 @@ pub struct Lazy<'a, T> {
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
+// Manual impls: a `Lazy` is a borrowed byte range, copyable regardless
+// of whether `T` itself is (a derive would wrongly bound `T: Copy`).
+impl<T> Clone for Lazy<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Lazy<'_, T> {}
+
 impl<'a, T: Wire> WireDecode<'a> for Lazy<'a, T> {
     #[inline]
     fn decode_borrowed(r: &mut WireReader<'a>) -> Result<Self, WireError> {
@@ -982,6 +991,43 @@ impl<'r, 'a> SeqCursor<'r, 'a> {
     #[inline]
     pub fn next_value<T: Wire>(&mut self) -> Option<Result<T, WireError>> {
         self.next_with(T::decode)
+    }
+
+    /// Decodes up to `out.len()` elements into `out` through `f` — the
+    /// wire-level block primitive for interleaved sequences, mirroring
+    /// [`ColKeys::next_block`] for consumers that hold the cursor
+    /// directly and want a block of decoded views to scan without a
+    /// decode call inside the compare loop. (The engine's streaming
+    /// blocked kernel buffers through its generic element closure
+    /// instead, so it can serve [`SeqWalk`] and cursors alike.)
+    /// Returns the number decoded (`0` once the sequence is exhausted;
+    /// the final call yields the remainder tail). Slots past the
+    /// returned count are left untouched.
+    ///
+    /// An element decode error poisons the cursor exactly as
+    /// [`SeqCursor::next_with`] does, and no partially decoded block is
+    /// exposed: the error is returned instead of a count.
+    pub fn next_block_with<T>(
+        &mut self,
+        out: &mut [Option<T>],
+        mut f: impl FnMut(&mut WireReader<'a>) -> Result<T, WireError>,
+    ) -> Result<usize, WireError> {
+        if self.poisoned {
+            return Ok(0);
+        }
+        let take = out.len().min(self.remaining);
+        for slot in out.iter_mut().take(take) {
+            match f(self.r) {
+                Ok(v) => *slot = Some(v),
+                Err(e) => {
+                    self.poisoned = true;
+                    self.remaining = 0;
+                    return Err(e);
+                }
+            }
+            self.remaining -= 1;
+        }
+        Ok(take)
     }
 
     /// Skips every unconsumed element (cheap bounds-only walk), leaving
@@ -1396,6 +1442,99 @@ impl ColKeys<'_> {
     }
 }
 
+/// Number of key pairs one [`ColKeys::next_block`] call decodes (the
+/// final block of a frame is the remainder tail, `frame len %
+/// KEY_BLOCK_LEN` elements long).
+///
+/// 32 keeps a [`KeyBlock`] (two `u64` arrays) at 512 bytes — small
+/// enough to live in L1 beside the merge target, big enough that the
+/// varint-decode loop and the compare loop amortize their setup.
+pub const KEY_BLOCK_LEN: usize = 32;
+
+/// One decoded run of a columnar frame's key columns: fixed-size stack
+/// arrays a blocked intersection kernel can scan with branch-light
+/// compares, no per-element decode call in the compare loop.
+///
+/// Filled by [`ColKeys::next_block`]; only the prefix `..len` is valid
+/// (`len == KEY_BLOCK_LEN` for every block except a frame's remainder
+/// tail). Element `i` of the block is batch element `base + i` — the
+/// index to hand to [`ColMetas::get`] on a match.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyBlock {
+    /// Vertex ids (first key column).
+    pub v: [u64; KEY_BLOCK_LEN],
+    /// Delta-decoded degrees (second key column).
+    pub degree: [u64; KEY_BLOCK_LEN],
+    /// Batch index of block element 0.
+    pub base: usize,
+    /// Valid prefix length (0 only for a never-filled block).
+    pub len: usize,
+}
+
+impl KeyBlock {
+    /// An empty block, ready to pass to [`ColKeys::next_block`].
+    pub const fn new() -> Self {
+        KeyBlock {
+            v: [0; KEY_BLOCK_LEN],
+            degree: [0; KEY_BLOCK_LEN],
+            base: 0,
+            len: 0,
+        }
+    }
+}
+
+impl Default for KeyBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ColKeys<'_> {
+    /// Decodes the next up-to-[`KEY_BLOCK_LEN`] key pairs into `block`
+    /// — the bulk mirror of [`ColKeys::next_key`], separating the
+    /// varint-decode loop from the caller's compare loop so the
+    /// compares run over contiguous stack arrays. Returns `None` once
+    /// the walk is exhausted.
+    ///
+    /// The contract matches the scalar walk exactly: the block that
+    /// consumes the final element also enforces the key columns' byte
+    /// budget (trailing bytes are corruption, not slack), and any error
+    /// exhausts the walk and leaves `block.len == 0` — a partially
+    /// decoded block is never exposed.
+    pub fn next_block(&mut self, block: &mut KeyBlock) -> Option<Result<(), WireError>> {
+        if self.idx == self.n {
+            return None;
+        }
+        block.base = self.idx;
+        block.len = 0;
+        let take = KEY_BLOCK_LEN.min(self.n - self.idx);
+        let out = (|| {
+            for i in 0..take {
+                block.v[i] = self.v.take_varint()?;
+                block.degree[i] = if self.idx + i == 0 {
+                    self.d.take_varint()?
+                } else {
+                    self.prev
+                        .wrapping_add(zigzag_decode(self.d.take_varint()?) as u64)
+                };
+                self.prev = block.degree[i];
+            }
+            if self.idx + take == self.n && (!self.v.is_empty() || !self.d.is_empty()) {
+                return Err(WireError::InvalidValue("columnar byte budget mismatch"));
+            }
+            Ok(())
+        })();
+        match out {
+            Ok(()) => {
+                self.idx += take;
+                block.len = take;
+            }
+            Err(_) => self.idx = self.n,
+        }
+        Some(out)
+    }
+}
+
 impl Iterator for ColKeys<'_> {
     type Item = Result<ColKey, WireError>;
     #[inline]
@@ -1422,6 +1561,9 @@ pub struct ColMetas<'a, T> {
     r: WireReader<'a>,
     pos: usize,
     n: usize,
+    /// Set once an element skip/decode fails: the reader is stranded
+    /// mid-element, so no later index can be located reliably.
+    poisoned: bool,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
@@ -1432,7 +1574,17 @@ impl<T: Wire> ColMetas<'_, T> {
     /// bytes are corruption, not slack); budgets of elements *behind*
     /// an early exit are never walked — that is the laziness contract
     /// (see the type docs).
+    ///
+    /// An element skip/decode error **poisons** the reader — it is
+    /// stranded mid-element, so a later request reports the corruption
+    /// instead of decoding from a misaligned offset (the same
+    /// convention as [`SeqCursor`] and [`ColKeys`] poisoning).
     pub fn get(&mut self, idx: usize) -> Result<T, WireError> {
+        if self.poisoned {
+            return Err(WireError::InvalidValue(
+                "meta column poisoned by an element decode error",
+            ));
+        }
         if idx >= self.n {
             return Err(WireError::InvalidValue("meta column index out of range"));
         }
@@ -1441,16 +1593,22 @@ impl<T: Wire> ColMetas<'_, T> {
                 "meta column indices must be requested in increasing order",
             ));
         }
-        while self.pos < idx {
-            T::skip(&mut self.r)?;
+        let out = (|| {
+            while self.pos < idx {
+                T::skip(&mut self.r)?;
+                self.pos += 1;
+            }
             self.pos += 1;
+            let out = T::decode(&mut self.r)?;
+            if self.pos == self.n && !self.r.is_empty() {
+                return Err(WireError::InvalidValue("columnar byte budget mismatch"));
+            }
+            Ok(out)
+        })();
+        if out.is_err() {
+            self.poisoned = true;
         }
-        self.pos += 1;
-        let out = T::decode(&mut self.r)?;
-        if self.pos == self.n && !self.r.is_empty() {
-            return Err(WireError::InvalidValue("columnar byte budget mismatch"));
-        }
-        Ok(out)
+        out
     }
 }
 
@@ -1490,6 +1648,7 @@ impl<'a, T: Wire> ColCursor<'a, T> {
                 r: WireReader::new(mcol),
                 pos: 0,
                 n,
+                poisoned: false,
                 _marker: std::marker::PhantomData,
             },
         }
@@ -2293,6 +2452,227 @@ mod tests {
         let mut cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).unwrap();
         assert!(cur.keys.next_key().unwrap().is_err());
         assert!(cur.keys.next_key().is_none(), "errored walk is exhausted");
+    }
+
+    /// The scalar key walk is the oracle for the block walk: every
+    /// frame length — in particular a remainder tail of every length
+    /// `0..KEY_BLOCK_LEN` — must yield the same keys in the same order,
+    /// in runs of `KEY_BLOCK_LEN` plus one tail.
+    #[test]
+    fn key_blocks_match_scalar_walk_for_every_tail_length() {
+        for n in 0..=(2 * KEY_BLOCK_LEN + 3) {
+            let batch = ColBatch::<u64>(
+                (0..n as u64)
+                    .map(|i| (hashish(i), 100 + i * 3, i ^ 0x5a))
+                    .collect(),
+            );
+            let bytes = to_bytes(&batch);
+            // Scalar oracle walk.
+            let mut r = WireReader::new(&bytes);
+            let mut cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).unwrap();
+            let scalar: Vec<ColKey> = (&mut cur.keys).map(|k| k.unwrap()).collect();
+            // Block walk.
+            let mut r = WireReader::new(&bytes);
+            let mut cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).unwrap();
+            let mut block = KeyBlock::new();
+            let mut blocked = Vec::new();
+            let mut lens = Vec::new();
+            while let Some(res) = cur.keys.next_block(&mut block) {
+                res.unwrap();
+                lens.push(block.len);
+                assert_eq!(block.base, blocked.len(), "n={n}");
+                for i in 0..block.len {
+                    blocked.push(ColKey {
+                        idx: block.base + i,
+                        v: block.v[i],
+                        degree: block.degree[i],
+                    });
+                }
+            }
+            assert_eq!(blocked, scalar, "n={n}");
+            // Full blocks followed by exactly one remainder tail.
+            let full = n / KEY_BLOCK_LEN;
+            let tail = n % KEY_BLOCK_LEN;
+            let mut want = vec![KEY_BLOCK_LEN; full];
+            if tail > 0 {
+                want.push(tail);
+            }
+            assert_eq!(lens, want, "n={n}");
+            assert_eq!(cur.keys.remaining(), 0, "n={n}");
+            assert!(cur.keys.next_block(&mut block).is_none(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn truncated_key_block_errors_without_exposing_partial_data() {
+        // n = 5 but the vertex column's 5 bytes hold only 3 varints
+        // (two 2-byte encodings): the capture's byte floor passes, so
+        // the corruption must surface mid-block — with the walk
+        // exhausted and no partially decoded block exposed.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 5); // n
+        put_varint(&mut buf, 5); // vertex column: 5 bytes...
+        buf.extend_from_slice(&[0x80, 0x01, 0x80, 0x01, 0x01]); // ...3 varints
+        write_delta_col(&mut buf, (0..5u64).map(|i| 10 + i));
+        write_meta_col(&mut buf, |s| {
+            for i in 0..5u64 {
+                i.encode(s);
+            }
+        });
+        let mut r = WireReader::new(&buf);
+        let mut cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).unwrap();
+        let mut block = KeyBlock::new();
+        assert!(matches!(
+            cur.keys.next_block(&mut block),
+            Some(Err(WireError::UnexpectedEof { .. }))
+        ));
+        assert_eq!(block.len, 0, "partial block must not be exposed");
+        assert!(cur.keys.next_block(&mut block).is_none(), "walk exhausted");
+        assert!(cur.keys.next_key().is_none(), "scalar walk exhausted too");
+        // The owned reference decode rejects the same frame.
+        assert!(from_bytes::<ColBatch<u64>>(&buf).is_err());
+    }
+
+    #[test]
+    fn key_block_enforces_byte_budget_on_final_block() {
+        // Key columns longer than the element count are corruption the
+        // block walk must catch exactly where the scalar walk does: on
+        // the block that consumes the final element.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1); // n = 1
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[1, 1]); // vertex col: TWO varints
+        write_delta_col(&mut buf, [5u64].into_iter());
+        write_meta_col(&mut buf, |s| 3u64.encode(s));
+        let mut r = WireReader::new(&buf);
+        let mut cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).unwrap();
+        let mut block = KeyBlock::new();
+        assert_eq!(
+            cur.keys.next_block(&mut block),
+            Some(Err(WireError::InvalidValue(
+                "columnar byte budget mismatch"
+            )))
+        );
+        assert_eq!(block.len, 0);
+        assert!(cur.keys.next_block(&mut block).is_none());
+        // A multi-block frame reports the smuggled bytes on its final
+        // block, not before.
+        let n = KEY_BLOCK_LEN as u64 + 7;
+        let mut buf = Vec::new();
+        put_varint(&mut buf, n);
+        {
+            // Vertex column with one trailing extra varint.
+            let vals: Vec<u64> = (0..=n).collect();
+            let bytes: usize = vals.iter().map(|&v| varint_len(v)).sum();
+            put_varint(&mut buf, bytes as u64);
+            for v in vals {
+                put_varint(&mut buf, v);
+            }
+        }
+        write_delta_col(&mut buf, (0..n).map(|i| 50 + i));
+        write_meta_col(&mut buf, |s| {
+            for i in 0..n {
+                i.encode(s);
+            }
+        });
+        let mut r = WireReader::new(&buf);
+        let mut cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).unwrap();
+        let mut block = KeyBlock::new();
+        assert_eq!(cur.keys.next_block(&mut block), Some(Ok(())));
+        assert_eq!(block.len, KEY_BLOCK_LEN, "first block is clean");
+        assert_eq!(
+            cur.keys.next_block(&mut block),
+            Some(Err(WireError::InvalidValue(
+                "columnar byte budget mismatch"
+            )))
+        );
+        assert!(cur.keys.next_block(&mut block).is_none());
+    }
+
+    #[test]
+    fn meta_column_poisons_after_an_element_decode_error() {
+        // n = 2; the meta column's bytes are a valid budget but the
+        // first element is an over-long varint. The first get must
+        // error, and a later get must report the poisoning instead of
+        // decoding from the stranded mid-element offset.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2); // n
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[1, 2]); // vertex col
+        write_delta_col(&mut buf, [5u64, 6].into_iter());
+        put_varint(&mut buf, 12); // meta col: 11 continuation bytes + 1
+        buf.extend_from_slice(&[0xff; 11]);
+        buf.push(1);
+        let mut r = WireReader::new(&buf);
+        let mut cur: ColCursor<'_, u64> = ColCursor::begin(&mut r).unwrap();
+        assert_eq!(cur.metas.get(0), Err(WireError::VarintOverflow));
+        assert_eq!(
+            cur.metas.get(1),
+            Err(WireError::InvalidValue(
+                "meta column poisoned by an element decode error"
+            ))
+        );
+    }
+
+    #[test]
+    fn hostile_frame_rejected_before_any_block_is_materialized() {
+        // A hostile element count or column byte-length prefix must
+        // fail at capture ([`SeqOverrun`]), before `next_block` can
+        // even be called — no block-sized buffer is ever filled from a
+        // frame that failed validation.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1u64 << 60); // n beyond the buffer
+        buf.extend_from_slice(&[0, 0, 0]);
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            ColCursor::<u64>::begin(&mut r),
+            Err(WireError::SeqOverrun { .. })
+        ));
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2); // n = 2
+        put_varint(&mut buf, 1u64 << 50); // hostile vertex-column bytes
+        buf.push(1);
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            ColCursor::<u64>::begin(&mut r),
+            Err(WireError::SeqOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn seq_cursor_block_decode_matches_scalar_and_poisons() {
+        // Interleaved mirror: next_block_with yields the same elements
+        // as next_with, in runs of the block size plus a remainder.
+        let owned: Vec<(u64, u64)> = (0..45u64).map(|i| (hashish(i), i)).collect();
+        let bytes = to_bytes(&owned);
+        let mut r = WireReader::new(&bytes);
+        let mut cur = SeqCursor::begin_typed::<(u64, u64)>(&mut r).unwrap();
+        let mut got = Vec::new();
+        loop {
+            let mut block: [Option<(u64, u64)>; 16] = [None; 16];
+            let k = cur
+                .next_block_with(&mut block, <(u64, u64)>::decode)
+                .unwrap();
+            if k == 0 {
+                break;
+            }
+            assert!(k == 16 || cur.is_empty(), "only the tail is short");
+            got.extend(block[..k].iter().map(|s| s.unwrap()));
+        }
+        assert_eq!(got, owned);
+        assert!(r.is_empty(), "block walk consumed the exact extent");
+        // An element error poisons the cursor: further block reads
+        // yield zero and skip_rest refuses.
+        let mut bad = Vec::new();
+        put_varint(&mut bad, 3);
+        bad.push(1); // element 0 ok
+        bad.extend_from_slice(&[0xff; 11]); // element 1: varint overflow
+        let mut r = WireReader::new(&bad);
+        let mut cur = SeqCursor::begin_typed::<u64>(&mut r).unwrap();
+        let mut block: [Option<u64>; 4] = [None; 4];
+        assert!(cur.next_block_with(&mut block, u64::decode).is_err());
+        assert_eq!(cur.next_block_with(&mut block, u64::decode), Ok(0));
+        assert!(cur.skip_rest::<u64>().is_err(), "poisoned framing");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::rc::Rc;
 use proptest::prelude::*;
 use tripoll::core::{
     survey_push_only_with, survey_push_pull_with, BatchLayout, DecodePath, EngineMode,
-    SurveyConfig, SurveyReport,
+    IntersectKernel, SurveyConfig, SurveyReport,
 };
 use tripoll::gen::table4_suite;
 use tripoll::graph::{build_dist_graph, EdgeList, Partition};
@@ -27,23 +27,29 @@ use tripoll::prelude::DatasetSize;
 use tripoll::ygm::hash::hash64;
 use tripoll::ygm::World;
 
-/// Every configuration cell, production default first.
+/// Every layout×decode cell, production default first (all under the
+/// default auto-selected kernel; the kernel axis has its own
+/// differential suite in `tests/kernels.rs`).
 const MATRIX: [SurveyConfig; 4] = [
     SurveyConfig {
         layout: BatchLayout::Columnar,
         decode: DecodePath::Cursor,
+        kernel: IntersectKernel::Auto,
     },
     SurveyConfig {
         layout: BatchLayout::Columnar,
         decode: DecodePath::Owned,
+        kernel: IntersectKernel::Auto,
     },
     SurveyConfig {
         layout: BatchLayout::Interleaved,
         decode: DecodePath::Cursor,
+        kernel: IntersectKernel::Auto,
     },
     SurveyConfig {
         layout: BatchLayout::Interleaved,
         decode: DecodePath::Owned,
+        kernel: IntersectKernel::Auto,
     },
 ];
 

@@ -1,0 +1,383 @@
+//! Differential tests of the intersection-kernel layer.
+//!
+//! The kernel ([`IntersectKernel`]) is the third engine dimension next
+//! to [`BatchLayout`] and [`DecodePath`], and its contract is strict:
+//! every kernel emits the **identical match sequence** — same pairs,
+//! same callback order — as the scalar merge oracle, on every layout,
+//! decode path, engine and rank count. Two layers of evidence:
+//!
+//! * **Survey matrix** — full kernel × layout × decode × engine ×
+//!   {1,2,4,7}-rank surveys on string-metadata graphs: triangle
+//!   counts, metadata checksums and the kernels' deterministic match
+//!   counters must all agree with the `MergeScalar` oracle run.
+//! * **Kernel fuzz** — the kernels run directly (no engines) over
+//!   random sorted lists and adversarial shapes (empty sides,
+//!   all-equal keys, hub-scale 1000:1 skew, near-miss off-by-one
+//!   keys), on slices, on columnar frames ([`intersect_col`], which
+//!   exercises the `ColKeys` block decode) and on streams, asserting
+//!   the exact ordered match set of [`merge_path`].
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use tripoll::core::{
+    intersect_col, intersect_slices, intersect_stream, kernel_stats, kernel_stats_take, merge_path,
+    survey_push_only_with, survey_push_pull_with, BatchLayout, DecodePath, EngineMode,
+    IntersectKernel, SurveyConfig,
+};
+use tripoll::graph::{build_dist_graph, EdgeList, OrderKey, Partition};
+use tripoll::ygm::hash::hash64;
+use tripoll::ygm::wire::{to_bytes, ColBatch, ColCursor, WireReader};
+use tripoll::ygm::World;
+
+const KERNELS: [IntersectKernel; 4] = [
+    IntersectKernel::MergeScalar,
+    IntersectKernel::Gallop,
+    IntersectKernel::BlockedMerge,
+    IntersectKernel::Auto,
+];
+
+const LAYOUT_DECODE: [(BatchLayout, DecodePath); 4] = [
+    (BatchLayout::Columnar, DecodePath::Cursor),
+    (BatchLayout::Columnar, DecodePath::Owned),
+    (BatchLayout::Interleaved, DecodePath::Cursor),
+    (BatchLayout::Interleaved, DecodePath::Owned),
+];
+
+// ------------------------------------------------------------------
+// Survey-level matrix
+// ------------------------------------------------------------------
+
+/// One run's observable outcome per rank: global triangle count,
+/// global metadata checksum, and the global kernel counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Outcome {
+    count: u64,
+    checksum: u64,
+    compares: u64,
+    candidates: u64,
+    matches: u64,
+}
+
+/// Runs one survey with string metadata, folding all six metadata
+/// values of every triangle into the checksum and harvesting each
+/// rank's kernel counters after the run.
+fn run_survey(
+    list: &EdgeList<String>,
+    nranks: usize,
+    mode: EngineMode,
+    config: SurveyConfig,
+) -> Vec<Outcome> {
+    World::new(nranks).run(|comm| {
+        let local = list.stride_for_rank(comm.rank(), comm.nranks());
+        let g = build_dist_graph(comm, local, |v| format!("v{v}"), Partition::Hashed);
+        let _ = kernel_stats_take(); // fresh counters for this rank
+        let count = Rc::new(Cell::new(0u64));
+        let sum = Rc::new(Cell::new(0u64));
+        let (c2, s2) = (count.clone(), sum.clone());
+        let cb = move |_c: &tripoll::ygm::Comm,
+                       tm: &tripoll::core::TriangleMeta<'_, String, String>| {
+            c2.set(c2.get() + 1);
+            let mut h = hash64(tm.p) ^ hash64(tm.q).rotate_left(1) ^ hash64(tm.r).rotate_left(2);
+            for (i, m) in [
+                tm.meta_p, tm.meta_q, tm.meta_r, tm.meta_pq, tm.meta_pr, tm.meta_qr,
+            ]
+            .iter()
+            .enumerate()
+            {
+                for b in m.bytes() {
+                    h = h.rotate_left(7) ^ hash64(u64::from(b) + i as u64);
+                }
+            }
+            s2.set(s2.get() + (h & 0xffff_ffff));
+        };
+        match mode {
+            EngineMode::PushOnly => survey_push_only_with(comm, &g, config, cb),
+            EngineMode::PushPull => survey_push_pull_with(comm, &g, config, cb),
+        };
+        let ks = kernel_stats_take();
+        Outcome {
+            count: comm.all_reduce_sum(count.get()),
+            checksum: comm.all_reduce_sum(sum.get()),
+            compares: comm.all_reduce_sum(ks.compares),
+            candidates: comm.all_reduce_sum(ks.candidates),
+            matches: comm.all_reduce_sum(ks.matches),
+        }
+    })
+}
+
+fn labeled(edges: Vec<(u64, u64)>) -> EdgeList<String> {
+    EdgeList::from_vec(
+        edges
+            .into_iter()
+            .map(|(u, v)| (u, v, format!("e{}-{}", u.min(v), u.max(v))))
+            .collect(),
+    )
+}
+
+/// A deterministic dense-ish random graph (the general case).
+fn random_graph() -> EdgeList<String> {
+    let mut edges = Vec::new();
+    for u in 0..32u64 {
+        for v in (u + 1)..32 {
+            if (u * 7919 + v * 104_729) % 4 == 0 {
+                edges.push((u, v));
+            }
+        }
+    }
+    labeled(edges)
+}
+
+/// The shared-hub construction that forces the Push-Pull pull phase to
+/// carry triangles (the re-walked `ColView`/`SeqView` kernel sites)
+/// and yields skewed intersections for the heuristic.
+fn hub_graph() -> EdgeList<String> {
+    let k = 24u64;
+    let (h1, h2) = (1000, 1001);
+    let mut edges = vec![(h1, h2)];
+    for sv in 0..k {
+        edges.push((sv, h1));
+        edges.push((sv, h2));
+    }
+    labeled(edges)
+}
+
+/// The full matrix: kernel × layout × decode × engine × {1,2,4,7}
+/// ranks, with `MergeScalar` on each layout/decode cell as the oracle.
+/// Counts, checksums and the kernels' match counters must agree
+/// everywhere.
+#[test]
+fn kernel_matrix_agrees_with_the_scalar_oracle() {
+    for (gname, list) in [("random", random_graph()), ("hub", hub_graph())] {
+        for nranks in [1usize, 2, 4, 7] {
+            for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+                let oracle = run_survey(
+                    &list,
+                    nranks,
+                    mode,
+                    SurveyConfig::default().with_kernel(IntersectKernel::MergeScalar),
+                );
+                assert!(oracle[0].count > 0, "{gname} must contain triangles");
+                for (layout, decode) in LAYOUT_DECODE {
+                    for kernel in KERNELS {
+                        let config = SurveyConfig {
+                            layout,
+                            decode,
+                            kernel,
+                        };
+                        let runs = run_survey(&list, nranks, mode, config);
+                        for (rank, (o, r)) in runs.iter().zip(oracle.iter()).enumerate() {
+                            let ctx =
+                                format!("{gname} {mode} n={nranks} {layout} {decode:?} {kernel} rank {rank}");
+                            assert_eq!(o.count, r.count, "triangle count [{ctx}]");
+                            assert_eq!(o.checksum, r.checksum, "metadata checksum [{ctx}]");
+                            // Kernel-layer cross-check: every kernel
+                            // emits exactly the oracle's match set, and
+                            // each match is one triangle callback.
+                            assert_eq!(o.matches, r.matches, "kernel match counter [{ctx}]");
+                            assert_eq!(o.matches, o.count, "matches are triangles [{ctx}]");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The kernel counters are deterministic: the same configuration on
+/// the same graph yields bit-identical tallies, run to run.
+#[test]
+fn kernel_counters_are_deterministic() {
+    let list = hub_graph();
+    for kernel in KERNELS {
+        let config = SurveyConfig::default().with_kernel(kernel);
+        let a = run_survey(&list, 4, EngineMode::PushPull, config);
+        let b = run_survey(&list, 4, EngineMode::PushPull, config);
+        assert_eq!(a, b, "kernel {kernel} counters must be reproducible");
+        assert!(
+            a[0].compares > 0 && a[0].candidates > 0,
+            "kernel {kernel} ran"
+        );
+    }
+}
+
+// ------------------------------------------------------------------
+// Kernel-level fuzz harness (no engines)
+// ------------------------------------------------------------------
+
+/// Builds `<+`-sorted entries from raw values: degree = value (so key
+/// order follows value order, with hash ties only between duplicates)
+/// and the entry's original position as payload.
+fn entries(vals: &[u64]) -> Vec<(u64, OrderKey)> {
+    let mut out: Vec<(u64, OrderKey)> = vals.iter().map(|&v| (v, OrderKey::new(v, v))).collect();
+    out.sort_by_key(|e| e.1);
+    out
+}
+
+/// Ordered match list of the `merge_path` oracle over two entry lists.
+fn oracle_matches(left: &[(u64, OrderKey)], right: &[(u64, OrderKey)]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    merge_path(left, right, |l| l.1, |r| r.1, |l, r| out.push((l.0, r.0)));
+    out
+}
+
+/// Asserts every kernel reproduces the oracle's ordered match list on
+/// all three kernel entry points: slices, the columnar frame walk
+/// (which exercises the `ColKeys` block decode under `BlockedMerge`),
+/// and the generic stream.
+fn assert_kernels_match(left_vals: &[u64], right_vals: &[u64], ctx: &str) {
+    let left = entries(left_vals);
+    let right = entries(right_vals);
+    let oracle = oracle_matches(&left, &right);
+
+    // Columnar frame of the left side: metadata is the left position,
+    // so ColKey.idx mapping is verified on every match.
+    let frame = to_bytes(&ColBatch::<u64>(
+        left.iter()
+            .enumerate()
+            .map(|(i, e)| (e.0, e.1.degree, i as u64))
+            .collect(),
+    ));
+
+    for kernel in KERNELS {
+        // Slices.
+        let mut got = Vec::new();
+        intersect_slices(
+            kernel,
+            &left,
+            &right,
+            |l| l.1,
+            |r| r.1,
+            |l, r| {
+                got.push((l.0, r.0));
+            },
+        );
+        assert_eq!(got, oracle, "slices, kernel {kernel} [{ctx}]");
+
+        // Columnar frame.
+        let mut r = WireReader::new(&frame);
+        let ColCursor {
+            mut keys,
+            mut metas,
+        }: ColCursor<'_, u64> = ColCursor::begin(&mut r).expect("frame");
+        let mut got = Vec::new();
+        intersect_col(
+            kernel,
+            &mut keys,
+            &right,
+            |e| e.1,
+            |k, e| {
+                assert_eq!(metas.get(k.idx)?, k.idx as u64, "meta idx mapping [{ctx}]");
+                got.push((k.v, e.0));
+                Ok(())
+            },
+        )
+        .expect("columnar intersect");
+        assert_eq!(got, oracle, "columnar, kernel {kernel} [{ctx}]");
+
+        // Stream.
+        let mut it = left.iter();
+        let mut got = Vec::new();
+        intersect_stream(
+            kernel,
+            left.len(),
+            || it.next().map(|l| Ok::<_, ()>(*l)),
+            &right,
+            |l| l.1,
+            |r| r.1,
+            |l, r| {
+                got.push((l.0, r.0));
+                Ok(())
+            },
+        )
+        .expect("stream intersect");
+        assert_eq!(got, oracle, "stream, kernel {kernel} [{ctx}]");
+    }
+}
+
+#[test]
+fn adversarial_shapes_match_the_oracle() {
+    // Empty sides.
+    assert_kernels_match(&[], &[], "both empty");
+    assert_kernels_match(&[1, 2, 3], &[], "right empty");
+    assert_kernels_match(&[], &[1, 2, 3], "left empty");
+    // All-equal keys (duplicate keys on one or both sides).
+    assert_kernels_match(&[7; 40], &[7; 40], "all equal both");
+    assert_kernels_match(&[7; 100], &[7], "all equal, singleton right");
+    assert_kernels_match(&[7], &[7; 100], "all equal, singleton left");
+    // Hub-scale 1000:1 skew with sprinkled matches.
+    let big: Vec<u64> = (0..16_000u64).collect();
+    let small: Vec<u64> = (0..16u64).map(|i| i * 1000 + 1).collect();
+    assert_kernels_match(&small, &big, "1000:1 small left");
+    assert_kernels_match(&big, &small, "1000:1 small right");
+    // Near-miss off-by-one keys: interleaved, zero matches.
+    let evens: Vec<u64> = (0..200u64).map(|i| i * 2).collect();
+    let odds: Vec<u64> = (0..200u64).map(|i| i * 2 + 1).collect();
+    assert_kernels_match(&evens, &odds, "off-by-one disjoint");
+    // Off-by-one with a single aligned key in the middle.
+    let mut nearly = odds.clone();
+    nearly[100] = 200;
+    assert_kernels_match(&evens, &nearly, "off-by-one single match");
+    // Block-boundary shapes around KEY_BLOCK_LEN (32).
+    for n in [31u64, 32, 33, 63, 64, 65] {
+        let l: Vec<u64> = (0..n).collect();
+        let r: Vec<u64> = (0..n).filter(|v| v % 3 == 0).collect();
+        assert_kernels_match(&l, &r, &format!("block boundary n={n}"));
+    }
+}
+
+/// At hub-scale skew the gallop kernel must do strictly fewer compares
+/// than the scalar merge — the deterministic inequality the Auto
+/// heuristic banks on (and the bench gate tracks).
+#[test]
+fn gallop_beats_scalar_compares_at_heavy_skew() {
+    let small = entries(&(0..16u64).map(|i| i * 1000 + 1).collect::<Vec<_>>());
+    let big = entries(&(0..16_000u64).collect::<Vec<_>>());
+    let tally = |kernel| {
+        let _ = kernel_stats_take();
+        intersect_slices(kernel, &small, &big, |l| l.1, |r| r.1, |_, _| {});
+        kernel_stats_take().compares
+    };
+    let scalar = tally(IntersectKernel::MergeScalar);
+    let gallop = tally(IntersectKernel::Gallop);
+    let auto = tally(IntersectKernel::Auto);
+    assert!(
+        gallop * 10 < scalar,
+        "gallop ({gallop}) must be far under scalar ({scalar}) at 1000:1"
+    );
+    assert_eq!(auto, gallop, "Auto resolves to Gallop at this skew");
+    // And the dispatch counters say so.
+    let _ = kernel_stats_take();
+    intersect_slices(
+        IntersectKernel::Auto,
+        &small,
+        &big,
+        |l| l.1,
+        |r| r.1,
+        |_, _| {},
+    );
+    let s = kernel_stats();
+    assert_eq!((s.gallop_runs, s.scalar_runs, s.blocked_runs), (1, 0, 0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Random sorted `u64` lists with random skew: gallop and blocked
+    /// must emit the exact ordered match set of `merge_path` on every
+    /// kernel entry point.
+    #[test]
+    fn kernels_emit_identical_matches_on_random_lists(
+        lv in proptest::collection::vec(0u64..800, 0..160),
+        rv in proptest::collection::vec(0u64..800, 0..160),
+        skew in 0usize..3,
+    ) {
+        // Skew 1/2 shrink one side hard so the Auto heuristic flips.
+        let (lv, rv): (Vec<u64>, Vec<u64>) = match skew {
+            1 => (lv.into_iter().take(3).collect(), rv),
+            2 => (lv, rv.into_iter().take(3).collect()),
+            _ => (lv, rv),
+        };
+        assert_kernels_match(&lv, &rv, &format!("proptest skew={skew}"));
+    }
+}
