@@ -6,13 +6,14 @@
 //! instrumented survey run.
 //!
 //! Besides the human-readable lines, the harness writes
-//! `BENCH_micro.json` (schema `tripoll-bench-micro/v4`) so successive
+//! `BENCH_micro.json` (schema `tripoll-bench-micro/v5`) so successive
 //! PRs can track the perf trajectory mechanically: kernel ns/iter,
 //! bytes sent, envelope counts, allocation-count proxies for the push
 //! (encode) and recv (decode) paths, the intersection-kernel
-//! comparison (scalar vs gallop vs blocked at four degree skews, with
-//! deterministic compare counters), and wall time. CI diffs the recv
-//! allocation proxies, columnar bytes/candidate and the Auto kernel's
+//! comparison (scalar vs gallop vs blocked vs simd at four degree
+//! skews, with deterministic compare counters), the SWAR varint-crack
+//! ns/key proxy, and wall time. CI diffs the recv allocation proxies,
+//! columnar bytes/candidate and the Auto and Simd kernels'
 //! compares/candidate against the committed baseline (`bench_diff`).
 
 use criterion::{criterion_group, BatchSize, Criterion, Throughput};
@@ -704,11 +705,12 @@ const KERNEL_ITERS: usize = 64;
 /// Head-to-head of the intersection kernels over a real columnar frame
 /// (the production shape: keys decoded off the wire, right side in
 /// storage, metadata decoded on match only) at four degree skews (balanced, 10:1, 1000:1 and its reverse).
-/// The compare counters are deterministic — CI gates the Auto kernel's
-/// compares-per-candidate — while ns/candidate is context.
-fn compare_intersect_kernels() -> (Vec<SkewRun>, f64) {
+/// The compare counters are deterministic — CI gates the Auto and Simd
+/// kernels' compares-per-candidate — while ns/candidate is context.
+fn compare_intersect_kernels() -> (Vec<SkewRun>, f64, f64) {
     let mut skews = Vec::new();
     let (mut auto_compares, mut auto_candidates) = (0u64, 0u64);
+    let (mut simd_compares, mut simd_candidates) = (0u64, 0u64);
     for (name, left_n, right_n) in [
         ("balanced", 4096usize, 4096usize),
         ("skew_10_1", 512, 5120),
@@ -753,6 +755,7 @@ fn compare_intersect_kernels() -> (Vec<SkewRun>, f64) {
             ("scalar", IntersectKernel::MergeScalar),
             ("gallop", IntersectKernel::Gallop),
             ("blocked", IntersectKernel::BlockedMerge),
+            ("simd", IntersectKernel::Simd),
             ("auto", IntersectKernel::Auto),
         ] {
             let one_pass = |acc: &mut u64, matches: &mut u64| {
@@ -795,6 +798,10 @@ fn compare_intersect_kernels() -> (Vec<SkewRun>, f64) {
             if kernel == IntersectKernel::Auto {
                 auto_compares += ks.compares;
                 auto_candidates += candidates;
+            }
+            if kernel == IntersectKernel::Simd {
+                simd_compares += ks.compares;
+                simd_candidates += candidates;
             }
             runs.push(KernelRun {
                 name: kname,
@@ -844,7 +851,146 @@ fn compare_intersect_kernels() -> (Vec<SkewRun>, f64) {
             );
         }
     }
-    (skews, auto_compares as f64 / auto_candidates as f64)
+    // The PR-5 claim: the SIMD kernel's packed lane skips should beat
+    // the scalar blocked merge at the shapes where in-block skipping
+    // dominates (balanced and the reverse skew). Wall noise is real on
+    // CI boxes, so this warns rather than gates — the deterministic
+    // backstop is the varint-crack ns/key proxy and the gated compare
+    // counters.
+    for shape in ["balanced", "skew_1_1000"] {
+        if let Some(s) = skews.iter().find(|s| s.name == shape) {
+            let ns_of = |n: &str| {
+                s.runs
+                    .iter()
+                    .find(|r| r.name == n)
+                    .map(|r| r.ns_per_candidate)
+            };
+            let (simd, blocked) = (ns_of("simd").unwrap(), ns_of("blocked").unwrap());
+            if simd >= blocked {
+                println!(
+                    "WARNING: simd ({simd:.2}) did not beat blocked ({blocked:.2}) \
+                     ns/candidate at {shape}"
+                );
+            }
+        }
+    }
+    (
+        skews,
+        auto_compares as f64 / auto_candidates as f64,
+        simd_compares as f64 / simd_candidates as f64,
+    )
+}
+
+/// Keys decoded per varint-crack measurement pass.
+const CRACK_KEYS: usize = 1 << 16;
+
+/// Measurement of the SWAR varint cracker against the per-byte scalar
+/// decode loop it replaced in the block paths.
+struct CrackRun {
+    scalar_ns_per_key: f64,
+    crack_ns_per_key: f64,
+}
+
+/// Head-to-head of block key decoding: the pre-PR per-byte scalar
+/// LEB128 loop vs [`WireReader::take_varints`] (SWAR terminator find +
+/// shift-and-mask lane fold) over the same mixed-width key column —
+/// the deterministic ns/key proxy behind the SIMD/SWAR decode claim.
+fn compare_varint_crack() -> CrackRun {
+    // The vertex-column profile of a massive-scale graph: scrambled
+    // ids whose encoded widths (2–6 bytes) vary unpredictably key to
+    // key — the regime where the per-byte loop pays a mispredicted
+    // continuation branch per key while the cracker's terminator find
+    // is branchless — plus a sprinkle of full-width 64-bit hashes
+    // exercising the 9–10-byte scalar fallback inside the cracked
+    // path.
+    let values: Vec<u64> = (0..CRACK_KEYS as u64)
+        .map(|i| {
+            let h = hash64(i);
+            if i % 32 == 0 {
+                h
+            } else {
+                h >> (24 + (h >> 58) % 5 * 7)
+            }
+        })
+        .collect();
+    let mut col = Vec::new();
+    for &v in &values {
+        put_varint(&mut col, v);
+    }
+    // The reference: the checked per-byte loop `ColKeys::next_block`
+    // used to run — `take_varint`'s pre-cracker body over a
+    // `WireReader`, reproduced faithfully (bounds-checked byte reads,
+    // overflow guards) so the "before" stays measurable after the
+    // production path switched to the cracker.
+    let scalar_pass = |col: &[u8]| -> u64 {
+        let mut r = WireReader::new(col);
+        let mut acc = 0u64;
+        while !r.is_empty() {
+            let mut value = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let byte = r.take_u8().expect("in-bounds varint byte");
+                assert!(shift != 63 || byte <= 1, "varint overflow");
+                value |= u64::from(byte & 0x7f) << shift;
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+                assert!(shift <= 63, "varint overflow");
+            }
+            acc = acc.wrapping_add(value);
+        }
+        acc
+    };
+    let crack_pass = |col: &[u8]| -> u64 {
+        let mut r = WireReader::new(col);
+        let mut block = [0u64; KEY_BLOCK_LEN];
+        let mut acc = 0u64;
+        let mut left = CRACK_KEYS;
+        while left > 0 {
+            let take = left.min(KEY_BLOCK_LEN);
+            r.take_varints(&mut block[..take]).expect("crack decode");
+            for &v in &block[..take] {
+                acc = acc.wrapping_add(v);
+            }
+            left -= take;
+        }
+        acc
+    };
+    assert_eq!(
+        scalar_pass(&col),
+        crack_pass(&col),
+        "decoders disagree on the key column"
+    );
+    const PASSES: usize = 64;
+    let measure = |f: &dyn Fn(&[u8]) -> u64| -> f64 {
+        let _warm = black_box(f(&col));
+        let start = Instant::now();
+        for _ in 0..PASSES {
+            black_box(f(&col));
+        }
+        start.elapsed().as_nanos() as f64 / (PASSES * CRACK_KEYS) as f64
+    };
+    let run = CrackRun {
+        scalar_ns_per_key: measure(&scalar_pass),
+        crack_ns_per_key: measure(&crack_pass),
+    };
+    println!(
+        "varint_crack/scalar_block_decode          {:>12.3} ns/key",
+        run.scalar_ns_per_key
+    );
+    println!(
+        "varint_crack/swar_cracker                 {:>12.3} ns/key  ({:+.1}%)",
+        run.crack_ns_per_key,
+        100.0 * (run.crack_ns_per_key / run.scalar_ns_per_key - 1.0)
+    );
+    if run.crack_ns_per_key >= run.scalar_ns_per_key {
+        println!(
+            "WARNING: the SWAR cracker ({:.3}) did not beat the scalar block decode ({:.3}) ns/key",
+            run.crack_ns_per_key, run.scalar_ns_per_key
+        );
+    }
+    run
 }
 
 /// Synthetic dry-run input: `verts` local vertices, each with `deg`
@@ -999,10 +1145,12 @@ fn write_json(
     dry_new: &PathRun,
     kernel_skews: &[SkewRun],
     kernel_cpc: f64,
+    simd_cpc: f64,
+    crack: &CrackRun,
     surveys: &[SurveyRun],
 ) {
     let mut j = String::from("{\n");
-    j.push_str("  \"schema\": \"tripoll-bench-micro/v4\",\n");
+    j.push_str("  \"schema\": \"tripoll-bench-micro/v5\",\n");
 
     j.push_str("  \"kernels\": [\n");
     for (i, k) in kernels.iter().enumerate() {
@@ -1090,10 +1238,14 @@ fn write_json(
         dry_old.allocs, dry_old.ns, dry_new.allocs, dry_new.ns, dry_reduction
     ));
 
-    // The gated summary (Auto compares/candidate over all skews) leads
-    // the section so the minimal scraper in bench_diff reads it first.
+    // The gated summaries (Auto and Simd compares/candidate over all
+    // skews) lead the section so the minimal scraper in bench_diff
+    // reads them first. Key order matters to that scraper: the bare
+    // `compares_per_candidate` must come before any key containing it
+    // as a suffix would — the per-skew entries use the distinct
+    // `kernel_compares_per_candidate` key for the same reason.
     j.push_str(&format!(
-        "  \"intersect_kernel\": {{\n    \"compares_per_candidate\": {kernel_cpc:.4},\n    \"block_len\": {KEY_BLOCK_LEN},\n    \"iters\": {KERNEL_ITERS},\n    \"skews\": [\n"
+        "  \"intersect_kernel\": {{\n    \"compares_per_candidate\": {kernel_cpc:.4},\n    \"simd_compares_per_candidate\": {simd_cpc:.4},\n    \"block_len\": {KEY_BLOCK_LEN},\n    \"iters\": {KERNEL_ITERS},\n    \"skews\": [\n"
     ));
     for (i, s) in kernel_skews.iter().enumerate() {
         let kernel_obj = |r: &KernelRun| {
@@ -1113,6 +1265,13 @@ fn write_json(
         ));
     }
     j.push_str("    ]\n  },\n");
+
+    j.push_str(&format!(
+        "  \"varint_crack\": {{\n    \"keys\": {CRACK_KEYS},\n    \"scalar_ns_per_key\": {:.3},\n    \"crack_ns_per_key\": {:.3},\n    \"reduction_pct\": {:.1}\n  }},\n",
+        crack.scalar_ns_per_key,
+        crack.crack_ns_per_key,
+        100.0 * (1.0 - crack.crack_ns_per_key / crack.scalar_ns_per_key),
+    ));
 
     j.push_str("  \"surveys\": [\n");
     for (i, s) in surveys.iter().enumerate() {
@@ -1168,7 +1327,8 @@ fn main() {
     let (recv_old, recv_new) = compare_recv_paths();
     let (layout_int, layout_col) = compare_batch_layouts();
     let (dry_old, dry_new) = compare_dry_run_plans();
-    let (kernel_skews, kernel_cpc) = compare_intersect_kernels();
+    let (kernel_skews, kernel_cpc, simd_cpc) = compare_intersect_kernels();
+    let crack = compare_varint_crack();
 
     let mut surveys = Vec::new();
     for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
@@ -1202,6 +1362,8 @@ fn main() {
         &dry_new,
         &kernel_skews,
         kernel_cpc,
+        simd_cpc,
+        &crack,
         &surveys,
     );
 }

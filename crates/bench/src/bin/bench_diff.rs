@@ -25,7 +25,7 @@
 //! counters are deterministic.
 //!
 //! The parser is a minimal scraper for the known
-//! `tripoll-bench-micro/v4` schema (the container vendors no JSON
+//! `tripoll-bench-micro/v5` schema (the container vendors no JSON
 //! crate); a baseline predating a gated section passes with a notice so
 //! a gate can be adopted in the same change that introduces its
 //! section.
@@ -84,11 +84,22 @@ fn columnar_bytes_per_candidate(json: &str) -> Option<f64> {
 
 /// Extracts `intersect_kernel.compares_per_candidate` (the Auto
 /// kernel's deterministic summary, first field of its section; the
-/// per-kernel skew entries use a distinct key so this scrape cannot
-/// drift onto them).
+/// per-kernel skew entries use a distinct key — and the quoted-needle
+/// match keeps `simd_compares_per_candidate` from aliasing — so this
+/// scrape cannot drift onto them).
 fn kernel_compares_per_candidate(json: &str) -> Option<f64> {
     let section = after_key(json, "intersect_kernel")?;
     number_after(section, "compares_per_candidate")
+}
+
+/// Extracts `intersect_kernel.simd_compares_per_candidate` — the SIMD
+/// kernel's deterministic wide-compare count per candidate, summed
+/// over the fixed skew points. Backend-independent by construction
+/// (one compare per probe group whether AVX2, SSE2 or SWAR ran), so
+/// it gates cleanly on heterogeneous CI hardware.
+fn simd_compares_per_candidate(json: &str) -> Option<f64> {
+    let section = after_key(json, "intersect_kernel")?;
+    number_after(section, "simd_compares_per_candidate")
 }
 
 /// One gated metric: compares fresh vs baseline under the shared
@@ -165,6 +176,12 @@ fn main() -> ExitCode {
             kernel_compares_per_candidate(&fresh),
             new_path,
         ),
+        gate(
+            "simd-kernel compares/candidate",
+            simd_compares_per_candidate(&baseline),
+            simd_compares_per_candidate(&fresh),
+            new_path,
+        ),
     ]
     .into_iter()
     .all(|g| g);
@@ -195,6 +212,7 @@ mod tests {
   },
   "intersect_kernel": {
     "compares_per_candidate": 3.75,
+    "simd_compares_per_candidate": 1.25,
     "block_len": 32,
     "skews": [
       {"skew": "balanced", "left": 4096, "right": 4096, "scalar": {"ns_per_candidate": 4.1, "kernel_compares_per_candidate": 2.0, "allocs": 0, "matches_per_iter": 2048}, "auto": {"ns_per_candidate": 3.0, "kernel_compares_per_candidate": 2.1, "allocs": 0, "matches_per_iter": 2048}}
@@ -222,6 +240,19 @@ mod tests {
     fn extracts_kernel_compares() {
         // The section-level summary, not a per-kernel skew entry.
         assert_eq!(kernel_compares_per_candidate(SAMPLE), Some(3.75));
+    }
+
+    #[test]
+    fn extracts_simd_compares() {
+        // The quoted-needle match keeps the two summary keys apart
+        // even though one is a suffix of the other.
+        assert_eq!(simd_compares_per_candidate(SAMPLE), Some(1.25));
+        assert_eq!(simd_compares_per_candidate("{\"schema\": \"v1\"}"), None);
+        // A baseline predating the metric (this sample without the
+        // key) must scrape as None, the adoption path.
+        let pre = SAMPLE.replace("    \"simd_compares_per_candidate\": 1.25,\n", "");
+        assert_eq!(simd_compares_per_candidate(&pre), None);
+        assert_eq!(kernel_compares_per_candidate(&pre), Some(3.75));
     }
 
     #[test]

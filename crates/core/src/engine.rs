@@ -35,17 +35,29 @@
 //!   from the compare loop is what the columnar wire layout (PR 3)
 //!   exists to enable (Pashanasangi & Seshadhri, arXiv:2106.02762,
 //!   make this locality argument).
+//! * [`IntersectKernel::Simd`] — the blocked merge with its in-block
+//!   scan vectorized: the decoded key lanes are compared against the
+//!   merge frontier in packed groups of
+//!   [`crate::simd::SIMD_GROUP_LANES`] (AVX2 or SSE2
+//!   `core::arch::x86_64` intrinsics behind runtime detection, a
+//!   portable branchless SWAR pass everywhere else — see
+//!   [`crate::simd`]), so a frontier that has passed many left-side
+//!   candidates skips them a group at a time instead of one compare
+//!   each. On the columnar path the key blocks themselves are decoded
+//!   by the SWAR varint cracker
+//!   ([`tripoll_ygm::wire::WireReader::take_varints`]).
 //! * [`IntersectKernel::Auto`] (production default) — per-batch
 //!   size-ratio heuristic, shape-aware. Over random-access slices
 //!   ([`IntersectKernel::select`]): gallop when either side is at
-//!   least [`GALLOP_RATIO`]× the other (`min·K < max`), blocked merge
-//!   otherwise. Over a streaming left side that must be decoded
-//!   sequentially regardless ([`IntersectKernel::select_streaming`]):
-//!   gallop only when the *right* side is the much larger one
-//!   (`left·K < right`); a much larger left resolves to the blocked
-//!   merge, whose whole-block skips are the only win available when
-//!   decode cost dominates. Both lengths are known before any element
-//!   is decoded (the batch count rides in the frame header, the local
+//!   least [`GALLOP_RATIO`]× the other (`min·K < max`), the SIMD
+//!   block merge otherwise. Over a streaming left side that must be
+//!   decoded sequentially regardless
+//!   ([`IntersectKernel::select_streaming`]): gallop only when the
+//!   *right* side is the much larger one (`left·K < right`); a much
+//!   larger left resolves to the SIMD block merge, whose bulk decode
+//!   and packed lane skips are the only win available when decode
+//!   cost dominates. Both lengths are known before any element is
+//!   decoded (the batch count rides in the frame header, the local
 //!   adjacency length is in storage), so selection is free and
 //!   deterministic.
 //!
@@ -140,11 +152,36 @@ impl std::fmt::Display for BatchLayout {
 /// moves no bytes, so any rank could pick independently — it is still
 /// carried in [`SurveyConfig`] so a survey names one reproducible
 /// configuration.
+///
+/// All kernels emit the identical match sequence; [`Auto`] resolves
+/// per intersection from the side lengths alone:
+///
+/// ```
+/// use tripoll_core::{IntersectKernel, GALLOP_RATIO};
+///
+/// let auto = IntersectKernel::Auto;
+/// // Balanced random-access sides: the SIMD block merge.
+/// assert_eq!(auto.select(1000, 1000), IntersectKernel::Simd);
+/// // Heavy skew in either direction: gallop into the larger side.
+/// assert_eq!(auto.select(10, 10 * GALLOP_RATIO + 1), IntersectKernel::Gallop);
+/// assert_eq!(auto.select(10 * GALLOP_RATIO + 1, 10), IntersectKernel::Gallop);
+/// // A streaming (decode-bound) left side only gallops into a much
+/// // larger right; the reverse skew stays on the block merge.
+/// assert_eq!(auto.select_streaming(1000, 10), IntersectKernel::Simd);
+/// // Explicit kernels always resolve to themselves.
+/// assert_eq!(IntersectKernel::Gallop.select(5, 5), IntersectKernel::Gallop);
+/// ```
+///
+/// [`Auto`]: IntersectKernel::Auto
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IntersectKernel {
-    /// Per-batch size-ratio heuristic: [`IntersectKernel::Gallop`]
-    /// when `min·`[`GALLOP_RATIO`]` < max`, else
-    /// [`IntersectKernel::BlockedMerge`]. The production default.
+    /// Per-batch size-ratio heuristic: [`IntersectKernel::Gallop`] at
+    /// heavy skew, else [`IntersectKernel::Simd`] — see
+    /// [`IntersectKernel::select`] / [`select_streaming`] for the
+    /// exact (and deliberately asymmetric) contracts. The production
+    /// default.
+    ///
+    /// [`select_streaming`]: IntersectKernel::select_streaming
     #[default]
     Auto,
     /// Element-wise two-pointer merge — the reference kernel and the
@@ -153,12 +190,36 @@ pub enum IntersectKernel {
     /// Exponential-search seek through the larger side.
     Gallop,
     /// Fixed-size key blocks decoded into stack arrays, intersected
-    /// with branch-light wide compares.
+    /// with branch-light wide compares — the scalar predecessor of
+    /// [`IntersectKernel::Simd`], retained for differential testing
+    /// and as the explicit no-intrinsics choice.
     BlockedMerge,
+    /// The blocked merge with packed lane compares: key blocks are
+    /// bulk-decoded (SWAR varint cracker) and scanned in
+    /// [`crate::simd::SIMD_GROUP_LANES`]-wide groups with runtime-
+    /// detected AVX2/SSE2 intrinsics or the portable SWAR fallback
+    /// ([`crate::simd`]). Match sets and compare counters are
+    /// backend-independent.
+    Simd,
 }
 
-/// Skew ratio at which [`IntersectKernel::Auto`] switches from the
-/// blocked merge to galloping: gallop when `min(|l|,|r|)·K < max`.
+/// Skew ratio at which [`IntersectKernel::Auto`] switches to
+/// galloping.
+///
+/// The contract is **shape-dependent** — the two dispatch functions
+/// apply the ratio differently, and the asymmetry is deliberate, not
+/// drift (it used to be documented as the symmetric rule only; the
+/// dispatch-count tests below pin both contracts):
+///
+/// * **Random-access sides** ([`IntersectKernel::select`]):
+///   *symmetric* — gallop when `min(|l|,|r|)·K < max(|l|,|r|)`,
+///   because the gallop seeks into whichever side is larger.
+/// * **Streaming left sides** ([`IntersectKernel::select_streaming`]):
+///   *asymmetric* — gallop only when `|left|·K < |right|`. A streaming
+///   left side (a wire cursor) must be decoded sequentially regardless
+///   of kernel, so a much larger *left* gains nothing from seeking and
+///   resolves to the SIMD block merge, whose bulk decode and packed
+///   lane skips are the only lever when decode cost dominates.
 ///
 /// At ratio `K` the merge walks `max ≥ K·min` keys while galloping
 /// costs about `min·(2·log₂(max/min)+2)` compares; `K = 8` is where
@@ -169,9 +230,11 @@ pub const GALLOP_RATIO: usize = 8;
 impl IntersectKernel {
     /// Resolves [`IntersectKernel::Auto`] for one intersection over
     /// two *random-access* sides (slices); explicit kernels return
-    /// themselves. Symmetric: a heavy skew in either direction picks
-    /// the gallop (it can seek into whichever side is larger).
-    /// Deterministic, and both lengths are known up front.
+    /// themselves. **Symmetric** in the side lengths: a skew past
+    /// [`GALLOP_RATIO`] in either direction picks the gallop (it can
+    /// seek into whichever side is larger); anything milder resolves
+    /// to [`IntersectKernel::Simd`]. Deterministic, and both lengths
+    /// are known up front.
     #[inline]
     pub fn select(self, left_len: usize, right_len: usize) -> IntersectKernel {
         match self {
@@ -184,7 +247,7 @@ impl IntersectKernel {
                 if small.saturating_mul(GALLOP_RATIO) < large {
                     IntersectKernel::Gallop
                 } else {
-                    IntersectKernel::BlockedMerge
+                    IntersectKernel::Simd
                 }
             }
             k => k,
@@ -193,10 +256,13 @@ impl IntersectKernel {
 
     /// Resolves [`IntersectKernel::Auto`] for a *streaming* left side
     /// (a wire cursor that must be decoded sequentially regardless of
-    /// kernel): galloping only pays when it seeks into a much larger
-    /// **right** side, so a much larger *left* resolves to the blocked
-    /// merge instead — its bulk decode plus one-compare whole-block
-    /// skips are the only lever when the decode itself dominates.
+    /// kernel). **Asymmetric**, unlike [`IntersectKernel::select`]:
+    /// galloping only pays when it seeks into a much larger **right**
+    /// side (`left·`[`GALLOP_RATIO`]` < right`), so a much larger
+    /// *left* resolves to [`IntersectKernel::Simd`] instead — its bulk
+    /// decode plus packed lane skips are the only lever when the
+    /// decode itself dominates. See [`GALLOP_RATIO`] for the full
+    /// two-shape contract.
     #[inline]
     pub fn select_streaming(self, left_len: usize, right_len: usize) -> IntersectKernel {
         match self {
@@ -204,7 +270,7 @@ impl IntersectKernel {
                 if left_len.saturating_mul(GALLOP_RATIO) < right_len {
                     IntersectKernel::Gallop
                 } else {
-                    IntersectKernel::BlockedMerge
+                    IntersectKernel::Simd
                 }
             }
             k => k,
@@ -219,6 +285,7 @@ impl std::fmt::Display for IntersectKernel {
             IntersectKernel::MergeScalar => write!(f, "MergeScalar"),
             IntersectKernel::Gallop => write!(f, "Gallop"),
             IntersectKernel::BlockedMerge => write!(f, "BlockedMerge"),
+            IntersectKernel::Simd => write!(f, "Simd"),
         }
     }
 }
@@ -231,6 +298,31 @@ impl std::fmt::Display for IntersectKernel {
 /// [`DecodePath::Cursor`] and intersected by [`IntersectKernel::Auto`]
 /// — is the production hot path; every other combination yields an
 /// identical survey and exists for differential testing.
+///
+/// Build one with the chainable `with_*` setters, or pass a bare axis
+/// value anywhere `impl Into<SurveyConfig>` is accepted (the
+/// `survey_*_with` entry points):
+///
+/// ```
+/// use tripoll_core::{BatchLayout, DecodePath, IntersectKernel, SurveyConfig};
+///
+/// // The production configuration.
+/// let prod = SurveyConfig::new();
+/// assert_eq!(prod.layout, BatchLayout::Columnar);
+/// assert_eq!(prod.decode, DecodePath::Cursor);
+/// assert_eq!(prod.kernel, IntersectKernel::Auto);
+///
+/// // Fix one axis, keep the rest default.
+/// let gallop_only = SurveyConfig::new().with_kernel(IntersectKernel::Gallop);
+/// assert_eq!(gallop_only, SurveyConfig::from(IntersectKernel::Gallop));
+///
+/// // A full differential-test cell.
+/// let cell = SurveyConfig::new()
+///     .with_layout(BatchLayout::Interleaved)
+///     .with_decode(DecodePath::Owned)
+///     .with_kernel(IntersectKernel::MergeScalar);
+/// assert_eq!(cell.layout, BatchLayout::Interleaved);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SurveyConfig {
     /// Wire layout of wedge-candidate batches.
@@ -464,6 +556,10 @@ pub struct KernelStats {
     pub gallop_runs: u64,
     /// Intersections run by the blocked-merge kernel.
     pub blocked_runs: u64,
+    /// Intersections run by the SIMD block-merge kernel. Its counters
+    /// are backend-independent: a wide group probe counts one compare
+    /// whether AVX2, SSE2 or the SWAR fallback executed it.
+    pub simd_runs: u64,
 }
 
 impl KernelStats {
@@ -474,6 +570,7 @@ impl KernelStats {
         scalar_runs: 0,
         gallop_runs: 0,
         blocked_runs: 0,
+        simd_runs: 0,
     };
 }
 
@@ -506,6 +603,7 @@ fn record_kernel(resolved: IntersectKernel, compares: u64, candidates: u64, matc
             IntersectKernel::MergeScalar => s.scalar_runs += 1,
             IntersectKernel::Gallop => s.gallop_runs += 1,
             IntersectKernel::BlockedMerge => s.blocked_runs += 1,
+            IntersectKernel::Simd => s.simd_runs += 1,
             IntersectKernel::Auto => unreachable!("Auto resolves before recording"),
         }
         c.set(s);
@@ -556,6 +654,83 @@ fn gallop_seek<R>(
         }
     }
     hi
+}
+
+/// One [`IntersectKernel::Simd`] pass over a decoded key block: the
+/// block's `(degree, tie)` key lanes (SoA stack arrays) are merged
+/// against `right[*b..]`, with left-side lanes the frontier has passed
+/// skipped in packed groups ([`crate::simd::find_ge_lane`]) and the
+/// right side advanced by the usual tight scalar loop (its keys live
+/// inside heterogeneous elements, so there is nothing contiguous to
+/// load wide). `emit(lane, b)` runs per key-equal pair, in increasing
+/// key order; the caller has already performed (and counted) the
+/// whole-block skip check against `bkeys[len - 1]`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn simd_block_pass<R, E>(
+    backend: crate::simd::SimdBackend,
+    kdeg: &[u64; KEY_BLOCK_LEN],
+    ktie: &[u64; KEY_BLOCK_LEN],
+    len: usize,
+    right: &[R],
+    b: &mut usize,
+    key_r: &impl Fn(&R) -> OrderKey,
+    compares: &mut u64,
+    matches: &mut u64,
+    emit: &mut impl FnMut(usize, usize) -> Result<(), E>,
+) -> Result<(), E> {
+    let mut lane = 0;
+    while lane < len && *b < right.len() {
+        let kl = OrderKey {
+            degree: kdeg[lane],
+            tie: ktie[lane],
+        };
+        // Tight advance on a register-resident key, then one equality
+        // check at the landing spot (as in the scalar blocked merge).
+        while *b < right.len() {
+            *compares += 1;
+            if key_r(&right[*b]) < kl {
+                *b += 1;
+            } else {
+                break;
+            }
+        }
+        if *b >= right.len() {
+            break;
+        }
+        *compares += 1;
+        let frontier = key_r(&right[*b]);
+        if frontier == kl {
+            emit(lane, *b)?;
+            *matches += 1;
+            *b += 1;
+            lane += 1;
+        } else {
+            // frontier > kl: no later right key can match any lane the
+            // frontier has already passed. Peek one lane (skip runs of
+            // length one dominate match-dense regions and need no
+            // packed probe); longer runs are skipped in packed groups
+            // — the scan the scalar blocked merge does lane-by-lane
+            // (two compares per skipped lane) and the SIMD kernel
+            // does SIMD_GROUP_LANES at a time.
+            lane += 1;
+            if lane < len {
+                *compares += 1;
+                if (kdeg[lane], ktie[lane]) < (frontier.degree, frontier.tie) {
+                    lane = crate::simd::find_ge_lane(
+                        backend,
+                        kdeg,
+                        ktie,
+                        lane + 1,
+                        len,
+                        frontier,
+                        compares,
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Intersects two `<+`-sorted slices with the selected kernel,
@@ -660,6 +835,48 @@ pub fn intersect_slices<L, R>(
                     }
                     a += 1;
                 }
+            }
+        }
+        IntersectKernel::Simd => {
+            let backend = crate::simd::simd_backend();
+            let mut kdeg = [0u64; KEY_BLOCK_LEN];
+            let mut ktie = [0u64; KEY_BLOCK_LEN];
+            let (mut a, mut b) = (0, 0);
+            while a < left.len() && b < right.len() {
+                let len = (left.len() - a).min(KEY_BLOCK_LEN);
+                for (i, l) in left[a..a + len].iter().enumerate() {
+                    let k = key_l(l);
+                    kdeg[i] = k.degree;
+                    ktie[i] = k.tie;
+                }
+                // One wide compare decides whether the whole block is
+                // strictly below the merge frontier.
+                compares += 1;
+                let last = OrderKey {
+                    degree: kdeg[len - 1],
+                    tie: ktie[len - 1],
+                };
+                if last >= key_r(&right[b]) {
+                    let out: Result<(), std::convert::Infallible> = simd_block_pass(
+                        backend,
+                        &kdeg,
+                        &ktie,
+                        len,
+                        right,
+                        &mut b,
+                        &key_r,
+                        &mut compares,
+                        &mut matches,
+                        &mut |lane, rb| {
+                            on_match(&left[a + lane], &right[rb]);
+                            Ok(())
+                        },
+                    );
+                    match out {
+                        Ok(()) => {}
+                    }
+                }
+                a += len;
             }
         }
         IntersectKernel::Auto => unreachable!("select never returns Auto"),
@@ -787,6 +1004,60 @@ pub fn intersect_col<R>(
                     }
                 }
             }
+            IntersectKernel::Simd => {
+                let backend = crate::simd::simd_backend();
+                let mut block = KeyBlock::new();
+                let mut kdeg = [0u64; KEY_BLOCK_LEN];
+                let mut ktie = [0u64; KEY_BLOCK_LEN];
+                let mut b = 0;
+                while b < right.len() {
+                    let Some(res) = keys.next_block(&mut block) else {
+                        break;
+                    };
+                    res?;
+                    candidates += block.len as u64;
+                    for (i, (&v, &d)) in block
+                        .v
+                        .iter()
+                        .zip(&block.degree)
+                        .take(block.len)
+                        .enumerate()
+                    {
+                        let k = OrderKey::new(v, d);
+                        kdeg[i] = k.degree;
+                        ktie[i] = k.tie;
+                    }
+                    compares += 1;
+                    let last = OrderKey {
+                        degree: kdeg[block.len - 1],
+                        tie: ktie[block.len - 1],
+                    };
+                    if last < key_r(&right[b]) {
+                        continue;
+                    }
+                    simd_block_pass(
+                        backend,
+                        &kdeg,
+                        &ktie,
+                        block.len,
+                        right,
+                        &mut b,
+                        &key_r,
+                        &mut compares,
+                        &mut matches,
+                        &mut |lane, rb| {
+                            on_match(
+                                ColKey {
+                                    idx: block.base + lane,
+                                    v: block.v[lane],
+                                    degree: block.degree[lane],
+                                },
+                                &right[rb],
+                            )
+                        },
+                    )?;
+                }
+            }
             IntersectKernel::Auto => unreachable!("select never returns Auto"),
         }
         Ok(())
@@ -910,6 +1181,52 @@ pub fn intersect_stream<L: Copy, R, E>(
                             }
                         }
                     }
+                }
+            }
+            IntersectKernel::Simd => {
+                let backend = crate::simd::simd_backend();
+                let mut buf: [Option<L>; KEY_BLOCK_LEN] = [None; KEY_BLOCK_LEN];
+                let mut kdeg = [0u64; KEY_BLOCK_LEN];
+                let mut ktie = [0u64; KEY_BLOCK_LEN];
+                let mut b = 0;
+                while b < right.len() {
+                    let mut len = 0;
+                    while len < KEY_BLOCK_LEN {
+                        let Some(item) = next() else { break };
+                        let l = item?;
+                        let k = key_l(&l);
+                        kdeg[len] = k.degree;
+                        ktie[len] = k.tie;
+                        buf[len] = Some(l);
+                        len += 1;
+                    }
+                    if len == 0 {
+                        break;
+                    }
+                    candidates += len as u64;
+                    compares += 1;
+                    let last = OrderKey {
+                        degree: kdeg[len - 1],
+                        tie: ktie[len - 1],
+                    };
+                    if last < key_r(&right[b]) {
+                        continue;
+                    }
+                    simd_block_pass(
+                        backend,
+                        &kdeg,
+                        &ktie,
+                        len,
+                        right,
+                        &mut b,
+                        &key_r,
+                        &mut compares,
+                        &mut matches,
+                        &mut |lane, rb| {
+                            let l = buf[lane].take().expect("buffered block element");
+                            on_match(l, &right[rb])
+                        },
+                    )?;
                 }
             }
             IntersectKernel::Auto => unreachable!("select never returns Auto"),
@@ -1083,26 +1400,20 @@ mod tests {
     #[test]
     fn auto_kernel_selection_follows_the_skew_ratio() {
         let auto = IntersectKernel::Auto;
-        // Balanced or mildly skewed sides: blocked merge.
-        assert_eq!(auto.select(100, 100), IntersectKernel::BlockedMerge);
-        assert_eq!(auto.select(100, 799), IntersectKernel::BlockedMerge);
-        assert_eq!(auto.select(799, 100), IntersectKernel::BlockedMerge);
+        // Balanced or mildly skewed sides: the SIMD block merge.
+        assert_eq!(auto.select(100, 100), IntersectKernel::Simd);
+        assert_eq!(auto.select(100, 799), IntersectKernel::Simd);
+        assert_eq!(auto.select(799, 100), IntersectKernel::Simd);
         // Past GALLOP_RATIO in either direction: gallop.
         assert_eq!(auto.select(100, 801), IntersectKernel::Gallop);
         assert_eq!(auto.select(801, 100), IntersectKernel::Gallop);
         assert_eq!(auto.select(0, 1), IntersectKernel::Gallop);
         // Streaming left side: gallop only into a much larger right; a
-        // much larger (decode-bound) left resolves to the blocked
+        // much larger (decode-bound) left resolves to the SIMD block
         // merge.
         assert_eq!(auto.select_streaming(100, 801), IntersectKernel::Gallop);
-        assert_eq!(
-            auto.select_streaming(801, 100),
-            IntersectKernel::BlockedMerge
-        );
-        assert_eq!(
-            auto.select_streaming(100, 100),
-            IntersectKernel::BlockedMerge
-        );
+        assert_eq!(auto.select_streaming(801, 100), IntersectKernel::Simd);
+        assert_eq!(auto.select_streaming(100, 100), IntersectKernel::Simd);
         assert_eq!(
             IntersectKernel::MergeScalar.select_streaming(1, 1_000_000),
             IntersectKernel::MergeScalar
@@ -1112,10 +1423,67 @@ mod tests {
             IntersectKernel::MergeScalar,
             IntersectKernel::Gallop,
             IntersectKernel::BlockedMerge,
+            IntersectKernel::Simd,
         ] {
             assert_eq!(k.select(1, 1_000_000), k);
             assert_eq!(k.select(5, 5), k);
         }
+    }
+
+    /// Pins the dispatch-count counters for each shape class — the
+    /// executable form of the [`GALLOP_RATIO`] two-shape contract
+    /// (symmetric over slices, asymmetric over streams), so the docs
+    /// and the code cannot drift apart again.
+    #[test]
+    fn auto_dispatch_counters_pin_the_shape_contract() {
+        let mk = |n: usize| -> Vec<(u64, OrderKey)> {
+            (0..n as u64).map(|v| (v, OrderKey::new(v, v))).collect()
+        };
+        let big = mk(900);
+        let small = mk(100);
+        // Slices, balanced: Simd.
+        let runs_slices = |l: &[(u64, OrderKey)], r: &[(u64, OrderKey)]| {
+            let _ = kernel_stats_take();
+            intersect_slices(IntersectKernel::Auto, l, r, |e| e.1, |e| e.1, |_, _| {});
+            let s = kernel_stats_take();
+            (s.scalar_runs, s.gallop_runs, s.blocked_runs, s.simd_runs)
+        };
+        assert_eq!(runs_slices(&small, &small), (0, 0, 0, 1), "slices balanced");
+        // Slices, heavy skew either way: gallop (symmetric contract).
+        assert_eq!(
+            runs_slices(&small, &big),
+            (0, 1, 0, 0),
+            "slices right-heavy"
+        );
+        assert_eq!(runs_slices(&big, &small), (0, 1, 0, 0), "slices left-heavy");
+        // Streams: gallop only into a much larger right (asymmetric).
+        let runs_stream = |l: &[(u64, OrderKey)], r: &[(u64, OrderKey)]| {
+            let _ = kernel_stats_take();
+            let mut it = l.iter();
+            intersect_stream(
+                IntersectKernel::Auto,
+                l.len(),
+                || it.next().map(|e| Ok::<_, ()>(*e)),
+                r,
+                |e| e.1,
+                |e| e.1,
+                |_, _| Ok(()),
+            )
+            .unwrap();
+            let s = kernel_stats_take();
+            (s.scalar_runs, s.gallop_runs, s.blocked_runs, s.simd_runs)
+        };
+        assert_eq!(runs_stream(&small, &small), (0, 0, 0, 1), "stream balanced");
+        assert_eq!(
+            runs_stream(&small, &big),
+            (0, 1, 0, 0),
+            "stream right-heavy"
+        );
+        assert_eq!(
+            runs_stream(&big, &small),
+            (0, 0, 0, 1),
+            "stream left-heavy must NOT gallop (decode-bound left)"
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod meta;
 mod push_common;
 pub mod push_only;
 pub mod push_pull;
+pub mod simd;
 pub mod surveys;
 
 pub use engine::{
@@ -55,4 +56,5 @@ pub use engine::{
 pub use meta::{SurveyCallback, TriangleMeta};
 pub use push_only::{survey_push_only, survey_push_only_with};
 pub use push_pull::{survey_push_pull, survey_push_pull_with};
+pub use simd::{simd_backend, simd_force_swar, SimdBackend, SIMD_GROUP_LANES};
 pub use surveys::survey;

@@ -31,9 +31,11 @@
 //! On the orthogonal [`DecodePath`] axis, each layout also has a
 //! materializing `Owned` reference handler; all four combinations emit
 //! identical surveys. The intersection itself dispatches through the
-//! configured [`IntersectKernel`] (scalar merge, galloping search, or
-//! blocked branch-light merge — see [`crate::engine`]), a third axis
-//! that every handler threads through to the kernel layer.
+//! configured [`IntersectKernel`] (scalar merge, galloping search,
+//! blocked branch-light merge, or the SIMD block merge with
+//! runtime-detected packed compares — see [`crate::engine`] and
+//! [`crate::simd`]), a third axis that every handler threads through
+//! to the kernel layer.
 //!
 //! A push that arrives for a vertex its receiving rank does not own can
 //! only mean ownership disagreement between ranks (a partition bug, not

@@ -7,7 +7,7 @@
 //!
 //! 1. **Dry-run** — a communication-free pass records, per target vertex
 //!    `q`, resume pointers `(p, index of q in Adjm+(p))` for the pull
-//!    case ([`ResumePlan`]: one sorted vector with run-length grouping,
+//!    case (`ResumePlan`: one sorted vector with run-length grouping,
 //!    not a hash map per target). One `(q, count)` record per target —
 //!    the count of candidate edges this rank would push, derived from
 //!    the grouped pointers — goes to `Rank(q)`, which grants a pull when

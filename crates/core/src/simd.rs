@@ -1,0 +1,484 @@
+//! Vectorized lane compares underneath [`IntersectKernel::Simd`].
+//!
+//! The blocked merge (PR 4) staged key blocks in stack arrays precisely
+//! so a wide compare loop could replace its element-wise scan; this
+//! module is that loop. The primitive is `find_ge_lane`: given the
+//! SoA key lanes of one decoded [`KeyBlock`] (degrees and tie-breaks in
+//! two `u64` arrays) and a merge-frontier key, find the first lane
+//! whose `(degree, tie)` key is `>=` the frontier — i.e. skip every
+//! left-side candidate the frontier has already passed in packed
+//! groups of [`SIMD_GROUP_LANES`] lanes instead of one at a time.
+//!
+//! Three backends implement the group compare, selected **at runtime**
+//! ([`simd_backend`], cached after the first probe):
+//!
+//! * **AVX2** — one 256-bit compare per group: four biased
+//!   `_mm256_cmpgt_epi64`/`_mm256_cmpeq_epi64` lanes folded into the
+//!   lexicographic `(degree, tie)` predicate, `movemask` to a 4-bit
+//!   lane mask.
+//! * **SSE2** — the same predicate over two 128-bit halves, with the
+//!   64-bit unsigned compares emulated from `_mm_cmpgt_epi32` /
+//!   `_mm_cmpeq_epi32` half-word results (SSE2 has no 64-bit compare).
+//! * **SWAR/portable** — branchless scalar compares packed into the
+//!   same 4-bit mask; the fallback on any target and the reference
+//!   the intrinsics are differentially tested against.
+//!
+//! Every backend examines the **same groups in the same order** and
+//! produces the same mask, so the kernel's deterministic compare
+//! counters (one compare per group examined — see
+//! [`KernelStats`]) are bit-identical whether or not
+//! AVX2/SSE2 is available; `tests/kernels.rs` pins this with a
+//! forced-SWAR differential run ([`simd_force_swar`]).
+//!
+//! [`IntersectKernel::Simd`]: crate::engine::IntersectKernel::Simd
+//! [`KernelStats`]: crate::engine::KernelStats
+//! [`KeyBlock`]: tripoll_ygm::wire::KeyBlock
+
+#[cfg(target_arch = "x86_64")]
+use std::sync::atomic::AtomicU8;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use tripoll_graph::OrderKey;
+use tripoll_ygm::wire::KEY_BLOCK_LEN;
+
+/// Lanes examined per wide compare — the probe-group width shared by
+/// every backend (AVX2 covers it in one 256-bit op, SSE2 in two
+/// 128-bit halves, SWAR in four packed scalar compares), so compare
+/// counters do not depend on which backend ran.
+pub const SIMD_GROUP_LANES: usize = 4;
+
+const _: () = assert!(
+    KEY_BLOCK_LEN.is_multiple_of(SIMD_GROUP_LANES),
+    "key blocks must tile into whole probe groups"
+);
+
+/// Which group-compare implementation the kernel's packed lane skip
+/// (`find_ge_lane`) dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// 256-bit `core::arch::x86_64` intrinsics (runtime-detected).
+    Avx2,
+    /// 128-bit `core::arch::x86_64` intrinsics with emulated 64-bit
+    /// compares (runtime-detected; the x86-64 baseline).
+    Sse2,
+    /// Portable branchless scalar compares — the fallback on any
+    /// target and the differential reference for the intrinsics.
+    Swar,
+}
+
+impl std::fmt::Display for SimdBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimdBackend::Avx2 => write!(f, "avx2"),
+            SimdBackend::Sse2 => write!(f, "sse2"),
+            SimdBackend::Swar => write!(f, "swar"),
+        }
+    }
+}
+
+/// When set, [`simd_backend`] reports [`SimdBackend::Swar`] regardless
+/// of what the CPU supports.
+static FORCE_SWAR: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or releases) the portable SWAR backend, process-wide — the
+/// differential-test knob that exercises the no-AVX2/SSE2 path on
+/// hardware that has both. Safe to flip at any time: backends differ
+/// only in how a probe group is compared, never in which groups are
+/// probed, so match sets and [`KernelStats`] counters are unaffected
+/// mid-flight.
+///
+/// [`KernelStats`]: crate::engine::KernelStats
+pub fn simd_force_swar(on: bool) {
+    FORCE_SWAR.store(on, Ordering::SeqCst);
+}
+
+/// The backend [`IntersectKernel::Simd`] will dispatch to right now:
+/// the forced override if set, else the best runtime-detected
+/// instruction set (probed once, then cached).
+///
+/// [`IntersectKernel::Simd`]: crate::engine::IntersectKernel::Simd
+pub fn simd_backend() -> SimdBackend {
+    if FORCE_SWAR.load(Ordering::Relaxed) {
+        return SimdBackend::Swar;
+    }
+    detected_backend()
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detected_backend() -> SimdBackend {
+    // 0 = not probed yet; the probe is idempotent so racing stores are
+    // benign.
+    static CACHE: AtomicU8 = AtomicU8::new(0);
+    match CACHE.load(Ordering::Relaxed) {
+        1 => SimdBackend::Avx2,
+        2 => SimdBackend::Sse2,
+        3 => SimdBackend::Swar,
+        _ => {
+            let (code, backend) = if std::arch::is_x86_feature_detected!("avx2") {
+                (1, SimdBackend::Avx2)
+            } else if std::arch::is_x86_feature_detected!("sse2") {
+                (2, SimdBackend::Sse2)
+            } else {
+                (3, SimdBackend::Swar)
+            };
+            CACHE.store(code, Ordering::Relaxed);
+            backend
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detected_backend() -> SimdBackend {
+    // Non-x86 targets always take the portable path.
+    SimdBackend::Swar
+}
+
+/// First lane in `from..len` whose `(degree, tie)` key is `>=`
+/// `frontier`, or `len` when no lane is — the packed skip at the heart
+/// of the SIMD kernel. Lanes are probed in groups of
+/// [`SIMD_GROUP_LANES`], front to back; the backend's whole scan runs
+/// behind **one** dispatch (the `#[target_feature]` boundary encloses
+/// the group loop, so a long skip costs one call, not one per group).
+///
+/// Each group examined adds **one** to `compares`. The count is
+/// derived from the returned lane index — every backend probes the
+/// identical group sequence — which is what keeps the kernel counters
+/// deterministic under [`simd_force_swar`].
+///
+/// `len` must not exceed [`KEY_BLOCK_LEN`]; lanes at `len..` are never
+/// reported (their contents are stale, so their mask bits are clipped).
+/// `from >= len` is answered as `len` with zero compares.
+#[inline]
+pub(crate) fn find_ge_lane(
+    backend: SimdBackend,
+    deg: &[u64; KEY_BLOCK_LEN],
+    tie: &[u64; KEY_BLOCK_LEN],
+    from: usize,
+    len: usize,
+    frontier: OrderKey,
+    compares: &mut u64,
+) -> usize {
+    debug_assert!(len <= KEY_BLOCK_LEN);
+    if from >= len {
+        return len;
+    }
+    // First group inline, portably: in match-dense regions most skips
+    // end within SIMD_GROUP_LANES lanes, and a branchless scalar mask
+    // is cheaper than any out-of-line backend call there. The probe
+    // sequence (and therefore the compare count) is the same whichever
+    // code computes each group's mask.
+    let base0 = from - (from % SIMD_GROUP_LANES);
+    *compares += 1;
+    let mask = clip_mask(swar_group_mask(deg, tie, base0, frontier), base0, from, len);
+    if mask != 0 {
+        return base0 + mask.trailing_zeros() as usize;
+    }
+    let next = base0 + SIMD_GROUP_LANES;
+    if next >= len {
+        return len;
+    }
+    // Longer skips amortize one backend dispatch over many packed
+    // groups (the `#[target_feature]` boundary encloses the loop).
+    let idx = match backend {
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2 => unsafe { find_ge_avx2(deg, tie, next, len, frontier) },
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Sse2 => unsafe { find_ge_sse2(deg, tie, next, len, frontier) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdBackend::Avx2 | SimdBackend::Sse2 => find_ge_swar(deg, tie, next, len, frontier),
+        SimdBackend::Swar => find_ge_swar(deg, tie, next, len, frontier),
+    };
+    // One compare per group examined: groups next/G ..= min(idx, len-1)/G
+    // were probed, identically on every backend.
+    let last_group = idx.min(len - 1) / SIMD_GROUP_LANES;
+    *compares += (last_group - next / SIMD_GROUP_LANES + 1) as u64;
+    idx
+}
+
+/// One group's `>=` lane mask, computed portably — shared by the SWAR
+/// backend loop and [`find_ge_lane`]'s inline first-group probe.
+#[inline]
+fn swar_group_mask(
+    deg: &[u64; KEY_BLOCK_LEN],
+    tie: &[u64; KEY_BLOCK_LEN],
+    base: usize,
+    f: OrderKey,
+) -> u32 {
+    let mut mask = 0u32;
+    for lane in 0..SIMD_GROUP_LANES {
+        let (d, t) = (deg[base + lane], tie[base + lane]);
+        let ge = (d > f.degree) | ((d == f.degree) & (t >= f.tie));
+        mask |= u32::from(ge) << lane;
+    }
+    mask
+}
+
+/// Clips a group's 4-bit lane mask to the valid `from..len` window:
+/// drops lanes below `from` (first group only) and at/after `len`
+/// (last group only, where the array holds stale lanes).
+#[inline]
+fn clip_mask(mask: u32, base: usize, from: usize, len: usize) -> u32 {
+    let lo_clip = from.saturating_sub(base);
+    let hi_valid: u32 = if len - base >= SIMD_GROUP_LANES {
+        (1 << SIMD_GROUP_LANES) - 1
+    } else {
+        (1 << (len - base)) - 1
+    };
+    mask & hi_valid & (((1u32 << SIMD_GROUP_LANES) - 1) << lo_clip)
+}
+
+/// Portable backend: branchless scalar `(degree, tie)` `>=` predicates
+/// packed into the same lane mask the intrinsics' movemask produces —
+/// the differential reference for both intrinsic paths.
+fn find_ge_swar(
+    deg: &[u64; KEY_BLOCK_LEN],
+    tie: &[u64; KEY_BLOCK_LEN],
+    from: usize,
+    len: usize,
+    f: OrderKey,
+) -> usize {
+    let mut base = from - (from % SIMD_GROUP_LANES);
+    while base < len {
+        let mask = clip_mask(swar_group_mask(deg, tie, base, f), base, from, len);
+        if mask != 0 {
+            return base + mask.trailing_zeros() as usize;
+        }
+        base += SIMD_GROUP_LANES;
+    }
+    len
+}
+
+/// AVX2 backend: four 64-bit lanes per array in one 256-bit compare
+/// per group, frontier broadcasts hoisted out of the loop. Unsigned
+/// order is recovered from the signed `cmpgt` by biasing both sides
+/// with `i64::MIN`; the lexicographic `(degree, tie)` predicate is
+/// `deg > f.deg  OR  (deg == f.deg AND NOT tie < f.tie)`.
+///
+/// # Safety
+/// Requires AVX2, which the [`simd_backend`] runtime probe guarantees.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn find_ge_avx2(
+    deg: &[u64; KEY_BLOCK_LEN],
+    tie: &[u64; KEY_BLOCK_LEN],
+    from: usize,
+    len: usize,
+    f: OrderKey,
+) -> usize {
+    use std::arch::x86_64::*;
+    let bias = _mm256_set1_epi64x(i64::MIN);
+    let fdv = _mm256_xor_si256(_mm256_set1_epi64x(f.degree as i64), bias);
+    let ftv = _mm256_xor_si256(_mm256_set1_epi64x(f.tie as i64), bias);
+    let mut base = from - (from % SIMD_GROUP_LANES);
+    while base < len {
+        let d = _mm256_xor_si256(
+            _mm256_loadu_si256(deg[base..].as_ptr() as *const __m256i),
+            bias,
+        );
+        let t = _mm256_xor_si256(
+            _mm256_loadu_si256(tie[base..].as_ptr() as *const __m256i),
+            bias,
+        );
+        let d_gt = _mm256_cmpgt_epi64(d, fdv);
+        let d_eq = _mm256_cmpeq_epi64(d, fdv);
+        let t_lt = _mm256_cmpgt_epi64(ftv, t);
+        let ge = _mm256_or_si256(d_gt, _mm256_andnot_si256(t_lt, d_eq));
+        let mask = _mm256_movemask_pd(_mm256_castsi256_pd(ge)) as u32;
+        let mask = clip_mask(mask, base, from, len);
+        if mask != 0 {
+            return base + mask.trailing_zeros() as usize;
+        }
+        base += SIMD_GROUP_LANES;
+    }
+    len
+}
+
+/// SSE2 backend: each 4-lane group as two 128-bit halves. SSE2 has no
+/// 64-bit compare, so `>` and `==` over each 64-bit lane are assembled
+/// from biased 32-bit half-word compares (`hi> OR (hi== AND lo>)`).
+///
+/// # Safety
+/// Requires SSE2 (the x86-64 baseline; still guarded by the probe).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn find_ge_sse2(
+    deg: &[u64; KEY_BLOCK_LEN],
+    tie: &[u64; KEY_BLOCK_LEN],
+    from: usize,
+    len: usize,
+    f: OrderKey,
+) -> usize {
+    use std::arch::x86_64::*;
+
+    /// Per-64-bit-lane unsigned `a > b` and `a == b` from 32-bit ops.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn cmp_u64(a: __m128i, b: __m128i) -> (__m128i, __m128i) {
+        let bias32 = _mm_set1_epi32(i32::MIN);
+        let ab = _mm_xor_si128(a, bias32);
+        let bb = _mm_xor_si128(b, bias32);
+        let gt32 = _mm_cmpgt_epi32(ab, bb);
+        let eq32 = _mm_cmpeq_epi32(a, b);
+        // Broadcast each lane's hi/lo 32-bit results across its 64 bits.
+        let gt_hi = _mm_shuffle_epi32::<0b11_11_01_01>(gt32);
+        let gt_lo = _mm_shuffle_epi32::<0b10_10_00_00>(gt32);
+        let eq_hi = _mm_shuffle_epi32::<0b11_11_01_01>(eq32);
+        let eq_lo = _mm_shuffle_epi32::<0b10_10_00_00>(eq32);
+        let gt64 = _mm_or_si128(gt_hi, _mm_and_si128(eq_hi, gt_lo));
+        let eq64 = _mm_and_si128(eq_hi, eq_lo);
+        (gt64, eq64)
+    }
+
+    /// 2-bit `>=` mask of one 128-bit half.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn half(deg: *const u64, tie: *const u64, fdv: __m128i, ftv: __m128i) -> u32 {
+        let d = _mm_loadu_si128(deg as *const __m128i);
+        let t = _mm_loadu_si128(tie as *const __m128i);
+        let (d_gt, d_eq) = cmp_u64(d, fdv);
+        let (t_lt, _) = cmp_u64(ftv, t);
+        let ge = _mm_or_si128(d_gt, _mm_andnot_si128(t_lt, d_eq));
+        _mm_movemask_pd(_mm_castsi128_pd(ge)) as u32
+    }
+
+    let fdv = _mm_set1_epi64x(f.degree as i64);
+    let ftv = _mm_set1_epi64x(f.tie as i64);
+    let mut base = from - (from % SIMD_GROUP_LANES);
+    while base < len {
+        let dp = deg[base..].as_ptr();
+        let tp = tie[base..].as_ptr();
+        let mask = half(dp, tp, fdv, ftv) | (half(dp.add(2), tp.add(2), fdv, ftv) << 2);
+        let mask = clip_mask(mask, base, from, len);
+        if mask != 0 {
+            return base + mask.trailing_zeros() as usize;
+        }
+        base += SIMD_GROUP_LANES;
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive-ish differential check of every available backend
+    /// against the SWAR reference, over adversarial lane values (zero,
+    /// max, sign-bit boundaries, equal degrees with tie splits).
+    #[test]
+    fn backends_agree_on_hostile_lanes() {
+        let interesting = [
+            0u64,
+            1,
+            7,
+            i64::MAX as u64,
+            1u64 << 63,
+            (1u64 << 63) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut deg = [0u64; KEY_BLOCK_LEN];
+        let mut tie = [0u64; KEY_BLOCK_LEN];
+        let mut backends = vec![SimdBackend::Swar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("sse2") {
+                backends.push(SimdBackend::Sse2);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                backends.push(SimdBackend::Avx2);
+            }
+        }
+        for seed in 0..64usize {
+            for lane in 0..KEY_BLOCK_LEN {
+                deg[lane] = interesting[(seed + lane) % interesting.len()];
+                tie[lane] = interesting[(seed * 3 + lane * 7) % interesting.len()];
+            }
+            for &fd in &interesting {
+                for &ft in &interesting {
+                    let frontier = OrderKey {
+                        degree: fd,
+                        tie: ft,
+                    };
+                    for from in [0usize, 1, 3, 4, 15, 31] {
+                        let mut want_compares = 0u64;
+                        let want = find_ge_lane(
+                            SimdBackend::Swar,
+                            &deg,
+                            &tie,
+                            from,
+                            KEY_BLOCK_LEN,
+                            frontier,
+                            &mut want_compares,
+                        );
+                        for &b in &backends {
+                            let mut compares = 0u64;
+                            let got = find_ge_lane(
+                                b,
+                                &deg,
+                                &tie,
+                                from,
+                                KEY_BLOCK_LEN,
+                                frontier,
+                                &mut compares,
+                            );
+                            assert_eq!(
+                                (got, compares),
+                                (want, want_compares),
+                                "backend {b} from {from} frontier ({fd},{ft}) seed {seed}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `find_ge_lane` must agree with a scalar reference on every
+    /// (from, len) window, and count one compare per group examined.
+    #[test]
+    fn find_ge_lane_matches_scalar_reference() {
+        let mut deg = [0u64; KEY_BLOCK_LEN];
+        let mut tie = [0u64; KEY_BLOCK_LEN];
+        for lane in 0..KEY_BLOCK_LEN {
+            deg[lane] = (lane as u64 / 3) * 2; // runs of equal degrees
+            tie[lane] = (lane as u64 % 3) * 1000;
+        }
+        let backend = simd_backend();
+        for fd in 0..24u64 {
+            for ft in [0u64, 500, 1000, 2500] {
+                let frontier = OrderKey {
+                    degree: fd,
+                    tie: ft,
+                };
+                for len in [1usize, 3, 4, 5, 31, 32] {
+                    for from in 0..len {
+                        let want = (from..len)
+                            .find(|&i| (deg[i], tie[i]) >= (frontier.degree, frontier.tie))
+                            .unwrap_or(len);
+                        let mut compares = 0u64;
+                        let got =
+                            find_ge_lane(backend, &deg, &tie, from, len, frontier, &mut compares);
+                        assert_eq!(got, want, "from {from} len {len} f ({fd},{ft})");
+                        // One compare per probed group, never more than
+                        // the groups the window spans.
+                        let first_group = from / SIMD_GROUP_LANES;
+                        let groups_total = len.div_ceil(SIMD_GROUP_LANES) - first_group;
+                        assert!(compares >= 1 && compares as usize <= groups_total);
+                        // SWAR must count identically (determinism).
+                        let mut swar_compares = 0u64;
+                        let swar_got = find_ge_lane(
+                            SimdBackend::Swar,
+                            &deg,
+                            &tie,
+                            from,
+                            len,
+                            frontier,
+                            &mut swar_compares,
+                        );
+                        assert_eq!((got, compares), (swar_got, swar_compares));
+                    }
+                }
+            }
+        }
+    }
+}

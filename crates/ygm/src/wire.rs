@@ -259,8 +259,36 @@ impl<'a> WireReader<'a> {
     }
 
     /// Decodes an LEB128 varint of at most 64 bits.
+    ///
+    /// One-byte varints (counts, small ids, delta-coded degrees) take
+    /// the earliest exit; longer varints whose terminator lies within
+    /// the next eight buffer bytes are cracked in one SWAR pass
+    /// (`crack_word`) instead of the byte-at-a-time loop. Both paths
+    /// accept exactly the byte strings the scalar loop accepts and
+    /// yield the same values and errors.
     #[inline]
     pub fn take_varint(&mut self) -> Result<u64, WireError> {
+        if let Some(&b0) = self.buf.get(self.pos) {
+            if b0 & 0x80 == 0 {
+                self.pos += 1;
+                return Ok(u64::from(b0));
+            }
+            if let Some(word) = self.buf.get(self.pos..self.pos + 8) {
+                let w = u64::from_le_bytes(word.try_into().unwrap());
+                if let Some((v, len)) = crack_word(w) {
+                    self.pos += len;
+                    return Ok(v);
+                }
+            }
+        }
+        self.take_varint_scalar()
+    }
+
+    /// The byte-at-a-time LEB128 decode loop — the reference decoder
+    /// ([`take_varint`](WireReader::take_varint)'s slow path: buffer
+    /// tails shorter than a SWAR word, and 9–10-byte varints, whose
+    /// overflow checks live here).
+    fn take_varint_scalar(&mut self) -> Result<u64, WireError> {
         let mut value: u64 = 0;
         let mut shift = 0u32;
         loop {
@@ -278,6 +306,84 @@ impl<'a> WireReader<'a> {
             }
         }
     }
+
+    /// Bulk-decodes exactly `out.len()` LEB128 varints into `out` — the
+    /// block primitive underneath [`ColKeys::next_block`]. The hot loop
+    /// keeps a local cursor and cracks each varint from one
+    /// little-endian `u64` load (`crack_word`: find the terminator
+    /// byte with a single SWAR pass over the continuation bits, then
+    /// shift-and-mask the 7-bit payload lanes together); buffer tails
+    /// and 9–10-byte varints fall back to the scalar decoder, so the
+    /// accepted byte strings, values and errors are identical to
+    /// `out.len()` calls of [`take_varint`](WireReader::take_varint).
+    ///
+    /// On an error the reader is left where the scalar decoder left it
+    /// (mid-varint); callers are expected to poison their walk, as
+    /// [`ColKeys`] does.
+    pub fn take_varints(&mut self, out: &mut [u64]) -> Result<(), WireError> {
+        let buf = self.buf;
+        let mut pos = self.pos;
+        for slot in out.iter_mut() {
+            if let Some(&b0) = buf.get(pos) {
+                // One-byte varints (delta-coded degree columns are
+                // almost nothing else) skip the crack entirely.
+                if b0 & 0x80 == 0 {
+                    *slot = u64::from(b0);
+                    pos += 1;
+                    continue;
+                }
+                if let Some(word) = buf.get(pos..pos + 8) {
+                    let w = u64::from_le_bytes(word.try_into().unwrap());
+                    if let Some((v, len)) = crack_word(w) {
+                        *slot = v;
+                        pos += len;
+                        continue;
+                    }
+                }
+            }
+            self.pos = pos;
+            *slot = self.take_varint_scalar()?;
+            pos = self.pos;
+        }
+        self.pos = pos;
+        Ok(())
+    }
+}
+
+/// Every continuation bit of a little-endian varint word.
+const VARINT_CONT_MASK: u64 = 0x8080_8080_8080_8080;
+
+/// Cracks one LEB128 varint out of a little-endian `u64` load: one SWAR
+/// pass over the inverted continuation bits locates the terminator
+/// (`trailing_zeros` — the movemask equivalent on a scalar word), then
+/// [`swar_extract`] folds the payload lanes. Returns `None` when no
+/// byte in the word terminates the varint (a 9–10-byte encoding, which
+/// the scalar loop must decode for its overflow checks).
+#[inline]
+fn crack_word(w: u64) -> Option<(u64, usize)> {
+    let term = !w & VARINT_CONT_MASK;
+    if term == 0 {
+        return None;
+    }
+    let nbytes = (term.trailing_zeros() as usize >> 3) + 1;
+    Some((swar_extract(w, nbytes), nbytes))
+}
+
+/// Compacts the low `nbytes` 7-bit payload lanes of `w` into one value
+/// by three mask-and-shift folds (8×7-bit → 4×14 → 2×28 → 56 bits).
+/// `nbytes ≤ 8`, so the result never exceeds 56 bits and no overflow
+/// check is needed on this path.
+#[inline]
+fn swar_extract(w: u64, nbytes: usize) -> u64 {
+    let w = if nbytes == 8 {
+        w
+    } else {
+        w & ((1u64 << (8 * nbytes)) - 1)
+    };
+    let w = w & 0x7f7f_7f7f_7f7f_7f7f;
+    let w = (w & 0x007f_007f_007f_007f) | ((w & 0x7f00_7f00_7f00_7f00) >> 1);
+    let w = (w & 0x0000_3fff_0000_3fff) | ((w & 0x3fff_0000_3fff_0000) >> 2);
+    (w & 0x0000_0000_0fff_ffff) | ((w & 0x0fff_ffff_0000_0000) >> 4)
 }
 
 /// Appends an LEB128 varint to `buf`.
@@ -320,7 +426,7 @@ fn zigzag_decode(v: u64) -> i64 {
 ///
 /// One deliberate exception: sequences of **zero-sized** elements
 /// (`MIN_ENCODED_BYTES == 0`, i.e. `()` and tuples of it) decode only up
-/// to [`ZST_SEQ_MAX`] elements — beyond that the length prefix is
+/// to `ZST_SEQ_MAX` elements — beyond that the length prefix is
 /// indistinguishable from a hostile frame that would spin the decode
 /// loop, so `decode` returns [`WireError::SeqOverrun`] even for bytes
 /// `encode` produced.
@@ -1343,6 +1449,30 @@ pub struct ColumnSeq<'a, S, FV, FD, FM> {
 /// columns, `m` appends one element's metadata encoding (exactly the
 /// bytes the owned element type would encode — the same adapter
 /// contract as [`encode_seq`]).
+///
+/// The encoding is byte-identical to the [`ColBatch`] of the projected
+/// tuples, so the receiving handler can stay keyed on the owned type
+/// while the sender streams straight from storage:
+///
+/// ```
+/// use tripoll_ygm::wire::{encode_columns, to_bytes, ColBatch, Wire, WireEncode};
+///
+/// // Application storage: (vertex, degree, metadata) scattered in a struct.
+/// struct Entry { v: u64, degree: u64, meta: u32 }
+/// let adj = [
+///     Entry { v: 7, degree: 3, meta: 40 },
+///     Entry { v: 19, degree: 3, meta: 41 },
+///     Entry { v: 4, degree: 5, meta: 42 },
+/// ];
+///
+/// let mut borrowed = Vec::new();
+/// encode_columns(&adj, |e| e.v, |e| e.degree, |e, buf| e.meta.encode(buf))
+///     .encode_wire(&mut borrowed);
+///
+/// // Byte-identical to materializing the owned columnar batch.
+/// let owned = ColBatch::<u32>(adj.iter().map(|e| (e.v, e.degree, e.meta)).collect());
+/// assert_eq!(borrowed, to_bytes(&owned));
+/// ```
 pub fn encode_columns<S, FV, FD, FM>(
     items: &[S],
     v: FV,
@@ -1496,9 +1626,21 @@ impl ColKeys<'_> {
     /// compares run over contiguous stack arrays. Returns `None` once
     /// the walk is exhausted.
     ///
-    /// The contract matches the scalar walk exactly: the block that
-    /// consumes the final element also enforces the key columns' byte
-    /// budget (trailing bytes are corruption, not slack), and any error
+    /// Each key column is bulk-decoded by the SWAR varint cracker
+    /// ([`WireReader::take_varints`]: terminator bytes located in one
+    /// packed pass, payload lanes folded by shift-and-mask — no
+    /// byte-at-a-time loop), then the delta prefix-sum runs over the
+    /// decoded degree lanes. Because the columns are independent
+    /// readers, a corrupt frame whose columns *both* truncate may
+    /// surface the vertex column's error where the scalar
+    /// [`ColKeys::next_key`] walk, which interleaves the columns
+    /// element by element, would surface the degree column's — the
+    /// failing frame set and the walk's poisoned end state are
+    /// identical either way.
+    ///
+    /// The contract matches the scalar walk: the block that consumes
+    /// the final element also enforces the key columns' byte budget
+    /// (trailing bytes are corruption, not slack), and any error
     /// exhausts the walk and leaves `block.len == 0` — a partially
     /// decoded block is never exposed.
     pub fn next_block(&mut self, block: &mut KeyBlock) -> Option<Result<(), WireError>> {
@@ -1509,16 +1651,19 @@ impl ColKeys<'_> {
         block.len = 0;
         let take = KEY_BLOCK_LEN.min(self.n - self.idx);
         let out = (|| {
-            for i in 0..take {
-                block.v[i] = self.v.take_varint()?;
-                block.degree[i] = if self.idx + i == 0 {
-                    self.d.take_varint()?
+            self.v.take_varints(&mut block.v[..take])?;
+            let mut deltas = [0u64; KEY_BLOCK_LEN];
+            self.d.take_varints(&mut deltas[..take])?;
+            let mut prev = self.prev;
+            for (i, &raw) in deltas[..take].iter().enumerate() {
+                prev = if self.idx + i == 0 {
+                    raw
                 } else {
-                    self.prev
-                        .wrapping_add(zigzag_decode(self.d.take_varint()?) as u64)
+                    prev.wrapping_add(zigzag_decode(raw) as u64)
                 };
-                self.prev = block.degree[i];
+                block.degree[i] = prev;
             }
+            self.prev = prev;
             if self.idx + take == self.n && (!self.v.is_empty() || !self.d.is_empty()) {
                 return Err(WireError::InvalidValue("columnar byte budget mismatch"));
             }
@@ -1793,6 +1938,82 @@ mod tests {
         let buf = [0xffu8; 11];
         let mut r = WireReader::new(&buf);
         assert_eq!(r.take_varint(), Err(WireError::VarintOverflow));
+    }
+
+    /// The SWAR crack path and the scalar loop must accept the same
+    /// byte strings, consume the same bytes and yield the same values —
+    /// across every width class, at every buffer-tail distance (which
+    /// decides whether the crack path engages at all).
+    #[test]
+    fn swar_crack_matches_scalar_decode() {
+        let mut values: Vec<u64> = vec![0, 1, 127, 128, 255, 16_383, 16_384, u64::MAX];
+        for bits in 0..64 {
+            values.push(1u64 << bits);
+            values.push((1u64 << bits) | 0x55);
+            values.push(hashish(bits) >> (bits % 64));
+        }
+        for &v in &values {
+            let mut encoded = Vec::new();
+            put_varint(&mut encoded, v);
+            // Pad so the 8-byte word load is exercised, then retry at
+            // every shorter tail down to the exact encoding length.
+            for pad in (0..=8usize).rev() {
+                let mut buf = encoded.clone();
+                buf.extend(std::iter::repeat_n(0xABu8, pad));
+                let mut fast = WireReader::new(&buf);
+                assert_eq!(fast.take_varint(), Ok(v), "value {v} pad {pad}");
+                let mut scalar = WireReader::new(&buf);
+                assert_eq!(scalar.take_varint_scalar(), Ok(v));
+                assert_eq!(fast.position(), scalar.position(), "value {v} pad {pad}");
+            }
+        }
+        // Non-canonical (overlong) encodings decode identically too.
+        let overlong = [0x80u8, 0x80, 0x00, 0xAB, 0xAB, 0xAB, 0xAB, 0xAB];
+        let mut fast = WireReader::new(&overlong);
+        assert_eq!(fast.take_varint(), Ok(0));
+        assert_eq!(fast.position(), 3);
+    }
+
+    #[test]
+    fn take_varints_bulk_matches_element_wise() {
+        // A mixed stream: every width class, including 10-byte
+        // encodings that force the scalar fallback mid-run.
+        let values: Vec<u64> = (0..300u64)
+            .map(|i| match i % 5 {
+                0 => i,
+                1 => 128 + i,
+                2 => hashish(i),
+                3 => u64::MAX - i,
+                _ => 1u64 << (i % 57),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        for chunk in [1usize, 2, 31, 32, 33, 300] {
+            let mut r = WireReader::new(&buf);
+            let mut out = vec![0u64; values.len()];
+            for lanes in out.chunks_mut(chunk) {
+                r.take_varints(lanes).expect("bulk decode");
+            }
+            assert_eq!(out, values, "chunk {chunk}");
+            assert!(r.is_empty());
+        }
+        // Truncation inside the run errors exactly like the scalar walk.
+        let mut r = WireReader::new(&buf[..buf.len() - 1]);
+        let mut out = vec![0u64; values.len()];
+        assert!(matches!(
+            r.take_varints(&mut out),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        // An 11-byte continuation run overflows, not spins.
+        let hostile = [0xffu8; 16];
+        let mut r = WireReader::new(&hostile);
+        assert_eq!(
+            r.take_varints(&mut [0u64; 2]),
+            Err(WireError::VarintOverflow)
+        );
     }
 
     #[test]

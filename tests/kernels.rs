@@ -23,18 +23,19 @@ use std::rc::Rc;
 use proptest::prelude::*;
 use tripoll::core::{
     intersect_col, intersect_slices, intersect_stream, kernel_stats, kernel_stats_take, merge_path,
-    survey_push_only_with, survey_push_pull_with, BatchLayout, DecodePath, EngineMode,
-    IntersectKernel, SurveyConfig,
+    simd_backend, simd_force_swar, survey_push_only_with, survey_push_pull_with, BatchLayout,
+    DecodePath, EngineMode, IntersectKernel, SimdBackend, SurveyConfig,
 };
 use tripoll::graph::{build_dist_graph, EdgeList, OrderKey, Partition};
 use tripoll::ygm::hash::hash64;
 use tripoll::ygm::wire::{to_bytes, ColBatch, ColCursor, WireReader};
 use tripoll::ygm::World;
 
-const KERNELS: [IntersectKernel; 4] = [
+const KERNELS: [IntersectKernel; 5] = [
     IntersectKernel::MergeScalar,
     IntersectKernel::Gallop,
     IntersectKernel::BlockedMerge,
+    IntersectKernel::Simd,
     IntersectKernel::Auto,
 ];
 
@@ -359,6 +360,119 @@ fn gallop_beats_scalar_compares_at_heavy_skew() {
     );
     let s = kernel_stats();
     assert_eq!((s.gallop_runs, s.scalar_runs, s.blocked_runs), (1, 0, 0));
+}
+
+/// Serializes every test that reads or writes the process-global
+/// forced-SWAR flag: without it, one test's guard drop could un-force
+/// the flag while another test is mid-differential (silently running
+/// its "forced" pass on the native backend), and backend-restore
+/// assertions could observe the other test's state.
+static SWAR_FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Holds [`SWAR_FLAG_LOCK`] for the test's whole body and restores the
+/// SIMD backend override when dropped, so a failing assertion cannot
+/// leave the forced-SWAR flag set for later tests.
+struct SwarTestLock(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+impl SwarTestLock {
+    fn acquire() -> Self {
+        // A panic in the other serialized test poisons the lock; the
+        // flag is restored by its guard's Drop either way, so the
+        // poison itself carries no state worth failing over.
+        let guard = SWAR_FLAG_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        SwarTestLock(guard)
+    }
+}
+
+/// Forces the SWAR backend for a scope (the lock must already be held
+/// via [`SwarTestLock`]).
+struct SwarGuard;
+impl SwarGuard {
+    fn force() -> Self {
+        simd_force_swar(true);
+        assert_eq!(simd_backend(), SimdBackend::Swar, "force knob must stick");
+        SwarGuard
+    }
+}
+impl Drop for SwarGuard {
+    fn drop(&mut self) {
+        simd_force_swar(false);
+    }
+}
+
+/// The SIMD kernel must behave identically with the intrinsics
+/// disabled: same ordered match sets, and bit-identical deterministic
+/// `KernelStats` whether AVX2/SSE2 ran or the portable SWAR fallback
+/// did. (The force knob is process-global, but it is safe against the
+/// concurrently running tests in this binary precisely because of the
+/// property asserted here: backends change how a probe group is
+/// compared, never what is counted or matched.)
+#[test]
+fn forced_swar_matches_native_backend() {
+    let _lock = SwarTestLock::acquire();
+    let native = simd_backend();
+    // Deterministic counter capture of one Simd run over all three
+    // entry points, at a mixed-skew shape that exercises group skips,
+    // matches and misses.
+    let run_all = |ctx: &str| -> tripoll::core::KernelStats {
+        let left: Vec<u64> = (0..400u64).map(|i| i * 3).collect();
+        let right: Vec<u64> = (0..900u64).map(|i| i * 2).collect();
+        let _ = kernel_stats_take();
+        assert_kernels_match(&left, &right, ctx);
+        assert_kernels_match(&right, &left, ctx);
+        assert_kernels_match(&[7; 100], &[7; 40], ctx);
+        kernel_stats_take()
+    };
+    let with_native = run_all("native backend");
+    let with_swar = {
+        let _guard = SwarGuard::force();
+        run_all("forced swar")
+    };
+    assert_eq!(
+        with_native, with_swar,
+        "KernelStats must not depend on the SIMD backend (native = {native})"
+    );
+    assert!(with_native.simd_runs > 0, "the Simd kernel must have run");
+    assert_eq!(simd_backend(), native, "guard must restore the backend");
+}
+
+/// Survey-level forced-SWAR differential: a full Simd-kernel survey
+/// (both engines) must produce the oracle's counts, checksums and
+/// match counters with the intrinsics disabled.
+#[test]
+fn forced_swar_surveys_agree_with_the_oracle() {
+    let _lock = SwarTestLock::acquire();
+    let list = hub_graph();
+    for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+        let oracle = run_survey(
+            &list,
+            4,
+            mode,
+            SurveyConfig::default().with_kernel(IntersectKernel::MergeScalar),
+        );
+        let native = run_survey(
+            &list,
+            4,
+            mode,
+            SurveyConfig::default().with_kernel(IntersectKernel::Simd),
+        );
+        let swar = {
+            let _guard = SwarGuard::force();
+            run_survey(
+                &list,
+                4,
+                mode,
+                SurveyConfig::default().with_kernel(IntersectKernel::Simd),
+            )
+        };
+        assert_eq!(native, swar, "{mode}: backend must not change any outcome");
+        for (rank, (n, o)) in native.iter().zip(oracle.iter()).enumerate() {
+            assert_eq!(n.count, o.count, "{mode} rank {rank} count");
+            assert_eq!(n.checksum, o.checksum, "{mode} rank {rank} checksum");
+            assert_eq!(n.matches, o.matches, "{mode} rank {rank} matches");
+        }
+    }
 }
 
 proptest! {
