@@ -6,15 +6,19 @@
 //! instrumented survey run.
 //!
 //! Besides the human-readable lines, the harness writes
-//! `BENCH_micro.json` (schema `tripoll-bench-micro/v5`) so successive
+//! `BENCH_micro.json` (schema `tripoll-bench-micro/v6`) so successive
 //! PRs can track the perf trajectory mechanically: kernel ns/iter,
 //! bytes sent, envelope counts, allocation-count proxies for the push
 //! (encode) and recv (decode) paths, the intersection-kernel
 //! comparison (scalar vs gallop vs blocked vs simd at four degree
 //! skews, with deterministic compare counters), the SWAR varint-crack
-//! ns/key proxy, and wall time. CI diffs the recv allocation proxies,
-//! columnar bytes/candidate and the Auto and Simd kernels'
-//! compares/candidate against the committed baseline (`bench_diff`).
+//! ns/key proxy, the parallel batch-dispatch scaling (ns/batch at
+//! 1/2/4 threads plus the 4-thread survey's merged compare counters),
+//! and wall time. CI diffs the recv allocation proxies, columnar
+//! bytes/candidate, the Auto and Simd kernels' compares/candidate, and
+//! the parallel survey's merged compares/candidate (0% drift — the
+//! deterministic-reduction invariant) against the committed baseline
+//! (`bench_diff`).
 
 use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -22,7 +26,11 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tripoll_core::{intersect_col, kernel_stats_take, merge_path, EngineMode, IntersectKernel};
+use rayon::pool::ThreadPool;
+use tripoll_core::{
+    intersect_col, kernel_stats_take, merge_path, survey_push_pull_with, EngineMode,
+    IntersectKernel, Parallelism, SurveyConfig,
+};
 use tripoll_graph::{build_dist_graph, DistGraph, EdgeList, OrderKey, Partition};
 use tripoll_ygm::buffer::{BufferPool, SendBuffer};
 use tripoll_ygm::hash::{hash64, FastMap};
@@ -993,6 +1001,169 @@ fn compare_varint_crack() -> CrackRun {
     run
 }
 
+/// Batches per parallel-dispatch measurement pass.
+const PD_BATCHES: usize = 256;
+/// Candidates per batch — hub scale, where batch parallelism pays.
+const PD_CANDS: usize = 512;
+/// Right-side (stored adjacency) length per batch.
+const PD_RIGHT: usize = 16_384;
+/// Timed passes over the full batch set per thread count.
+const PD_PASSES: usize = 8;
+
+/// Measurement of the multi-threaded batch dispatch.
+struct ParallelDispatch {
+    /// `(threads, ns_per_batch)` at 1, 2 and 4 threads.
+    threads: Vec<(usize, f64)>,
+    /// Merged compares/candidate of a 4-thread Push-Pull survey.
+    par_compares_per_candidate: f64,
+    /// Same survey, serial — must match the parallel value exactly.
+    serial_compares_per_candidate: f64,
+}
+
+/// One rank's merged kernel counters plus the triangle count for the
+/// instrumented R-MAT survey at the given thread setting.
+fn survey_merged_counters(threads: Parallelism) -> (u64, u64, u64) {
+    let edges = tripoll_gen::rmat_edges(&tripoll_gen::RmatConfig::graph500(10, 42));
+    let list = EdgeList::from_vec(
+        edges
+            .into_iter()
+            .map(|(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
+    )
+    .canonicalize();
+    let out = World::new(4).run(|comm| {
+        let local = list.stride_for_rank(comm.rank(), comm.nranks());
+        let g: DistGraph<(), ()> = build_dist_graph(comm, local, |_| (), Partition::Hashed);
+        let _ = kernel_stats_take();
+        let count = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let c2 = count.clone();
+        survey_push_pull_with(
+            comm,
+            &g,
+            SurveyConfig::default().with_threads(threads),
+            move |_c, _tm| c2.set(c2.get() + 1),
+        );
+        let ks = kernel_stats_take();
+        (
+            comm.all_reduce_sum(ks.compares),
+            comm.all_reduce_sum(ks.candidates),
+            comm.all_reduce_sum(count.get()),
+        )
+    });
+    assert!(out.iter().all(|&o| o == out[0]), "ranks disagree");
+    out[0]
+}
+
+/// Scaling of the work-stealing batch dispatch: the same hub-scale
+/// batch set (columnar candidate frames intersected against a stored
+/// adjacency, the production `Task` shape) processed by dedicated
+/// pools of 1, 2 and 4 threads, plus the end-to-end determinism
+/// record: merged compares/candidate of a 4-thread survey vs its
+/// serial twin (CI gates the parallel value at 0% drift).
+fn compare_parallel_dispatch() -> ParallelDispatch {
+    let right: Vec<(u64, OrderKey)> = (0..PD_RIGHT as u64)
+        .map(|i| (2 * i, OrderKey::new(2 * i, 2 * i)))
+        .collect();
+    struct PdTask {
+        frame: Vec<u8>,
+        checksum: u64,
+    }
+    let step = 2 * (PD_RIGHT / PD_CANDS) as u64;
+    let mut tasks: Vec<PdTask> = (0..PD_BATCHES as u64)
+        .map(|b| {
+            // Alternating hits and off-by-one misses, phase-shifted per
+            // batch so frames are distinct.
+            let keys: Vec<(u64, u64, u64)> = (0..PD_CANDS as u64)
+                .map(|i| {
+                    let v = i * step + ((i + b) % 2);
+                    (v, v, i)
+                })
+                .collect();
+            PdTask {
+                frame: to_bytes(&ColBatch::<u64>(keys)),
+                checksum: 0,
+            }
+        })
+        .collect();
+    let process = |t: &mut PdTask| {
+        let mut r = WireReader::new(&t.frame);
+        let ColCursor {
+            mut keys,
+            mut metas,
+        }: ColCursor<'_, u64> = ColCursor::begin(&mut r).expect("frame");
+        let mut acc = 0u64;
+        intersect_col(
+            IntersectKernel::Auto,
+            &mut keys,
+            &right,
+            |e| e.1,
+            |k, e| {
+                // Production pattern: metadata decoded on match.
+                acc = acc.wrapping_add(metas.get(k.idx)?).wrapping_add(e.0);
+                Ok(())
+            },
+        )
+        .expect("intersect");
+        t.checksum = acc;
+    };
+
+    let mut threads = Vec::new();
+    let mut reference: Option<u64> = None;
+    for t in [1usize, 2, 4] {
+        // A dedicated pool per thread count (the caller participates,
+        // so `t` threads = `t - 1` workers), sidestepping the global
+        // pool's host-dependent width.
+        let pool = ThreadPool::new(t - 1);
+        pool.run_mut(&mut tasks, |task| process(task)); // warm-up
+        let checksum: u64 = tasks.iter().map(|task| task.checksum).sum();
+        match reference {
+            None => reference = Some(checksum),
+            Some(r) => assert_eq!(r, checksum, "dispatch diverged at {t} threads"),
+        }
+        let start = Instant::now();
+        for _ in 0..PD_PASSES {
+            pool.run_mut(&mut tasks, |task| process(task));
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (PD_PASSES * PD_BATCHES) as f64;
+        println!("parallel_dispatch/threads_{t}                {ns:>10.1} ns/batch");
+        threads.push((t, ns));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t1 = threads[0].1;
+    for &(t, ns) in &threads[1..] {
+        let speedup = t1 / ns;
+        let target = if t == 2 { 1.7 } else { 3.0 };
+        println!("parallel_dispatch/speedup_{t}                {speedup:>10.2} x");
+        if speedup < target {
+            println!(
+                "WARNING: {t}-thread dispatch speedup {speedup:.2}x is below the {target}x \
+                 target (host has {cores} core(s); scaling needs >= {t})"
+            );
+        }
+    }
+    // Reset the caller's thread-local tallies the dispatch runs above
+    // accumulated before the gated survey measurement.
+    let _ = kernel_stats_take();
+
+    let serial = survey_merged_counters(Parallelism::Serial);
+    let parallel = survey_merged_counters(Parallelism::Threads(4));
+    assert_eq!(
+        serial, parallel,
+        "4-thread survey diverged from serial (compares, candidates, triangles)"
+    );
+    let cpc = |(compares, candidates, _): (u64, u64, u64)| compares as f64 / candidates as f64;
+    println!(
+        "parallel_dispatch/survey_compares_per_cand serial {:>8.4}  threads4 {:>8.4}",
+        cpc(serial),
+        cpc(parallel)
+    );
+    ParallelDispatch {
+        threads,
+        par_compares_per_candidate: cpc(parallel),
+        serial_compares_per_candidate: cpc(serial),
+    }
+}
+
 /// Synthetic dry-run input: `verts` local vertices, each with `deg`
 /// wedge targets spread over a hashed id space.
 fn dry_run_adjacency(verts: usize, deg: usize) -> Vec<Vec<u64>> {
@@ -1147,10 +1318,11 @@ fn write_json(
     kernel_cpc: f64,
     simd_cpc: f64,
     crack: &CrackRun,
+    pd: &ParallelDispatch,
     surveys: &[SurveyRun],
 ) {
     let mut j = String::from("{\n");
-    j.push_str("  \"schema\": \"tripoll-bench-micro/v5\",\n");
+    j.push_str("  \"schema\": \"tripoll-bench-micro/v6\",\n");
 
     j.push_str("  \"kernels\": [\n");
     for (i, k) in kernels.iter().enumerate() {
@@ -1273,6 +1445,28 @@ fn write_json(
         100.0 * (1.0 - crack.crack_ns_per_key / crack.scalar_ns_per_key),
     ));
 
+    // The gated summary (`parallel_compares_per_candidate`, CI tolerance
+    // 0%) leads the section; ns/batch and speedups are wall-clock
+    // context, honest about the host's core count.
+    let pd_t1 = pd.threads[0].1;
+    let pd_threads: Vec<String> = pd
+        .threads
+        .iter()
+        .map(|&(t, ns)| {
+            format!(
+                "{{\"threads\": {t}, \"ns_per_batch\": {ns:.1}, \"speedup\": {:.2}}}",
+                pd_t1 / ns
+            )
+        })
+        .collect();
+    j.push_str(&format!(
+        "  \"parallel_dispatch\": {{\n    \"parallel_compares_per_candidate\": {:.4},\n    \"serial_compares_per_candidate\": {:.4},\n    \"batches\": {PD_BATCHES},\n    \"candidates_per_batch\": {PD_CANDS},\n    \"right_len\": {PD_RIGHT},\n    \"host_cores\": {},\n    \"scaling\": [\n      {}\n    ]\n  }},\n",
+        pd.par_compares_per_candidate,
+        pd.serial_compares_per_candidate,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        pd_threads.join(",\n      "),
+    ));
+
     j.push_str("  \"surveys\": [\n");
     for (i, s) in surveys.iter().enumerate() {
         let st = &s.stats;
@@ -1329,6 +1523,7 @@ fn main() {
     let (dry_old, dry_new) = compare_dry_run_plans();
     let (kernel_skews, kernel_cpc, simd_cpc) = compare_intersect_kernels();
     let crack = compare_varint_crack();
+    let pd = compare_parallel_dispatch();
 
     let mut surveys = Vec::new();
     for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
@@ -1364,6 +1559,7 @@ fn main() {
         kernel_cpc,
         simd_cpc,
         &crack,
+        &pd,
         &surveys,
     );
 }

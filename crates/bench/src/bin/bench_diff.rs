@@ -17,15 +17,20 @@
 //! * `intersect_kernel.compares_per_candidate` — the Auto kernel's
 //!   deterministic key-compare count per candidate, summed over the
 //!   fixed skew points (balanced, 10:1, 1000:1 and its reverse) — the
-//!   work the gallop and blocked kernels exist to avoid.
+//!   work the gallop and blocked kernels exist to avoid;
+//! * `parallel_dispatch.parallel_compares_per_candidate` — the merged
+//!   compare counters of a 4-thread survey. Gated at **0%** in both
+//!   directions: the parallel reduction is defined to be bit-identical
+//!   to serial, so any drift is a broken stats merge, not a perf
+//!   change.
 //!
-//! Each gate allows 10% relative growth over the baseline; wall-time
-//! numbers are deliberately *not* gated (CI machines are too noisy),
-//! while allocation counts, encoded byte volumes and kernel compare
-//! counters are deterministic.
+//! Each growth gate allows 10% relative growth over the baseline;
+//! wall-time numbers are deliberately *not* gated (CI machines are too
+//! noisy), while allocation counts, encoded byte volumes and kernel
+//! compare counters are deterministic.
 //!
 //! The parser is a minimal scraper for the known
-//! `tripoll-bench-micro/v5` schema (the container vendors no JSON
+//! `tripoll-bench-micro/v6` schema (the container vendors no JSON
 //! crate); a baseline predating a gated section passes with a notice so
 //! a gate can be adopted in the same change that introduces its
 //! section.
@@ -102,6 +107,15 @@ fn simd_compares_per_candidate(json: &str) -> Option<f64> {
     number_after(section, "simd_compares_per_candidate")
 }
 
+/// Extracts `parallel_dispatch.parallel_compares_per_candidate` — the
+/// merged kernel compare counters of a 4-thread Push-Pull survey,
+/// normalized per candidate. The per-worker tallies reduce in
+/// batch-index order, so the value is deterministic down to the bit.
+fn parallel_compares_per_candidate(json: &str) -> Option<f64> {
+    let section = after_key(json, "parallel_dispatch")?;
+    number_after(section, "parallel_compares_per_candidate")
+}
+
 /// One gated metric: compares fresh vs baseline under the shared
 /// regression policy. Returns false on failure. A zero baseline is an
 /// invariant, not a ratio: any growth at all fails.
@@ -131,6 +145,32 @@ fn gate(name: &str, baseline: Option<f64>, fresh: Option<f64>, new_path: &str) -
         return false;
     }
     println!("bench_diff: OK (limit {limit:.4})");
+    true
+}
+
+/// A determinism gate: the fresh value must equal the baseline exactly
+/// (0% tolerance, both directions). Used for metrics whose *identity*
+/// is the invariant — the parallel merge's reduced counters — where a
+/// decrease is as much a bug as an increase. The missing-baseline
+/// adoption path matches [`gate`].
+fn gate_exact(name: &str, baseline: Option<f64>, fresh: Option<f64>, new_path: &str) -> bool {
+    let Some(new_v) = fresh else {
+        eprintln!("bench_diff: {new_path} has no {name} metric — did the micro bench run?");
+        return false;
+    };
+    let Some(base_v) = baseline else {
+        println!(
+            "bench_diff: baseline predates the {name} metric; gate passes \
+             (new value {new_v:.4} — commit the fresh BENCH_micro.json to make it the reference)"
+        );
+        return true;
+    };
+    println!("{name}: baseline {base_v:.4}, new {new_v:.4}");
+    if new_v != base_v {
+        eprintln!("bench_diff: FAIL — {name} drifted ({base_v:.4} -> {new_v:.4}); tolerance is 0%");
+        return false;
+    }
+    println!("bench_diff: OK (exact)");
     true
 }
 
@@ -182,6 +222,12 @@ fn main() -> ExitCode {
             simd_compares_per_candidate(&fresh),
             new_path,
         ),
+        gate_exact(
+            "parallel-survey merged compares/candidate",
+            parallel_compares_per_candidate(&baseline),
+            parallel_compares_per_candidate(&fresh),
+            new_path,
+        ),
     ]
     .into_iter()
     .all(|g| g);
@@ -216,6 +262,16 @@ mod tests {
     "block_len": 32,
     "skews": [
       {"skew": "balanced", "left": 4096, "right": 4096, "scalar": {"ns_per_candidate": 4.1, "kernel_compares_per_candidate": 2.0, "allocs": 0, "matches_per_iter": 2048}, "auto": {"ns_per_candidate": 3.0, "kernel_compares_per_candidate": 2.1, "allocs": 0, "matches_per_iter": 2048}}
+    ]
+  },
+  "parallel_dispatch": {
+    "parallel_compares_per_candidate": 2.5000,
+    "serial_compares_per_candidate": 2.5000,
+    "batches": 256,
+    "candidates_per_batch": 512,
+    "scaling": [
+      {"threads": 1, "ns_per_batch": 9000.0, "speedup": 1.00},
+      {"threads": 4, "ns_per_batch": 2500.0, "speedup": 3.60}
     ]
   }
 }"#;
@@ -272,6 +328,32 @@ mod tests {
             "\"bytes_per_candidate\": 11.266, \"encode_allocs\": 0, \"decode_allocs\": 4096",
         );
         assert_eq!(columnar_decode_allocs_per_batch(&s), Some(1.0));
+    }
+
+    #[test]
+    fn extracts_parallel_compares() {
+        // The section's own summary, not the serial twin recorded next
+        // to it (quoted-needle match keeps the two keys apart).
+        assert_eq!(parallel_compares_per_candidate(SAMPLE), Some(2.5));
+        assert_eq!(
+            parallel_compares_per_candidate("{\"schema\": \"v1\"}"),
+            None
+        );
+        // A baseline predating the section scrapes as None (adoption).
+        let pre = &SAMPLE[..SAMPLE.find("\"parallel_dispatch\"").unwrap()];
+        assert_eq!(parallel_compares_per_candidate(pre), None);
+    }
+
+    #[test]
+    fn gate_exact_policy() {
+        // Bit-equality required, both directions.
+        assert!(gate_exact("g", Some(2.5), Some(2.5), "x"));
+        assert!(!gate_exact("g", Some(2.5), Some(2.5001), "x"));
+        assert!(!gate_exact("g", Some(2.5), Some(2.4999), "x"));
+        // Adoption path: metric missing from the baseline passes.
+        assert!(gate_exact("g", None, Some(2.5), "x"));
+        // Metric missing from the fresh run fails.
+        assert!(!gate_exact("g", Some(2.5), None, "x"));
     }
 
     #[test]

@@ -49,14 +49,18 @@
 //! * [`IntersectKernel::Auto`] (production default) — per-batch
 //!   size-ratio heuristic, shape-aware. Over random-access slices
 //!   ([`IntersectKernel::select`]): gallop when either side is at
-//!   least [`GALLOP_RATIO`]× the other (`min·K < max`), the SIMD
-//!   block merge otherwise. Over a streaming left side that must be
+//!   least [`GALLOP_RATIO`]× the other (`min·K < max`), the scalar
+//!   blocked merge otherwise. Over a streaming left side that must be
 //!   decoded sequentially regardless
 //!   ([`IntersectKernel::select_streaming`]): gallop only when the
 //!   *right* side is the much larger one (`left·K < right`); a much
-//!   larger left resolves to the SIMD block merge, whose bulk decode
-//!   and packed lane skips are the only win available when decode
-//!   cost dominates. Both lengths are known before any element is
+//!   larger left resolves to the blocked merge, whose bulk decode is
+//!   the only win available when decode cost dominates. (The SIMD
+//!   kernel's packed probes measure consistently *behind* the scalar
+//!   blocked merge at the non-gallop shapes — skip runs there are
+//!   about one lane, so every probe group pays setup for no skip —
+//!   hence `Auto` no longer resolves to it; `Simd` remains an
+//!   explicit choice.) Both lengths are known before any element is
 //!   decoded (the batch count rides in the frame header, the local
 //!   adjacency length is in storage), so selection is free and
 //!   deterministic.
@@ -160,14 +164,14 @@ impl std::fmt::Display for BatchLayout {
 /// use tripoll_core::{IntersectKernel, GALLOP_RATIO};
 ///
 /// let auto = IntersectKernel::Auto;
-/// // Balanced random-access sides: the SIMD block merge.
-/// assert_eq!(auto.select(1000, 1000), IntersectKernel::Simd);
+/// // Balanced random-access sides: the scalar blocked merge.
+/// assert_eq!(auto.select(1000, 1000), IntersectKernel::BlockedMerge);
 /// // Heavy skew in either direction: gallop into the larger side.
 /// assert_eq!(auto.select(10, 10 * GALLOP_RATIO + 1), IntersectKernel::Gallop);
 /// assert_eq!(auto.select(10 * GALLOP_RATIO + 1, 10), IntersectKernel::Gallop);
 /// // A streaming (decode-bound) left side only gallops into a much
-/// // larger right; the reverse skew stays on the block merge.
-/// assert_eq!(auto.select_streaming(1000, 10), IntersectKernel::Simd);
+/// // larger right; the reverse skew stays on the blocked merge.
+/// assert_eq!(auto.select_streaming(1000, 10), IntersectKernel::BlockedMerge);
 /// // Explicit kernels always resolve to themselves.
 /// assert_eq!(IntersectKernel::Gallop.select(5, 5), IntersectKernel::Gallop);
 /// ```
@@ -176,7 +180,7 @@ impl std::fmt::Display for BatchLayout {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IntersectKernel {
     /// Per-batch size-ratio heuristic: [`IntersectKernel::Gallop`] at
-    /// heavy skew, else [`IntersectKernel::Simd`] — see
+    /// heavy skew, else [`IntersectKernel::BlockedMerge`] — see
     /// [`IntersectKernel::select`] / [`select_streaming`] for the
     /// exact (and deliberately asymmetric) contracts. The production
     /// default.
@@ -218,8 +222,8 @@ pub enum IntersectKernel {
 ///   *asymmetric* — gallop only when `|left|·K < |right|`. A streaming
 ///   left side (a wire cursor) must be decoded sequentially regardless
 ///   of kernel, so a much larger *left* gains nothing from seeking and
-///   resolves to the SIMD block merge, whose bulk decode and packed
-///   lane skips are the only lever when decode cost dominates.
+///   resolves to the blocked merge, whose bulk decode is the only
+///   lever when decode cost dominates.
 ///
 /// At ratio `K` the merge walks `max ≥ K·min` keys while galloping
 /// costs about `min·(2·log₂(max/min)+2)` compares; `K = 8` is where
@@ -233,8 +237,11 @@ impl IntersectKernel {
     /// themselves. **Symmetric** in the side lengths: a skew past
     /// [`GALLOP_RATIO`] in either direction picks the gallop (it can
     /// seek into whichever side is larger); anything milder resolves
-    /// to [`IntersectKernel::Simd`]. Deterministic, and both lengths
-    /// are known up front.
+    /// to [`IntersectKernel::BlockedMerge`], which measures ahead of
+    /// the packed-lane [`IntersectKernel::Simd`] variant at balanced
+    /// shapes (skip runs there are ~1 lane, so probe-group setup never
+    /// pays for itself). Deterministic, and both lengths are known up
+    /// front.
     #[inline]
     pub fn select(self, left_len: usize, right_len: usize) -> IntersectKernel {
         match self {
@@ -247,7 +254,7 @@ impl IntersectKernel {
                 if small.saturating_mul(GALLOP_RATIO) < large {
                     IntersectKernel::Gallop
                 } else {
-                    IntersectKernel::Simd
+                    IntersectKernel::BlockedMerge
                 }
             }
             k => k,
@@ -259,10 +266,10 @@ impl IntersectKernel {
     /// kernel). **Asymmetric**, unlike [`IntersectKernel::select`]:
     /// galloping only pays when it seeks into a much larger **right**
     /// side (`left·`[`GALLOP_RATIO`]` < right`), so a much larger
-    /// *left* resolves to [`IntersectKernel::Simd`] instead — its bulk
-    /// decode plus packed lane skips are the only lever when the
-    /// decode itself dominates. See [`GALLOP_RATIO`] for the full
-    /// two-shape contract.
+    /// *left* resolves to [`IntersectKernel::BlockedMerge`] instead —
+    /// its bulk decode is the only lever when the decode itself
+    /// dominates. See [`GALLOP_RATIO`] for the full two-shape
+    /// contract.
     #[inline]
     pub fn select_streaming(self, left_len: usize, right_len: usize) -> IntersectKernel {
         match self {
@@ -270,7 +277,7 @@ impl IntersectKernel {
                 if left_len.saturating_mul(GALLOP_RATIO) < right_len {
                     IntersectKernel::Gallop
                 } else {
-                    IntersectKernel::Simd
+                    IntersectKernel::BlockedMerge
                 }
             }
             k => k,
@@ -290,14 +297,81 @@ impl std::fmt::Display for IntersectKernel {
     }
 }
 
+/// Intra-rank merge parallelism: how many threads a rank may use to
+/// intersect received wedge batches (the engine's merge path). This is
+/// a *local compute* axis like [`IntersectKernel`]: every setting
+/// yields bit-identical survey counts, metadata checksums, and merged
+/// [`KernelStats`], because parallel work items are reduced in batch
+/// index order, not completion order (see `docs/ARCHITECTURE.md`,
+/// threading model).
+///
+/// The worker threads come from the process-wide persistent
+/// work-stealing pool (`rayon::pool::global()`); per-survey settings
+/// only decide whether a rank *routes* merge work through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Resolve the thread count from the `TRIPOLL_THREADS` environment
+    /// variable at survey time (read once per process). Unset, empty,
+    /// unparsable, `0`, or `1` all mean serial. The production default:
+    /// CI forces the parallel path through every existing suite by
+    /// exporting `TRIPOLL_THREADS=4`.
+    #[default]
+    Env,
+    /// Always the serial merge path, regardless of environment.
+    Serial,
+    /// Use up to this many threads (the calling rank participates, so
+    /// `Threads(4)` is the rank plus up to three pool workers).
+    /// `Threads(0)` and `Threads(1)` are the serial path.
+    Threads(u32),
+}
+
+impl Parallelism {
+    /// The effective thread count: `1` means the serial path, `n > 1`
+    /// routes merge batches through the shared pool with up to `n`
+    /// lanes (capped by pool size at dispatch).
+    pub fn resolved(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => (n as usize).max(1),
+            Parallelism::Env => {
+                static ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+                *ENV.get_or_init(|| {
+                    std::env::var("TRIPOLL_THREADS")
+                        .ok()
+                        .and_then(|v| v.trim().parse::<usize>().ok())
+                        .unwrap_or(1)
+                        .max(1)
+                })
+            }
+        }
+    }
+
+    /// Whether this setting resolves to the parallel merge path.
+    pub fn is_parallel(self) -> bool {
+        self.resolved() > 1
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Env => write!(f, "Env({})", self.resolved()),
+            Parallelism::Serial => write!(f, "Serial"),
+            Parallelism::Threads(n) => write!(f, "Threads({n})"),
+        }
+    }
+}
+
 /// Per-survey engine configuration: the wire layout of candidate
-/// batches, the receive decode path, and the intersection kernel. The
-/// first two axes are collective contracts (same value on every rank);
-/// the kernel is a local compute choice carried alongside them for
+/// batches, the receive decode path, the intersection kernel, and the
+/// intra-rank merge parallelism. The first two axes are collective
+/// contracts (same value on every rank); the kernel and thread count
+/// are local compute choices carried alongside them for
 /// reproducibility. The default — [`BatchLayout::Columnar`] decoded by
-/// [`DecodePath::Cursor`] and intersected by [`IntersectKernel::Auto`]
-/// — is the production hot path; every other combination yields an
-/// identical survey and exists for differential testing.
+/// [`DecodePath::Cursor`], intersected by [`IntersectKernel::Auto`],
+/// threaded per [`Parallelism::Env`] — is the production hot path;
+/// every other combination yields an identical survey and exists for
+/// differential testing.
 ///
 /// Build one with the chainable `with_*` setters, or pass a bare axis
 /// value anywhere `impl Into<SurveyConfig>` is accepted (the
@@ -331,11 +405,13 @@ pub struct SurveyConfig {
     pub decode: DecodePath,
     /// Intersection kernel for every wedge check.
     pub kernel: IntersectKernel,
+    /// Intra-rank merge parallelism (serial at `threads.resolved() <= 1`).
+    pub threads: Parallelism,
 }
 
 impl SurveyConfig {
     /// The production configuration (columnar batches, cursor decode,
-    /// auto-selected kernel).
+    /// auto-selected kernel, environment-resolved parallelism).
     pub fn new() -> Self {
         SurveyConfig::default()
     }
@@ -355,6 +431,12 @@ impl SurveyConfig {
     /// This configuration with the given intersection kernel.
     pub fn with_kernel(mut self, kernel: IntersectKernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// This configuration with the given merge parallelism.
+    pub fn with_threads(mut self, threads: Parallelism) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -385,6 +467,17 @@ impl From<IntersectKernel> for SurveyConfig {
     fn from(kernel: IntersectKernel) -> Self {
         SurveyConfig {
             kernel,
+            ..SurveyConfig::default()
+        }
+    }
+}
+
+/// A bare parallelism setting selects that thread count under the
+/// default layout/decode/kernel.
+impl From<Parallelism> for SurveyConfig {
+    fn from(threads: Parallelism) -> Self {
+        SurveyConfig {
+            threads,
             ..SurveyConfig::default()
         }
     }
@@ -587,6 +680,25 @@ pub fn kernel_stats() -> KernelStats {
 /// Reads and resets this thread's accumulated [`KernelStats`].
 pub fn kernel_stats_take() -> KernelStats {
     KERNEL_STATS.with(|c| c.replace(KernelStats::ZERO))
+}
+
+/// Adds `delta` into this thread's accumulated [`KernelStats`]. The
+/// parallel merge path uses this to fold per-work-item stats (taken on
+/// the worker thread that ran the item) back into the owning rank's
+/// counter in batch-index order, keeping the merged tallies
+/// bit-identical to a serial run.
+pub fn kernel_stats_add(delta: KernelStats) {
+    KERNEL_STATS.with(|c| {
+        let mut s = c.get();
+        s.compares += delta.compares;
+        s.candidates += delta.candidates;
+        s.matches += delta.matches;
+        s.scalar_runs += delta.scalar_runs;
+        s.gallop_runs += delta.gallop_runs;
+        s.blocked_runs += delta.blocked_runs;
+        s.simd_runs += delta.simd_runs;
+        c.set(s);
+    });
 }
 
 /// Flushes one intersection's local tallies into the thread counter —
@@ -1385,6 +1497,10 @@ mod tests {
             d.with_kernel(IntersectKernel::Gallop)
         );
         assert_eq!(
+            SurveyConfig::from(Parallelism::Threads(4)),
+            d.with_threads(Parallelism::Threads(4))
+        );
+        assert_eq!(
             SurveyConfig::default()
                 .with_layout(BatchLayout::Interleaved)
                 .with_decode(DecodePath::Owned)
@@ -1393,27 +1509,47 @@ mod tests {
                 layout: BatchLayout::Interleaved,
                 decode: DecodePath::Owned,
                 kernel: IntersectKernel::MergeScalar,
+                threads: Parallelism::Env,
             }
         );
     }
 
     #[test]
+    fn parallelism_resolves_deterministically() {
+        assert_eq!(Parallelism::Serial.resolved(), 1);
+        assert!(!Parallelism::Serial.is_parallel());
+        assert_eq!(Parallelism::Threads(0).resolved(), 1);
+        assert_eq!(Parallelism::Threads(1).resolved(), 1);
+        assert_eq!(Parallelism::Threads(4).resolved(), 4);
+        assert!(Parallelism::Threads(4).is_parallel());
+        // Env resolves to >= 1 whatever the environment says.
+        assert!(Parallelism::Env.resolved() >= 1);
+    }
+
+    #[test]
     fn auto_kernel_selection_follows_the_skew_ratio() {
         let auto = IntersectKernel::Auto;
-        // Balanced or mildly skewed sides: the SIMD block merge.
-        assert_eq!(auto.select(100, 100), IntersectKernel::Simd);
-        assert_eq!(auto.select(100, 799), IntersectKernel::Simd);
-        assert_eq!(auto.select(799, 100), IntersectKernel::Simd);
+        // Balanced or mildly skewed sides: the scalar blocked merge
+        // (the SIMD variant measures ~9% behind it at these shapes).
+        assert_eq!(auto.select(100, 100), IntersectKernel::BlockedMerge);
+        assert_eq!(auto.select(100, 799), IntersectKernel::BlockedMerge);
+        assert_eq!(auto.select(799, 100), IntersectKernel::BlockedMerge);
         // Past GALLOP_RATIO in either direction: gallop.
         assert_eq!(auto.select(100, 801), IntersectKernel::Gallop);
         assert_eq!(auto.select(801, 100), IntersectKernel::Gallop);
         assert_eq!(auto.select(0, 1), IntersectKernel::Gallop);
         // Streaming left side: gallop only into a much larger right; a
-        // much larger (decode-bound) left resolves to the SIMD block
+        // much larger (decode-bound) left resolves to the blocked
         // merge.
         assert_eq!(auto.select_streaming(100, 801), IntersectKernel::Gallop);
-        assert_eq!(auto.select_streaming(801, 100), IntersectKernel::Simd);
-        assert_eq!(auto.select_streaming(100, 100), IntersectKernel::Simd);
+        assert_eq!(
+            auto.select_streaming(801, 100),
+            IntersectKernel::BlockedMerge
+        );
+        assert_eq!(
+            auto.select_streaming(100, 100),
+            IntersectKernel::BlockedMerge
+        );
         assert_eq!(
             IntersectKernel::MergeScalar.select_streaming(1, 1_000_000),
             IntersectKernel::MergeScalar
@@ -1441,14 +1577,14 @@ mod tests {
         };
         let big = mk(900);
         let small = mk(100);
-        // Slices, balanced: Simd.
+        // Slices, balanced: the scalar blocked merge.
         let runs_slices = |l: &[(u64, OrderKey)], r: &[(u64, OrderKey)]| {
             let _ = kernel_stats_take();
             intersect_slices(IntersectKernel::Auto, l, r, |e| e.1, |e| e.1, |_, _| {});
             let s = kernel_stats_take();
             (s.scalar_runs, s.gallop_runs, s.blocked_runs, s.simd_runs)
         };
-        assert_eq!(runs_slices(&small, &small), (0, 0, 0, 1), "slices balanced");
+        assert_eq!(runs_slices(&small, &small), (0, 0, 1, 0), "slices balanced");
         // Slices, heavy skew either way: gallop (symmetric contract).
         assert_eq!(
             runs_slices(&small, &big),
@@ -1473,7 +1609,7 @@ mod tests {
             let s = kernel_stats_take();
             (s.scalar_runs, s.gallop_runs, s.blocked_runs, s.simd_runs)
         };
-        assert_eq!(runs_stream(&small, &small), (0, 0, 0, 1), "stream balanced");
+        assert_eq!(runs_stream(&small, &small), (0, 0, 1, 0), "stream balanced");
         assert_eq!(
             runs_stream(&small, &big),
             (0, 1, 0, 0),
@@ -1481,7 +1617,7 @@ mod tests {
         );
         assert_eq!(
             runs_stream(&big, &small),
-            (0, 0, 0, 1),
+            (0, 0, 1, 0),
             "stream left-heavy must NOT gallop (decode-bound left)"
         );
     }

@@ -42,6 +42,7 @@
 
 pub mod engine;
 pub mod meta;
+mod par;
 mod push_common;
 pub mod push_only;
 pub mod push_pull;
@@ -49,9 +50,10 @@ pub mod simd;
 pub mod surveys;
 
 pub use engine::{
-    intersect_col, intersect_slices, intersect_stream, kernel_stats, kernel_stats_take, merge_path,
-    merge_path_stream, BatchLayout, DecodePath, EngineMode, IntersectKernel, KernelStats,
-    PhaseReport, SurveyConfig, SurveyReport, GALLOP_RATIO,
+    intersect_col, intersect_slices, intersect_stream, kernel_stats, kernel_stats_add,
+    kernel_stats_take, merge_path, merge_path_stream, BatchLayout, DecodePath, EngineMode,
+    IntersectKernel, KernelStats, Parallelism, PhaseReport, SurveyConfig, SurveyReport,
+    GALLOP_RATIO,
 };
 pub use meta::{SurveyCallback, TriangleMeta};
 pub use push_only::{survey_push_only, survey_push_only_with};

@@ -46,8 +46,8 @@ use std::rc::Rc;
 
 use tripoll_graph::{AdjEntry, DistGraph, OrderKey};
 use tripoll_ygm::wire::{
-    encode_columns, encode_seq, ColBatch, ColCursor, Lazy, SeqCursor, Wire, WireEncode, WireError,
-    WireReader,
+    encode_columns, encode_seq, ColBatch, ColCursor, ColView, Lazy, SeqCursor, SeqView, Wire,
+    WireEncode, WireError, WireReader,
 };
 use tripoll_ygm::{Comm, Handler};
 
@@ -56,6 +56,7 @@ use crate::engine::{
     SurveyConfig,
 };
 use crate::meta::TriangleMeta;
+use crate::par::{Ctx, ParQueue, TaskKind};
 
 /// Type-erased survey callback held by engine handlers.
 pub(crate) type DynCallback<VM, EM> = Rc<dyn Fn(&Comm, &TriangleMeta<'_, VM, EM>)>;
@@ -139,31 +140,146 @@ fn abort_unowned_push<VM, EM>(c: &Comm, g: &DistGraph<VM, EM>, p: u64, q: u64) -
 /// Registers the push handler for the configured layout and decode
 /// path: intersect candidates with `Adjm+(q)` and run the callback on
 /// every triangle. Collective (handler registration, so every rank must
-/// pass the same `config`).
+/// pass the same layout/decode `config`; the `threads` axis behind
+/// `queue` is a local choice — it changes the handler body, not the
+/// wire contract, so ranks may mix serial and parallel merge paths).
+///
+/// With a `queue` (the parallel merge path, cursor decode only) the
+/// handlers validate and copy the candidate frame, then enqueue a work
+/// item instead of intersecting inline — see [`crate::par`].
 pub(crate) fn register_push_handler<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
     cb: DynCallback<VM, EM>,
     config: SurveyConfig,
+    queue: Option<Rc<ParQueue<VM, EM>>>,
 ) -> PushHandler<VM, EM>
 where
     VM: Wire + Clone + 'static,
     EM: Wire + Clone + 'static,
 {
-    match (config.layout, config.decode) {
-        (BatchLayout::Columnar, DecodePath::Cursor) => PushHandler::Columnar(
+    match (config.layout, config.decode, queue) {
+        (BatchLayout::Columnar, DecodePath::Cursor, Some(pq)) => {
+            PushHandler::Columnar(register_push_handler_columnar_cursor_par(comm, graph, pq))
+        }
+        (BatchLayout::Interleaved, DecodePath::Cursor, Some(pq)) => {
+            PushHandler::Interleaved(register_push_handler_cursor_par(comm, graph, pq))
+        }
+        (BatchLayout::Columnar, DecodePath::Cursor, None) => PushHandler::Columnar(
             register_push_handler_columnar_cursor(comm, graph, cb, config.kernel),
         ),
-        (BatchLayout::Columnar, DecodePath::Owned) => PushHandler::Columnar(
+        (BatchLayout::Columnar, DecodePath::Owned, _) => PushHandler::Columnar(
             register_push_handler_columnar_owned(comm, graph, cb, config.kernel),
         ),
-        (BatchLayout::Interleaved, DecodePath::Cursor) => {
+        (BatchLayout::Interleaved, DecodePath::Cursor, None) => {
             PushHandler::Interleaved(register_push_handler_cursor(comm, graph, cb, config.kernel))
         }
-        (BatchLayout::Interleaved, DecodePath::Owned) => {
+        (BatchLayout::Interleaved, DecodePath::Owned, _) => {
             PushHandler::Interleaved(register_push_handler_owned(comm, graph, cb, config.kernel))
         }
     }
+}
+
+/// The target vertex's slot in the shard (its index in the sorted
+/// vertex vector) — the compact rank-local handle the parallel replay
+/// context carries instead of a borrow into the shard.
+#[inline]
+fn slot_of<VM, EM>(g: &DistGraph<VM, EM>, q: u64) -> Option<usize> {
+    g.shard().vertices().binary_search_by_key(&q, |v| v.id).ok()
+}
+
+/// Parallel twin of [`register_push_handler_columnar_cursor`]: decode
+/// the header, capture and copy the candidate columns, enqueue one work
+/// item for the pool instead of intersecting inline.
+fn register_push_handler_columnar_cursor_par<VM, EM>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    queue: Rc<ParQueue<VM, EM>>,
+) -> Handler<PushMsgCol<VM, EM>>
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+{
+    let g = graph.clone();
+    comm.register_borrowed::<PushMsgCol<VM, EM>, _>(move |c, r| {
+        let p = u64::decode(r)?;
+        let q = u64::decode(r)?;
+        let meta_p = VM::decode(r)?;
+        let meta_pq = EM::decode(r)?;
+        // Structure-validate and fully consume the frame (bounded
+        // column takes), exactly like the serial capture, then copy the
+        // consumed bytes into the queue's arena.
+        let start = r.position();
+        let view: ColView<'_, EM> = ColView::capture(r)?;
+        let frame = r.since(start);
+        let Some(slot) = slot_of(&g, q) else {
+            abort_unowned_push(c, &g, p, q);
+        };
+        let lv = &g.shard().vertices()[slot];
+        c.add_work((view.len() + lv.adj.len()) as u64);
+        let raw = queue.alloc_frame(frame);
+        queue.push_task(
+            c,
+            TaskKind::PushCol,
+            raw,
+            &lv.adj,
+            Ctx::Push {
+                p,
+                q,
+                meta_p,
+                meta_pq,
+                slot: slot as u32,
+            },
+        );
+        queue.maybe_flush(c);
+        Ok(())
+    })
+}
+
+/// Parallel twin of [`register_push_handler_cursor`] (interleaved
+/// layout): capture the candidate sequence's extent, copy it, enqueue.
+fn register_push_handler_cursor_par<VM, EM>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    queue: Rc<ParQueue<VM, EM>>,
+) -> Handler<PushMsg<VM, EM>>
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+{
+    let g = graph.clone();
+    comm.register_borrowed::<PushMsg<VM, EM>, _>(move |c, r| {
+        let p = u64::decode(r)?;
+        let q = u64::decode(r)?;
+        let meta_p = VM::decode(r)?;
+        let meta_pq = EM::decode(r)?;
+        // The skip-walk capture consumes the whole sequence, so record
+        // framing is intact and `since` covers prefix plus elements.
+        let start = r.position();
+        let view: SeqView<'_, Candidate<EM>> = SeqView::capture(r)?;
+        let frame = r.since(start);
+        let Some(slot) = slot_of(&g, q) else {
+            abort_unowned_push(c, &g, p, q);
+        };
+        let lv = &g.shard().vertices()[slot];
+        c.add_work((view.len() + lv.adj.len()) as u64);
+        let raw = queue.alloc_frame(frame);
+        queue.push_task(
+            c,
+            TaskKind::PushSeq,
+            raw,
+            &lv.adj,
+            Ctx::Push {
+                p,
+                q,
+                meta_p,
+                meta_pq,
+                slot: slot as u32,
+            },
+        );
+        queue.maybe_flush(c);
+        Ok(())
+    })
 }
 
 /// The production receive handler: capture the columnar frame, run the

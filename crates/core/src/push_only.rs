@@ -14,6 +14,7 @@ use tripoll_ygm::Comm;
 
 use crate::engine::{EngineMode, PhaseTimer, SurveyConfig, SurveyReport};
 use crate::meta::SurveyCallback;
+use crate::par::par_queue_for;
 use crate::push_common::{push_wedge_batches, register_push_handler, DynCallback};
 
 /// Runs a Push-Only triangle survey; `callback` executes once per
@@ -53,13 +54,22 @@ where
     EM: Wire + Clone + 'static,
     F: SurveyCallback<VM, EM>,
 {
+    let config = config.into();
     let cb: DynCallback<VM, EM> = Rc::new(callback);
-    let handler = register_push_handler(comm, graph, cb, config.into());
+    let queue = par_queue_for(graph, &cb, config);
+    let handler = register_push_handler(comm, graph, cb, config, queue.clone());
+    if let Some(q) = &queue {
+        let q2 = q.clone();
+        comm.set_drain_hook(move |c| q2.flush(c));
+    }
 
     let timer = PhaseTimer::begin(comm, "push");
     push_wedge_batches(comm, graph, &handler, |_| false);
     comm.barrier();
     let phase = timer.end();
+    if queue.is_some() {
+        comm.clear_drain_hook();
+    }
 
     SurveyReport {
         mode: EngineMode::PushOnly,
@@ -166,7 +176,7 @@ mod tests {
             let local = list.stride_for_rank(comm.rank(), comm.nranks());
             let g = build_dist_graph(comm, local, |_| (), Partition::Hashed);
             let cb: crate::push_common::DynCallback<(), ()> = Rc::new(|_c, _tm| {});
-            let h = register_push_handler(comm, &g, cb, config);
+            let h = register_push_handler(comm, &g, cb, config, None);
             if comm.rank() == 0 {
                 let q = 0u64;
                 let wrong = (g.owner(q) + 1) % comm.nranks();

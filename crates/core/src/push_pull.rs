@@ -41,6 +41,7 @@ use crate::engine::{
     PhaseTimer, SurveyConfig, SurveyReport,
 };
 use crate::meta::{SurveyCallback, TriangleMeta};
+use crate::par::{par_queue_for, Ctx, ParQueue, TaskKind};
 use crate::push_common::{
     decode_candidate_view, encode_candidate, encode_candidate_columns, push_wedge_batches,
     register_push_handler, Candidate, DynCallback,
@@ -164,10 +165,11 @@ where
     let config = config.into();
     let cb: DynCallback<VM, EM> = Rc::new(callback);
     let st = Rc::new(RefCell::new(PpState::default()));
+    let queue = par_queue_for(graph, &cb, config);
 
     // Handler registration order is part of the SPMD contract: all four
     // registrations below happen on every rank in this exact order.
-    let push_handler = register_push_handler(comm, graph, cb.clone(), config);
+    let push_handler = register_push_handler(comm, graph, cb.clone(), config, queue.clone());
 
     let st_veto = st.clone();
     let veto_handler = comm.register::<u64, _>(move |_c, q| {
@@ -187,7 +189,14 @@ where
         }
     });
 
-    let pull_handler = register_pull_handler(comm, graph, st.clone(), cb.clone(), config);
+    let pull_handler = register_pull_handler(comm, graph, st.clone(), cb.clone(), config, &queue);
+    if let Some(q) = &queue {
+        // Queued merge work is drained inside every quiescence barrier:
+        // the hook flushes pending batches to the pool, and the deferred
+        // work counter keeps the barrier from completing early.
+        let q2 = q.clone();
+        comm.set_drain_hook(move |c| q2.flush(c));
+    }
 
     // --- Phase 1: Push vs Pull Dry-Run -------------------------------
     let timer = PhaseTimer::begin(comm, "dry-run");
@@ -273,6 +282,9 @@ where
     }
     comm.barrier();
     let pull_phase = timer.end();
+    if queue.is_some() {
+        comm.clear_drain_hook();
+    }
 
     let s = st.borrow();
     SurveyReport {
@@ -295,20 +307,80 @@ where
 /// through a [`SeqView`] (one skip-walk capture, [`tripoll_ygm::wire::Lazy`]
 /// per-candidate metadata). The owned paths materialize the projection
 /// and are the differential-testing references.
+///
+/// With a `queue` (parallel merge path, cursor decode only) the handler
+/// copies the delivered frame once and enqueues one work item per
+/// resume suffix — empty suffixes included, so the per-suffix kernel
+/// accounting matches the serial path exactly — instead of
+/// intersecting inline.
 fn register_pull_handler<VM, EM>(
     comm: &Comm,
     graph: &DistGraph<VM, EM>,
     st: Rc<RefCell<PpState>>,
     cb: DynCallback<VM, EM>,
     config: SurveyConfig,
+    queue: &Option<Rc<ParQueue<VM, EM>>>,
 ) -> PullHandler<EM>
 where
     VM: Wire + Clone + 'static,
     EM: Wire + Clone + 'static,
 {
     let kernel = config.kernel;
-    match (config.layout, config.decode) {
-        (BatchLayout::Columnar, DecodePath::Cursor) => {
+    match (config.layout, config.decode, queue.clone()) {
+        (BatchLayout::Columnar, DecodePath::Cursor, Some(pq)) => {
+            let g = graph.clone();
+            PullHandler::Columnar(comm.register_borrowed::<PullMsgCol<EM>, _>(move |c, r| {
+                let q = u64::decode(r)?;
+                let start = r.position();
+                let view: ColView<'_, EM> = ColView::capture(r)?;
+                let frame = r.since(start);
+                st.borrow_mut().pulled += 1;
+                let s = st.borrow();
+                let shard = g.shard();
+                let entries = s.resume.get(q);
+                if !entries.is_empty() {
+                    // One frame copy shared by every resume suffix.
+                    let raw = pq.alloc_frame(frame);
+                    for &(_, slot, idx) in entries {
+                        let lv = &shard.vertices()[slot as usize];
+                        debug_assert_eq!(lv.adj[idx as usize].v, q);
+                        let suffix = &lv.adj[idx as usize + 1..];
+                        c.add_work((suffix.len() + view.len()) as u64);
+                        pq.push_task(c, TaskKind::PullCol, raw, suffix, Ctx::Pull { slot, idx });
+                    }
+                }
+                drop(s);
+                pq.maybe_flush(c);
+                Ok(())
+            }))
+        }
+        (BatchLayout::Interleaved, DecodePath::Cursor, Some(pq)) => {
+            let g = graph.clone();
+            PullHandler::Interleaved(comm.register_borrowed::<PullMsg<EM>, _>(move |c, r| {
+                let q = u64::decode(r)?;
+                let start = r.position();
+                let view: SeqView<'_, Candidate<EM>> = SeqView::capture(r)?;
+                let frame = r.since(start);
+                st.borrow_mut().pulled += 1;
+                let s = st.borrow();
+                let shard = g.shard();
+                let entries = s.resume.get(q);
+                if !entries.is_empty() {
+                    let raw = pq.alloc_frame(frame);
+                    for &(_, slot, idx) in entries {
+                        let lv = &shard.vertices()[slot as usize];
+                        debug_assert_eq!(lv.adj[idx as usize].v, q);
+                        let suffix = &lv.adj[idx as usize + 1..];
+                        c.add_work((suffix.len() + view.len()) as u64);
+                        pq.push_task(c, TaskKind::PullSeq, raw, suffix, Ctx::Pull { slot, idx });
+                    }
+                }
+                drop(s);
+                pq.maybe_flush(c);
+                Ok(())
+            }))
+        }
+        (BatchLayout::Columnar, DecodePath::Cursor, None) => {
             let g = graph.clone();
             PullHandler::Columnar(comm.register_borrowed::<PullMsgCol<EM>, _>(move |c, r| {
                 let q = u64::decode(r)?;
@@ -356,7 +428,7 @@ where
                 Ok(())
             }))
         }
-        (BatchLayout::Columnar, DecodePath::Owned) => {
+        (BatchLayout::Columnar, DecodePath::Owned, _) => {
             let g = graph.clone();
             PullHandler::Columnar(comm.register::<PullMsgCol<EM>, _>(move |c, (q, batch)| {
                 st.borrow_mut().pulled += 1;
@@ -392,7 +464,7 @@ where
                 }
             }))
         }
-        (BatchLayout::Interleaved, DecodePath::Cursor) => {
+        (BatchLayout::Interleaved, DecodePath::Cursor, None) => {
             let g = graph.clone();
             PullHandler::Interleaved(comm.register_borrowed::<PullMsg<EM>, _>(move |c, r| {
                 let q = u64::decode(r)?;
@@ -439,7 +511,7 @@ where
                 Ok(())
             }))
         }
-        (BatchLayout::Interleaved, DecodePath::Owned) => {
+        (BatchLayout::Interleaved, DecodePath::Owned, _) => {
             let g = graph.clone();
             PullHandler::Interleaved(comm.register::<PullMsg<EM>, _>(move |c, (q, pulled_adj)| {
                 st.borrow_mut().pulled += 1;

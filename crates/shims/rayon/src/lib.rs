@@ -1,14 +1,14 @@
 //! Offline stand-in for the subset of `rayon` this workspace uses.
 //!
 //! The container has no crates.io access, so this shim provides the
-//! rayon method names with **real parallelism** built on
-//! `std::thread::scope`: `into_par_iter` pipelines execute their
-//! adapters eagerly over contiguous chunks (one scoped thread per
-//! chunk, results concatenated in order), and `par_sort_unstable*` is a
-//! parallel quicksort (median partition via `select_nth_unstable_by`,
-//! halves sorted in sibling scoped threads). Small inputs skip the
-//! thread machinery entirely and run sequentially, so tiny call sites
-//! pay nothing.
+//! rayon method names with **real parallelism** built on the
+//! persistent work-stealing [`pool`] (spawned once per process, reused
+//! by every call): `into_par_iter` pipelines execute their adapters
+//! eagerly over contiguous chunks dispatched to the pool (results
+//! concatenated in order), and `par_sort_unstable*` partitions on the
+//! calling thread via `select_nth_unstable_by`, then sorts the
+//! segments on the pool. Small inputs skip the dispatch machinery
+//! entirely and run sequentially, so tiny call sites pay nothing.
 //!
 //! Closure and item bounds mirror real rayon (`Fn + Sync`, items
 //! `Send`), so swapping the real crate back in is a one-line Cargo.toml
@@ -18,65 +18,48 @@
 //! the *stable* `par_sort` remains sequential.
 
 use std::cmp::Ordering;
-use std::num::NonZeroUsize;
-use std::thread;
+
+pub mod pool;
 
 /// The rayon prelude: traits that add `par_*` methods.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSliceMut};
 }
 
-/// Inputs shorter than this run sequentially: a scoped thread costs
-/// tens of microseconds, so parallelism only pays past a few thousand
-/// elements of per-item work.
+/// Inputs shorter than this run sequentially: even with the persistent
+/// pool, dispatch costs a lock round-trip and a wakeup, so parallelism
+/// only pays past a few thousand elements of per-item work.
 const SEQ_CUTOFF: usize = 1024;
 
 /// Sub-slices shorter than this sort sequentially.
 const SORT_SEQ_CUTOFF: usize = 4096;
 
-fn workers() -> usize {
-    thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// Splits `items` into at most `workers()` contiguous chunks, runs
-/// `run` on each in its own scoped thread, and concatenates the
-/// results in chunk order (so every adapter preserves input order).
-/// Worker panics propagate with their original payload.
+/// Splits `items` into contiguous chunks (one per pool thread), runs
+/// `run` on each across the pool, and concatenates the results in
+/// chunk order (so every adapter preserves input order). Worker panics
+/// propagate with their original payload.
 fn chunked<T: Send, B: Send>(items: Vec<T>, run: impl Fn(Vec<T>) -> Vec<B> + Sync) -> Vec<B> {
-    let nworkers = workers();
-    if nworkers <= 1 || items.len() < SEQ_CUTOFF {
+    let pool = pool::global();
+    if pool.workers() == 0 || items.len() < SEQ_CUTOFF {
         return run(items);
     }
-    let chunk_len = items.len().div_ceil(nworkers);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(nworkers);
+    let nchunks = pool.workers() + 1;
+    let chunk_len = items.len().div_ceil(nchunks);
+    let mut slots: Vec<(Vec<T>, Vec<B>)> = Vec::with_capacity(nchunks);
     let mut rest = items;
     while rest.len() > chunk_len {
         let tail = rest.split_off(chunk_len);
-        chunks.push(std::mem::replace(&mut rest, tail));
+        slots.push((std::mem::replace(&mut rest, tail), Vec::new()));
     }
-    chunks.push(rest);
-    let run = &run;
-    thread::scope(|s| {
-        // The calling thread works the last chunk itself instead of
-        // idling at the join (same pattern as the sort's inline half).
-        let last = chunks.pop().expect("at least one chunk");
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| s.spawn(move || run(chunk)))
-            .collect();
-        let tail = run(last);
-        let mut out = Vec::new();
-        for h in handles {
-            match h.join() {
-                Ok(part) => out.extend(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-        out.extend(tail);
-        out
-    })
+    slots.push((rest, Vec::new()));
+    pool.run_mut(&mut slots, |slot| {
+        slot.1 = run(std::mem::take(&mut slot.0));
+    });
+    let mut out = Vec::new();
+    for (_, part) in slots {
+        out.extend(part);
+    }
+    out
 }
 
 /// A materialized parallel iterator: adapters execute eagerly over
@@ -213,37 +196,36 @@ impl<T: IntoIterator> IntoParallelIterator for T {
     }
 }
 
-/// Parallel quicksort: partition around the median element with the
-/// standard library's `select_nth_unstable_by` (O(n), in place, safe),
-/// then sort the two halves in sibling scoped threads. `depth` bounds
-/// thread fan-out near the core count.
-fn par_qsort<T, F>(v: &mut [T], cmp: &F, depth: usize)
+/// Parallel quicksort on the persistent pool: partition around median
+/// elements with the standard library's `select_nth_unstable_by`
+/// (O(n), in place, safe) on the calling thread until there are about
+/// two segments per pool thread, then sort the disjoint segments
+/// across the pool. Pivot elements land in their final position during
+/// partitioning and are excluded from the segment sorts.
+fn par_qsort<T, F>(v: &mut [T], cmp: &F)
 where
     T: Send,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
-    if v.len() <= SORT_SEQ_CUTOFF || depth == 0 {
+    let pool = pool::global();
+    if v.len() <= SORT_SEQ_CUTOFF || pool.workers() == 0 {
         v.sort_unstable_by(|a, b| cmp(a, b));
         return;
     }
-    let mid = v.len() / 2;
-    let (lo, _pivot, hi) = v.select_nth_unstable_by(mid, |a, b| cmp(a, b));
-    thread::scope(|s| {
-        s.spawn(|| par_qsort(lo, cmp, depth - 1));
-        par_qsort(hi, cmp, depth - 1);
-    });
-}
-
-fn sort_depth() -> usize {
-    // log2(workers) splits yield ~workers leaves; a single-core box
-    // gets depth 0, i.e. the plain sequential sort with no partition
-    // or scope overhead.
-    let w = workers();
-    if w <= 1 {
-        0
-    } else {
-        w.next_power_of_two().trailing_zeros() as usize + 1
+    let target = (pool.workers() + 1) * 2;
+    let mut pending: Vec<&mut [T]> = vec![v];
+    let mut segments: Vec<&mut [T]> = Vec::with_capacity(target);
+    while let Some(s) = pending.pop() {
+        if s.len() <= SORT_SEQ_CUTOFF || segments.len() + pending.len() + 2 > target {
+            segments.push(s);
+            continue;
+        }
+        let mid = s.len() / 2;
+        let (lo, _pivot, hi) = s.select_nth_unstable_by(mid, |a, b| cmp(a, b));
+        pending.push(lo);
+        pending.push(hi);
     }
+    pool.run_mut(&mut segments, |seg| seg.sort_unstable_by(|a, b| cmp(a, b)));
 }
 
 /// Slice sorting with rayon's `par_sort*` names.
@@ -274,7 +256,7 @@ impl<T> ParallelSliceMut<T> for [T] {
     where
         T: Ord + Send,
     {
-        par_qsort(self, &|a: &T, b: &T| a.cmp(b), sort_depth());
+        par_qsort(self, &|a: &T, b: &T| a.cmp(b));
     }
     fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
     where
@@ -282,14 +264,14 @@ impl<T> ParallelSliceMut<T> for [T] {
         K: Ord,
         F: Fn(&T) -> K + Sync,
     {
-        par_qsort(self, &|a: &T, b: &T| f(a).cmp(&f(b)), sort_depth());
+        par_qsort(self, &|a: &T, b: &T| f(a).cmp(&f(b)));
     }
     fn par_sort_unstable_by<F>(&mut self, f: F)
     where
         T: Send,
         F: Fn(&T, &T) -> Ordering + Sync,
     {
-        par_qsort(self, &f, sort_depth());
+        par_qsort(self, &f);
     }
     fn par_sort(&mut self)
     where
@@ -379,8 +361,11 @@ mod tests {
     fn work_actually_spreads_across_threads() {
         use std::collections::HashSet;
         use std::sync::Mutex;
-        if workers() < 2 {
-            return; // nothing to prove on a single-core box
+        if pool::global().workers() < 2 {
+            // On a 1-core box the caller can legitimately drain both
+            // chunks before the lone worker is scheduled; the pool's
+            // own sleep-based test covers cross-thread execution there.
+            return;
         }
         let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
         (0..10_000u64).into_par_iter().for_each(|_| {
@@ -390,6 +375,28 @@ mod tests {
             seen.lock().unwrap().len() >= 2,
             "chunked for_each ran on one thread"
         );
+    }
+
+    #[test]
+    fn nested_parallel_calls_do_not_deadlock() {
+        // A parallel pipeline whose per-item work itself calls
+        // `par_sort_unstable` (both layers cross their cutoffs, so both
+        // genuinely dispatch to the shared pool).
+        let sums: Vec<u64> = (0..SEQ_CUTOFF as u64 * 2)
+            .into_par_iter()
+            .map(|i| {
+                if i % 1024 == 0 {
+                    let mut v: Vec<u64> = (0..(SORT_SEQ_CUTOFF as u64 * 2))
+                        .map(|j| j.wrapping_mul(0x9e3779b97f4a7c15) ^ i)
+                        .collect();
+                    v.par_sort_unstable();
+                    v[0]
+                } else {
+                    i
+                }
+            })
+            .collect();
+        assert_eq!(sums.len(), SEQ_CUTOFF * 2);
     }
 
     #[test]

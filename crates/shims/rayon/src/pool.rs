@@ -1,0 +1,397 @@
+//! A small persistent work-stealing thread pool.
+//!
+//! Workers spawn once (lazily, on first use of [`global`]) and park on
+//! a condvar between calls, so the per-invocation cost is pushing chunk
+//! descriptors onto the deques and one wakeup — no thread spawns on the
+//! hot path. Each worker owns a chunk deque: it pops its own deque from
+//! the front and, when empty, steals from the back of a victim's deque,
+//! so imbalanced chunks migrate to idle workers. The invoking thread
+//! participates in its own batch instead of blocking, which also makes
+//! nested invocations deadlock-free: a nested call from inside a worker
+//! runs inline, a nested call from a participating caller just opens a
+//! second batch on the same deques.
+//!
+//! A batch is one [`ThreadPool::run`] invocation. Its closure lives on
+//! the caller's stack; jobs reference it through a type-erased pointer
+//! that is sound because `run` does not return until every index has
+//! executed (`remaining` reaches zero). Worker panics are caught,
+//! stored, and re-thrown on the calling thread with their original
+//! payload once the batch completes.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+thread_local! {
+    /// True on pool worker threads: a nested `run` from a worker
+    /// executes inline instead of re-entering the deques, so recursive
+    /// parallelism cannot deadlock (the worker would otherwise wait on
+    /// jobs only it could execute).
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Chunk granularity: each participating thread's share of a batch is
+/// cut into this many jobs, so stealing has slack to rebalance without
+/// per-index queue traffic.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// One `run` invocation: the type-erased index closure plus the
+/// completion accounting shared by every chunk job cut from it.
+struct Batch {
+    call: unsafe fn(*const (), usize),
+    ctx: *const (),
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// Safety: `ctx` points at a `Fn(usize) + Sync` closure on the invoking
+// thread's stack. `run` keeps that frame alive until `remaining` hits
+// zero (every job executed), and the closure is `Sync`, so calling it
+// concurrently from worker threads is sound.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+/// A contiguous index range of one batch.
+struct Job {
+    batch: Arc<Batch>,
+    start: usize,
+    end: usize,
+}
+
+struct State {
+    /// One deque per worker. The worker pops its own from the front;
+    /// thieves (other workers and participating callers) take from the
+    /// back.
+    queues: Vec<VecDeque<Job>>,
+    /// Round-robin cursor for distributing a new batch's chunks.
+    next: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+/// A persistent pool; see the module docs. Most callers want
+/// [`global`], which sizes itself to the host once per process.
+pub struct ThreadPool {
+    inner: Arc<Inner>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `nworkers` parked worker threads. With zero workers every
+    /// `run` executes inline on the caller.
+    pub fn new(nworkers: usize) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queues: (0..nworkers).map(|_| VecDeque::new()).collect(),
+                next: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..nworkers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("tripoll-pool-{i}"))
+                    .spawn(move || worker_loop(&inner, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { inner, handles }
+    }
+
+    /// Number of worker threads (the caller adds one more executor).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Executes `f(0..n)` across the pool, each index exactly once, and
+    /// returns when all have completed. The caller participates.
+    /// Panics from any index are re-thrown here with their payload.
+    pub fn run<F: Fn(usize) + Sync>(&self, n: usize, f: F) {
+        if n == 0 {
+            return;
+        }
+        if self.handles.is_empty() || n == 1 || IN_WORKER.with(|w| w.get()) {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        unsafe fn call_closure<F: Fn(usize)>(ctx: *const (), i: usize) {
+            unsafe { (*(ctx as *const F))(i) }
+        }
+        let batch = Arc::new(Batch {
+            call: call_closure::<F>,
+            ctx: (&raw const f).cast(),
+            remaining: AtomicUsize::new(n),
+            panic: Mutex::new(None),
+        });
+        let chunk = n.div_ceil((self.workers() + 1) * CHUNKS_PER_THREAD).max(1);
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            let nq = st.queues.len();
+            let mut i = 0;
+            while i < n {
+                let end = (i + chunk).min(n);
+                let qi = st.next % nq;
+                st.next = st.next.wrapping_add(1);
+                st.queues[qi].push_back(Job {
+                    batch: Arc::clone(&batch),
+                    start: i,
+                    end,
+                });
+                i = end;
+            }
+            self.inner.work_ready.notify_all();
+        }
+        // Participate: steal this batch's jobs (other batches belong to
+        // their own callers), then spin-yield for stragglers in flight
+        // on workers.
+        loop {
+            let job = {
+                let mut st = self.inner.state.lock().unwrap();
+                take_matching(&mut st, &batch)
+            };
+            match job {
+                Some(job) => exec(job),
+                None => {
+                    if batch.remaining.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    thread::yield_now();
+                }
+            }
+        }
+        let payload = batch.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Applies `f` to every item of `items` across the pool, each item
+    /// on exactly one thread, returning when all are done.
+    pub fn run_mut<T: Send, F: Fn(&mut T) + Sync>(&self, items: &mut [T], f: F) {
+        struct SendPtr<T>(*mut T);
+        unsafe impl<T> Send for SendPtr<T> {}
+        unsafe impl<T> Sync for SendPtr<T> {}
+        impl<T> SendPtr<T> {
+            // Accessor (rather than a field read in the closure) so
+            // closure capture takes the Sync wrapper, not the raw
+            // pointer field.
+            fn at(&self, i: usize) -> *mut T {
+                unsafe { self.0.add(i) }
+            }
+        }
+        let base = SendPtr(items.as_mut_ptr());
+        self.run(items.len(), move |i| {
+            // Safety: `run` dispatches each index to exactly one job,
+            // so the `&mut` is exclusive; T: Send covers the move of
+            // access across threads.
+            f(unsafe { &mut *base.at(i) });
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.inner.work_ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Takes one job of `batch`, preferring the back of the fullest
+/// position found first (plain scan — the deques are coarse-locked).
+fn take_matching(st: &mut State, batch: &Arc<Batch>) -> Option<Job> {
+    for q in st.queues.iter_mut() {
+        if let Some(pos) = q.iter().rposition(|j| Arc::ptr_eq(&j.batch, batch)) {
+            return q.remove(pos);
+        }
+    }
+    None
+}
+
+/// Own deque front first, then steal from victims' backs.
+fn take_any(st: &mut State, me: usize) -> Option<Job> {
+    if let Some(j) = st.queues[me].pop_front() {
+        return Some(j);
+    }
+    let n = st.queues.len();
+    for off in 1..n {
+        if let Some(j) = st.queues[(me + off) % n].pop_back() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+fn exec(job: Job) {
+    let Job { batch, start, end } = job;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        for i in start..end {
+            unsafe { (batch.call)(batch.ctx, i) };
+        }
+    }));
+    if let Err(payload) = result {
+        batch.panic.lock().unwrap().get_or_insert(payload);
+    }
+    // Whole-chunk decrement even after a panic: the skipped indices
+    // will never run, and the caller re-throws the stored payload, so
+    // completion must not hang on them.
+    batch.remaining.fetch_sub(end - start, Ordering::AcqRel);
+}
+
+fn worker_loop(inner: &Inner, me: usize) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut st = inner.state.lock().unwrap();
+    loop {
+        if let Some(job) = take_any(&mut st, me) {
+            drop(st);
+            exec(job);
+            st = inner.state.lock().unwrap();
+            continue;
+        }
+        if st.shutdown {
+            return;
+        }
+        st = inner.work_ready.wait(st).unwrap();
+    }
+}
+
+/// The process-wide pool, spawned on first use and reused by every
+/// subsequent call (the adapters in this crate and the engine's
+/// parallel merge seam all route here).
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPool::new(default_workers()))
+}
+
+fn default_workers() -> usize {
+    // At least one worker even on a single-core box, so the
+    // cross-thread machinery (stealing, Send boundaries, per-worker
+    // stats isolation) genuinely executes everywhere; the caller
+    // participates, so `cores - 1` workers saturate a larger host.
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(2)
+        - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_covers_every_index_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let counts: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(10_000, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_workers_runs_inline() {
+        let pool = ThreadPool::new(0);
+        let hits = AtomicUsize::new(0);
+        pool.run(100, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn run_mut_gives_each_item_exclusive_access() {
+        let pool = ThreadPool::new(2);
+        let mut items: Vec<u64> = (0..50_000).collect();
+        pool.run_mut(&mut items, |x| *x = x.wrapping_mul(3) + 1);
+        assert!(items
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| x == (i as u64) * 3 + 1));
+    }
+
+    #[test]
+    fn workers_actually_execute_jobs() {
+        // Sleeping jobs force the caller off-CPU, so the parked worker
+        // is scheduled and takes from the deques even on one core.
+        use std::collections::HashSet;
+        let pool = ThreadPool::new(1);
+        let seen: Mutex<HashSet<thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool.run(8, |_| {
+            thread::sleep(std::time::Duration::from_millis(5));
+            seen.lock().unwrap().insert(thread::current().id());
+        });
+        assert!(
+            seen.lock().unwrap().len() >= 2,
+            "jobs never left the calling thread"
+        );
+    }
+
+    #[test]
+    fn nested_run_does_not_deadlock() {
+        let pool = global();
+        let acc = AtomicUsize::new(0);
+        pool.run(4, |_| {
+            pool.run(100, |_| {
+                acc.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn concurrent_batches_share_the_pool() {
+        let results: Vec<u64> = thread::scope(|s| {
+            (0..4u64)
+                .map(|t| {
+                    s.spawn(move || {
+                        let acc = AtomicUsize::new(0);
+                        global().run(1000, |i| {
+                            acc.fetch_add(i + t as usize, Ordering::Relaxed);
+                        });
+                        acc.load(Ordering::Relaxed) as u64
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (t, r) in results.into_iter().enumerate() {
+            assert_eq!(r, 999 * 1000 / 2 + 1000 * t as u64);
+        }
+    }
+
+    #[test]
+    fn panic_payload_propagates_to_the_caller() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(5_000, |i| assert!(i != 4_321, "deliberate pool panic"));
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .expect("string payload");
+        assert!(msg.contains("deliberate pool panic"));
+    }
+}

@@ -19,7 +19,7 @@ use std::rc::Rc;
 use proptest::prelude::*;
 use tripoll::core::{
     survey_push_only_with, survey_push_pull_with, BatchLayout, DecodePath, EngineMode,
-    IntersectKernel, SurveyConfig, SurveyReport,
+    IntersectKernel, Parallelism, SurveyConfig, SurveyReport,
 };
 use tripoll::gen::table4_suite;
 use tripoll::graph::{build_dist_graph, EdgeList, Partition};
@@ -35,21 +35,25 @@ const MATRIX: [SurveyConfig; 4] = [
         layout: BatchLayout::Columnar,
         decode: DecodePath::Cursor,
         kernel: IntersectKernel::Auto,
+        threads: Parallelism::Env,
     },
     SurveyConfig {
         layout: BatchLayout::Columnar,
         decode: DecodePath::Owned,
         kernel: IntersectKernel::Auto,
+        threads: Parallelism::Env,
     },
     SurveyConfig {
         layout: BatchLayout::Interleaved,
         decode: DecodePath::Cursor,
         kernel: IntersectKernel::Auto,
+        threads: Parallelism::Env,
     },
     SurveyConfig {
         layout: BatchLayout::Interleaved,
         decode: DecodePath::Owned,
         kernel: IntersectKernel::Auto,
+        threads: Parallelism::Env,
     },
 ];
 

@@ -166,6 +166,7 @@ fn kernel_matrix_agrees_with_the_scalar_oracle() {
                             layout,
                             decode,
                             kernel,
+                            ..SurveyConfig::default()
                         };
                         let runs = run_survey(&list, nranks, mode, config);
                         for (rank, (o, r)) in runs.iter().zip(oracle.iter()).enumerate() {

@@ -1,0 +1,279 @@
+//! Differential tests of the multi-threaded intra-rank merge path.
+//!
+//! The `threads` axis ([`Parallelism`]) routes received wedge batches
+//! and pull deliveries through the persistent work-stealing pool
+//! instead of intersecting them inline, and its contract is strict
+//! determinism: a parallel survey must be **observationally identical**
+//! to the serial one — same triangle counts, same metadata seen by
+//! every callback, and bit-identical merged [`KernelStats`] (the
+//! per-worker tallies are reduced in batch-index order, so even the
+//! compare counters cannot drift). Three layers of evidence:
+//!
+//! * **Thread sweep** — serial vs {1, 2, 4, 8} threads × both engines
+//!   × {1, 2, 4, 7} ranks on random and hub graphs.
+//! * **Config spot matrix** — every kernel × layout × decode cell at 4
+//!   threads (the owned-decode cells document the designed serial
+//!   fallback: the parallel path only exists for cursor decode).
+//! * **Stealing stress** — repeated runs with many tiny batches and
+//!   more ranks than cores, so partial flushes, barrier-drain flushes
+//!   and cross-worker stealing all occur, asserting run-to-run
+//!   stability.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tripoll::core::{
+    kernel_stats_take, survey_push_only_with, survey_push_pull_with, BatchLayout, DecodePath,
+    EngineMode, IntersectKernel, KernelStats, Parallelism, SurveyConfig,
+};
+use tripoll::graph::{build_dist_graph, EdgeList, Partition};
+use tripoll::ygm::hash::hash64;
+use tripoll::ygm::World;
+
+const THREADS: [Parallelism; 4] = [
+    Parallelism::Threads(1),
+    Parallelism::Threads(2),
+    Parallelism::Threads(4),
+    Parallelism::Threads(8),
+];
+
+/// One run's observable outcome per rank: global triangle count, global
+/// metadata checksum, and the globally summed merged kernel counters —
+/// every field of [`KernelStats`], so a parallel run that dispatched
+/// through a different kernel arm or double-counted a batch fails even
+/// if its match totals happen to agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Outcome {
+    count: u64,
+    checksum: u64,
+    stats: KernelStats,
+}
+
+/// Runs one survey with string metadata, folding all six metadata
+/// values of every triangle into the checksum and harvesting each
+/// rank's merged kernel counters after the run.
+fn run_survey(
+    list: &EdgeList<String>,
+    nranks: usize,
+    mode: EngineMode,
+    config: SurveyConfig,
+) -> Vec<Outcome> {
+    World::new(nranks).run(|comm| {
+        let local = list.stride_for_rank(comm.rank(), comm.nranks());
+        let g = build_dist_graph(comm, local, |v| format!("v{v}"), Partition::Hashed);
+        let _ = kernel_stats_take(); // fresh counters for this rank
+        let count = Rc::new(Cell::new(0u64));
+        let sum = Rc::new(Cell::new(0u64));
+        let (c2, s2) = (count.clone(), sum.clone());
+        let cb = move |_c: &tripoll::ygm::Comm,
+                       tm: &tripoll::core::TriangleMeta<'_, String, String>| {
+            c2.set(c2.get() + 1);
+            let mut h = hash64(tm.p) ^ hash64(tm.q).rotate_left(1) ^ hash64(tm.r).rotate_left(2);
+            for (i, m) in [
+                tm.meta_p, tm.meta_q, tm.meta_r, tm.meta_pq, tm.meta_pr, tm.meta_qr,
+            ]
+            .iter()
+            .enumerate()
+            {
+                for b in m.bytes() {
+                    h = h.rotate_left(7) ^ hash64(u64::from(b) + i as u64);
+                }
+            }
+            s2.set(s2.get() + (h & 0xffff_ffff));
+        };
+        match mode {
+            EngineMode::PushOnly => survey_push_only_with(comm, &g, config, cb),
+            EngineMode::PushPull => survey_push_pull_with(comm, &g, config, cb),
+        };
+        let ks = kernel_stats_take();
+        Outcome {
+            count: comm.all_reduce_sum(count.get()),
+            checksum: comm.all_reduce_sum(sum.get()),
+            stats: KernelStats {
+                compares: comm.all_reduce_sum(ks.compares),
+                candidates: comm.all_reduce_sum(ks.candidates),
+                matches: comm.all_reduce_sum(ks.matches),
+                scalar_runs: comm.all_reduce_sum(ks.scalar_runs),
+                gallop_runs: comm.all_reduce_sum(ks.gallop_runs),
+                blocked_runs: comm.all_reduce_sum(ks.blocked_runs),
+                simd_runs: comm.all_reduce_sum(ks.simd_runs),
+            },
+        }
+    })
+}
+
+fn labeled(edges: Vec<(u64, u64)>) -> EdgeList<String> {
+    EdgeList::from_vec(
+        edges
+            .into_iter()
+            .map(|(u, v)| (u, v, format!("e{}-{}", u.min(v), u.max(v))))
+            .collect(),
+    )
+}
+
+/// A deterministic dense-ish random graph (the general case).
+fn random_graph() -> EdgeList<String> {
+    let mut edges = Vec::new();
+    for u in 0..32u64 {
+        for v in (u + 1)..32 {
+            if (u * 7919 + v * 104_729) % 4 == 0 {
+                edges.push((u, v));
+            }
+        }
+    }
+    labeled(edges)
+}
+
+/// The shared-hub construction that forces the Push-Pull pull phase to
+/// carry triangles, so the parallel pull-delivery enqueue (one work
+/// item per resume suffix, shared frame) is differentially tested.
+fn hub_graph() -> EdgeList<String> {
+    let k = 24u64;
+    let (h1, h2) = (1000, 1001);
+    let mut edges = vec![(h1, h2)];
+    for sv in 0..k {
+        edges.push((sv, h1));
+        edges.push((sv, h2));
+    }
+    labeled(edges)
+}
+
+/// Serial vs every thread count, both engines, {1,2,4,7} ranks, random
+/// and hub graphs: counts, checksums and every merged kernel counter
+/// must be bit-identical to the serial reference.
+#[test]
+fn parallel_surveys_are_bit_identical_to_serial() {
+    for (gname, list) in [("random", random_graph()), ("hub", hub_graph())] {
+        for nranks in [1usize, 2, 4, 7] {
+            for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+                let serial = run_survey(
+                    &list,
+                    nranks,
+                    mode,
+                    SurveyConfig::default().with_threads(Parallelism::Serial),
+                );
+                assert!(serial[0].count > 0, "{gname} must contain triangles");
+                for threads in THREADS {
+                    let runs = run_survey(
+                        &list,
+                        nranks,
+                        mode,
+                        SurveyConfig::default().with_threads(threads),
+                    );
+                    for (rank, (o, r)) in runs.iter().zip(serial.iter()).enumerate() {
+                        let ctx = format!("{gname} {mode} n={nranks} {threads} rank {rank}");
+                        assert_eq!(o.count, r.count, "triangle count [{ctx}]");
+                        assert_eq!(o.checksum, r.checksum, "metadata checksum [{ctx}]");
+                        assert_eq!(o.stats, r.stats, "merged kernel stats [{ctx}]");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Every kernel × layout × decode cell at 4 threads against its serial
+/// twin. The cursor cells run the parallel merge queue; the owned cells
+/// document the designed fallback (no parallel path exists for the
+/// materializing decode, so they must — trivially — agree too).
+#[test]
+fn parallel_config_matrix_agrees_with_serial() {
+    const LAYOUT_DECODE: [(BatchLayout, DecodePath); 4] = [
+        (BatchLayout::Columnar, DecodePath::Cursor),
+        (BatchLayout::Columnar, DecodePath::Owned),
+        (BatchLayout::Interleaved, DecodePath::Cursor),
+        (BatchLayout::Interleaved, DecodePath::Owned),
+    ];
+    const KERNELS: [IntersectKernel; 5] = [
+        IntersectKernel::MergeScalar,
+        IntersectKernel::Gallop,
+        IntersectKernel::BlockedMerge,
+        IntersectKernel::Simd,
+        IntersectKernel::Auto,
+    ];
+    let list = hub_graph();
+    for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+        for (layout, decode) in LAYOUT_DECODE {
+            for kernel in KERNELS {
+                let base = SurveyConfig {
+                    layout,
+                    decode,
+                    kernel,
+                    threads: Parallelism::Serial,
+                };
+                let serial = run_survey(&list, 4, mode, base);
+                let parallel = run_survey(
+                    &list,
+                    4,
+                    mode,
+                    SurveyConfig {
+                        threads: Parallelism::Threads(4),
+                        ..base
+                    },
+                );
+                let ctx = format!("{mode} {layout} {decode:?} {kernel}");
+                assert_eq!(parallel, serial, "parallel != serial [{ctx}]");
+            }
+        }
+    }
+}
+
+/// Stealing stress: a graph of many tiny wedge batches (every target's
+/// candidate list is short) on more ranks than this machine has cores,
+/// at 8 threads. Partial batches are flushed by the barrier drain hook,
+/// full batches by the threshold, and the per-rank caller competes with
+/// the shared pool's workers — across repeated runs every outcome must
+/// be stable and equal to the serial reference.
+#[test]
+fn tiny_batch_stealing_is_deterministic() {
+    // A ring of overlapping K4 cliques: lots of distinct targets with
+    // 1-3 candidate wedges each, spread over all ranks.
+    let n = 64u64;
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for a in 1..=3u64 {
+            for b in (a + 1)..=3 {
+                edges.push(((i + a) % n, (i + b) % n));
+            }
+        }
+        edges.push((i, (i + 1) % n));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let list = labeled(edges);
+    for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+        let serial = run_survey(
+            &list,
+            7,
+            mode,
+            SurveyConfig::default().with_threads(Parallelism::Serial),
+        );
+        assert!(serial[0].count > 0, "stress graph must contain triangles");
+        for round in 0..8 {
+            let runs = run_survey(
+                &list,
+                7,
+                mode,
+                SurveyConfig::default().with_threads(Parallelism::Threads(8)),
+            );
+            assert_eq!(runs, serial, "{mode} round {round} diverged");
+        }
+    }
+}
+
+/// The `TRIPOLL_THREADS` environment axis resolves once per process and
+/// `Threads(n)` overrides it — the knobs the CI matrix and the bench
+/// harness rely on.
+#[test]
+fn thread_axis_resolution_contract() {
+    assert_eq!(Parallelism::Serial.resolved(), 1);
+    assert!(!Parallelism::Serial.is_parallel());
+    assert_eq!(Parallelism::Threads(0).resolved(), 1);
+    assert_eq!(Parallelism::Threads(4).resolved(), 4);
+    assert!(Parallelism::Threads(2).is_parallel());
+    // Env resolves to a fixed value for the whole process (whatever the
+    // harness set), and the explicit variants ignore it entirely.
+    assert_eq!(Parallelism::Env.resolved(), Parallelism::Env.resolved());
+    let cfg = SurveyConfig::default().with_threads(Parallelism::Threads(3));
+    assert_eq!(cfg.threads.resolved(), 3);
+}
