@@ -46,14 +46,21 @@ struct CountingAlloc;
 
 static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure delegation to `System` plus a relaxed counter bump —
+// every layout/pointer contract is forwarded unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: layout is forwarded to `System.alloc` verbatim, so the
+    // caller's `GlobalAlloc` obligations transfer directly.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
+    // SAFETY: pointer and layout are forwarded to `System.dealloc`
+    // verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
+    // SAFETY: all arguments are forwarded to `System.realloc` verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

@@ -38,7 +38,7 @@
 //! assert_eq!(counts, vec![1, 1]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod meta;

@@ -119,8 +119,13 @@ impl RawBytes {
         }
     }
 
-    /// Safety: caller guarantees the arena buffer is alive and unmoved.
+    /// # Safety
+    ///
+    /// The caller guarantees the arena buffer is alive and unmoved for
+    /// the chosen `'a`.
     unsafe fn slice<'a>(&self) -> &'a [u8] {
+        // SAFETY: `ptr`/`len` came from a live `&[u8]` in `of`, and the
+        // caller upholds the fn contract above.
         unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
     }
 }
@@ -140,9 +145,13 @@ impl<T> RawSlice<T> {
         }
     }
 
-    /// Safety: caller guarantees the shard outlives the flush and is
-    /// not mutated while workers read it.
+    /// # Safety
+    ///
+    /// The caller guarantees the shard outlives the flush and is not
+    /// mutated while workers read it.
     unsafe fn slice<'a>(&self) -> &'a [T] {
+        // SAFETY: `ptr`/`len` came from a live `&[T]` in `of`, and the
+        // caller upholds the fn contract above.
         unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
     }
 }
@@ -165,7 +174,7 @@ pub(crate) struct Task<VM, EM> {
     error: Option<WireError>,
 }
 
-// Safety: workers access only the raw views above — frame bytes owned
+// SAFETY: workers access only the raw views above — frame bytes owned
 // by the queue's arena and `AdjEntry::key` fields of the immutable
 // shard — and the item-local `matches`/`stats`/`error`. The `VM`/`EM`
 // payloads behind `right` are never cloned, dropped, or mutated off the
@@ -186,7 +195,11 @@ impl<VM: Wire, EM: Wire> Task<VM, EM> {
     }
 
     fn walk(&mut self) -> Result<(), WireError> {
+        // SAFETY: the frame arena and the adjacency shard are kept
+        // alive and unmutated by the rank thread until `ParQueue::flush`
+        // has joined every outstanding task (see module docs).
         let frame = unsafe { self.frame.slice() };
+        // SAFETY: same flush discipline as `frame` above.
         let right = unsafe { self.right.slice() };
         let base = right.as_ptr();
         let matches = &mut self.matches;
@@ -201,6 +214,9 @@ impl<VM: Wire, EM: Wire> Task<VM, EM> {
                     right,
                     |e| e.key,
                     |k, e| {
+                        // SAFETY: `e` is borrowed from the same `right`
+                        // slice `base` points at, so both pointers are
+                        // within one allocation.
                         let ri = unsafe { (e as *const AdjEntry<VM, EM>).offset_from(base) };
                         matches.push((k.idx as u32, ri as u32));
                         Ok(())
@@ -226,6 +242,9 @@ impl<VM: Wire, EM: Wire> Task<VM, EM> {
                     |&(_, key)| key,
                     |e| e.key,
                     |(i, _), e| {
+                        // SAFETY: `e` is borrowed from the same `right`
+                        // slice `base` points at, so both pointers are
+                        // within one allocation.
                         let ri = unsafe { (e as *const AdjEntry<VM, EM>).offset_from(base) };
                         matches.push((i, ri as u32));
                         Ok(())
@@ -385,6 +404,8 @@ where
         if task.matches.is_empty() {
             return;
         }
+        // SAFETY: replay runs on the rank thread before the arena is
+        // recycled, so the frame bytes are still alive and unmoved.
         let frame = unsafe { task.frame.slice() };
         let mut r = WireReader::new(frame);
         let decode_err =

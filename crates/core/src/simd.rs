@@ -180,8 +180,13 @@ pub(crate) fn find_ge_lane(
     // Longer skips amortize one backend dispatch over many packed
     // groups (the `#[target_feature]` boundary encloses the loop).
     let idx = match backend {
+        // SAFETY: `backend` comes from the `simd_backend` runtime
+        // probe, which only returns Avx2/Sse2 when the CPU has the
+        // corresponding target feature.
         #[cfg(target_arch = "x86_64")]
         SimdBackend::Avx2 => unsafe { find_ge_avx2(deg, tie, next, len, frontier) },
+        // SAFETY: as above — SSE2 is probe-guarded (and the x86-64
+        // baseline besides).
         #[cfg(target_arch = "x86_64")]
         SimdBackend::Sse2 => unsafe { find_ge_sse2(deg, tie, next, len, frontier) },
         #[cfg(not(target_arch = "x86_64"))]
@@ -311,6 +316,10 @@ unsafe fn find_ge_sse2(
     use std::arch::x86_64::*;
 
     /// Per-64-bit-lane unsigned `a > b` and `a == b` from 32-bit ops.
+    ///
+    /// # Safety
+    /// Requires SSE2; only called from [`find_ge_sse2`], which already
+    /// carries that contract.
     #[inline]
     #[target_feature(enable = "sse2")]
     unsafe fn cmp_u64(a: __m128i, b: __m128i) -> (__m128i, __m128i) {
@@ -330,6 +339,10 @@ unsafe fn find_ge_sse2(
     }
 
     /// 2-bit `>=` mask of one 128-bit half.
+    ///
+    /// # Safety
+    /// Requires SSE2, and `deg`/`tie` must each point at two readable
+    /// `u64`s; [`find_ge_sse2`] passes in-bounds block pointers.
     #[inline]
     #[target_feature(enable = "sse2")]
     unsafe fn half(deg: *const u64, tie: *const u64, fdv: __m128i, ftv: __m128i) -> u32 {

@@ -1,0 +1,93 @@
+//! [`RaceCell`]: plain (non-atomic) shared data whose accesses are
+//! checked against the model's happens-before relation.
+//!
+//! This is the probe that turns ordering bugs into failures: because
+//! the scheduler serializes execution, a too-weak `Ordering` never
+//! yields a stale *value* in the model — what it loses is the
+//! happens-before edge. Wrap the data a protocol is supposed to
+//! publish (a work item, a buffer, a result slot) in a `RaceCell`, and
+//! any access that is not ordered after the previous conflicting
+//! access by the protocol's synchronization fails the execution with a
+//! `data race` report.
+
+use std::cell::UnsafeCell;
+
+use crate::sched::ctx;
+
+/// Shared mutable data with vector-clock race checking under a model
+/// execution.
+///
+/// Outside a model execution there is **no protection at all** — the
+/// cell is a plain `UnsafeCell` and concurrent access is undefined
+/// behavior. It is intended exclusively for closures run under
+/// [`crate::check`] (where the scheduler serializes all access and the
+/// checker reports races before any unsynchronized access is
+/// performed) and for single-threaded setup/teardown around them.
+#[derive(Default)]
+pub struct RaceCell<T> {
+    inner: UnsafeCell<T>,
+}
+
+// SAFETY: model executions serialize all access (one active thread at
+// a time), and the race detector aborts the execution before an
+// unsynchronized access touches the data; outside a model the type's
+// contract (see above) restricts it to single-threaded use.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+// SAFETY: as above — shared references only ever dereference the cell
+// under the scheduler's serialization.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T> RaceCell<T> {
+    /// Creates a cell.
+    pub const fn new(v: T) -> Self {
+        RaceCell {
+            inner: UnsafeCell::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as *const u8 as usize
+    }
+
+    /// Reads through a shared reference. A *read* access in the race
+    /// model: must be ordered after the last write.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        if let Some((exec, me)) = ctx() {
+            exec.cell_read(me, self.addr(), "RaceCell::read");
+        }
+        // SAFETY: under a model execution only the active thread runs
+        // and the race check above panicked if this read races a
+        // write; outside one, the type's single-threaded contract
+        // guarantees exclusivity.
+        f(unsafe { &*self.inner.get() })
+    }
+
+    /// Writes through a mutable reference. A *write* access in the
+    /// race model: must be ordered after every previous access.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        if let Some((exec, me)) = ctx() {
+            exec.cell_write(me, self.addr(), "RaceCell::write");
+        }
+        // SAFETY: as in `with`, plus the write check also covers
+        // concurrent readers.
+        f(unsafe { &mut *self.inner.get() })
+    }
+
+    /// Copies the value out (a read access).
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        self.with(|v| *v)
+    }
+
+    /// Replaces the value (a write access).
+    pub fn set(&self, v: T) {
+        self.with_mut(|slot| *slot = v);
+    }
+
+    /// Consumes the cell, returning the value (exclusive, unchecked).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}

@@ -1,0 +1,101 @@
+//! Vector clocks: the happens-before lattice the race detector and the
+//! synchronization bookkeeping are built on.
+//!
+//! Every model thread carries a [`VClock`]; every synchronizing object
+//! (mutex, condvar, atomic location with release semantics) carries the
+//! clock its last releasing accessor published. An access A
+//! happens-before an access B exactly when A's `(thread, time)` epoch
+//! is `<=` B's thread clock — the standard vector-clock formulation
+//! (FastTrack's full-clock variant; epochs are not compressed because
+//! model runs involve a handful of threads).
+
+/// A vector timestamp over model-thread ids. Component `t` is the
+/// number of scheduled operations thread `t` had completed at the time
+/// this clock was captured (plus transitively-joined knowledge).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    t: Vec<u32>,
+}
+
+impl VClock {
+    /// The zero clock: happens-before everything.
+    pub fn new() -> Self {
+        VClock { t: Vec::new() }
+    }
+
+    /// Component for thread `tid` (0 when never touched).
+    #[inline]
+    pub fn get(&self, tid: usize) -> u32 {
+        self.t.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets component `tid` to `v` (growing as needed).
+    pub fn set(&mut self, tid: usize, v: u32) {
+        if self.t.len() <= tid {
+            self.t.resize(tid + 1, 0);
+        }
+        self.t[tid] = v;
+    }
+
+    /// Advances this thread's own component by one — called once per
+    /// scheduled operation.
+    pub fn tick(&mut self, tid: usize) {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+    }
+
+    /// Componentwise maximum: after `self.join(o)`, everything that
+    /// happened-before `o` also happens-before `self`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.t.len() < other.t.len() {
+            self.t.resize(other.t.len(), 0);
+        }
+        for (i, &v) in other.t.iter().enumerate() {
+            if self.t[i] < v {
+                self.t[i] = v;
+            }
+        }
+    }
+
+    /// Whether the epoch `(tid, time)` happens-before (or equals) this
+    /// clock — i.e. this clock has observed that operation.
+    #[inline]
+    pub fn observed(&self, tid: usize, time: u32) -> bool {
+        self.get(tid) >= time
+    }
+
+    /// Whether every component of `other` is `<=` the matching
+    /// component here (i.e. `other` ⊑ `self`).
+    pub fn dominates(&self, other: &VClock) -> bool {
+        (0..other.t.len()).all(|i| self.get(i) >= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_dominates() {
+        let mut a = VClock::new();
+        a.set(0, 3);
+        let mut b = VClock::new();
+        b.set(1, 5);
+        assert!(!a.dominates(&b));
+        a.join(&b);
+        assert!(a.dominates(&b));
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert!(a.observed(1, 5));
+        assert!(!a.observed(1, 6));
+    }
+
+    #[test]
+    fn tick_advances_own_component_only() {
+        let mut a = VClock::new();
+        a.tick(2);
+        a.tick(2);
+        assert_eq!(a.get(2), 2);
+        assert_eq!(a.get(0), 0);
+    }
+}

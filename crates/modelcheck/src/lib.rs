@@ -1,0 +1,435 @@
+//! `tripoll-modelcheck` — a vendored, std-only, bounded-exhaustive
+//! concurrency model checker in the spirit of CHESS and loom.
+//!
+//! [`check`] runs a closure many times, once per explored thread
+//! interleaving: model threads ([`thread::spawn`]) are real OS threads
+//! serialized by a token-passing scheduler, every operation on an
+//! instrumented primitive ([`sync`], [`cell`]) is a schedule point,
+//! and the explorer performs a depth-first search over the scheduling
+//! decisions with a configurable *preemption bound* (involuntary
+//! context switches per execution), falling back to seeded random
+//! schedules past [`Config::max_schedules`]. Detected failures —
+//! deadlocks (including lost wakeups), vector-clock data races on
+//! [`cell::RaceCell`] data, assertion panics, and livelocks — abort
+//! the search and panic with a deterministic, replayable trace.
+//!
+//! ## Replaying a failure
+//!
+//! A failure report prints the decision sequence as a comma-separated
+//! thread-id list. Re-run the single failing test with
+//! `TRIPOLL_MODEL_REPLAY=<that list>` to execute exactly that
+//! interleaving (e.g. under a debugger). `TRIPOLL_MODEL_SEED=<u64>`
+//! pins the random-phase seed; exploration is fully deterministic
+//! either way — the seed only matters past the DFS cap.
+//!
+//! ## Fidelity
+//!
+//! Values are sequentially consistent (execution is serialized), so a
+//! too-weak `Ordering` cannot produce a stale value here. Instead,
+//! `Ordering` arguments drive a vector-clock happens-before layer, and
+//! [`cell::RaceCell`] accesses are checked against it — the idiomatic
+//! way to model-check an ordering protocol is to wrap the *published
+//! data* in a `RaceCell`. `docs/CONCURRENCY.md` in the repository root
+//! discusses what this does and does not catch.
+
+#![deny(missing_docs)]
+
+pub mod cell;
+mod clock;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+use sched::{ChoiceRec, Exec, Failure, Outcome, Tid, TraceEntry};
+
+/// Exploration parameters for [`check`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum involuntary context switches per execution. Bound 2
+    /// catches the vast majority of real concurrency bugs (CHESS);
+    /// bound 0 explores only voluntary-switch schedules.
+    pub preemption_bound: usize,
+    /// Cap on DFS executions; when hit without exhausting the space,
+    /// exploration continues with `random_schedules` seeded-random
+    /// executions instead of failing.
+    pub max_schedules: usize,
+    /// Number of seeded random schedules to run if (and only if) the
+    /// DFS cap was hit before exhaustion.
+    pub random_schedules: usize,
+    /// Seed for the random phase; `TRIPOLL_MODEL_SEED` overrides, and
+    /// a fixed default applies otherwise, so runs are deterministic
+    /// unless explicitly perturbed.
+    pub seed: Option<u64>,
+    /// Per-execution schedule-point limit; exceeding it is reported as
+    /// a livelock.
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 50_000,
+            random_schedules: 0,
+            seed: None,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Config {
+    /// A config with the given preemption bound and defaults elsewhere.
+    pub fn with_bound(preemption_bound: usize) -> Self {
+        Config {
+            preemption_bound,
+            ..Config::default()
+        }
+    }
+}
+
+/// What an exploration did (informational; failures panic instead).
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Executions run (DFS plus any random phase).
+    pub schedules: usize,
+    /// Whether the DFS exhausted every schedule within the preemption
+    /// bound (false when `max_schedules` was hit first, or in replay
+    /// mode).
+    pub exhausted: bool,
+}
+
+/// Explores `f` under the default [`Config`]. Panics with a replayable
+/// report on the first failing interleaving.
+pub fn model<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    check(Config::default(), f)
+}
+
+/// Explores `f` under `cfg`. Panics with a replayable report on the
+/// first failing interleaving; returns exploration stats otherwise.
+pub fn check<F>(cfg: Config, f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(
+        sched::ctx().is_none(),
+        "nested model executions are not supported"
+    );
+    let f = Arc::new(f);
+    let seed = std::env::var("TRIPOLL_MODEL_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .or(cfg.seed)
+        .unwrap_or(0x7219_0115_5eed);
+
+    if let Ok(r) = std::env::var("TRIPOLL_MODEL_REPLAY") {
+        let replay: Vec<Tid> = r
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse()
+                    .expect("TRIPOLL_MODEL_REPLAY: comma-separated thread ids")
+            })
+            .collect();
+        let out = run_one(&f, Vec::new(), Some(replay), None, &cfg);
+        if let Some(fail) = &out.failure {
+            panic!("{}", report(fail, &out, 1, seed, &cfg, "replay"));
+        }
+        return Stats {
+            schedules: 1,
+            exhausted: false,
+        };
+    }
+
+    let mut plan: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let out = run_one(&f, plan.clone(), None, None, &cfg);
+        schedules += 1;
+        if let Some(fail) = &out.failure {
+            panic!("{}", report(fail, &out, schedules, seed, &cfg, "dfs"));
+        }
+        if schedules >= cfg.max_schedules {
+            break;
+        }
+        match next_plan(&out.choices) {
+            Some(p) => plan = p,
+            None => {
+                return Stats {
+                    schedules,
+                    exhausted: true,
+                }
+            }
+        }
+    }
+
+    // DFS cap hit: seeded random fallback.
+    for i in 0..cfg.random_schedules {
+        let s = (seed | 1).wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let out = run_one(&f, Vec::new(), None, Some(s), &cfg);
+        schedules += 1;
+        if let Some(fail) = &out.failure {
+            panic!("{}", report(fail, &out, schedules, s, &cfg, "random"));
+        }
+    }
+    Stats {
+        schedules,
+        exhausted: false,
+    }
+}
+
+fn run_one<F>(
+    f: &Arc<F>,
+    plan: Vec<usize>,
+    replay: Option<Vec<Tid>>,
+    rng: Option<u64>,
+    cfg: &Config,
+) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Exec::new(plan, replay, rng, cfg.preemption_bound, cfg.max_steps);
+    let e2 = exec.clone();
+    let f2 = f.clone();
+    let root = std::thread::Builder::new()
+        .name("model-0".into())
+        .spawn(move || sched::run_model_thread(e2, 0, move || f2()))
+        .expect("failed to spawn model root thread");
+    let out = exec.wait_outcome();
+    // The root OS thread exits promptly once the execution completed
+    // or aborted (all park loops observe the abort flag). Spawned
+    // model threads are detached and exit the same way.
+    let _ = root.join();
+    out
+}
+
+/// The DFS successor of the schedule that recorded `choices`: flips the
+/// deepest decision with an unexplored alternative. Budget feasibility
+/// is already encoded in each record's `allowed` set (it was filtered
+/// by the preemption budget when recorded), so any alternative is
+/// executable.
+fn next_plan(choices: &[ChoiceRec]) -> Option<Vec<usize>> {
+    for k in (0..choices.len()).rev() {
+        if choices[k].index + 1 < choices[k].allowed.len() {
+            let mut p: Vec<usize> = choices[..k].iter().map(|c| c.index).collect();
+            p.push(choices[k].index + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+fn report(
+    fail: &Failure,
+    out: &Outcome,
+    schedules: usize,
+    seed: u64,
+    cfg: &Config,
+    phase: &str,
+) -> String {
+    let decisions: Vec<String> = out.choices.iter().map(|c| c.chosen().to_string()).collect();
+    let mut s = String::new();
+    s.push_str(&format!("tripoll-modelcheck: {}\n", fail.headline()));
+    s.push_str(&format!(
+        "  schedule #{schedules} ({phase} phase, preemption bound {}, seed {seed})\n",
+        cfg.preemption_bound
+    ));
+    s.push_str(&format!(
+        "  replay this interleaving: TRIPOLL_MODEL_REPLAY={}\n",
+        decisions.join(",")
+    ));
+    let total = out.trace.len();
+    let shown = total.min(80);
+    s.push_str(&format!(
+        "  trace (last {shown} of {total} schedule points, {} steps total):\n",
+        out.steps
+    ));
+    for (i, TraceEntry { tid, op, obj }) in out.trace.iter().enumerate().skip(total - shown) {
+        if *obj == 0 {
+            s.push_str(&format!("    {i:>5}  t{tid}  {op}\n"));
+        } else {
+            s.push_str(&format!("    {i:>5}  t{tid}  {op} #{obj}\n"));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cell::RaceCell;
+    use super::sync::{AtomicUsize, Condvar, Mutex};
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    fn failure_of(cfg: Config, f: impl Fn() + Send + Sync + 'static) -> String {
+        let err = catch_unwind(AssertUnwindSafe(|| check(cfg, f)))
+            .expect_err("expected the model to find a failure");
+        sched::panic_message(&*err)
+    }
+
+    #[test]
+    fn unsynchronized_counter_races() {
+        let msg = failure_of(Config::with_bound(2), || {
+            let c = Arc::new(RaceCell::new(0u32));
+            let c2 = c.clone();
+            let h = thread::spawn(move || c2.with_mut(|v| *v += 1));
+            c.with_mut(|v| *v += 1);
+            h.join().unwrap();
+        });
+        assert!(msg.contains("data race"), "got: {msg}");
+        assert!(msg.contains("TRIPOLL_MODEL_REPLAY="), "got: {msg}");
+    }
+
+    #[test]
+    fn mutexed_counter_is_clean() {
+        let stats = check(Config::with_bound(2), || {
+            let c = Arc::new(Mutex::new(0u32));
+            let c2 = c.clone();
+            let h = thread::spawn(move || *c2.lock().unwrap() += 1);
+            *c.lock().unwrap() += 1;
+            h.join().unwrap();
+            assert_eq!(*c.lock().unwrap(), 2);
+        });
+        assert!(stats.exhausted, "DFS should exhaust this tiny space");
+        // Both serializations of the two critical sections, plus
+        // schedule-point permutations around them.
+        assert!(
+            stats.schedules >= 2,
+            "explored {} schedules",
+            stats.schedules
+        );
+    }
+
+    #[test]
+    fn release_acquire_publication_is_clean() {
+        let stats = check(Config::with_bound(2), || {
+            let data = Arc::new(RaceCell::new(0u32));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let h = thread::spawn(move || {
+                d2.set(42);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.get(), 42);
+            }
+            h.join().unwrap();
+        });
+        assert!(stats.exhausted);
+    }
+
+    #[test]
+    fn relaxed_publication_races() {
+        let msg = failure_of(Config::with_bound(2), || {
+            let data = Arc::new(RaceCell::new(0u32));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let h = thread::spawn(move || {
+                d2.set(42);
+                f2.store(1, Ordering::Relaxed); // bug: no release edge
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                let _ = data.get();
+            }
+            h.join().unwrap();
+        });
+        assert!(msg.contains("data race"), "got: {msg}");
+    }
+
+    #[test]
+    fn lost_wakeup_is_a_deadlock() {
+        // Classic missed-signal bug: the waiter checks the flag,
+        // releases the lock, and waits WITHOUT re-checking after
+        // re-acquisition — a notify landing in that window is lost and
+        // the waiter sleeps forever.
+        let msg = failure_of(Config::with_bound(2), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = pair.clone();
+            let h = thread::spawn(move || {
+                *p2.0.lock().unwrap() = true;
+                p2.1.notify_one();
+            });
+            let (lock, cv) = (&pair.0, &pair.1);
+            let ready = *lock.lock().unwrap();
+            if !ready {
+                let g = lock.lock().unwrap();
+                let _g = cv.wait(g).unwrap(); // BUG: no re-check under the lock
+            }
+            h.join().unwrap();
+        });
+        assert!(msg.contains("deadlock"), "got: {msg}");
+    }
+
+    #[test]
+    fn failure_reports_are_deterministic() {
+        let run = || {
+            failure_of(Config::with_bound(2), || {
+                let c = Arc::new(RaceCell::new(0u32));
+                let c2 = c.clone();
+                let h = thread::spawn(move || c2.set(1));
+                let _ = c.get();
+                h.join().unwrap();
+            })
+        };
+        assert_eq!(run(), run(), "same closure must yield the same report");
+    }
+
+    #[test]
+    fn assertion_failures_carry_the_message() {
+        let msg = failure_of(Config::with_bound(1), || {
+            let c = Arc::new(Mutex::new(0u32));
+            let c2 = c.clone();
+            let h = thread::spawn(move || *c2.lock().unwrap() += 1);
+            let v = *c.lock().unwrap();
+            h.join().unwrap();
+            assert!(v == 0, "observed the increment before the join");
+        });
+        assert!(msg.contains("observed the increment"), "got: {msg}");
+    }
+
+    #[test]
+    fn passthrough_outside_model() {
+        // No model execution: everything must behave like std.
+        let m = Mutex::new(5);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 6);
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::AcqRel), 1);
+        assert_eq!(a.load(Ordering::Acquire), 3);
+        let h = thread::spawn(|| 7);
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn preemption_bound_zero_misses_the_lost_update_bound_two_finds_it() {
+        // A lost update across two separately-locked critical sections
+        // (read under one lock, write-back under another) is invisible
+        // at preemption bound 0 — with only voluntary switches each
+        // thread's read+write runs back to back — but a single
+        // preemption between them interleaves the other thread's
+        // update. This pins down that the bound is real.
+        let body = || {
+            let c = Arc::new(Mutex::new(0u32));
+            let c2 = c.clone();
+            let h = thread::spawn(move || {
+                let v = *c2.lock().unwrap();
+                *c2.lock().unwrap() = v + 1;
+            });
+            let v = *c.lock().unwrap();
+            *c.lock().unwrap() = v + 1;
+            h.join().unwrap();
+            assert_eq!(*c.lock().unwrap(), 2, "lost update");
+        };
+        let stats = check(Config::with_bound(0), body);
+        assert!(stats.exhausted);
+        let msg = failure_of(Config::with_bound(2), body);
+        assert!(msg.contains("lost update"), "got: {msg}");
+    }
+}

@@ -1,0 +1,875 @@
+//! The deterministic scheduler and interleaving explorer.
+//!
+//! One *execution* runs the closure-under-test with every model thread
+//! mapped to a real OS thread, but **strictly serialized**: exactly one
+//! thread is `active` at any instant, and control is handed off only at
+//! *schedule points* — every operation on an instrumented primitive
+//! ([`crate::sync`], [`crate::cell`], [`crate::thread`]). At each point
+//! the scheduler either continues the current thread or preempts to
+//! another runnable one; the sequence of such choices *is* the
+//! interleaving. The explorer (in [`crate::check`]) enumerates choice
+//! sequences by depth-first search with a preemption bound, so every
+//! sequentially-consistent interleaving with at most `preemption_bound`
+//! involuntary context switches is executed.
+//!
+//! Serialization makes values sequentially consistent; weaker-ordering
+//! bugs are surfaced through the happens-before layer instead: every
+//! synchronizing operation updates vector clocks per its `Ordering`
+//! argument (a `Relaxed` op creates no edge), and [`crate::cell::RaceCell`]
+//! accesses are checked against those clocks, so a protocol whose only
+//! ordering is too weak fails with a **data race** even though the
+//! serialized values looked fine. See `docs/CONCURRENCY.md` for the
+//! fidelity discussion.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard};
+
+use crate::clock::VClock;
+
+/// Model-thread index (0 is the closure-under-test's root thread).
+pub(crate) type Tid = usize;
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure found, or teardown of a doomed schedule). Swallowed by the
+/// per-thread wrapper; never escapes to user code.
+pub(crate) struct Teardown;
+
+/// Why a thread is not runnable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Block {
+    /// Waiting to acquire the model mutex at this address.
+    Mutex(usize),
+    /// Waiting on the model condvar at this address.
+    Condvar(usize),
+    /// Waiting for this thread id to finish.
+    Join(Tid),
+}
+
+impl Block {
+    fn describe(self, core: &mut Core) -> String {
+        match self {
+            Block::Mutex(a) => format!("Mutex#{}", core.oid(a)),
+            Block::Condvar(a) => format!("Condvar#{}", core.oid(a)),
+            Block::Join(t) => format!("join(thread {t})"),
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct Th {
+    status: Status,
+    yielded: bool,
+    clock: VClock,
+    finished_clock: Option<VClock>,
+}
+
+impl Th {
+    fn new(clock: VClock) -> Self {
+        Th {
+            status: Status::Runnable,
+            yielded: false,
+            clock,
+            finished_clock: None,
+        }
+    }
+}
+
+/// One executed schedule point, for the failure trace.
+#[derive(Clone)]
+pub(crate) struct TraceEntry {
+    pub tid: Tid,
+    pub op: &'static str,
+    /// Small model-local object id (first-touch order), so traces are
+    /// identical across runs regardless of allocation addresses. 0
+    /// means "no object".
+    pub obj: usize,
+}
+
+/// An atomic op's happens-before effect. `acq`/`rel` are derived from
+/// the user's `Ordering`; `rmw` distinguishes read-modify-writes
+/// (which *continue* a release sequence even when relaxed) from plain
+/// stores (`store`, which replace it, and when relaxed, break it).
+#[derive(Clone, Copy)]
+pub(crate) struct Hb {
+    pub acq: bool,
+    pub rel: bool,
+    pub rmw: bool,
+    pub store: bool,
+}
+
+/// One recorded scheduling decision (only points with >1 allowed
+/// successor are recorded; singleton choices are forced).
+#[derive(Clone)]
+pub(crate) struct ChoiceRec {
+    pub allowed: Vec<Tid>,
+    pub index: usize,
+}
+
+impl ChoiceRec {
+    pub(crate) fn chosen(&self) -> Tid {
+        self.allowed[self.index]
+    }
+}
+
+/// What an execution died of.
+#[derive(Clone)]
+pub(crate) enum Failure {
+    /// Every live thread is blocked — includes lost condvar wakeups.
+    Deadlock(Vec<(Tid, String)>),
+    /// A `RaceCell` access with no happens-before edge to a prior
+    /// conflicting access.
+    Race(String),
+    /// User code panicked (assertion failure and friends).
+    Panicked(String),
+    /// The per-execution step limit was exceeded.
+    Livelock(usize),
+}
+
+impl Failure {
+    pub(crate) fn headline(&self) -> String {
+        match self {
+            Failure::Deadlock(blocked) => {
+                let mut s = String::from("deadlock: every live thread is blocked (lost wakeup?):");
+                for (t, why) in blocked {
+                    s.push_str(&format!(" thread {t} on {why};"));
+                }
+                s
+            }
+            Failure::Race(d) => format!("data race: {d}"),
+            Failure::Panicked(m) => format!("thread panicked: {m}"),
+            Failure::Livelock(n) => {
+                format!("livelock: execution exceeded {n} schedule points without completing")
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct MutexSt {
+    holder: Option<Tid>,
+    clock: VClock,
+}
+
+struct CellSt {
+    w_tid: Tid,
+    w_time: u32,
+    reads: VClock,
+}
+
+pub(crate) struct Core {
+    threads: Vec<Th>,
+    active: Tid,
+    /// Planned choice indices (DFS replay prefix); beyond it, default
+    /// policy (stay on the current thread).
+    plan: Vec<usize>,
+    /// Choices recorded this execution (drives the next backtrack).
+    pub(crate) choices: Vec<ChoiceRec>,
+    /// Forced tid sequence from `TRIPOLL_MODEL_REPLAY`.
+    replay: Option<Vec<Tid>>,
+    /// Seeded xorshift state: random scheduling mode.
+    rng: Option<u64>,
+    bound: usize,
+    preemptions: usize,
+    steps: usize,
+    max_steps: usize,
+    pub(crate) trace: Vec<TraceEntry>,
+    pub(crate) failure: Option<Failure>,
+    aborted: bool,
+    completed: bool,
+    mutexes: HashMap<usize, MutexSt>,
+    cv_clocks: HashMap<usize, VClock>,
+    atomics: HashMap<usize, VClock>,
+    cells: HashMap<usize, CellSt>,
+    /// Address → small stable id, assigned in first-touch order (which
+    /// is deterministic under serialization) so traces and reports
+    /// never depend on allocation addresses.
+    obj_ids: HashMap<usize, usize>,
+}
+
+impl Core {
+    fn oid(&mut self, addr: usize) -> usize {
+        if addr == 0 {
+            return 0;
+        }
+        let next = self.obj_ids.len() + 1;
+        *self.obj_ids.entry(addr).or_insert(next)
+    }
+}
+
+/// One execution's shared scheduler state. All model threads of the
+/// execution (plus the controller) rendezvous on `lk`/`cv`.
+pub(crate) struct Exec {
+    lk: StdMutex<Core>,
+    cv: StdCondvar,
+}
+
+impl Exec {
+    pub(crate) fn new(
+        plan: Vec<usize>,
+        replay: Option<Vec<Tid>>,
+        rng: Option<u64>,
+        bound: usize,
+        max_steps: usize,
+    ) -> Arc<Self> {
+        let root = Th::new({
+            let mut c = VClock::new();
+            c.tick(0);
+            c
+        });
+        Arc::new(Exec {
+            lk: StdMutex::new(Core {
+                threads: vec![root],
+                active: 0,
+                plan,
+                choices: Vec::new(),
+                replay,
+                rng,
+                bound,
+                preemptions: 0,
+                steps: 0,
+                max_steps,
+                trace: Vec::new(),
+                failure: None,
+                aborted: false,
+                completed: false,
+                mutexes: HashMap::new(),
+                cv_clocks: HashMap::new(),
+                atomics: HashMap::new(),
+                cells: HashMap::new(),
+                obj_ids: HashMap::new(),
+            }),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Core> {
+        self.lk.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records `f` as this execution's failure (first failure wins) and
+    /// aborts the execution; parked threads wake and tear down.
+    fn record_failure(&self, g: &mut Core, f: Failure) {
+        if g.failure.is_none() {
+            g.failure = Some(f);
+        }
+        g.aborted = true;
+        self.cv.notify_all();
+    }
+
+    fn abort_check(&self, g: &Core) {
+        if g.aborted {
+            panic_any(Teardown);
+        }
+    }
+
+    /// The set of threads the scheduler may run next, in canonical
+    /// order (current thread first when eligible), already filtered by
+    /// the yield rule and the preemption budget.
+    fn allowed_set(g: &mut Core, me: Tid, me_runnable: bool) -> Vec<Tid> {
+        let runnable: Vec<Tid> = (0..g.threads.len())
+            .filter(|&t| g.threads[t].status == Status::Runnable)
+            .collect();
+        // Yield rule: a thread that called yield_now is not eligible
+        // while any non-yielded runnable thread exists; if everyone
+        // runnable has yielded, the flags reset (no livelock by rule).
+        let pool: Vec<Tid> = if runnable.iter().any(|&t| !g.threads[t].yielded) {
+            runnable
+                .iter()
+                .copied()
+                .filter(|&t| !g.threads[t].yielded)
+                .collect()
+        } else {
+            for &t in &runnable {
+                g.threads[t].yielded = false;
+            }
+            runnable
+        };
+        if me_runnable {
+            debug_assert!(pool.contains(&me), "active thread missing from pool");
+            let mut out = vec![me];
+            if g.preemptions < g.bound {
+                out.extend(pool.iter().copied().filter(|&t| t != me));
+            }
+            out
+        } else {
+            pool
+        }
+    }
+
+    /// Picks the next thread at a schedule point. Returns the chosen
+    /// tid; records the decision when more than one successor was
+    /// allowed. Fails the execution with a deadlock when nothing is
+    /// runnable (callers on a finishing path must check `aborted`).
+    fn choose(&self, g: &mut Core, me: Tid, me_runnable: bool) -> Tid {
+        let allowed = Self::allowed_set(g, me, me_runnable);
+        if allowed.is_empty() {
+            let reasons: Vec<(Tid, Block)> = g
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(t, th)| match th.status {
+                    Status::Blocked(b) => Some((t, b)),
+                    _ => None,
+                })
+                .collect();
+            let blocked: Vec<(Tid, String)> = reasons
+                .into_iter()
+                .map(|(t, b)| (t, b.describe(g)))
+                .collect();
+            self.record_failure(g, Failure::Deadlock(blocked));
+            return me; // caller observes `aborted`
+        }
+        // Singleton choices are forced and never recorded, so they
+        // must not consume a plan/replay position either.
+        if allowed.len() == 1 {
+            return allowed[0];
+        }
+        let pos = g.choices.len();
+        let index = if let Some(replay) = &g.replay {
+            match replay.get(pos) {
+                Some(&want) => allowed.iter().position(|&t| t == want).unwrap_or_else(|| {
+                    panic!(
+                        "TRIPOLL_MODEL_REPLAY diverged at choice {pos}: \
+                         thread {want} not schedulable (allowed: {allowed:?})"
+                    )
+                }),
+                None => 0,
+            }
+        } else if pos < g.plan.len() {
+            let i = g.plan[pos];
+            assert!(
+                i < allowed.len(),
+                "DFS plan index out of range (non-deterministic closure?): \
+                 pos {pos}, plan {:?}, allowed {allowed:?}, me {me} (runnable: {me_runnable})",
+                g.plan
+            );
+            i
+        } else if let Some(s) = &mut g.rng {
+            (xorshift(s) as usize) % allowed.len()
+        } else {
+            0
+        };
+        let chosen = allowed[index];
+        g.choices.push(ChoiceRec { allowed, index });
+        if me_runnable && chosen != me {
+            g.preemptions += 1;
+        }
+        chosen
+    }
+
+    /// Hands the token to `chosen` and parks until this thread is both
+    /// active and runnable again (or the execution aborts).
+    fn handoff<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, Core>,
+        me: Tid,
+        chosen: Tid,
+    ) -> MutexGuard<'a, Core> {
+        g.active = chosen;
+        self.cv.notify_all();
+        loop {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            if g.aborted {
+                drop(g);
+                panic_any(Teardown);
+            }
+            if g.active == me && g.threads[me].status == Status::Runnable {
+                break;
+            }
+        }
+        g.threads[me].yielded = false;
+        g
+    }
+
+    /// The universal schedule point: offers a preemption, then accounts
+    /// one executed operation (step counter, trace entry, clock tick)
+    /// and returns with the core locked so the caller can apply the
+    /// operation's happens-before effects.
+    pub(crate) fn point(&self, me: Tid, op: &'static str, obj: usize) -> MutexGuard<'_, Core> {
+        let mut g = self.lock();
+        self.abort_check(&g);
+        debug_assert_eq!(g.active, me, "only the active thread may execute");
+        let chosen = self.choose(&mut g, me, true);
+        self.abort_check(&g);
+        if chosen != me {
+            g = self.handoff(g, me, chosen);
+        }
+        g.steps += 1;
+        if g.steps > g.max_steps {
+            let lim = g.max_steps;
+            self.record_failure(&mut g, Failure::Livelock(lim));
+            drop(g);
+            panic_any(Teardown);
+        }
+        let oid = g.oid(obj);
+        g.trace.push(TraceEntry {
+            tid: me,
+            op,
+            obj: oid,
+        });
+        g.threads[me].clock.tick(me);
+        g
+    }
+
+    /// Blocks the current thread with `reason` and parks until some
+    /// other thread makes it runnable again. Called with the core
+    /// locked (as returned by [`Exec::point`]); returns re-locked.
+    fn block<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, Core>,
+        me: Tid,
+        reason: Block,
+    ) -> MutexGuard<'a, Core> {
+        g.threads[me].status = Status::Blocked(reason);
+        let chosen = self.choose(&mut g, me, false);
+        if g.aborted {
+            drop(g);
+            panic_any(Teardown);
+        }
+        self.handoff(g, me, chosen)
+    }
+
+    // ---- primitive protocols -------------------------------------------
+
+    /// Model-mutex acquire: blocks (and re-tries) while held elsewhere;
+    /// joins the mutex's release clock on success.
+    pub(crate) fn mutex_lock(&self, me: Tid, addr: usize) {
+        let mut g = self.point(me, "Mutex::lock", addr);
+        loop {
+            let st = g.mutexes.entry(addr).or_default();
+            if st.holder.is_none() {
+                st.holder = Some(me);
+                let mc = st.clock.clone();
+                g.threads[me].clock.join(&mc);
+                return;
+            }
+            g = self.block(g, me, Block::Mutex(addr));
+        }
+    }
+
+    /// Model-mutex release: publishes this thread's clock to the mutex
+    /// and wakes every thread blocked on it.
+    pub(crate) fn mutex_unlock(&self, me: Tid, addr: usize) {
+        let mut g = self.point(me, "Mutex::unlock", addr);
+        let clock = g.threads[me].clock.clone();
+        let st = g.mutexes.entry(addr).or_default();
+        debug_assert_eq!(st.holder, Some(me), "unlock by non-holder");
+        st.holder = None;
+        st.clock.join(&clock);
+        Self::wake_blocked(&mut g, Block::Mutex(addr));
+    }
+
+    fn wake_blocked(g: &mut Core, which: Block) {
+        for th in g.threads.iter_mut() {
+            if th.status == Status::Blocked(which) {
+                th.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Condvar wait: atomically releases the mutex and parks on the
+    /// condvar; on wakeup, re-acquires the mutex before returning.
+    pub(crate) fn condvar_wait(&self, me: Tid, cv_addr: usize, mutex_addr: usize) {
+        let mut g = self.point(me, "Condvar::wait", cv_addr);
+        // Release the mutex exactly like mutex_unlock (same clock
+        // publication), but without a second schedule point: the
+        // release and the park are one atomic step, as in real
+        // condvars — otherwise the model would invent a lost-wakeup
+        // window no real implementation has.
+        let clock = g.threads[me].clock.clone();
+        let st = g.mutexes.entry(mutex_addr).or_default();
+        debug_assert_eq!(st.holder, Some(me), "wait with mutex not held");
+        st.holder = None;
+        st.clock.join(&clock);
+        Self::wake_blocked(&mut g, Block::Mutex(mutex_addr));
+        g = self.block(g, me, Block::Condvar(cv_addr));
+        // Woken: join the notifier's published clock, then re-acquire.
+        let cvc = g.cv_clocks.entry(cv_addr).or_default().clone();
+        g.threads[me].clock.join(&cvc);
+        loop {
+            let st = g.mutexes.entry(mutex_addr).or_default();
+            if st.holder.is_none() {
+                st.holder = Some(me);
+                let mc = st.clock.clone();
+                g.threads[me].clock.join(&mc);
+                return;
+            }
+            g = self.block(g, me, Block::Mutex(mutex_addr));
+        }
+    }
+
+    /// Wakes waiters on the condvar (`all` or the lowest-tid one),
+    /// publishing the notifier's clock for them to join.
+    pub(crate) fn condvar_notify(&self, me: Tid, cv_addr: usize, all: bool) {
+        let mut g = self.point(
+            me,
+            if all {
+                "Condvar::notify_all"
+            } else {
+                "Condvar::notify_one"
+            },
+            cv_addr,
+        );
+        let clock = g.threads[me].clock.clone();
+        g.cv_clocks.entry(cv_addr).or_default().join(&clock);
+        for t in 0..g.threads.len() {
+            if g.threads[t].status == Status::Blocked(Block::Condvar(cv_addr)) {
+                g.threads[t].status = Status::Runnable;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Atomic-op happens-before update; see [`Hb`] for the flag
+    /// semantics.
+    pub(crate) fn atomic_hb(&self, me: Tid, op: &'static str, addr: usize, hb: Hb) {
+        let g = self.point(me, op, addr);
+        Self::hb_update(g, me, addr, hb);
+    }
+
+    /// The schedule point for a `compare_exchange`, taken *before* the
+    /// exchange is performed (the caller applies the happens-before
+    /// effect afterwards with [`Exec::atomic_apply`], once the
+    /// success/failure outcome — and thus the effective ordering — is
+    /// known; no other thread can run in between).
+    pub(crate) fn atomic_point(&self, me: Tid, op: &'static str, addr: usize) {
+        drop(self.point(me, op, addr));
+    }
+
+    /// Applies an atomic op's happens-before effect without taking a
+    /// schedule point (see [`Exec::atomic_point`]).
+    pub(crate) fn atomic_apply(&self, me: Tid, addr: usize, hb: Hb) {
+        let g = self.lock();
+        Self::hb_update(g, me, addr, hb);
+    }
+
+    fn hb_update(mut g: MutexGuard<'_, Core>, me: Tid, addr: usize, hb: Hb) {
+        let Hb {
+            acq,
+            rel,
+            rmw,
+            store,
+        } = hb;
+        if acq {
+            let msg = g.atomics.entry(addr).or_default().clone();
+            g.threads[me].clock.join(&msg);
+        }
+        if store || rmw {
+            let clock = g.threads[me].clock.clone();
+            let msg = g.atomics.entry(addr).or_default();
+            if rel {
+                if rmw {
+                    msg.join(&clock);
+                } else {
+                    *msg = clock;
+                }
+            } else if !rmw {
+                // Relaxed plain store: replaces the value without
+                // carrying a clock — breaks the release chain.
+                *msg = VClock::new();
+            }
+            // Relaxed RMW: leaves the chain intact (C11 release
+            // sequences are continued by any RMW).
+        }
+    }
+
+    /// `RaceCell` read: requires the last write to happen-before us.
+    pub(crate) fn cell_read(&self, me: Tid, addr: usize, what: &'static str) {
+        let mut g = self.point(me, what, addr);
+        let clock = g.threads[me].clock.clone();
+        let me_time = clock.get(me);
+        let oid = g.oid(addr);
+        if let Some(cell) = g.cells.get_mut(&addr) {
+            if !clock.observed(cell.w_tid, cell.w_time) {
+                let d = format!(
+                    "{what} on cell #{oid} by thread {me} is unsynchronized with the write by thread {}",
+                    cell.w_tid
+                );
+                self.record_failure(&mut g, Failure::Race(d));
+                drop(g);
+                panic_any(Teardown);
+            }
+            cell.reads.set(me, me_time);
+        } else {
+            g.cells.insert(
+                addr,
+                CellSt {
+                    w_tid: me,
+                    w_time: 0, // the implicit initial write: pre-history
+                    reads: {
+                        let mut r = VClock::new();
+                        r.set(me, me_time);
+                        r
+                    },
+                },
+            );
+        }
+    }
+
+    /// `RaceCell` write: requires every prior access (the last write
+    /// and all reads since) to happen-before us.
+    pub(crate) fn cell_write(&self, me: Tid, addr: usize, what: &'static str) {
+        let mut g = self.point(me, what, addr);
+        let clock = g.threads[me].clock.clone();
+        let me_time = clock.get(me);
+        let oid = g.oid(addr);
+        let violation = match g.cells.get(&addr) {
+            Some(cell) => {
+                if !clock.observed(cell.w_tid, cell.w_time) {
+                    Some(format!(
+                        "{what} on cell #{oid} by thread {me} is unsynchronized with the write by thread {}",
+                        cell.w_tid
+                    ))
+                } else if !clock.dominates(&cell.reads) {
+                    Some(format!(
+                        "{what} on cell #{oid} by thread {me} is unsynchronized with a prior read"
+                    ))
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        if let Some(d) = violation {
+            self.record_failure(&mut g, Failure::Race(d));
+            drop(g);
+            panic_any(Teardown);
+        }
+        g.cells.insert(
+            addr,
+            CellSt {
+                w_tid: me,
+                w_time: me_time,
+                reads: VClock::new(),
+            },
+        );
+    }
+
+    /// Yield: deprioritizes the caller (see the yield rule in
+    /// [`Exec::allowed_set`]) and rotates deterministically — yield
+    /// points are not DFS branch points, which is what keeps spin-wait
+    /// loops from exploding the schedule space.
+    pub(crate) fn yield_now(&self, me: Tid) {
+        let mut g = self.lock();
+        self.abort_check(&g);
+        g.steps += 1;
+        if g.steps > g.max_steps {
+            let lim = g.max_steps;
+            self.record_failure(&mut g, Failure::Livelock(lim));
+            drop(g);
+            panic_any(Teardown);
+        }
+        g.trace.push(TraceEntry {
+            tid: me,
+            op: "yield_now",
+            obj: 0,
+        });
+        g.threads[me].clock.tick(me);
+        g.threads[me].yielded = true;
+        let pool: Vec<Tid> = (0..g.threads.len())
+            .filter(|&t| g.threads[t].status == Status::Runnable && !g.threads[t].yielded)
+            .collect();
+        let chosen = if let Some(&c) = pool.first() {
+            c
+        } else {
+            // Everyone runnable has yielded: reset flags, rotate to the
+            // next runnable thread after us (cyclically).
+            let runnable: Vec<Tid> = (0..g.threads.len())
+                .filter(|&t| g.threads[t].status == Status::Runnable)
+                .collect();
+            for &t in &runnable {
+                g.threads[t].yielded = false;
+            }
+            runnable
+                .iter()
+                .copied()
+                .find(|&t| t > me)
+                .or_else(|| runnable.first().copied())
+                .unwrap_or(me)
+        };
+        if chosen != me {
+            drop(self.handoff(g, me, chosen));
+        }
+    }
+
+    /// Registers a new model thread (spawn is itself a schedule point
+    /// at the call site, in `thread::spawn`). Returns its tid.
+    pub(crate) fn register_thread(&self, parent: Tid) -> Tid {
+        let mut g = self.lock();
+        self.abort_check(&g);
+        let tid = g.threads.len();
+        let mut clock = g.threads[parent].clock.clone();
+        clock.tick(tid);
+        g.threads.push(Th::new(clock));
+        tid
+    }
+
+    /// The start gate every model thread passes before running user
+    /// code: parks until scheduled for the first time.
+    pub(crate) fn start_gate(&self, me: Tid) -> bool {
+        let mut g = self.lock();
+        loop {
+            if g.aborted {
+                return false;
+            }
+            if g.active == me && g.threads[me].status == Status::Runnable {
+                return true;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Normal completion of a model thread: publishes its final clock
+    /// for joiners, wakes them, and hands the token onward (detecting
+    /// deadlock / completion when nothing is runnable).
+    pub(crate) fn finish(&self, me: Tid) {
+        let mut g = self.lock();
+        if g.aborted {
+            return;
+        }
+        g.trace.push(TraceEntry {
+            tid: me,
+            op: "finish",
+            obj: 0,
+        });
+        let clock = g.threads[me].clock.clone();
+        g.threads[me].status = Status::Finished;
+        g.threads[me].finished_clock = Some(clock);
+        Self::wake_blocked(&mut g, Block::Join(me));
+        if g.threads.iter().all(|t| t.status == Status::Finished) {
+            g.completed = true;
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = self.choose(&mut g, me, false);
+        if g.aborted {
+            return; // deadlock recorded; we exit normally
+        }
+        g.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until thread `target` finishes, then joins its final
+    /// clock into the caller's (the join happens-before edge).
+    pub(crate) fn join_thread(&self, me: Tid, target: Tid) {
+        let mut g = self.point(me, "JoinHandle::join", target);
+        loop {
+            if g.threads[target].status == Status::Finished {
+                let fc = g.threads[target]
+                    .finished_clock
+                    .clone()
+                    .expect("finished thread has a final clock");
+                g.threads[me].clock.join(&fc);
+                return;
+            }
+            g = self.block(g, me, Block::Join(target));
+        }
+    }
+
+    /// Records a user-code panic as the execution's failure.
+    pub(crate) fn record_panic(&self, _me: Tid, msg: String) {
+        let mut g = self.lock();
+        self.record_failure(&mut g, Failure::Panicked(msg));
+    }
+
+    /// Controller side: waits for the execution to complete or abort,
+    /// then harvests the outcome.
+    pub(crate) fn wait_outcome(&self) -> Outcome {
+        let mut g = self.lock();
+        while !g.completed && !g.aborted {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        Outcome {
+            choices: std::mem::take(&mut g.choices),
+            trace: std::mem::take(&mut g.trace),
+            failure: g.failure.clone(),
+            steps: g.steps,
+        }
+    }
+}
+
+/// What one execution produced.
+pub(crate) struct Outcome {
+    pub choices: Vec<ChoiceRec>,
+    pub trace: Vec<TraceEntry>,
+    pub failure: Option<Failure>,
+    pub steps: usize,
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    let mut x = *s;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *s = x;
+    x
+}
+
+// ---- thread-local execution context ------------------------------------
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Exec>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's model context, if it is a model thread of a
+/// live execution. Returns `None` while the thread is unwinding so
+/// that drop glue falls back to passthrough std behavior instead of
+/// taking schedule points (which could double-panic during teardown).
+pub(crate) fn ctx() -> Option<(Arc<Exec>, Tid)> {
+    if std::thread::panicking() {
+        return None;
+    }
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Runs `body` as model thread `tid` of `exec`: installs the context,
+/// passes the start gate, catches teardown and user panics.
+pub(crate) fn run_model_thread<T>(
+    exec: Arc<Exec>,
+    tid: Tid,
+    body: impl FnOnce() -> T,
+) -> Option<T> {
+    CTX.with(|c| *c.borrow_mut() = Some((exec.clone(), tid)));
+    let out = if exec.start_gate(tid) {
+        match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(v) => {
+                // `finish` may legitimately unwind with `Teardown` if a
+                // concurrent failure lands between the body's last op
+                // and here; swallow it like any teardown.
+                let _ = catch_unwind(AssertUnwindSafe(|| exec.finish(tid)));
+                Some(v)
+            }
+            Err(p) if p.is::<Teardown>() => None,
+            Err(p) => {
+                // `&*p`, not `&p`: coercing `&Box<dyn Any>` would make
+                // the Box itself the `Any` and defeat the downcasts.
+                exec.record_panic(tid, panic_message(&*p));
+                None
+            }
+        }
+    } else {
+        None
+    };
+    CTX.with(|c| *c.borrow_mut() = None);
+    out
+}
+
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,502 @@
+//! Instrumented drop-in replacements for `std::sync::{Mutex, Condvar}`
+//! and the `core::sync::atomic` integer/bool types.
+//!
+//! Each type wraps its std counterpart and, when the calling thread
+//! belongs to a live model execution (is inside a [`crate::check`] run),
+//! routes every operation through the scheduler: the op becomes a
+//! schedule point, and its synchronization effect is recorded in the
+//! vector-clock layer *according to the `Ordering` the caller passed*.
+//! Outside a model execution every method falls through to std
+//! directly, so code routed through these types still behaves normally
+//! in non-model builds of the same compilation (e.g. the rest of the
+//! test suite when `--cfg tripoll_model` is set globally).
+//!
+//! Values are always sequentially consistent (the scheduler serializes
+//! execution), so a too-weak `Ordering` does not produce stale values
+//! here — it produces *missing happens-before edges*, which the
+//! [`crate::cell::RaceCell`] race detector turns into failures.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar as StdCondvar, LockResult, Mutex as StdMutex, PoisonError};
+
+use crate::sched::{ctx, Hb};
+
+fn acq_of(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn rel_of(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ord_index(o: Ordering) -> usize {
+    match o {
+        Ordering::Relaxed => 0,
+        Ordering::Acquire => 1,
+        Ordering::Release => 2,
+        Ordering::AcqRel => 3,
+        Ordering::SeqCst => 4,
+        _ => 4,
+    }
+}
+
+// ---- Mutex --------------------------------------------------------------
+
+/// A mutex with the `std::sync::Mutex` API whose lock/unlock become
+/// model schedule points (and happens-before edges) under a model
+/// execution, and plain std operations otherwise.
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the model mutex (a
+/// schedule point) when dropped under a model execution.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait` can take the std guard out and
+    // rebuild it after re-acquisition.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Model identity of the owning mutex (its address), when locked
+    /// under a model execution.
+    model_addr: Option<usize>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex. `const` so it can live in statics, like std's.
+    pub const fn new(v: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(v),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const Self as *const u8 as usize
+    }
+
+    /// Acquires the mutex. Under a model execution this never reports
+    /// poisoning (a model panic aborts the whole execution instead).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match ctx() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: Some(g),
+                    model_addr: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    model_addr: None,
+                })),
+            },
+            Some((exec, me)) => {
+                exec.mutex_lock(me, self.addr());
+                // The model protocol guarantees exclusivity, so the std
+                // lock is uncontended; `lock()` (not `try_lock`) keeps
+                // us robust to a racing passthrough thread misusing the
+                // same mutex, and poisoning is ignored (the model owns
+                // failure reporting).
+                let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+                Ok(MutexGuard {
+                    inner: Some(g),
+                    model_addr: Some(self.addr()),
+                })
+            }
+        }
+    }
+
+    /// Mutable access without locking (exclusive borrow).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data lock first, then the model lock.
+        drop(self.inner.take());
+        if let Some(addr) = self.model_addr {
+            // Skip the model release while unwinding: either the
+            // execution is already aborting (teardown) or a user panic
+            // is about to be recorded as the failure — in both cases a
+            // schedule point here could double-panic.
+            if !std::thread::panicking() {
+                if let Some((exec, me)) = ctx() {
+                    exec.mutex_unlock(me, addr);
+                }
+            }
+        }
+    }
+}
+
+// ---- Condvar ------------------------------------------------------------
+
+/// A condition variable with the `std::sync::Condvar` API; waits and
+/// notifies become model schedule points under a model execution.
+/// Lost-wakeup bugs surface as model deadlocks.
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as *const u8 as usize
+    }
+
+    /// Releases the guard's mutex, parks until notified, re-acquires.
+    /// Model waits have no spurious wakeups (every wake is a notify),
+    /// which is the *conservative* direction for finding lost wakeups.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model_addr {
+            None => {
+                let std_guard = guard.inner.take().expect("guard holds the lock");
+                match self.inner.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: Some(g),
+                        model_addr: None,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        inner: Some(p.into_inner()),
+                        model_addr: None,
+                    })),
+                }
+            }
+            Some(mutex_addr) => {
+                let (exec, me) = ctx().expect("model guard outside model execution");
+                // Drop the std guard (the data lock) before parking;
+                // the model re-acquire below re-takes it.
+                let std_guard = guard.inner.take().expect("guard holds the lock");
+                // Neutralize the guard's Drop: the model release is
+                // performed by condvar_wait itself, atomically with the
+                // park.
+                guard.model_addr = None;
+                drop(std_guard);
+                exec.condvar_wait(me, self.addr(), mutex_addr);
+                // Model mutex re-acquired; re-take the data lock. The
+                // pointer round-trip is how we get back to the Mutex
+                // without a lifetime-carrying handle.
+                // SAFETY: `mutex_addr` is the address of the `Mutex<T>`
+                // the caller's guard borrowed from, so it is live for
+                // 'a, and `StdMutex` is the first (only) field of
+                // `Mutex<T>`; locking through the erased pointer is
+                // sound because we only materialize the guard for the
+                // original `'a` lifetime and immediately repackage it.
+                let relocked: std::sync::MutexGuard<'a, T> = unsafe {
+                    let m: &'a Mutex<T> = &*(mutex_addr as *const Mutex<T>);
+                    m.inner.lock().unwrap_or_else(|p| p.into_inner())
+                };
+                Ok(MutexGuard {
+                    inner: Some(relocked),
+                    model_addr: Some(mutex_addr),
+                })
+            }
+        }
+    }
+
+    /// Waits while `condition` holds (std-compatible helper).
+    pub fn wait_while<'a, T, F: FnMut(&mut T) -> bool>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> LockResult<MutexGuard<'a, T>> {
+        while condition(&mut *guard) {
+            guard = self.wait(guard)?;
+        }
+        Ok(guard)
+    }
+
+    /// Wakes one waiter (the lowest-tid one, deterministically, under
+    /// a model execution).
+    pub fn notify_one(&self) {
+        match ctx() {
+            None => self.inner.notify_one(),
+            Some((exec, me)) => exec.condvar_notify(me, self.addr(), false),
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        match ctx() {
+            None => self.inner.notify_all(),
+            Some((exec, me)) => exec.condvar_notify(me, self.addr(), true),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+// ---- atomics ------------------------------------------------------------
+
+macro_rules! instrumented_atomic {
+    ($name:ident, $std:ident, $prim:ty) => {
+        /// Instrumented counterpart of the std atomic of the same
+        /// name: every operation is a model schedule point, and its
+        /// `Ordering` argument drives the happens-before bookkeeping
+        /// (see the module docs). Falls through to std outside a model
+        /// execution.
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            const LOAD: [&'static str; 5] = instrumented_atomic!(@names $name, "load");
+            const STORE: [&'static str; 5] = instrumented_atomic!(@names $name, "store");
+            const SWAP: [&'static str; 5] = instrumented_atomic!(@names $name, "swap");
+            const CAS: [&'static str; 5] = instrumented_atomic!(@names $name, "compare_exchange");
+
+            /// Creates a new atomic (const, like std's).
+            pub const fn new(v: $prim) -> Self {
+                $name {
+                    inner: std::sync::atomic::$std::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const Self as *const u8 as usize
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> $prim {
+                if let Some((exec, me)) = ctx() {
+                    exec.atomic_hb(
+                        me,
+                        Self::LOAD[ord_index(order)],
+                        self.addr(),
+                        Hb {
+                            acq: acq_of(order),
+                            rel: false,
+                            rmw: false,
+                            store: false,
+                        },
+                    );
+                }
+                self.inner.load(order)
+            }
+
+            /// Stores a value. A `Relaxed` store *breaks* the
+            /// location's release chain in the model, exactly as a
+            /// relaxed store replaces a release sequence in C11.
+            pub fn store(&self, v: $prim, order: Ordering) {
+                if let Some((exec, me)) = ctx() {
+                    exec.atomic_hb(
+                        me,
+                        Self::STORE[ord_index(order)],
+                        self.addr(),
+                        Hb {
+                            acq: false,
+                            rel: rel_of(order),
+                            rmw: false,
+                            store: true,
+                        },
+                    );
+                }
+                self.inner.store(v, order)
+            }
+
+            /// Swaps the value, returning the previous one.
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(Self::SWAP[ord_index(order)], order);
+                self.inner.swap(v, order)
+            }
+
+            fn rmw(&self, op: &'static str, order: Ordering) {
+                if let Some((exec, me)) = ctx() {
+                    exec.atomic_hb(
+                        me,
+                        op,
+                        self.addr(),
+                        Hb {
+                            acq: acq_of(order),
+                            rel: rel_of(order),
+                            rmw: true,
+                            store: false,
+                        },
+                    );
+                }
+            }
+
+            /// Compare-and-exchange; the happens-before effect follows
+            /// the outcome (success → RMW at `success` ordering,
+            /// failure → load at `failure` ordering).
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match ctx() {
+                    None => self.inner.compare_exchange(current, new, success, failure),
+                    Some((exec, me)) => {
+                        exec.atomic_point(me, Self::CAS[ord_index(success)], self.addr());
+                        let r = self.inner.compare_exchange(current, new, success, failure);
+                        match r {
+                            Ok(_) => exec.atomic_apply(
+                                me,
+                                self.addr(),
+                                Hb {
+                                    acq: acq_of(success),
+                                    rel: rel_of(success),
+                                    rmw: true,
+                                    store: false,
+                                },
+                            ),
+                            Err(_) => exec.atomic_apply(
+                                me,
+                                self.addr(),
+                                Hb {
+                                    acq: acq_of(failure),
+                                    rel: false,
+                                    rmw: false,
+                                    store: false,
+                                },
+                            ),
+                        }
+                        r
+                    }
+                }
+            }
+
+            /// Weak compare-and-exchange. The model never fails
+            /// spuriously (it delegates to the strong version), which
+            /// only *shrinks* the behavior set — sound for finding
+            /// bugs in success-path protocols.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Mutable access without synchronization (exclusive borrow).
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                $name::new(Default::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    };
+    (@names $name:ident, $op:literal) => {
+        [
+            concat!(stringify!($name), "::", $op, "(Relaxed)"),
+            concat!(stringify!($name), "::", $op, "(Acquire)"),
+            concat!(stringify!($name), "::", $op, "(Release)"),
+            concat!(stringify!($name), "::", $op, "(AcqRel)"),
+            concat!(stringify!($name), "::", $op, "(SeqCst)"),
+        ]
+    };
+}
+
+macro_rules! instrumented_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            const FETCH_ADD: [&'static str; 5] = instrumented_atomic!(@names $name, "fetch_add");
+            const FETCH_SUB: [&'static str; 5] = instrumented_atomic!(@names $name, "fetch_sub");
+            const FETCH_MAX: [&'static str; 5] = instrumented_atomic!(@names $name, "fetch_max");
+            const FETCH_MIN: [&'static str; 5] = instrumented_atomic!(@names $name, "fetch_min");
+
+            /// Adds to the value, returning the previous one.
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(Self::FETCH_ADD[ord_index(order)], order);
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Subtracts from the value, returning the previous one.
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(Self::FETCH_SUB[ord_index(order)], order);
+                self.inner.fetch_sub(v, order)
+            }
+
+            /// Maximum with the value, returning the previous one.
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(Self::FETCH_MAX[ord_index(order)], order);
+                self.inner.fetch_max(v, order)
+            }
+
+            /// Minimum with the value, returning the previous one.
+            pub fn fetch_min(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(Self::FETCH_MIN[ord_index(order)], order);
+                self.inner.fetch_min(v, order)
+            }
+        }
+    };
+}
+
+instrumented_atomic!(AtomicUsize, AtomicUsize, usize);
+instrumented_atomic!(AtomicU64, AtomicU64, u64);
+instrumented_atomic!(AtomicI64, AtomicI64, i64);
+instrumented_atomic!(AtomicU32, AtomicU32, u32);
+instrumented_atomic!(AtomicBool, AtomicBool, bool);
+instrumented_atomic_arith!(AtomicUsize, usize);
+instrumented_atomic_arith!(AtomicU64, u64);
+instrumented_atomic_arith!(AtomicI64, i64);
+instrumented_atomic_arith!(AtomicU32, u32);
+
+impl AtomicBool {
+    const FETCH_OR: [&'static str; 5] = instrumented_atomic!(@names AtomicBool, "fetch_or");
+    const FETCH_AND: [&'static str; 5] = instrumented_atomic!(@names AtomicBool, "fetch_and");
+
+    /// Logical OR with the value, returning the previous one.
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        self.rmw(Self::FETCH_OR[ord_index(order)], order);
+        self.inner.fetch_or(v, order)
+    }
+
+    /// Logical AND with the value, returning the previous one.
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        self.rmw(Self::FETCH_AND[ord_index(order)], order);
+        self.inner.fetch_and(v, order)
+    }
+}

@@ -22,9 +22,17 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::thread;
+
+// The pool's entire concurrency surface — worker spawns, the deque
+// mutex, the park/wake condvar, completion counters, yields — goes
+// through the `tripoll-sync` facade: plain std re-exports in normal
+// builds, model-checker schedule points under `--cfg tripoll_model`
+// (see docs/CONCURRENCY.md).
+use tripoll_sync::atomic::{AtomicUsize, Ordering};
+use tripoll_sync::thread::{yield_now, Builder, JoinHandle};
+use tripoll_sync::{Condvar, Mutex};
 
 thread_local! {
     /// True on pool worker threads: a nested `run` from a worker
@@ -48,11 +56,13 @@ struct Batch {
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
-// Safety: `ctx` points at a `Fn(usize) + Sync` closure on the invoking
+// SAFETY: `ctx` points at a `Fn(usize) + Sync` closure on the invoking
 // thread's stack. `run` keeps that frame alive until `remaining` hits
 // zero (every job executed), and the closure is `Sync`, so calling it
 // concurrently from worker threads is sound.
 unsafe impl Send for Batch {}
+// SAFETY: as for `Send` above — shared access from multiple workers is
+// exactly the `Fn + Sync` contract `run` demands of the closure.
 unsafe impl Sync for Batch {}
 
 /// A contiguous index range of one batch.
@@ -81,7 +91,7 @@ struct Inner {
 /// [`global`], which sizes itself to the host once per process.
 pub struct ThreadPool {
     inner: Arc<Inner>,
-    handles: Vec<thread::JoinHandle<()>>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl ThreadPool {
@@ -99,7 +109,7 @@ impl ThreadPool {
         let handles = (0..nworkers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
-                thread::Builder::new()
+                Builder::new()
                     .name(format!("tripoll-pool-{i}"))
                     .spawn(move || worker_loop(&inner, i))
                     .expect("spawn pool worker")
@@ -126,7 +136,13 @@ impl ThreadPool {
             }
             return;
         }
+        // SAFETY: caller contract — `ctx` must point at a live `F`; the
+        // only caller is `exec`, through a `Batch` whose `ctx` is the
+        // address of `f` below, kept alive until the batch completes.
         unsafe fn call_closure<F: Fn(usize)>(ctx: *const (), i: usize) {
+            // SAFETY: `ctx` is the address of a live `F` per this
+            // function's contract, and `F: Sync` makes the shared call
+            // from any thread sound.
             unsafe { (*(ctx as *const F))(i) }
         }
         let batch = Arc::new(Batch {
@@ -167,7 +183,7 @@ impl ThreadPool {
                     if batch.remaining.load(Ordering::Acquire) == 0 {
                         break;
                     }
-                    thread::yield_now();
+                    yield_now();
                 }
             }
         }
@@ -181,19 +197,28 @@ impl ThreadPool {
     /// on exactly one thread, returning when all are done.
     pub fn run_mut<T: Send, F: Fn(&mut T) + Sync>(&self, items: &mut [T], f: F) {
         struct SendPtr<T>(*mut T);
+        // SAFETY: the pointer is only dereferenced at distinct indices
+        // (one per job, see `run`'s exactly-once dispatch), and
+        // `T: Send` on `run_mut` covers handing each element to another
+        // thread.
         unsafe impl<T> Send for SendPtr<T> {}
+        // SAFETY: sharing the wrapper only shares the base address;
+        // disjoint-index access is what makes the concurrent use sound.
         unsafe impl<T> Sync for SendPtr<T> {}
         impl<T> SendPtr<T> {
             // Accessor (rather than a field read in the closure) so
             // closure capture takes the Sync wrapper, not the raw
             // pointer field.
             fn at(&self, i: usize) -> *mut T {
+                // SAFETY: `i < items.len()` (run is called with
+                // `items.len()`), so the offset stays in the
+                // allocation.
                 unsafe { self.0.add(i) }
             }
         }
         let base = SendPtr(items.as_mut_ptr());
         self.run(items.len(), move |i| {
-            // Safety: `run` dispatches each index to exactly one job,
+            // SAFETY: `run` dispatches each index to exactly one job,
             // so the `&mut` is exclusive; T: Send covers the move of
             // access across threads.
             f(unsafe { &mut *base.at(i) });
@@ -243,6 +268,9 @@ fn exec(job: Job) {
     let Job { batch, start, end } = job;
     let result = catch_unwind(AssertUnwindSafe(|| {
         for i in start..end {
+            // SAFETY: `batch.ctx` points at the invoking `run` frame's
+            // closure, alive until `remaining` reaches zero — which
+            // cannot happen before this job's decrement below.
             unsafe { (batch.call)(batch.ctx, i) };
         }
     }));

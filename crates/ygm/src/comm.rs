@@ -24,13 +24,14 @@
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::buffer::{BufferPool, SendBuffer};
+use crate::quiesce::Quiescence;
 use crate::stats::RankCounters;
 use crate::wire::{put_varint, Wire, WireEncode, WireError, WireReader};
 
@@ -100,14 +101,10 @@ pub(crate) enum Envelope {
 pub(crate) struct Shared {
     pub(crate) nranks: usize,
     pub(crate) senders: Vec<Sender<Envelope>>,
-    /// Records sent but not yet fully processed, summed over all ranks.
-    pub(crate) pending: AtomicI64,
-    /// Ranks currently inside `barrier()`.
-    barrier_count: AtomicUsize,
-    /// Completed-barrier generation; waiters leave when it advances.
-    barrier_gen: AtomicU64,
-    /// Set when any rank panics, so peers abort instead of hanging.
-    pub(crate) poisoned: AtomicBool,
+    /// The pending-record counter and generation barrier (extracted so
+    /// the shipping protocol runs under the model checker — see
+    /// [`crate::quiesce`]).
+    pub(crate) q: Quiescence,
     /// Per-rank communication counters.
     pub(crate) counters: Vec<RankCounters>,
     /// Scratch slots for collectives (one per rank).
@@ -119,10 +116,7 @@ impl Shared {
         Shared {
             nranks,
             senders,
-            pending: AtomicI64::new(0),
-            barrier_count: AtomicUsize::new(0),
-            barrier_gen: AtomicU64::new(0),
-            poisoned: AtomicBool::new(false),
+            q: Quiescence::new(),
             counters: (0..nranks).map(|_| RankCounters::default()).collect(),
             slots: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
         }
@@ -338,7 +332,7 @@ impl Comm {
     /// the root cause.
     pub fn abort(&self, reason: impl std::fmt::Display) -> ! {
         let msg = format!("rank {} aborted: {reason}", self.rank);
-        self.shared.poisoned.store(true, Ordering::SeqCst);
+        self.shared.q.poison();
         panic!("{msg}");
     }
 
@@ -362,16 +356,8 @@ impl Comm {
         );
         // Count the record as pending *before* it becomes visible anywhere,
         // so the quiescence barrier can never observe a transient zero.
-        //
-        // Ordering: AcqRel suffices for the per-record counter. The
-        // quiescence invariant needs (a) each increment to precede the
-        // record's enqueue — program order here, made visible to the
-        // receiver by the channel's release/acquire handoff — and (b) each
-        // decrement to follow the record's execution, which the Release
-        // half of dispatch's AcqRel gives the barrier's SeqCst read. No
-        // cross-variable total order is required outside the barrier
-        // itself, which keeps its SeqCst load.
-        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        // (Ordering rationale lives on `Quiescence::record_sent`.)
+        self.shared.q.record_sent();
 
         let counters = self.counters();
         let ship = {
@@ -443,8 +429,8 @@ impl Comm {
                     .fetch_add(scratch.len() as u64, Ordering::Relaxed);
                 encoded = true;
             }
-            // Same ordering argument as `send_encoded`.
-            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+            // Same pre-visibility argument as `send_encoded`.
+            self.shared.q.record_sent();
             let ship = {
                 let mut bufs = self.outbufs.borrow_mut();
                 let buf = &mut bufs[dest];
@@ -662,12 +648,10 @@ impl Comm {
             handler(self, &mut reader);
             executed = true;
             self.counters().handlers_run.fetch_add(1, Ordering::Relaxed);
-            // AcqRel: the Release half orders the record's execution (and
-            // any sends the handler performed, whose increments precede
-            // this decrement in program order) before the decrement, so a
-            // barrier that reads 0 has synchronized with every completed
-            // record. See the invariant comment in `send_encoded`.
-            self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+            // The decrement's Release half is what lets a barrier that
+            // reads 0 synchronize with this record's execution — see
+            // `Quiescence::record_done`.
+            self.shared.q.record_done();
         }
         self.in_dispatch.set(was);
         // Recycle the envelope allocation into this rank's send pool:
@@ -689,37 +673,18 @@ impl Comm {
             "barrier() may not be called from inside a message handler"
         );
         self.flush_all();
-        let shared = &self.shared;
-        let gen = shared.barrier_gen.load(Ordering::SeqCst);
-        let arrived = shared.barrier_count.fetch_add(1, Ordering::SeqCst) + 1;
-        if arrived == self.nranks() {
-            // Last arrival: drive the world to quiescence, then release.
-            loop {
-                self.check_poison();
-                if self.poll() | self.run_drain_hook() {
-                    self.flush_all();
-                    continue;
-                }
-                if shared.pending.load(Ordering::SeqCst) == 0 {
-                    break;
-                }
-                std::thread::yield_now();
+        // The rendezvous itself lives in `Quiescence::barrier`; this
+        // closure is one poll-and-drain progress step, flushing any
+        // sends the drained work produced.
+        self.shared.q.barrier(self.nranks(), || {
+            self.check_poison();
+            if self.poll() | self.run_drain_hook() {
+                self.flush_all();
+                true
+            } else {
+                false
             }
-            // Reset count *before* advancing the generation: ranks can only
-            // re-enter after observing the new generation, so their
-            // increments always land on the reset counter.
-            shared.barrier_count.store(0, Ordering::SeqCst);
-            shared.barrier_gen.fetch_add(1, Ordering::SeqCst);
-        } else {
-            while shared.barrier_gen.load(Ordering::SeqCst) == gen {
-                self.check_poison();
-                if self.poll() | self.run_drain_hook() {
-                    self.flush_all();
-                } else {
-                    std::thread::yield_now();
-                }
-            }
-        }
+        });
         self.counters().barriers.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -755,18 +720,18 @@ impl Comm {
     /// parallel merge path) pair this with a drain hook so the barrier
     /// both waits for and actively drains the queue.
     pub fn defer_work(&self) {
-        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.shared.q.record_sent();
     }
 
     /// Balances one [`Comm::defer_work`] after the deferred unit has
     /// fully executed (including any records it sent being counted).
     pub fn deferred_done(&self) {
-        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+        self.shared.q.record_done();
     }
 
     #[inline]
     fn check_poison(&self) {
-        if self.shared.poisoned.load(Ordering::SeqCst) {
+        if self.shared.q.is_poisoned() {
             panic!("{POISON_MSG} (observed on rank {})", self.rank);
         }
     }
@@ -982,7 +947,7 @@ mod tests {
                 comm.send(dest, &h, &vec![1, 2, 3]);
             }
             comm.barrier();
-            assert_eq!(comm.shared().pending.load(Ordering::SeqCst), 0);
+            assert_eq!(comm.shared().q.pending(), 0);
         });
     }
 

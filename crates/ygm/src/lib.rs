@@ -56,7 +56,7 @@
 //! assert_eq!(greetings, vec![3, 3, 3, 3]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod buffer;
 pub mod collective;
@@ -64,6 +64,7 @@ pub mod comm;
 pub mod container;
 pub mod cost;
 pub mod hash;
+pub mod quiesce;
 pub mod stats;
 pub mod wire;
 pub mod world;

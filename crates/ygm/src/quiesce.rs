@@ -1,0 +1,164 @@
+//! The quiescence protocol: the pending-record counter and the
+//! generation barrier, extracted into one type so the *shipping*
+//! protocol code — not a transliteration — runs under the concurrency
+//! model checker (`cargo test -p tripoll-core --test model` with
+//! `RUSTFLAGS="--cfg tripoll_model"`; see `docs/CONCURRENCY.md`).
+//!
+//! Every atomic here goes through the `tripoll-sync` facade, so in a
+//! normal build this module compiles to exactly the std atomics it
+//! always used, while under `--cfg tripoll_model` each operation is a
+//! schedule point with its `Ordering` driving happens-before
+//! bookkeeping.
+//!
+//! ## Protocol (also catalogued in `docs/CONCURRENCY.md` and pinned by
+//! `lint/orderings.toml`)
+//!
+//! * `pending` (**quiescence-pending-counter**): records sent but not
+//!   yet fully processed, summed over all ranks, plus engine-deferred
+//!   work units. Increments happen *before* the record becomes visible
+//!   anywhere; decrements happen *after* the record's handler ran.
+//!   AcqRel on the increments/decrements suffices: the Release half of
+//!   each decrement orders the record's execution before it, and the
+//!   barrier's SeqCst read acquires the whole chain (read-modify-writes
+//!   continue a release sequence), so a barrier that observes 0 has
+//!   synchronized with every completed record. The model test
+//!   `quiescence_relaxed_decrement_races` demonstrates that downgrading
+//!   the decrement to Relaxed breaks exactly this edge.
+//! * `barrier_count` / `barrier_gen` (**barrier-generation**): the
+//!   rendezvous. The last arrival drives the world to quiescence, then
+//!   resets the count *before* advancing the generation — ranks can
+//!   only re-enter after observing the new generation, so their
+//!   increments always land on the reset counter. SeqCst throughout:
+//!   the barrier needs a total order between the count, the generation
+//!   and the pending counter, and it is far off the hot path.
+//! * `poisoned` (**poison-flag**): one-way abort flag; SeqCst store and
+//!   loads keep it totally ordered with the barrier spins that must
+//!   observe it.
+
+use tripoll_sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use tripoll_sync::thread::yield_now;
+
+/// Shared quiescence state for one world. See the module docs for the
+/// protocol; [`Comm`](crate::Comm) methods delegate here.
+pub struct Quiescence {
+    /// Records sent but not yet fully processed, summed over all
+    /// ranks (may transiently exceed the true count, never undershoot).
+    pending: AtomicI64,
+    /// Ranks currently inside `barrier()`.
+    barrier_count: AtomicUsize,
+    /// Completed-barrier generation; waiters leave when it advances.
+    barrier_gen: AtomicU64,
+    /// Set when any rank panics, so peers abort instead of hanging.
+    poisoned: AtomicBool,
+}
+
+impl Default for Quiescence {
+    fn default() -> Self {
+        Quiescence::new()
+    }
+}
+
+impl Quiescence {
+    /// Fresh state: nothing pending, generation zero, not poisoned.
+    pub const fn new() -> Self {
+        Quiescence {
+            pending: AtomicI64::new(0),
+            barrier_count: AtomicUsize::new(0),
+            barrier_gen: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Counts a record as pending. Must be called *before* the record
+    /// becomes visible to any receiver, so the barrier can never
+    /// observe a transient zero.
+    ///
+    /// Ordering: AcqRel suffices for the per-record counter. The
+    /// quiescence invariant needs (a) each increment to precede the
+    /// record's enqueue — program order here, made visible to the
+    /// receiver by the channel's release/acquire handoff — and (b)
+    /// each decrement to follow the record's execution, which the
+    /// Release half of [`Quiescence::record_done`]'s AcqRel gives the
+    /// barrier's SeqCst read. No cross-variable total order is
+    /// required outside the barrier itself, which keeps its SeqCst
+    /// load.
+    #[inline]
+    pub fn record_sent(&self) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Balances one [`Quiescence::record_sent`] after the record's
+    /// handler has run.
+    ///
+    /// Ordering: AcqRel — the Release half orders the record's
+    /// execution (and any sends the handler performed, whose
+    /// increments precede this decrement in program order) before the
+    /// decrement, so a barrier that reads 0 has synchronized with
+    /// every completed record.
+    #[inline]
+    pub fn record_done(&self) {
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// [`Quiescence::record_done`] with the ordering deliberately
+    /// downgraded to Relaxed — **for the model-checker regression test
+    /// only**, which proves the AcqRel above is load-bearing: with
+    /// Relaxed the decrement stops publishing the handler's work to
+    /// the barrier's read and the checker reports a data race.
+    #[cfg(tripoll_model)]
+    pub fn record_done_relaxed(&self) {
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current pending count (diagnostics and shutdown asserts).
+    pub fn pending(&self) -> i64 {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Marks the world poisoned (any rank, on its way out).
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the world has been poisoned.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// The quiescence barrier rendezvous. `progress` is the caller's
+    /// poll-and-drain step: it must make message progress (dispatch
+    /// received records, run drain hooks, flush what they produced),
+    /// return whether anything happened, and panic if the world is
+    /// poisoned. The last arrival drives `progress` until the world is
+    /// quiescent (`pending == 0` with nothing left to poll), then
+    /// releases the generation; everyone else keeps making progress
+    /// until the generation advances.
+    pub fn barrier(&self, nranks: usize, mut progress: impl FnMut() -> bool) {
+        let gen = self.barrier_gen.load(Ordering::SeqCst);
+        let arrived = self.barrier_count.fetch_add(1, Ordering::SeqCst) + 1;
+        if arrived == nranks {
+            // Last arrival: drive the world to quiescence, then release.
+            loop {
+                if progress() {
+                    continue;
+                }
+                if self.pending.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                yield_now();
+            }
+            // Reset count *before* advancing the generation: ranks can
+            // only re-enter after observing the new generation, so
+            // their increments always land on the reset counter.
+            self.barrier_count.store(0, Ordering::SeqCst);
+            self.barrier_gen.fetch_add(1, Ordering::SeqCst);
+        } else {
+            while self.barrier_gen.load(Ordering::SeqCst) == gen {
+                if !progress() {
+                    yield_now();
+                }
+            }
+        }
+    }
+}

@@ -11,7 +11,6 @@
 //! panic (by rank order) on the driving thread.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crossbeam::channel::unbounded;
@@ -105,7 +104,7 @@ impl World {
                     let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
                     if result.is_err() {
                         // Wake peers stuck in barriers before unwinding.
-                        shared.poisoned.store(true, Ordering::SeqCst);
+                        shared.q.poison();
                     }
                     result
                 }));
@@ -135,7 +134,7 @@ impl World {
         }
 
         debug_assert_eq!(
-            shared.pending.load(Ordering::SeqCst),
+            shared.q.pending(),
             0,
             "records left unprocessed after world shutdown — missing barrier?"
         );
