@@ -266,7 +266,10 @@ where
             // Encode-once fan-out: the `Adjm+(q)` projection serializes
             // straight from graph storage exactly once (in the survey's
             // batch layout), and the encoded record is memcpy'd to
-            // every granted rank.
+            // every granted rank. Under node aggregation the comm layer
+            // tightens this further: granted ranks sharing a remote node
+            // receive one multicast section — the adjacency crosses the
+            // wire once per *node* and the gateway fans it out.
             let dests = ranks.iter().map(|&src| src as usize);
             match &pull_handler {
                 PullHandler::Interleaved(h) => comm.send_to_many(

@@ -1,0 +1,222 @@
+//! Overlapped transport: a double-buffered drain stage that moves the
+//! channel handoff of [`crate::Comm`]'s `ship()` off the encode path.
+//!
+//! Without overlap, every buffer flush performs the transport send
+//! inline: encode stalls while the envelope is injected. [`DrainStage`]
+//! decouples the two — the encode path appends `(dest, envelope)` pairs
+//! to a staged batch under a mutex and returns immediately, while a
+//! dedicated transport worker swaps the staged batch for its own empty
+//! one (double buffering: the two `Vec`s alternate roles, so steady
+//! state allocates nothing) and performs the sends outside the lock.
+//! Encode and transport pipeline instead of serializing, which is the
+//! async-flush half of the paper's §5.4 comm-layer scaling.
+//!
+//! ## Quiescence contract
+//!
+//! The stage is invisible to the quiescence protocol by construction:
+//! the comm layer calls `record_sent` *before* an envelope becomes
+//! visible to anyone (see `send_encoded`), so while an envelope sits in
+//! the stage the pending counter is already positive and no barrier can
+//! release. The stage's own `in_flight` counter exists for the *drop*
+//! path: `Comm` teardown must not destroy the receiving channels while
+//! the worker still holds envelopes, so it shuts the stage down and
+//! joins the worker, which drains everything first ([`DrainStage::shutdown`]
+//! never drops queued items). The AcqRel increment/decrement pair makes
+//! [`DrainStage::is_idle`] a real synchronization point: observing
+//! `in_flight == 0` happens-after every completed send.
+//!
+//! All shared state routes through the `tripoll-sync` facade, so the
+//! whole protocol is bounded-exhaustively model-checked under
+//! `--cfg tripoll_model` (`crates/core/tests/model.rs`), including a
+//! quiescence-with-in-flight-transport interleaving.
+
+use tripoll_sync::atomic::{AtomicUsize, Ordering};
+use tripoll_sync::thread::yield_now;
+use tripoll_sync::{Condvar, Mutex};
+
+/// The staged batch plus the shutdown flag, guarded by one mutex.
+struct StageState<T> {
+    batch: Vec<T>,
+    shutdown: bool,
+}
+
+/// A double-buffered producer/consumer stage: producers [`DrainStage::push`]
+/// items, one transport worker loops in [`DrainStage::worker_loop`]
+/// swapping the staged batch out and delivering it outside the lock.
+/// See the module docs for the protocol and its quiescence argument.
+pub struct DrainStage<T> {
+    state: Mutex<StageState<T>>,
+    ready: Condvar,
+    /// Items pushed but not yet delivered by the worker. Incremented
+    /// *before* an item becomes visible in the batch (mirroring the
+    /// quiescence pending counter), decremented after its delivery
+    /// closure returns; AcqRel on both sides so an `is_idle() == true`
+    /// observer is ordered after every delivery's effects.
+    in_flight: AtomicUsize,
+}
+
+impl<T> Default for DrainStage<T> {
+    fn default() -> Self {
+        DrainStage::new()
+    }
+}
+
+impl<T> DrainStage<T> {
+    /// An empty stage with no worker attached; the owner spawns the
+    /// worker thread itself and points it at [`DrainStage::worker_loop`].
+    pub fn new() -> Self {
+        DrainStage {
+            state: Mutex::new(StageState {
+                batch: Vec::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Stages one item for the transport worker and returns immediately.
+    ///
+    /// The in-flight count is raised *before* the item becomes visible
+    /// so no observer can see an empty stage (`is_idle`) while the item
+    /// exists but is uncounted.
+    pub fn push(&self, item: T) {
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let mut st = self.state.lock().unwrap();
+        st.batch.push(item);
+        drop(st);
+        self.ready.notify_one();
+    }
+
+    /// The transport worker's body: parks until items are staged, swaps
+    /// the whole batch out under the lock, delivers each item via
+    /// `send` *outside* the lock, and repeats. Returns only when
+    /// [`DrainStage::shutdown`] has been called *and* the stage is
+    /// empty — queued items are always delivered, never dropped.
+    pub fn worker_loop(&self, mut send: impl FnMut(T)) {
+        // The worker's spare vec and the staged batch alternate roles;
+        // steady state allocates nothing.
+        let mut local: Vec<T> = Vec::new();
+        loop {
+            {
+                let mut st = self.state.lock().unwrap();
+                while st.batch.is_empty() && !st.shutdown {
+                    st = self.ready.wait(st).unwrap();
+                }
+                if st.batch.is_empty() {
+                    return; // shutdown with nothing left to drain
+                }
+                std::mem::swap(&mut st.batch, &mut local);
+            }
+            for item in local.drain(..) {
+                send(item);
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Tells the worker to exit once the stage is drained. Items staged
+    /// before (or even after) this call are still delivered.
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.shutdown = true;
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// True when every pushed item has been delivered. An `is_idle()`
+    /// observation is ordered after the effects of all those deliveries
+    /// (Acquire pairing with the worker's AcqRel decrements).
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.load(Ordering::Acquire) == 0
+    }
+
+    /// Spin-yields until the stage is idle. Used only on teardown and
+    /// in tests — the barrier path never needs it (see the module docs'
+    /// quiescence argument).
+    pub fn wait_idle(&self) {
+        while !self.is_idle() {
+            yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use tripoll_sync::thread;
+
+    #[test]
+    fn delivers_every_item_then_goes_idle() {
+        let stage = Arc::new(DrainStage::<u64>::new());
+        let sum = Arc::new(AtomicU64::new(0));
+        let (s2, sum2) = (stage.clone(), sum.clone());
+        let worker = thread::spawn(move || {
+            s2.worker_loop(|v| {
+                sum2.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        for v in 1..=100u64 {
+            stage.push(v);
+        }
+        stage.wait_idle();
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 5050);
+        stage.shutdown();
+        worker.join().unwrap();
+        assert!(stage.is_idle());
+    }
+
+    #[test]
+    fn shutdown_drains_queued_items_before_exit() {
+        // Items staged before the worker even starts must survive an
+        // immediate shutdown: worker_loop only exits on empty+shutdown.
+        let stage = Arc::new(DrainStage::<u64>::new());
+        for v in 0..10u64 {
+            stage.push(v);
+        }
+        stage.shutdown();
+        let got = Arc::new(AtomicU64::new(0));
+        let (s2, g2) = (stage.clone(), got.clone());
+        let worker = thread::spawn(move || {
+            s2.worker_loop(|_| {
+                g2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        worker.join().unwrap();
+        assert_eq!(got.load(std::sync::atomic::Ordering::Relaxed), 10);
+        assert!(stage.is_idle());
+    }
+
+    #[test]
+    fn many_producers_one_worker() {
+        let stage = Arc::new(DrainStage::<u64>::new());
+        let sum = Arc::new(AtomicU64::new(0));
+        let (s2, sum2) = (stage.clone(), sum.clone());
+        let worker = thread::spawn(move || {
+            s2.worker_loop(|v| {
+                sum2.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let s = stage.clone();
+                thread::spawn(move || {
+                    for v in 0..50u64 {
+                        s.push(p * 1000 + v);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        stage.shutdown();
+        worker.join().unwrap();
+        let expect: u64 = (0..4u64)
+            .map(|p| (0..50).map(|v| p * 1000 + v).sum::<u64>())
+            .sum();
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), expect);
+    }
+}

@@ -61,6 +61,12 @@ pub struct RankCounters {
     /// payload volume that *skipped the owned-message materialization*,
     /// not a strict never-copied guarantee per byte.
     pub bytes_decoded_in_place: AtomicU64,
+    /// Record deliveries served by a node-multicast section: the payload
+    /// went on the wire once and the gateway fanned it out locally.
+    pub records_multicast: AtomicU64,
+    /// Wire bytes saved by multicast sections versus appending the
+    /// encoded record once per destination rank.
+    pub multicast_bytes_saved: AtomicU64,
 }
 
 impl RankCounters {
@@ -81,6 +87,8 @@ impl RankCounters {
             pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
             records_borrowed: self.records_borrowed.load(Ordering::Relaxed),
             bytes_decoded_in_place: self.bytes_decoded_in_place.load(Ordering::Relaxed),
+            records_multicast: self.records_multicast.load(Ordering::Relaxed),
+            multicast_bytes_saved: self.multicast_bytes_saved.load(Ordering::Relaxed),
         }
     }
 }
@@ -116,6 +124,10 @@ pub struct CommStats {
     pub records_borrowed: u64,
     /// Record bytes consumed by in-place (borrowed) handlers.
     pub bytes_decoded_in_place: u64,
+    /// Record deliveries served by a node-multicast section.
+    pub records_multicast: u64,
+    /// Wire bytes saved by multicast sections versus per-rank copies.
+    pub multicast_bytes_saved: u64,
 }
 
 impl CommStats {
@@ -153,6 +165,12 @@ impl CommStats {
             bytes_decoded_in_place: self
                 .bytes_decoded_in_place
                 .saturating_sub(earlier.bytes_decoded_in_place),
+            records_multicast: self
+                .records_multicast
+                .saturating_sub(earlier.records_multicast),
+            multicast_bytes_saved: self
+                .multicast_bytes_saved
+                .saturating_sub(earlier.multicast_bytes_saved),
         }
     }
 
@@ -173,6 +191,8 @@ impl CommStats {
             pool_reuses: self.pool_reuses + other.pool_reuses,
             records_borrowed: self.records_borrowed + other.records_borrowed,
             bytes_decoded_in_place: self.bytes_decoded_in_place + other.bytes_decoded_in_place,
+            records_multicast: self.records_multicast + other.records_multicast,
+            multicast_bytes_saved: self.multicast_bytes_saved + other.multicast_bytes_saved,
         }
     }
 

@@ -174,7 +174,13 @@ mod tests {
 
     #[test]
     fn stats_are_per_rank() {
-        let out = World::new(3).run_with_stats(|comm| {
+        // Pin ranks_per_node: the remote counts below assume every peer
+        // is on its own node (TRIPOLL_RPN would reclassify rank 1).
+        let config = CommConfig {
+            ranks_per_node: 1,
+            ..Default::default()
+        };
+        let out = World::new(3).with_config(config).run_with_stats(|comm| {
             let h = comm.register::<u64, _>(|_c, _v| {});
             if comm.rank() == 0 {
                 comm.send(1, &h, &42u64);

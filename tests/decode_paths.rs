@@ -25,7 +25,7 @@ use tripoll::gen::table4_suite;
 use tripoll::graph::{build_dist_graph, EdgeList, Partition};
 use tripoll::prelude::DatasetSize;
 use tripoll::ygm::hash::hash64;
-use tripoll::ygm::World;
+use tripoll::ygm::{CommConfig, World};
 
 /// Every layout×decode cell, production default first (all under the
 /// default auto-selected kernel; the kernel axis has its own
@@ -116,7 +116,19 @@ fn run_survey(
     mode: EngineMode,
     config: SurveyConfig,
 ) -> Vec<Outcome> {
-    World::new(nranks).run(|comm| {
+    run_survey_with_comm(list, nranks, mode, config, CommConfig::default())
+}
+
+/// [`run_survey`] with an explicit communicator configuration, for the
+/// node-aggregation (`ranks_per_node`) and overlapped-flush axes.
+fn run_survey_with_comm(
+    list: &EdgeList<String>,
+    nranks: usize,
+    mode: EngineMode,
+    config: SurveyConfig,
+    comm_config: CommConfig,
+) -> Vec<Outcome> {
+    World::new(nranks).with_config(comm_config).run(|comm| {
         let local = list.stride_for_rank(comm.rank(), comm.nranks());
         let g = build_dist_graph(comm, local, |v| format!("v{v}"), Partition::Hashed);
         let count = Rc::new(Cell::new(0u64));
@@ -250,6 +262,102 @@ fn hub_pull_topology_identical_across_layouts_and_decode_paths() {
             EngineMode::PushPull,
             &format!("hub n={nranks}"),
         );
+    }
+}
+
+/// The per-phase record volume — remote/local classification and byte
+/// counts stripped. This is what node aggregation is allowed to
+/// reshape: at rpn > 1 intra-node records reclassify local and
+/// multicast sections dedup payload bytes, but each phase still
+/// delivers exactly the same records.
+fn phase_record_totals(fp: &Fingerprint) -> Vec<(&'static str, u64)> {
+    fp.phases
+        .iter()
+        .map(|&(name, rr, rl, _, _)| (name, rr + rl))
+        .collect()
+}
+
+/// Node aggregation (`ranks_per_node` ∈ {1, 2, 4}) crossed with the
+/// overlapped transport stage, against the flat rpn=1 reference, on the
+/// pull-heavy hub topology at even and odd world sizes. Two tiers of
+/// invariance:
+///
+/// * across **rpn**: triangle counts, metadata checksums, handler/work
+///   totals, pull accounting and per-phase record totals are identical
+///   — only the remote/local split and wire bytes may move (that is
+///   the documented wire change multicast makes);
+/// * across **overlap** at fixed rpn: the *full* send fingerprint is
+///   bit-identical — the transport stage changes when envelopes are
+///   handed to the channel, never what is sent.
+#[test]
+fn node_aggregation_and_overlap_matrix_preserves_surveys() {
+    let k = 24u64;
+    let (h1, h2) = (1000, 1001);
+    let mut edges = vec![(h1, h2)];
+    for sv in 0..k {
+        edges.push((sv, h1));
+        edges.push((sv, h2));
+    }
+    let list = labeled(edges);
+    for nranks in [4usize, 7] {
+        for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+            let reference = run_survey_with_comm(
+                &list,
+                nranks,
+                mode,
+                MATRIX[0],
+                CommConfig {
+                    ranks_per_node: 1,
+                    overlap_flush: Some(false),
+                    ..Default::default()
+                },
+            );
+            for rpn in [1usize, 2, 4] {
+                let mut per_overlap: Vec<Vec<Outcome>> = Vec::new();
+                for overlap in [false, true] {
+                    let runs = run_survey_with_comm(
+                        &list,
+                        nranks,
+                        mode,
+                        MATRIX[0],
+                        CommConfig {
+                            ranks_per_node: rpn,
+                            overlap_flush: Some(overlap),
+                            ..Default::default()
+                        },
+                    );
+                    for (rank, (o, r)) in runs.iter().zip(reference.iter()).enumerate() {
+                        let ctx =
+                            format!("{mode} n={nranks} rpn={rpn} overlap={overlap} rank {rank}");
+                        assert_eq!(o.count, r.count, "triangle count [{ctx}]");
+                        assert_eq!(o.checksum, r.checksum, "metadata checksum [{ctx}]");
+                        assert_eq!(
+                            o.fingerprint.handlers_total, r.fingerprint.handlers_total,
+                            "handler total [{ctx}]"
+                        );
+                        assert_eq!(
+                            o.fingerprint.work_total, r.fingerprint.work_total,
+                            "work total [{ctx}]"
+                        );
+                        assert_eq!(o.fingerprint.pulled, r.fingerprint.pulled, "pulled [{ctx}]");
+                        assert_eq!(o.fingerprint.grants, r.fingerprint.grants, "grants [{ctx}]");
+                        assert_eq!(
+                            phase_record_totals(&o.fingerprint),
+                            phase_record_totals(&r.fingerprint),
+                            "per-phase record totals [{ctx}]"
+                        );
+                    }
+                    per_overlap.push(runs);
+                }
+                let (off, on) = (&per_overlap[0], &per_overlap[1]);
+                for (rank, (a, b)) in off.iter().zip(on.iter()).enumerate() {
+                    assert_eq!(
+                        a.fingerprint, b.fingerprint,
+                        "overlap must not reshape the wire [{mode} n={nranks} rpn={rpn} rank {rank}]"
+                    );
+                }
+            }
+        }
     }
 }
 

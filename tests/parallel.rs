@@ -28,7 +28,7 @@ use tripoll::core::{
 };
 use tripoll::graph::{build_dist_graph, EdgeList, Partition};
 use tripoll::ygm::hash::hash64;
-use tripoll::ygm::World;
+use tripoll::ygm::{CommConfig, World};
 
 const THREADS: [Parallelism; 4] = [
     Parallelism::Threads(1),
@@ -58,7 +58,19 @@ fn run_survey(
     mode: EngineMode,
     config: SurveyConfig,
 ) -> Vec<Outcome> {
-    World::new(nranks).run(|comm| {
+    run_survey_with_comm(list, nranks, mode, config, CommConfig::default())
+}
+
+/// [`run_survey`] with an explicit communicator configuration, for the
+/// node-aggregation (`ranks_per_node`) and overlapped-flush axes.
+fn run_survey_with_comm(
+    list: &EdgeList<String>,
+    nranks: usize,
+    mode: EngineMode,
+    config: SurveyConfig,
+    comm_config: CommConfig,
+) -> Vec<Outcome> {
+    World::new(nranks).with_config(comm_config).run(|comm| {
         let local = list.stride_for_rank(comm.rank(), comm.nranks());
         let g = build_dist_graph(comm, local, |v| format!("v{v}"), Partition::Hashed);
         let _ = kernel_stats_take(); // fresh counters for this rank
@@ -257,6 +269,55 @@ fn tiny_batch_stealing_is_deterministic() {
                 SurveyConfig::default().with_threads(Parallelism::Threads(8)),
             );
             assert_eq!(runs, serial, "{mode} round {round} diverged");
+        }
+    }
+}
+
+/// The comm-layer topology axes must be invisible to survey results:
+/// node aggregation (`ranks_per_node` ∈ {1, 2, 4}) crossed with the
+/// overlapped transport stage (on/off) and the merge parallelism
+/// (serial / 4 threads), on the pull-heavy hub graph under both
+/// engines. Multicast fan-out, gateway forwarding, per-destination
+/// flush thresholds and the drain-stage handoff may reshape the wire —
+/// counts, metadata checksums and merged kernel counters may not move
+/// a bit.
+#[test]
+fn node_aggregation_and_overlap_are_bit_identical() {
+    let list = hub_graph();
+    for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+        let reference = run_survey_with_comm(
+            &list,
+            4,
+            mode,
+            SurveyConfig::default().with_threads(Parallelism::Serial),
+            CommConfig {
+                ranks_per_node: 1,
+                overlap_flush: Some(false),
+                ..Default::default()
+            },
+        );
+        assert!(reference[0].count > 0, "hub graph must contain triangles");
+        for rpn in [1usize, 2, 4] {
+            for overlap in [false, true] {
+                for threads in [Parallelism::Serial, Parallelism::Threads(4)] {
+                    let runs = run_survey_with_comm(
+                        &list,
+                        4,
+                        mode,
+                        SurveyConfig::default().with_threads(threads),
+                        CommConfig {
+                            ranks_per_node: rpn,
+                            overlap_flush: Some(overlap),
+                            ..Default::default()
+                        },
+                    );
+                    for (rank, (o, r)) in runs.iter().zip(reference.iter()).enumerate() {
+                        let ctx =
+                            format!("{mode} rpn={rpn} overlap={overlap} {threads} rank {rank}");
+                        assert_eq!(o, r, "survey outcome diverged [{ctx}]");
+                    }
+                }
+            }
         }
     }
 }
