@@ -28,6 +28,11 @@
 //!   counted at send time. This is the payload-dedup half of the §5.4
 //!   node aggregation: a regression means `send_to_many` went back to
 //!   copying the projection once per co-node rank.
+//! * `snapshot_restart.snapshot_bytes` — the resident service's
+//!   snapshot size for the fixed survey graph. Deterministic for a
+//!   given format version; growth means the binary format got fatter
+//!   (the restart timings next to it are wall-clock context and stay
+//!   ungated).
 //!
 //! Each growth gate allows 10% relative growth over the baseline;
 //! wall-time numbers are deliberately *not* gated (CI machines are too
@@ -35,7 +40,7 @@
 //! compare counters are deterministic.
 //!
 //! The parser is a minimal scraper for the known
-//! `tripoll-bench-micro/v7` schema (the container vendors no JSON
+//! `tripoll-bench-micro/v8` schema (the container vendors no JSON
 //! crate); a baseline predating a gated section passes with a notice so
 //! a gate can be adopted in the same change that introduces its
 //! section.
@@ -127,6 +132,14 @@ fn parallel_compares_per_candidate(json: &str) -> Option<f64> {
 fn multicast_bytes_per_candidate(json: &str) -> Option<f64> {
     let section = after_key(json, "node_aggregation")?;
     number_after(section, "multicast_bytes_per_candidate")
+}
+
+/// Extracts `snapshot_restart.snapshot_bytes` — the resident service's
+/// snapshot size for the fixed survey graph (the section's first
+/// field; deterministic for a given snapshot format version).
+fn snapshot_bytes(json: &str) -> Option<f64> {
+    let section = after_key(json, "snapshot_restart")?;
+    number_after(section, "snapshot_bytes")
 }
 
 /// One gated metric: compares fresh vs baseline under the shared
@@ -247,6 +260,12 @@ fn main() -> ExitCode {
             multicast_bytes_per_candidate(&fresh),
             new_path,
         ),
+        gate(
+            "resident snapshot bytes",
+            snapshot_bytes(&baseline),
+            snapshot_bytes(&fresh),
+            new_path,
+        ),
     ]
     .into_iter()
     .all(|g| g);
@@ -304,6 +323,15 @@ mod tests {
     "multicast_bytes_saved": 980224,
     "flush_inline_ns_per_send": 300.0,
     "flush_overlap_ns_per_send": 280.0
+  },
+  "snapshot_restart": {
+    "snapshot_bytes": 44374,
+    "cold_ingest_ns": 4400000.0,
+    "snapshot_load_ns": 460000.0,
+    "restart_speedup": 9.57,
+    "resident_query_ns": 7000000.0,
+    "fresh_query_ns": 9000000.0,
+    "query_speedup": 1.29
   }
 }"#;
 
@@ -386,6 +414,19 @@ mod tests {
         // A baseline predating the section scrapes as None (adoption).
         let pre = &SAMPLE[..SAMPLE.find("\"node_aggregation\"").unwrap()];
         assert_eq!(multicast_bytes_per_candidate(pre), None);
+    }
+
+    #[test]
+    fn extracts_snapshot_bytes() {
+        // The section's gated first field, not the ns timings beside
+        // it and not any earlier section's byte counters (the section
+        // anchor skips past them).
+        assert_eq!(snapshot_bytes(SAMPLE), Some(44374.0));
+        assert_eq!(snapshot_bytes("{\"schema\": \"v1\"}"), None);
+        // A baseline predating the section scrapes as None — the
+        // adoption path for the gate introduced with the section.
+        let pre = &SAMPLE[..SAMPLE.find("\"snapshot_restart\"").unwrap()];
+        assert_eq!(snapshot_bytes(pre), None);
     }
 
     #[test]

@@ -439,6 +439,19 @@ impl SurveyConfig {
         self.threads = threads;
         self
     }
+
+    /// Resolves every environment-dependent axis into an explicit
+    /// value: [`Parallelism::Env`] becomes
+    /// `Parallelism::Threads(resolved)`. A resident service pins its
+    /// default config once at startup, so later queries never consult
+    /// (or race on) the process environment — each query carries fully
+    /// explicit settings.
+    pub fn pinned(mut self) -> Self {
+        if let Parallelism::Env = self.threads {
+            self.threads = Parallelism::Threads(self.threads.resolved() as u32);
+        }
+        self
+    }
 }
 
 /// A bare decode path selects that path under the default (columnar)

@@ -46,6 +46,7 @@ mod par;
 mod push_common;
 pub mod push_only;
 pub mod push_pull;
+pub mod service;
 pub mod simd;
 pub mod surveys;
 
@@ -58,5 +59,6 @@ pub use engine::{
 pub use meta::{SurveyCallback, TriangleMeta};
 pub use push_only::{survey_push_only, survey_push_only_with};
 pub use push_pull::{survey_push_pull, survey_push_pull_with};
+pub use service::{QueryOutcome, ResidentGraph, ResidentQuery};
 pub use simd::{simd_backend, simd_force_swar, SimdBackend, SIMD_GROUP_LANES};
 pub use surveys::survey;

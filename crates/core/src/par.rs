@@ -275,7 +275,7 @@ pub(crate) enum Ctx<VM, EM> {
 
 /// The per-survey parallel merge queue; see the module docs.
 pub(crate) struct ParQueue<VM, EM> {
-    shard: Rc<LocalShard<VM, EM>>,
+    shard: std::sync::Arc<LocalShard<VM, EM>>,
     cb: DynCallback<VM, EM>,
     kernel: IntersectKernel,
     tasks: RefCell<Vec<Task<VM, EM>>>,
@@ -296,7 +296,7 @@ where
     EM: Wire + Clone + 'static,
 {
     pub(crate) fn new(
-        shard: Rc<LocalShard<VM, EM>>,
+        shard: std::sync::Arc<LocalShard<VM, EM>>,
         cb: DynCallback<VM, EM>,
         kernel: IntersectKernel,
     ) -> Rc<Self> {

@@ -114,6 +114,40 @@ impl ResumePlan {
     }
 }
 
+/// A captured dry-run outcome, reusable across queries.
+///
+/// The dry-run is a pure function of the graph content, the partition,
+/// and the rank count — it does not depend on any [`SurveyConfig`]
+/// axis. A resident graph therefore captures the plan on the first
+/// Push-Pull query at a given rank count and replays it (zero dry-run
+/// traffic) for every later query at that count, with bit-identical
+/// results: the replay prefills exactly the veto set, pull list, and
+/// post-veto resume pointers the fresh dry-run would have produced.
+///
+/// Plans are per-rank: rank `r`'s plan is only valid on rank `r` of a
+/// world with the same rank count over the same shards.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DryRunPlan {
+    /// Post-veto resume pointers (sealed order).
+    entries: Vec<(u64, u32, u32)>,
+    /// Targets whose owner vetoed the pull, sorted.
+    veto: Vec<u64>,
+    /// Locally-owned vertices `q` → sorted ranks granted a pull.
+    pull_list: Vec<(u64, Vec<u32>)>,
+    /// Pull requests this rank granted.
+    grants: u64,
+}
+
+/// How [`survey_push_pull_planned`] treats the dry-run phase.
+pub(crate) enum PlanMode<'a> {
+    /// Run the dry-run and discard its plan (the classic path).
+    Fresh,
+    /// Run the dry-run and store the captured plan for later replay.
+    Capture(&'a mut Option<DryRunPlan>),
+    /// Skip the dry-run traffic; prefill its outcome from the plan.
+    Replay(&'a DryRunPlan),
+}
+
 #[derive(Default)]
 struct PpState {
     /// Resume pointers per wedge target (also yields the dry-run
@@ -162,7 +196,26 @@ where
     EM: Wire + Clone + 'static,
     F: SurveyCallback<VM, EM>,
 {
-    let config = config.into();
+    survey_push_pull_planned(comm, graph, config.into(), PlanMode::Fresh, callback)
+}
+
+/// [`survey_push_pull_with`] with explicit dry-run plan handling — the
+/// resident-graph entry point (see [`crate::service::ResidentGraph`]).
+/// Collective; all four handlers are registered in every [`PlanMode`],
+/// so handler ids and registration order are identical whether the
+/// dry-run runs fresh, is captured, or is replayed.
+pub(crate) fn survey_push_pull_planned<VM, EM, F>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    config: SurveyConfig,
+    mode: PlanMode<'_>,
+    callback: F,
+) -> SurveyReport
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+    F: SurveyCallback<VM, EM>,
+{
     let cb: DynCallback<VM, EM> = Rc::new(callback);
     let st = Rc::new(RefCell::new(PpState::default()));
     let queue = par_queue_for(graph, &cb, config);
@@ -200,20 +253,32 @@ where
 
     // --- Phase 1: Push vs Pull Dry-Run -------------------------------
     let timer = PhaseTimer::begin(comm, "dry-run");
-    {
+    if let PlanMode::Replay(plan) = &mode {
+        // The dry-run is a pure function of (graph, partition, rank
+        // count); a replayed plan prefills its entire outcome with
+        // zero traffic. The phase barrier below still runs, keeping
+        // the collective structure identical across modes.
         let mut s = st.borrow_mut();
-        for (slot, lv) in graph.shard().vertices().iter().enumerate() {
-            for (i, e) in lv.adj.iter().enumerate() {
-                let suffix_len = lv.adj.len() - i - 1;
-                if suffix_len == 0 {
-                    break;
-                }
-                s.resume.push(e.v, slot as u32, i as u32);
-            }
+        s.resume.entries = plan.entries.clone();
+        s.veto = plan.veto.iter().copied().collect();
+        for (q, ranks) in &plan.pull_list {
+            s.pull_list.insert(*q, ranks.clone());
         }
-        s.resume.seal();
-    }
-    {
+        s.grants = plan.grants;
+    } else {
+        {
+            let mut s = st.borrow_mut();
+            for (slot, lv) in graph.shard().vertices().iter().enumerate() {
+                for (i, e) in lv.adj.iter().enumerate() {
+                    let suffix_len = lv.adj.len() - i - 1;
+                    if suffix_len == 0 {
+                        break;
+                    }
+                    s.resume.push(e.v, slot as u32, i as u32);
+                }
+            }
+            s.resume.seal();
+        }
         // One dry-run record per run; the planned candidate count is
         // recomputed from the run's pointers (suffix lengths), which is
         // exactly what the retired `planned` hash map used to store.
@@ -237,12 +302,36 @@ where
     // remaining phases will never read so the push phase doesn't carry
     // it at peak: resume pointers of vetoed targets will be satisfied
     // by pushes, not pulls (the veto set is final once the dry-run
-    // barrier completes).
-    {
+    // barrier completes). A replayed plan arrives already filtered.
+    if !matches!(mode, PlanMode::Replay(_)) {
         let mut s = st.borrow_mut();
         let veto = std::mem::take(&mut s.veto);
         s.resume.retain_targets(|q| !veto.contains(&q));
         s.veto = veto;
+    }
+    if let PlanMode::Capture(out) = mode {
+        // Snapshot the post-veto dry-run outcome. Rank vectors and the
+        // pull list arrive in message order, which is scheduling
+        // dependent; sort them so a captured plan is deterministic.
+        let s = st.borrow();
+        let mut veto: Vec<u64> = s.veto.iter().copied().collect();
+        veto.sort_unstable();
+        let mut pull_list: Vec<(u64, Vec<u32>)> = s
+            .pull_list
+            .iter()
+            .map(|(&q, ranks)| {
+                let mut r = ranks.clone();
+                r.sort_unstable();
+                (q, r)
+            })
+            .collect();
+        pull_list.sort_unstable_by_key(|&(q, _)| q);
+        *out = Some(DryRunPlan {
+            entries: s.resume.entries.clone(),
+            veto,
+            pull_list,
+            grants: s.grants,
+        });
     }
 
     // --- Phase 2: Push ------------------------------------------------

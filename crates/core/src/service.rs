@@ -1,0 +1,431 @@
+//! Resident survey service: graph lifetime separated from survey
+//! lifetime.
+//!
+//! TriPoll's value is surveying the *same* massive graph many times
+//! with different metadata folds (paper §5 runs several survey types
+//! over one ingested graph), yet the classic entry points pay graph
+//! build + dry-run from scratch on every call. A [`ResidentGraph`]
+//! inverts that: the partitioned DODGr storage is built **once** and
+//! held behind [`Arc`] as immutable shared state, and every query
+//! spins up a fresh per-query comm world — its own simulated ranks,
+//! its own [`CommConfig`] — against the shared storage. Concurrent
+//! queries with different layout × decode × kernel × threads settings
+//! run against one resident graph with bit-identical results to the
+//! from-scratch path.
+//!
+//! Three mechanisms make the "load once, serve many" shape real:
+//!
+//! * **Re-shardable storage** — DODGr content (degrees, `<+` keys,
+//!   oriented adjacency, `d+`) is independent of the rank count, so the
+//!   resident graph keeps one global vertex list and derives the
+//!   per-rank shards for any requested world size by the partition map
+//!   alone, with no communication. Shards are cached per rank count.
+//! * **Dry-run plan caching** — the Push-Pull dry-run is a pure
+//!   function of (graph, partition, rank count); the first Push-Pull
+//!   query at a given world size captures its plan and every later one
+//!   replays it with zero dry-run traffic
+//!   (see [`crate::push_pull`]'s `DryRunPlan`).
+//! * **Snapshots** — [`ResidentGraph::save_snapshot`] /
+//!   [`ResidentGraph::load_snapshot`] persist the storage in the
+//!   versioned binary format of [`tripoll_graph::snapshot`], so a
+//!   restart is O(read) instead of re-ingest + three build rounds.
+//!
+//! Environment-dependent defaults (`TRIPOLL_THREADS`, `TRIPOLL_RPN`,
+//! `TRIPOLL_OVERLAP`) are **pinned** when a [`ResidentQuery`] is
+//! constructed: each query carries fully explicit settings, so two
+//! concurrent queries with different thread counts never share (or
+//! race on) a process-global default.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use tripoll_graph::snapshot::{decode_snapshot, encode_snapshot, load_snapshot, SnapshotError};
+use tripoll_graph::{DistGraph, EdgeList, LocalShard, LocalVertex, Partition};
+use tripoll_ygm::wire::Wire;
+use tripoll_ygm::{Comm, CommConfig, World};
+
+use crate::engine::{
+    kernel_stats_take, EngineMode, KernelStats, Parallelism, SurveyConfig, SurveyReport,
+};
+use crate::meta::TriangleMeta;
+use crate::push_only::survey_push_only_with;
+use crate::push_pull::{survey_push_pull_planned, DryRunPlan, PlanMode};
+
+/// One query against a [`ResidentGraph`]: the world size plus fully
+/// explicit engine and communicator settings.
+///
+/// [`ResidentQuery::new`] resolves every environment-dependent default
+/// up front ([`SurveyConfig::pinned`], [`CommConfig::pinned`]), so a
+/// query's behavior is a function of its fields alone — the resident
+/// service only falls back to the (cached, once-per-process)
+/// environment read through those pinned defaults.
+#[derive(Debug, Clone)]
+pub struct ResidentQuery {
+    /// Simulated ranks of the per-query world.
+    pub nranks: usize,
+    /// Engine configuration (layout × decode × kernel × threads).
+    pub config: SurveyConfig,
+    /// Communicator configuration of the per-query world.
+    pub comm: CommConfig,
+    /// Which survey engine runs the query.
+    pub mode: EngineMode,
+}
+
+impl ResidentQuery {
+    /// A query over `nranks` simulated ranks with pinned defaults:
+    /// Push-Pull engine, production [`SurveyConfig`] with the thread
+    /// count resolved to an explicit value, default [`CommConfig`]
+    /// with the overlap setting resolved likewise.
+    pub fn new(nranks: usize) -> Self {
+        ResidentQuery {
+            nranks,
+            config: SurveyConfig::new().pinned(),
+            comm: CommConfig::default().pinned(),
+            mode: EngineMode::PushPull,
+        }
+    }
+
+    /// This query with the given engine.
+    pub fn with_mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// This query with the given engine configuration.
+    pub fn with_config(mut self, config: SurveyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// This query with the given communicator configuration.
+    pub fn with_comm(mut self, comm: CommConfig) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// This query with the given merge parallelism.
+    pub fn with_threads(mut self, threads: Parallelism) -> Self {
+        self.config = self.config.with_threads(threads);
+        self
+    }
+}
+
+/// One rank's result of a resident survey query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The rank's phase/traffic report.
+    pub report: SurveyReport,
+    /// Intersection-kernel counters accumulated by this rank during
+    /// the query (worker-thread contributions already folded in).
+    pub kernel: KernelStats,
+}
+
+/// Cached per-world-size state: the re-sharded storage and, for
+/// Push-Pull, the captured dry-run plans.
+struct WorldState<VM, EM> {
+    /// `shards[r]` is rank `r`'s shard at this world size.
+    shards: Vec<Arc<LocalShard<VM, EM>>>,
+    /// Per-rank dry-run plans, captured by the first Push-Pull query.
+    plans: OnceLock<Arc<Vec<DryRunPlan>>>,
+}
+
+/// A graph resident in memory, shared immutably across queries.
+///
+/// Build it once ([`ResidentGraph::build`], or O(read) from a snapshot
+/// via [`ResidentGraph::load_snapshot`]), then call
+/// [`ResidentGraph::survey`] as many times as needed — including
+/// concurrently from several threads, each query with its own world
+/// size, engine, and configuration.
+pub struct ResidentGraph<VM, EM> {
+    /// The global vertex list (every rank's vertices), sorted by id.
+    vertices: Arc<Vec<LocalVertex<VM, EM>>>,
+    partition: Partition,
+    /// Shards + plans per requested world size.
+    worlds: Mutex<HashMap<usize, Arc<WorldState<VM, EM>>>>,
+}
+
+impl<VM, EM> ResidentGraph<VM, EM>
+where
+    VM: Wire + Clone + Send + Sync + 'static,
+    EM: Wire + Clone + Send + Sync + 'static,
+{
+    /// Ingests an edge list into resident DODGr storage. The build
+    /// itself runs a private single-rank world (DODGr content is
+    /// independent of the rank count, so building at one rank and
+    /// re-sharding per query loses nothing); `vm_fn` must be
+    /// deterministic, exactly as for
+    /// [`tripoll_graph::build_dist_graph`].
+    pub fn build<F>(list: &EdgeList<EM>, vm_fn: F, partition: Partition) -> Self
+    where
+        F: Fn(u64) -> VM + Sync,
+    {
+        let mut out = World::new(1).run(|comm| {
+            let g =
+                tripoll_graph::build_dist_graph(comm, list.as_slice().to_vec(), &vm_fn, partition);
+            g.shard().vertices().to_vec()
+        });
+        Self::from_vertices(out.pop().expect("single-rank world"), partition)
+    }
+
+    /// Wraps an already-materialized global vertex list (sorted or
+    /// not) as resident storage.
+    pub fn from_vertices(mut vertices: Vec<LocalVertex<VM, EM>>, partition: Partition) -> Self {
+        vertices.sort_by_key(|v| v.id);
+        ResidentGraph {
+            vertices: Arc::new(vertices),
+            partition,
+            worlds: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Reconstitutes a resident graph from snapshot bytes. Hostile
+    /// input returns a structured [`SnapshotError`]; it cannot panic.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let (vertices, partition) = decode_snapshot(bytes)?;
+        Ok(Self::from_vertices(vertices, partition))
+    }
+
+    /// Reconstitutes a resident graph from a snapshot file — the
+    /// O(read) restart path.
+    pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let (vertices, partition) = load_snapshot(path)?;
+        Ok(Self::from_vertices(vertices, partition))
+    }
+
+    /// Serializes the resident storage into snapshot bytes with
+    /// `nsections` partition sections.
+    pub fn snapshot_bytes(&self, nsections: usize) -> Vec<u8> {
+        encode_snapshot(&self.vertices, self.partition, nsections)
+    }
+
+    /// Writes a snapshot file with `nsections` partition sections.
+    pub fn save_snapshot<P: AsRef<Path>>(
+        &self,
+        path: P,
+        nsections: usize,
+    ) -> Result<(), SnapshotError> {
+        tripoll_graph::snapshot::save_snapshot(path, &self.vertices, self.partition, nsections)
+    }
+
+    /// The partition map the storage was built with.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Number of resident vertices (with at least one incident edge).
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The cached per-world-size state, sharding the resident storage
+    /// on first use of a given rank count.
+    fn world_state(&self, nranks: usize) -> Arc<WorldState<VM, EM>> {
+        let mut worlds = self.worlds.lock().expect("resident world cache poisoned");
+        worlds
+            .entry(nranks)
+            .or_insert_with(|| {
+                let mut per_rank: Vec<Vec<LocalVertex<VM, EM>>> =
+                    (0..nranks).map(|_| Vec::new()).collect();
+                for v in self.vertices.iter() {
+                    per_rank[self.partition.owner(v.id, nranks)].push(v.clone());
+                }
+                Arc::new(WorldState {
+                    shards: per_rank
+                        .into_iter()
+                        .map(|vs| Arc::new(LocalShard::from_vertices(vs)))
+                        .collect(),
+                    plans: OnceLock::new(),
+                })
+            })
+            .clone()
+    }
+
+    /// Runs an arbitrary collective `f` in a fresh per-query world
+    /// against the resident storage; returns each rank's result. The
+    /// graph handle every rank receives shares the resident shards —
+    /// nothing is rebuilt.
+    pub fn run<R, F>(&self, query: &ResidentQuery, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm, &DistGraph<VM, EM>) -> R + Sync,
+    {
+        let ws = self.world_state(query.nranks);
+        World::new(query.nranks)
+            .with_config(query.comm.clone())
+            .run(|comm| {
+                let g = DistGraph::from_parts(
+                    ws.shards[comm.rank()].clone(),
+                    self.partition,
+                    query.nranks,
+                );
+                f(comm, &g)
+            })
+    }
+
+    /// Runs a triangle survey in a fresh per-query world against the
+    /// resident storage. The callback executes once per triangle with
+    /// all six metadata values, exactly as in the from-scratch
+    /// `survey_*_with` entry points, and the results are bit-identical
+    /// to them. Returns each rank's [`QueryOutcome`].
+    ///
+    /// For [`EngineMode::PushPull`], the first query at a given world
+    /// size captures the dry-run plan; later queries at that size
+    /// replay it (any [`SurveyConfig`] — the plan does not depend on
+    /// the engine configuration).
+    pub fn survey<F>(&self, query: &ResidentQuery, callback: F) -> Vec<QueryOutcome>
+    where
+        F: Fn(&Comm, &TriangleMeta<'_, VM, EM>) + Send + Sync + 'static,
+    {
+        let ws = self.world_state(query.nranks);
+        let cb = Arc::new(callback);
+        match query.mode {
+            EngineMode::PushOnly => self.run(query, |comm, g| {
+                let cb = cb.clone();
+                let _ = kernel_stats_take();
+                let report =
+                    survey_push_only_with(comm, g, query.config, move |c: &Comm, tm| cb(c, tm));
+                QueryOutcome {
+                    report,
+                    kernel: kernel_stats_take(),
+                }
+            }),
+            EngineMode::PushPull => {
+                if let Some(plans) = ws.plans.get().cloned() {
+                    self.run(query, |comm, g| {
+                        let cb = cb.clone();
+                        let _ = kernel_stats_take();
+                        let report = survey_push_pull_planned(
+                            comm,
+                            g,
+                            query.config,
+                            PlanMode::Replay(&plans[comm.rank()]),
+                            move |c: &Comm, tm| cb(c, tm),
+                        );
+                        QueryOutcome {
+                            report,
+                            kernel: kernel_stats_take(),
+                        }
+                    })
+                } else {
+                    let results = self.run(query, |comm, g| {
+                        let cb = cb.clone();
+                        let _ = kernel_stats_take();
+                        let mut plan = None;
+                        let report = survey_push_pull_planned(
+                            comm,
+                            g,
+                            query.config,
+                            PlanMode::Capture(&mut plan),
+                            move |c: &Comm, tm| cb(c, tm),
+                        );
+                        let outcome = QueryOutcome {
+                            report,
+                            kernel: kernel_stats_take(),
+                        };
+                        (outcome, plan.expect("capture mode fills the plan"))
+                    });
+                    let (outcomes, plans): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+                    // Two queries can race to be first; the loser's
+                    // identical plan is simply discarded.
+                    let _ = ws.plans.set(Arc::new(plans));
+                    outcomes
+                }
+            }
+        }
+    }
+
+    /// Convenience: the global triangle count of one query.
+    pub fn triangle_count(&self, query: &ResidentQuery) -> u64 {
+        let total = Arc::new(AtomicU64::new(0));
+        let t = total.clone();
+        self.survey(query, move |_c, _tm| {
+            t.fetch_add(1, Ordering::Relaxed);
+        });
+        total.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BatchLayout, DecodePath, IntersectKernel};
+
+    fn triangle_list() -> EdgeList<u32> {
+        EdgeList::from_vec(vec![
+            (0u64, 1u64, 1u32),
+            (1, 2, 2),
+            (2, 0, 3),
+            (2, 3, 4),
+            (3, 0, 5),
+        ])
+    }
+
+    #[test]
+    fn counts_across_world_sizes_and_engines() {
+        let resident = ResidentGraph::build(&triangle_list(), |v| v * 2, Partition::Hashed);
+        for nranks in [1, 2, 4, 7] {
+            for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+                let q = ResidentQuery::new(nranks).with_mode(mode);
+                assert_eq!(resident.triangle_count(&q), 2, "{mode} at {nranks} ranks");
+            }
+        }
+    }
+
+    #[test]
+    fn push_pull_plan_replay_is_identical() {
+        let resident = ResidentGraph::build(&triangle_list(), |v| v, Partition::Hashed);
+        let q = ResidentQuery::new(3);
+        let first = resident.survey(&q, |_c, _tm| {});
+        assert!(
+            resident.world_state(3).plans.get().is_some(),
+            "plan captured"
+        );
+        let second = resident.survey(&q, |_c, _tm| {});
+        // Replay must reproduce pulls, grants, and kernel counters
+        // exactly; its dry-run phase moves zero records.
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.report.pulled_vertices, b.report.pulled_vertices);
+            assert_eq!(a.report.pull_grants, b.report.pull_grants);
+            assert_eq!(a.kernel, b.kernel);
+            assert_eq!(b.report.phases[0].name, "dry-run");
+            assert_eq!(b.report.phases[0].stats.records_total(), 0);
+        }
+        assert_eq!(resident.triangle_count(&q), 2);
+    }
+
+    #[test]
+    fn queries_carry_explicit_settings() {
+        let q = ResidentQuery::new(2);
+        assert!(
+            !matches!(q.config.threads, Parallelism::Env),
+            "pinned query must not depend on the environment"
+        );
+        assert!(q.comm.overlap_flush.is_some(), "overlap pinned");
+        let q = q
+            .with_threads(Parallelism::Threads(3))
+            .with_config(
+                SurveyConfig::new()
+                    .with_layout(BatchLayout::Interleaved)
+                    .with_decode(DecodePath::Owned)
+                    .with_kernel(IntersectKernel::Gallop),
+            )
+            .with_mode(EngineMode::PushOnly);
+        assert_eq!(q.config.layout, BatchLayout::Interleaved);
+        assert_eq!(q.mode, EngineMode::PushOnly);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_counts() {
+        let resident = ResidentGraph::build(&triangle_list(), |v| v * 3, Partition::Cyclic);
+        let bytes = resident.snapshot_bytes(4);
+        let restored = ResidentGraph::<u64, u32>::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.partition(), Partition::Cyclic);
+        assert_eq!(restored.num_vertices(), resident.num_vertices());
+        for nranks in [1, 2, 4] {
+            let q = ResidentQuery::new(nranks);
+            assert_eq!(resident.triangle_count(&q), restored.triangle_count(&q));
+        }
+    }
+}

@@ -8,6 +8,8 @@
 
 use rayon::prelude::*;
 
+use crate::error::GraphError;
+
 /// A symmetrized, deduplicated graph in CSR form.
 #[derive(Debug, Clone)]
 pub struct Csr {
@@ -25,16 +27,36 @@ impl Csr {
         let mut ids: Vec<u64> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
         ids.par_sort_unstable();
         ids.dedup();
-        let index_of = |v: u64| ids.binary_search(&v).expect("vertex present") as u64;
+        // The id set is derived from the edges themselves, so every
+        // endpoint is present and `try_from_parts` cannot fail here.
+        Csr::try_from_parts(ids, edges).expect("ids derived from edges")
+    }
 
-        let mut directed: Vec<(u64, u64)> = edges
-            .iter()
-            .filter(|&&(u, v)| u != v)
-            .flat_map(|&(u, v)| {
-                let (a, b) = (index_of(u), index_of(v));
-                [(a, b), (b, a)]
-            })
-            .collect();
+    /// Builds a CSR over an explicitly supplied, sorted, deduplicated
+    /// vertex-id set. Unlike [`Csr::from_edges`], the id set may come
+    /// from a different source than the edges (a snapshot header, a
+    /// vertex file), so an edge endpoint absent from `ids` is a data
+    /// defect reported as [`GraphError::UnknownVertex`] rather than a
+    /// panic.
+    pub fn try_from_parts(ids: Vec<u64>, edges: &[(u64, u64)]) -> Result<Csr, GraphError> {
+        let index_of = |v: u64| -> Result<u64, GraphError> {
+            ids.binary_search(&v)
+                .map(|i| i as u64)
+                .map_err(|_| GraphError::UnknownVertex { vertex: v })
+        };
+
+        let mut directed: Vec<(u64, u64)> = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            if u == v {
+                // Self-loops still need their endpoint validated so a
+                // corrupt file cannot smuggle an unknown id through.
+                index_of(u)?;
+                continue;
+            }
+            let (a, b) = (index_of(u)?, index_of(v)?);
+            directed.push((a, b));
+            directed.push((b, a));
+        }
         directed.par_sort_unstable();
         directed.dedup();
 
@@ -47,11 +69,11 @@ impl Csr {
             offsets[i + 1] += offsets[i];
         }
         let targets = directed.into_iter().map(|(_, v)| v).collect();
-        Csr {
+        Ok(Csr {
             offsets,
             targets,
             vertex_ids: ids,
-        }
+        })
     }
 
     /// Number of vertices.
@@ -157,6 +179,38 @@ mod tests {
         assert_eq!(csr.num_vertices(), 0);
         assert_eq!(csr.num_directed_edges(), 0);
         assert_eq!(csr.max_degree(), 0);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_an_error_not_a_panic() {
+        let err = Csr::try_from_parts(vec![1, 2], &[(1, 2), (2, 7)]).unwrap_err();
+        assert_eq!(err, GraphError::UnknownVertex { vertex: 7 });
+        // Self-loop endpoints are validated too.
+        let err = Csr::try_from_parts(vec![1, 2], &[(9, 9)]).unwrap_err();
+        assert_eq!(err, GraphError::UnknownVertex { vertex: 9 });
+    }
+
+    #[test]
+    fn try_from_parts_matches_from_edges() {
+        let edges = [(0u64, 5u64), (5, 42), (42, 0), (0, 9)];
+        let via_parts = Csr::try_from_parts(vec![0, 5, 9, 42], &edges).unwrap();
+        let via_edges = Csr::from_edges(&edges);
+        assert_eq!(via_parts.num_vertices(), via_edges.num_vertices());
+        assert_eq!(
+            via_parts.num_directed_edges(),
+            via_edges.num_directed_edges()
+        );
+        for v in 0..via_parts.num_vertices() {
+            assert_eq!(via_parts.neighbors(v), via_edges.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn isolated_ids_in_explicit_set_are_kept() {
+        let csr = Csr::try_from_parts(vec![3, 4, 8], &[(3, 4)]).unwrap();
+        assert_eq!(csr.num_vertices(), 3);
+        let i8 = csr.csr_index(8).unwrap();
+        assert_eq!(csr.degree(i8), 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use tripoll_ygm::hash::{FastMap, FastSet};
 use tripoll_ygm::wire::Wire;
@@ -88,7 +89,11 @@ pub struct LocalShard<VM, EM> {
 }
 
 impl<VM, EM> LocalShard<VM, EM> {
-    fn new(mut vertices: Vec<LocalVertex<VM, EM>>) -> Self {
+    /// Assembles a shard from a set of locally-owned vertices (any
+    /// order); vertices are sorted by id and indexed. This is how
+    /// resident-graph re-sharding and snapshot loading build shards
+    /// without a communication round.
+    pub fn from_vertices(mut vertices: Vec<LocalVertex<VM, EM>>) -> Self {
         vertices.sort_by_key(|v| v.id);
         let index = vertices
             .iter()
@@ -144,9 +149,11 @@ pub struct GraphStats {
 /// A distributed DODGr handle: this rank's shard plus the partition map.
 ///
 /// Cheap to clone (the shard is reference-counted); message handlers
-/// capture clones.
+/// capture clones. The shard sits behind an [`Arc`] so a resident
+/// graph can share the same immutable storage across many query
+/// worlds without copying.
 pub struct DistGraph<VM, EM> {
-    shard: Rc<LocalShard<VM, EM>>,
+    shard: Arc<LocalShard<VM, EM>>,
     partition: Partition,
     nranks: usize,
 }
@@ -154,7 +161,7 @@ pub struct DistGraph<VM, EM> {
 impl<VM, EM> Clone for DistGraph<VM, EM> {
     fn clone(&self) -> Self {
         DistGraph {
-            shard: Rc::clone(&self.shard),
+            shard: Arc::clone(&self.shard),
             partition: self.partition,
             nranks: self.nranks,
         }
@@ -162,15 +169,32 @@ impl<VM, EM> Clone for DistGraph<VM, EM> {
 }
 
 impl<VM, EM> DistGraph<VM, EM> {
+    /// Wraps pre-built shared storage as a rank-local graph handle —
+    /// the resident-graph path, where the shard was built once and is
+    /// now being attached to a fresh per-query world.
+    pub fn from_parts(shard: Arc<LocalShard<VM, EM>>, partition: Partition, nranks: usize) -> Self {
+        DistGraph {
+            shard,
+            partition,
+            nranks,
+        }
+    }
+
     /// Rank owning vertex `v` — the paper's `Rank(v)`.
     #[inline]
     pub fn owner(&self, v: u64) -> usize {
         self.partition.owner(v, self.nranks)
     }
 
+    /// Number of ranks the graph is partitioned over.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
     /// This rank's shard.
     #[inline]
-    pub fn shard(&self) -> &Rc<LocalShard<VM, EM>> {
+    pub fn shard(&self) -> &Arc<LocalShard<VM, EM>> {
         &self.shard
     }
 
@@ -346,7 +370,7 @@ where
         .collect();
 
     DistGraph {
-        shard: Rc::new(LocalShard::new(vertices)),
+        shard: Arc::new(LocalShard::from_vertices(vertices)),
         partition,
         nranks,
     }

@@ -1,0 +1,32 @@
+//! Structured errors for graph construction.
+//!
+//! Historically the construction paths panicked on malformed input
+//! (`binary_search(..).expect("vertex present")`), which is acceptable
+//! for trusted in-process callers but not for data that arrives from
+//! files or snapshots. Fallible constructors return [`GraphError`]
+//! instead so loaders can surface the defect to the caller.
+
+use std::fmt;
+
+/// A structural defect in graph input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint references a vertex absent from the supplied
+    /// vertex-id set.
+    UnknownVertex {
+        /// The offending vertex id.
+        vertex: u64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex { vertex } => {
+                write!(f, "edge references unknown vertex {vertex}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -17,7 +17,9 @@
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::csr::Csr;
 use crate::edge_list::EdgeList;
+use crate::error::GraphError;
 
 /// Errors from edge-list parsing.
 #[derive(Debug)]
@@ -26,6 +28,9 @@ pub enum IoError {
     Io(std::io::Error),
     /// A data line that does not parse; `(line number, content)`.
     Malformed(usize, String),
+    /// The file parsed, but the graph it describes is structurally
+    /// defective (e.g. an edge endpoint outside the declared vertex set).
+    Graph(GraphError),
 }
 
 impl std::fmt::Display for IoError {
@@ -35,6 +40,7 @@ impl std::fmt::Display for IoError {
             IoError::Malformed(line, content) => {
                 write!(f, "malformed edge on line {line}: {content:?}")
             }
+            IoError::Graph(e) => write!(f, "structural defect: {e}"),
         }
     }
 }
@@ -44,6 +50,12 @@ impl std::error::Error for IoError {}
 impl From<std::io::Error> for IoError {
     fn from(e: std::io::Error) -> Self {
         IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
     }
 }
 
@@ -103,6 +115,21 @@ pub fn read_edge_file<P: AsRef<Path>>(path: P) -> Result<Vec<(u64, u64)>, IoErro
 /// Reads an attributed edge-list file (third column = timestamp/label).
 pub fn read_edge_file_with_attr<P: AsRef<Path>>(path: P) -> Result<Vec<(u64, u64, u64)>, IoError> {
     parse_edges_with_attr(std::fs::File::open(path)?)
+}
+
+/// Reads a topology-only edge-list file straight into a serial [`Csr`].
+pub fn read_csr_file<P: AsRef<Path>>(path: P) -> Result<Csr, IoError> {
+    Ok(Csr::from_edges(&read_edge_file(path)?))
+}
+
+/// Reads an edge-list file into a [`Csr`] over an explicitly supplied,
+/// sorted, deduplicated vertex-id set. An edge endpoint absent from
+/// `ids` surfaces as [`IoError::Graph`] instead of a panic — the
+/// hardened path for files whose vertex set comes from elsewhere (a
+/// snapshot header, a vertex manifest).
+pub fn read_csr_file_with_vertices<P: AsRef<Path>>(path: P, ids: Vec<u64>) -> Result<Csr, IoError> {
+    let edges = read_edge_file(path)?;
+    Ok(Csr::try_from_parts(ids, &edges)?)
 }
 
 /// Writes an attributed edge list in the same format (with a header
@@ -167,6 +194,27 @@ mod tests {
         assert_eq!(back, vec![(1, 2, 100), (2, 3, 200)]);
         let topo = read_edge_file(&path).unwrap();
         assert_eq!(topo, vec![(1, 2), (2, 3)]);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csr_loader_surfaces_unknown_vertices_structurally() {
+        let dir = std::env::temp_dir().join("tripoll-io-csr-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.tsv");
+        std::fs::write(&path, "1 2\n2 7\n").unwrap();
+
+        let csr = read_csr_file(&path).unwrap();
+        assert_eq!(csr.num_vertices(), 3);
+
+        // Vertex manifest missing id 7: structured error, not a panic.
+        match read_csr_file_with_vertices(&path, vec![1, 2]) {
+            Err(IoError::Graph(GraphError::UnknownVertex { vertex: 7 })) => {}
+            other => panic!("expected UnknownVertex(7), got {other:?}"),
+        }
+        let ok = read_csr_file_with_vertices(&path, vec![1, 2, 7]).unwrap();
+        assert_eq!(ok.num_directed_edges(), 4);
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -18,6 +18,10 @@
 //!   edges tagged with their original directionality (§4's "additional
 //!   two bits of storage").
 //! * [`io`] — SNAP-style edge-list file readers/writers.
+//! * [`snapshot`] — versioned binary snapshots of DODGr storage for
+//!   O(read) restart of a resident graph.
+//! * [`error`] — structured errors for graph construction from
+//!   untrusted input.
 
 #![warn(missing_docs)]
 
@@ -25,13 +29,20 @@ pub mod csr;
 pub mod directed;
 pub mod dodgr;
 pub mod edge_list;
+pub mod error;
 pub mod io;
 pub mod order;
 pub mod partition;
+pub mod snapshot;
 
 pub use csr::Csr;
 pub use directed::{from_directed_edges, Provenance};
 pub use dodgr::{build_dist_graph, AdjEntry, DistGraph, GraphStats, LocalShard, LocalVertex};
 pub use edge_list::EdgeList;
+pub use error::GraphError;
 pub use order::{dodgr_less, OrderKey};
 pub use partition::Partition;
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, load_snapshot, save_snapshot, SnapshotError, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};

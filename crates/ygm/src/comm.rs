@@ -99,11 +99,19 @@ impl Default for CommConfig {
 }
 
 /// Resolves the default node width from `TRIPOLL_RPN` (min 1).
+///
+/// Read once per process and cached: a long-lived service must not see
+/// its per-query defaults drift if something mutates the environment
+/// mid-run. Queries that want a different width set
+/// [`CommConfig::ranks_per_node`] explicitly (see [`CommConfig::pinned`]).
 fn env_ranks_per_node() -> usize {
-    std::env::var("TRIPOLL_RPN")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .map_or(1, |v| v.max(1))
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("TRIPOLL_RPN")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(1, |v| v.max(1))
+    })
 }
 
 /// Resolves the default overlapped-flush setting from `TRIPOLL_OVERLAP`.
@@ -136,6 +144,19 @@ impl CommConfig {
     /// (explicit setting, or the `TRIPOLL_OVERLAP` default).
     pub fn effective_overlap_flush(&self) -> bool {
         self.overlap_flush.unwrap_or_else(env_overlap_flush)
+    }
+
+    /// Resolves every environment-dependent default into an explicit
+    /// value, so the config's behavior no longer depends on when the
+    /// environment is read. Resident services pin the config once at
+    /// startup; each query then carries fully explicit settings.
+    pub fn pinned(mut self) -> Self {
+        self.overlap_flush = Some(self.effective_overlap_flush());
+        // `ranks_per_node` was already resolved (via the cached env
+        // read) when the config was constructed; `flush_threshold`
+        // stays `None` deliberately — its adaptive default depends on
+        // the per-query world size, not on the environment.
+        self
     }
 }
 
@@ -911,15 +932,28 @@ impl Comm {
     }
 
     /// Dispatches the records of one buffer; returns whether at least one
-    /// record was executed. An unknown handler id defers the rest of the
-    /// buffer (records within a buffer stay in order).
+    /// record was executed. A *not-yet-registered* handler id defers the
+    /// rest of the buffer (records within a buffer stay in order); a
+    /// handler id that cannot decode or can never be valid — handler ids
+    /// are `u32` by construction, see [`Comm::register`] — is a corrupt
+    /// envelope and aborts the world structurally instead of panicking
+    /// (or worse, deferring forever).
     fn dispatch_bytes(&self, data: Vec<u8>) -> bool {
         let was = self.in_dispatch.replace(true);
         let mut executed = false;
         let mut reader = WireReader::new(&data);
         while !reader.is_empty() {
             let record_start = reader.position();
-            let hid = reader.take_varint().expect("envelope corrupt: handler id") as usize;
+            let hid = match reader.take_varint() {
+                Ok(id) => id,
+                Err(e) => self.abort(format_args!("corrupt envelope: handler id: {e:?}")),
+            };
+            if hid > u32::MAX as u64 {
+                self.abort(format_args!(
+                    "corrupt envelope: handler id {hid} exceeds the u32 handler-id space"
+                ));
+            }
+            let hid = hid as usize;
             let handler = {
                 let handlers = self.handlers.borrow();
                 handlers.get(hid).cloned()
@@ -1893,6 +1927,48 @@ mod tests {
         for cut in 1..frame.len() {
             expect_structural_abort(frame[..cut].to_vec(), "corrupt multicast section");
         }
+    }
+
+    /// Injects `bytes` as a raw direct envelope at rank 0 and asserts
+    /// the world aborts with a structural corrupt-envelope error —
+    /// never a panic from the `take_varint` unwrap path, never a
+    /// forever-deferred buffer (a hang), and never a handler run.
+    fn expect_envelope_abort(bytes: Vec<u8>, expected: &str) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            World::new(2).run(|comm| {
+                let _h = comm.register::<u64, _>(|_c, _v| panic!("handler ran on corrupt bytes"));
+                if comm.rank() == 1 {
+                    comm.shared().q.record_sent();
+                    comm.shared().senders[0]
+                        .send(Envelope::Direct(bytes.clone()))
+                        .expect("world alive");
+                }
+                comm.barrier();
+            });
+        }));
+        let err = result.expect_err("corrupt envelope must abort the world");
+        let msg = panic_message(&err);
+        assert!(msg.contains("rank 0 aborted"), "wrong rank: {msg}");
+        assert!(msg.contains("corrupt envelope"), "wrong abort: {msg}");
+        assert!(msg.contains(expected), "expected {expected:?} in: {msg}");
+    }
+
+    #[test]
+    fn truncated_handler_id_aborts_structurally() {
+        // A lone continuation byte: the handler-id varint never
+        // terminates. Previously this was an `expect` panic.
+        expect_envelope_abort(vec![0x80], "handler id");
+    }
+
+    #[test]
+    fn oversized_handler_id_aborts_structurally() {
+        // Varint decoding to 2^32 — beyond the u32 handler-id space, so
+        // it can never become registered. Without the bounds check this
+        // would be deferred and retried forever (a hang, not a panic).
+        expect_envelope_abort(
+            vec![0x80, 0x80, 0x80, 0x80, 0x10],
+            "exceeds the u32 handler-id space",
+        );
     }
 
     #[test]

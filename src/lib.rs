@@ -73,13 +73,15 @@ pub mod prelude {
     pub use tripoll_core::surveys::max_edge_label::max_edge_label_distribution;
     pub use tripoll_core::{
         survey, survey_push_only, survey_push_only_with, survey_push_pull, survey_push_pull_with,
-        BatchLayout, DecodePath, EngineMode, SurveyConfig, SurveyReport, TriangleMeta,
+        BatchLayout, DecodePath, EngineMode, QueryOutcome, ResidentGraph, ResidentQuery,
+        SurveyConfig, SurveyReport, TriangleMeta,
     };
     pub use tripoll_gen::{
         rmat_edges, web_graph, DatasetSize, RedditConfig, RmatConfig, WebGraphConfig,
     };
     pub use tripoll_graph::{
-        build_dist_graph, from_directed_edges, DistGraph, EdgeList, Partition, Provenance,
+        build_dist_graph, from_directed_edges, load_snapshot, save_snapshot, DistGraph, EdgeList,
+        GraphError, Partition, Provenance, SnapshotError,
     };
     pub use tripoll_ygm::prelude::*;
 }
