@@ -6,7 +6,7 @@
 //! instrumented survey run.
 //!
 //! Besides the human-readable lines, the harness writes
-//! `BENCH_micro.json` (schema `tripoll-bench-micro/v8`) so successive
+//! `BENCH_micro.json` (schema `tripoll-bench-micro/v9`) so successive
 //! PRs can track the perf trajectory mechanically: kernel ns/iter,
 //! bytes sent, envelope counts, allocation-count proxies for the push
 //! (encode) and recv (decode) paths, the intersection-kernel
@@ -17,18 +17,21 @@
 //! the node-aggregation fan-out (pull bytes/candidate at rpn 1 vs 4,
 //! multicast savings, overlapped-vs-inline flush handoff), the
 //! resident service's snapshot-restart trade (cold ingest vs snapshot
-//! load, resident vs from-scratch query dispatch), and wall time. CI
-//! diffs the recv allocation proxies, columnar bytes/candidate, the
+//! load, resident vs from-scratch query dispatch), the incremental
+//! ingest trade (delta survey vs full recount at 1% and 10% batch
+//! sizes, with the delta's wire bytes per candidate), and wall time.
+//! CI diffs the recv allocation proxies, columnar bytes/candidate, the
 //! Auto and Simd kernels' compares/candidate, the parallel survey's
 //! merged compares/candidate (0% drift — the deterministic-reduction
-//! invariant), the multicast fan-out's bytes/candidate, and the
-//! deterministic snapshot byte size against the committed baseline
-//! (`bench_diff`).
+//! invariant), the multicast fan-out's bytes/candidate, the
+//! deterministic snapshot byte size, and the delta survey's
+//! bytes/candidate against the committed baseline (`bench_diff`).
 
 use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::pool::ThreadPool;
@@ -1479,6 +1482,108 @@ fn compare_snapshot_restart() -> SnapshotRestartRun {
     run
 }
 
+/// One batch-size point of the incremental-ingest comparison.
+struct IncrementalPoint {
+    batch_pct: usize,
+    batch_edges: usize,
+    delta_triangles: u64,
+    delta_bytes: u64,
+    delta_candidates: u64,
+    delta_survey_ns: f64,
+    full_recount_ns: f64,
+}
+
+/// Streaming appends: after `ingest_batch` lands a 1% / 10% batch on
+/// the fixed survey graph, how does surveying only the delta wedges
+/// compare against recounting the whole graph? The delta survey's wire
+/// bytes per kernel candidate (at the 1% point, where the delta
+/// machinery's overheads would show first) is the deterministic,
+/// gate-worthy signal; the delta-vs-recount timings are wall-clock
+/// context.
+struct IncrementalIngestRun {
+    delta_bytes_per_candidate: f64,
+    points: Vec<IncrementalPoint>,
+}
+
+fn compare_incremental_ingest() -> IncrementalIngestRun {
+    let edges = tripoll_gen::rmat_edges(&tripoll_gen::RmatConfig::graph500(10, 42));
+    let list = EdgeList::from_vec(
+        edges
+            .into_iter()
+            .map(|(u, v)| (u, v, ()))
+            .collect::<Vec<_>>(),
+    )
+    .canonicalize();
+    let all = list.as_slice();
+
+    let mut points = Vec::new();
+    for pct in [1usize, 10] {
+        let cut = all.len() - all.len() * pct / 100;
+        let resident: ResidentGraph<(), ()> = ResidentGraph::build(
+            &EdgeList::from_vec(all[..cut].to_vec()),
+            |_| (),
+            Partition::Hashed,
+        );
+        let q = ResidentQuery::new(4);
+        let before = resident.triangle_count(&q);
+        // The batch tail may introduce vertices absent from the base
+        // prefix, so admit them with the same (unit) metadata function.
+        let delta = resident
+            .ingest_batch_with(&all[cut..], |_| ())
+            .expect("append of canonical edges succeeds");
+        // Warm the post-ingest shard cache so both timings below
+        // measure the survey, not the per-world-size rebuild.
+        let after = resident.triangle_count(&q);
+
+        let count = Arc::new(AtomicU64::new(0));
+        let c2 = count.clone();
+        let start = Instant::now();
+        let outcomes = resident
+            .survey_delta(&delta, &q, move |_c, _tm| {
+                c2.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("freshest delta is never stale");
+        let delta_survey_ns = start.elapsed().as_nanos() as f64;
+        let delta_triangles = count.load(Ordering::Relaxed);
+        assert_eq!(
+            before + delta_triangles,
+            after,
+            "delta must complete the recount exactly"
+        );
+        let delta_bytes: u64 = outcomes
+            .iter()
+            .flat_map(|o| o.report.phases.iter())
+            .map(|p| p.stats.bytes_remote + p.stats.bytes_local)
+            .sum();
+        let delta_candidates: u64 = outcomes.iter().map(|o| o.kernel.candidates).sum();
+
+        let start = Instant::now();
+        let full = resident.triangle_count(&q);
+        let full_recount_ns = start.elapsed().as_nanos() as f64;
+        assert_eq!(full, after, "warmed recount is stable");
+
+        let p = IncrementalPoint {
+            batch_pct: pct,
+            batch_edges: all.len() - cut,
+            delta_triangles,
+            delta_bytes,
+            delta_candidates,
+            delta_survey_ns,
+            full_recount_ns,
+        };
+        println!(
+            "incremental_ingest/batch{:02}pct            {:>12.1} ns  (full recount {:>12.1} ns, {:>7} delta triangles)",
+            p.batch_pct, p.delta_survey_ns, p.full_recount_ns, p.delta_triangles
+        );
+        points.push(p);
+    }
+    let p1 = &points[0];
+    IncrementalIngestRun {
+        delta_bytes_per_candidate: p1.delta_bytes as f64 / p1.delta_candidates.max(1) as f64,
+        points,
+    }
+}
+
 /// Instrumented end-to-end survey: exact communication counters plus
 /// wall time for both engines on a deterministic R-MAT graph.
 struct SurveyRun {
@@ -1542,10 +1647,11 @@ fn write_json(
     pd: &ParallelDispatch,
     na: &NodeAggRun,
     snap: &SnapshotRestartRun,
+    inc: &IncrementalIngestRun,
     surveys: &[SurveyRun],
 ) {
     let mut j = String::from("{\n");
-    j.push_str("  \"schema\": \"tripoll-bench-micro/v8\",\n");
+    j.push_str("  \"schema\": \"tripoll-bench-micro/v9\",\n");
 
     j.push_str("  \"kernels\": [\n");
     for (i, k) in kernels.iter().enumerate() {
@@ -1723,6 +1829,34 @@ fn write_json(
         snap.fresh_query_ns / snap.resident_query_ns,
     ));
 
+    // The gated metric (`delta_bytes_per_candidate`, the 1% batch's
+    // delta-survey wire bytes per kernel candidate — deterministic
+    // record content for the fixed graph and batch) leads the section
+    // for the minimal scraper; the delta-vs-recount timings are
+    // wall-clock context and deliberately not gated.
+    let inc_points: Vec<String> = inc
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"batch_pct\": {}, \"batch_edges\": {}, \"delta_triangles\": {}, \"delta_bytes\": {}, \"delta_candidates\": {}, \"delta_survey_ns\": {:.1}, \"full_recount_ns\": {:.1}, \"delta_speedup\": {:.2}}}",
+                p.batch_pct,
+                p.batch_edges,
+                p.delta_triangles,
+                p.delta_bytes,
+                p.delta_candidates,
+                p.delta_survey_ns,
+                p.full_recount_ns,
+                p.full_recount_ns / p.delta_survey_ns,
+            )
+        })
+        .collect();
+    j.push_str(&format!(
+        "  \"incremental_ingest\": {{\n    \"delta_bytes_per_candidate\": {:.3},\n    \"points\": [\n      {}\n    ]\n  }},\n",
+        inc.delta_bytes_per_candidate,
+        inc_points.join(",\n      "),
+    ));
+
     j.push_str("  \"surveys\": [\n");
     for (i, s) in surveys.iter().enumerate() {
         let st = &s.stats;
@@ -1782,6 +1916,7 @@ fn main() {
     let pd = compare_parallel_dispatch();
     let na = compare_node_aggregation();
     let snap = compare_snapshot_restart();
+    let inc = compare_incremental_ingest();
 
     let mut surveys = Vec::new();
     for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
@@ -1820,6 +1955,7 @@ fn main() {
         &pd,
         &na,
         &snap,
+        &inc,
         &surveys,
     );
 }

@@ -33,6 +33,12 @@
 //!   given format version; growth means the binary format got fatter
 //!   (the restart timings next to it are wall-clock context and stay
 //!   ungated).
+//! * `incremental_ingest.delta_bytes_per_candidate` — the delta
+//!   survey's wire bytes per kernel candidate after a 1% batch ingest.
+//!   The delta path shares the encode-once/columnar wire with the full
+//!   engines, so growth means delta wedge batches got fatter than the
+//!   wedges they replace (the delta-vs-recount timings next to it are
+//!   wall-clock context and stay ungated).
 //!
 //! Each growth gate allows 10% relative growth over the baseline;
 //! wall-time numbers are deliberately *not* gated (CI machines are too
@@ -40,7 +46,7 @@
 //! compare counters are deterministic.
 //!
 //! The parser is a minimal scraper for the known
-//! `tripoll-bench-micro/v8` schema (the container vendors no JSON
+//! `tripoll-bench-micro/v9` schema (the container vendors no JSON
 //! crate); a baseline predating a gated section passes with a notice so
 //! a gate can be adopted in the same change that introduces its
 //! section.
@@ -140,6 +146,16 @@ fn multicast_bytes_per_candidate(json: &str) -> Option<f64> {
 fn snapshot_bytes(json: &str) -> Option<f64> {
     let section = after_key(json, "snapshot_restart")?;
     number_after(section, "snapshot_bytes")
+}
+
+/// Extracts `incremental_ingest.delta_bytes_per_candidate` — the delta
+/// survey's wire bytes per kernel candidate at the 1% batch point (the
+/// section's first field; the per-point entries use the distinct
+/// `delta_bytes` key, which the quoted-needle match keeps apart even
+/// though it is a prefix of this one).
+fn delta_bytes_per_candidate(json: &str) -> Option<f64> {
+    let section = after_key(json, "incremental_ingest")?;
+    number_after(section, "delta_bytes_per_candidate")
 }
 
 /// One gated metric: compares fresh vs baseline under the shared
@@ -266,6 +282,12 @@ fn main() -> ExitCode {
             snapshot_bytes(&fresh),
             new_path,
         ),
+        gate(
+            "delta-wedge bytes/candidate",
+            delta_bytes_per_candidate(&baseline),
+            delta_bytes_per_candidate(&fresh),
+            new_path,
+        ),
     ]
     .into_iter()
     .all(|g| g);
@@ -332,6 +354,13 @@ mod tests {
     "resident_query_ns": 7000000.0,
     "fresh_query_ns": 9000000.0,
     "query_speedup": 1.29
+  },
+  "incremental_ingest": {
+    "delta_bytes_per_candidate": 9.125,
+    "points": [
+      {"batch_pct": 1, "batch_edges": 80, "delta_triangles": 120, "delta_bytes": 73000, "delta_candidates": 8000, "delta_survey_ns": 400000.0, "full_recount_ns": 7000000.0, "delta_speedup": 17.50},
+      {"batch_pct": 10, "batch_edges": 800, "delta_triangles": 1400, "delta_bytes": 700000, "delta_candidates": 80000, "delta_survey_ns": 1500000.0, "full_recount_ns": 7000000.0, "delta_speedup": 4.67}
+    ]
   }
 }"#;
 
@@ -427,6 +456,22 @@ mod tests {
         // adoption path for the gate introduced with the section.
         let pre = &SAMPLE[..SAMPLE.find("\"snapshot_restart\"").unwrap()];
         assert_eq!(snapshot_bytes(pre), None);
+    }
+
+    #[test]
+    fn extracts_delta_bytes_per_candidate() {
+        // The section's gated first field, not the per-point
+        // `delta_bytes` entries after it (a prefix of this key, kept
+        // apart by the quoted-needle match) and not any earlier
+        // section's bytes/candidate (the section anchor skips them).
+        assert_eq!(delta_bytes_per_candidate(SAMPLE), Some(9.125));
+        assert_eq!(delta_bytes_per_candidate("{\"schema\": \"v1\"}"), None);
+        // A baseline predating the section scrapes as None — the
+        // adoption path for the gate introduced with the section
+        // (exactly how a committed v8 baseline passes a v9 run).
+        let pre = &SAMPLE[..SAMPLE.find("\"incremental_ingest\"").unwrap()];
+        assert_eq!(delta_bytes_per_candidate(pre), None);
+        assert_eq!(snapshot_bytes(pre), Some(44374.0));
     }
 
     #[test]

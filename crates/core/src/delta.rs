@@ -1,0 +1,349 @@
+//! Delta surveys: triangles involving at least one edge of an
+//! ingested batch.
+//!
+//! After [`tripoll_graph::ingest`] appends a batch to DODGr storage,
+//! the surveys of the new graph differ from the old ones exactly by the
+//! triangles with ≥ 1 batch edge. [`survey_delta_push`] enumerates
+//! precisely those: for every apex `p` in the batch's
+//! [`BatchDelta`] plan it generates
+//!
+//! * the **full suffix** wedge batch for each *new* out-entry of `p`
+//!   (new edge × everything after it — the new×existing cross terms in
+//!   one direction plus new×new within the batch), straight from the
+//!   `Adjm+(p)` storage slice on the encode-once hot path, and
+//! * a **gathered** candidate batch for each *old* out-entry `q`:
+//!   the new entries past `q` (cross terms in the other direction)
+//!   plus the old entries whose targets a batch edge newly joined
+//!   (wedges the batch *closed* at `p` — their triangle's closing edge
+//!   is the new edge itself, stored at `Rank(q)` by the `<+`
+//!   orientation).
+//!
+//! Each wedge with ≥ 1 new edge is generated exactly once, and every
+//! batch goes through the **same** wire encoding, registered handlers,
+//! intersection kernels, and parallel dispatch as a full survey — a
+//! delta survey is indistinguishable from a full one on the receiving
+//! side, so callbacks, metadata colocation, and [`KernelStats`]
+//! accounting all behave identically.
+//!
+//! Additive merging of the per-triangle results into running totals is
+//! the [`crate::surveys::delta`] seam; the resident tier couples both
+//! with an epoch guard in [`crate::service`].
+//!
+//! [`KernelStats`]: crate::engine::KernelStats
+
+use std::rc::Rc;
+
+use tripoll_graph::ingest::BatchDelta;
+use tripoll_graph::{AdjEntry, DistGraph};
+use tripoll_ygm::wire::{encode_seq, Wire};
+use tripoll_ygm::Comm;
+
+use crate::engine::{EngineMode, PhaseTimer, SurveyConfig, SurveyReport};
+use crate::meta::SurveyCallback;
+use crate::par::par_queue_for;
+use crate::push_common::{
+    encode_candidate, encode_candidate_columns, register_push_handler, DynCallback, PushHandler,
+};
+
+/// Runs a delta survey for one ingested batch: `callback` executes once
+/// per triangle that involves at least one edge of the batch, on the
+/// rank where the six metadata values are colocated — exactly the
+/// triangles by which the new graph's full survey differs from the old
+/// one.
+///
+/// Collective: every rank calls with the same post-ingest graph, the
+/// same [`BatchDelta`], and an equivalent callback. The plan is
+/// index-based and only valid against the storage state its ingest
+/// produced; the resident tier enforces that with an epoch check
+/// (`ResidentGraph::survey_delta`).
+///
+/// Deltas always push: the Push-Pull pull side is a bandwidth
+/// optimization for *high-degree* full enumerations and has no
+/// analogue for the sparse wedge sets of a batch, so the report's mode
+/// is [`EngineMode::PushOnly`] regardless of which engine full surveys
+/// use. Differential tests hold `full(G) + delta(G, B)` against
+/// full surveys of `G ∪ B` from **both** engines.
+pub fn survey_delta_push<VM, EM, F>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    plan: &BatchDelta,
+    config: impl Into<SurveyConfig>,
+    callback: F,
+) -> SurveyReport
+where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+    F: SurveyCallback<VM, EM>,
+{
+    let config = config.into();
+    let cb: DynCallback<VM, EM> = Rc::new(callback);
+    let queue = par_queue_for(graph, &cb, config);
+    let handler = register_push_handler(comm, graph, cb, config, queue.clone());
+    if let Some(q) = &queue {
+        let q2 = q.clone();
+        comm.set_drain_hook(move |c| q2.flush(c));
+    }
+
+    let timer = PhaseTimer::begin(comm, "delta-push");
+    push_delta_wedges(comm, graph, plan, &handler);
+    comm.barrier();
+    let phase = timer.end();
+    if queue.is_some() {
+        comm.clear_drain_hook();
+    }
+
+    SurveyReport {
+        mode: EngineMode::PushOnly,
+        total_seconds: phase.seconds,
+        phases: vec![phase],
+        pulled_vertices: 0,
+        pull_grants: 0,
+    }
+}
+
+/// Generates exactly the wedges of this rank's shard that involve at
+/// least one batch edge, per the apex plan. Full-suffix batches (new
+/// source entry) serialize straight from storage like
+/// `push_wedge_batches`; gathered batches (old source entry) merge the
+/// new-tail and closing candidates — two disjoint ascending index
+/// runs — into a reusable scratch slice so the columnar encoder still
+/// sees one contiguous `<+`-sorted slice.
+fn push_delta_wedges<VM, EM>(
+    comm: &Comm,
+    graph: &DistGraph<VM, EM>,
+    plan: &BatchDelta,
+    handler: &PushHandler<VM, EM>,
+) where
+    VM: Wire + Clone + 'static,
+    EM: Wire + Clone + 'static,
+{
+    let mut scratch: Vec<AdjEntry<VM, EM>> = Vec::new();
+    for lv in graph.shard().vertices() {
+        let Some(ap) = plan.apexes.get(&lv.id) else {
+            continue;
+        };
+        // `closing` is sorted by (i, j); pairs for source index i form
+        // a contiguous run found by a monotone cursor over i.
+        let mut run = 0usize;
+        for (i, e) in lv.adj.iter().enumerate() {
+            let iu = i as u32;
+            while run < ap.closing.len() && ap.closing[run].0 < iu {
+                run += 1;
+            }
+            if i + 1 >= lv.adj.len() {
+                break; // empty suffix: no wedges from the last entry
+            }
+            let dest = graph.owner(e.v);
+            if ap.new_idx.binary_search(&iu).is_ok() {
+                // New source edge: every wedge through it is new.
+                let suffix = &lv.adj[i + 1..];
+                match handler {
+                    PushHandler::Interleaved(h) => comm.send_encoded(
+                        dest,
+                        h,
+                        (
+                            lv.id,
+                            e.v,
+                            &lv.meta,
+                            &e.em,
+                            encode_seq(suffix, |s, buf| encode_candidate(s, buf)),
+                        ),
+                    ),
+                    PushHandler::Columnar(h) => comm.send_encoded(
+                        dest,
+                        h,
+                        (
+                            lv.id,
+                            e.v,
+                            &lv.meta,
+                            &e.em,
+                            encode_candidate_columns(suffix),
+                        ),
+                    ),
+                }
+                continue;
+            }
+            // Old source edge: gather the new entries past i and the
+            // closing partners of i. Both runs ascend and are disjoint
+            // (closing partners are old entries), so a linear merge
+            // keeps the scratch slice `<+`-sorted.
+            let news = &ap.new_idx[ap.new_idx.partition_point(|&n| n <= iu)..];
+            let closers = {
+                let end = ap.closing[run..]
+                    .iter()
+                    .take_while(|&&(s, _)| s == iu)
+                    .count();
+                &ap.closing[run..run + end]
+            };
+            if news.is_empty() && closers.is_empty() {
+                continue;
+            }
+            scratch.clear();
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < news.len() || b < closers.len() {
+                let take_new = match (news.get(a), closers.get(b)) {
+                    (Some(&n), Some(&(_, c))) => n < c,
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                let idx = if take_new {
+                    a += 1;
+                    news[a - 1]
+                } else {
+                    b += 1;
+                    closers[b - 1].1
+                };
+                scratch.push(lv.adj[idx as usize].clone());
+            }
+            match handler {
+                PushHandler::Interleaved(h) => comm.send_encoded(
+                    dest,
+                    h,
+                    (
+                        lv.id,
+                        e.v,
+                        &lv.meta,
+                        &e.em,
+                        encode_seq(&scratch, |s, buf| encode_candidate(s, buf)),
+                    ),
+                ),
+                PushHandler::Columnar(h) => comm.send_encoded(
+                    dest,
+                    h,
+                    (
+                        lv.id,
+                        e.v,
+                        &lv.meta,
+                        &e.em,
+                        encode_candidate_columns(&scratch),
+                    ),
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::push_only::survey_push_only_with;
+    use std::cell::Cell;
+    use std::sync::Arc;
+    use tripoll_graph::ingest::{apply_edge_batch_with, ReverseIndex};
+    use tripoll_graph::{DistGraph, LocalShard, LocalVertex, Partition};
+    use tripoll_ygm::World;
+
+    fn vm_of(v: u64) -> u64 {
+        v * 31 + 7
+    }
+
+    fn em_of(u: u64, v: u64) -> u32 {
+        ((u.min(v) as u32) << 8) | (u.max(v) as u32)
+    }
+
+    fn meta_edges(pairs: &[(u64, u64)]) -> Vec<(u64, u64, u32)> {
+        pairs.iter().map(|&(u, v)| (u, v, em_of(u, v))).collect()
+    }
+
+    /// Global vertex list of `edges` built purely incrementally.
+    fn storage(edges: &[(u64, u64, u32)]) -> Vec<LocalVertex<u64, u32>> {
+        let mut vertices = Vec::new();
+        let mut rev = ReverseIndex::default();
+        apply_edge_batch_with(&mut vertices, &mut rev, edges, vm_of).unwrap();
+        vertices
+    }
+
+    fn count_with(
+        nranks: usize,
+        vertices: &[LocalVertex<u64, u32>],
+        f: impl Fn(&Comm, &DistGraph<u64, u32>) -> u64 + Sync,
+    ) -> u64 {
+        let vertices = vertices.to_vec();
+        let out = World::new(nranks).run(move |comm| {
+            let partition = Partition::Hashed;
+            let mine: Vec<_> = vertices
+                .iter()
+                .filter(|lv| partition.owner(lv.id, comm.nranks()) == comm.rank())
+                .cloned()
+                .collect();
+            let shard = Arc::new(LocalShard::from_vertices(mine));
+            let g = DistGraph::from_parts(shard, partition, comm.nranks());
+            let local = f(comm, &g);
+            comm.all_reduce_sum(local)
+        });
+        let first = out[0];
+        assert!(out.iter().all(|&c| c == first), "ranks disagree: {out:?}");
+        first
+    }
+
+    /// full(G ∪ B) == full(G) + delta(G, B) for plain counts across
+    /// world sizes, exercising both gathered and full-suffix paths.
+    #[test]
+    fn delta_count_completes_full_count() {
+        let base: Vec<(u64, u64)> = (0..12u64)
+            .flat_map(|i| [(i, (i + 1) % 12), (i, (i + 4) % 12)])
+            .collect();
+        let batch: Vec<(u64, u64)> = vec![(0, 6), (1, 7), (2, 5), (3, 11), (13, 0), (13, 1)];
+        let base = meta_edges(&base);
+        let batch = meta_edges(&batch);
+
+        let old_vertices = storage(&base);
+        let mut new_vertices = old_vertices.clone();
+        let mut rev = ReverseIndex::build(&new_vertices);
+        let plan = apply_edge_batch_with(&mut new_vertices, &mut rev, &batch, vm_of).unwrap();
+
+        for nranks in [1usize, 2, 3, 5] {
+            let full_old = count_with(nranks, &old_vertices, |comm, g| {
+                let c = std::rc::Rc::new(Cell::new(0u64));
+                let c2 = c.clone();
+                survey_push_only_with(comm, g, SurveyConfig::default(), move |_, _| {
+                    c2.set(c2.get() + 1)
+                });
+                c.get()
+            });
+            let full_new = count_with(nranks, &new_vertices, |comm, g| {
+                let c = std::rc::Rc::new(Cell::new(0u64));
+                let c2 = c.clone();
+                survey_push_only_with(comm, g, SurveyConfig::default(), move |_, _| {
+                    c2.set(c2.get() + 1)
+                });
+                c.get()
+            });
+            let plan2 = plan.clone();
+            let delta = count_with(nranks, &new_vertices, move |comm, g| {
+                let c = std::rc::Rc::new(Cell::new(0u64));
+                let c2 = c.clone();
+                let report =
+                    survey_delta_push(comm, g, &plan2, SurveyConfig::default(), move |_, _| {
+                        c2.set(c2.get() + 1)
+                    });
+                assert_eq!(report.mode, EngineMode::PushOnly);
+                assert_eq!(report.phases.len(), 1);
+                assert_eq!(report.phases[0].name, "delta-push");
+                c.get()
+            });
+            assert!(full_new >= full_old);
+            assert_eq!(
+                full_old + delta,
+                full_new,
+                "delta mismatch at nranks={nranks}"
+            );
+        }
+    }
+
+    /// An empty plan generates nothing.
+    #[test]
+    fn empty_plan_is_a_no_op() {
+        let vertices = storage(&meta_edges(&[(0, 1), (1, 2), (2, 0)]));
+        let plan = BatchDelta::default();
+        let delta = count_with(2, &vertices, move |comm, g| {
+            let c = std::rc::Rc::new(Cell::new(0u64));
+            let c2 = c.clone();
+            survey_delta_push(comm, g, &plan, SurveyConfig::default(), move |_, _| {
+                c2.set(c2.get() + 1)
+            });
+            c.get()
+        });
+        assert_eq!(delta, 0);
+    }
+}

@@ -680,6 +680,21 @@ impl KernelStats {
     };
 }
 
+impl std::ops::AddAssign for KernelStats {
+    /// Field-wise sum — the counters are plain tallies, so stats from
+    /// independent surveys (or a full survey and an incremental delta)
+    /// merge additively.
+    fn add_assign(&mut self, rhs: KernelStats) {
+        self.compares += rhs.compares;
+        self.candidates += rhs.candidates;
+        self.matches += rhs.matches;
+        self.scalar_runs += rhs.scalar_runs;
+        self.gallop_runs += rhs.gallop_runs;
+        self.blocked_runs += rhs.blocked_runs;
+        self.simd_runs += rhs.simd_runs;
+    }
+}
+
 thread_local! {
     static KERNEL_STATS: Cell<KernelStats> = const { Cell::new(KernelStats::ZERO) };
 }
@@ -703,13 +718,7 @@ pub fn kernel_stats_take() -> KernelStats {
 pub fn kernel_stats_add(delta: KernelStats) {
     KERNEL_STATS.with(|c| {
         let mut s = c.get();
-        s.compares += delta.compares;
-        s.candidates += delta.candidates;
-        s.matches += delta.matches;
-        s.scalar_runs += delta.scalar_runs;
-        s.gallop_runs += delta.gallop_runs;
-        s.blocked_runs += delta.blocked_runs;
-        s.simd_runs += delta.simd_runs;
+        s += delta;
         c.set(s);
     });
 }

@@ -40,6 +40,7 @@
 
 #![deny(missing_docs)]
 
+pub mod delta;
 pub mod engine;
 pub mod meta;
 mod par;
@@ -50,6 +51,7 @@ pub mod service;
 pub mod simd;
 pub mod surveys;
 
+pub use delta::survey_delta_push;
 pub use engine::{
     intersect_col, intersect_slices, intersect_stream, kernel_stats, kernel_stats_add,
     kernel_stats_take, merge_path, merge_path_stream, BatchLayout, DecodePath, EngineMode,
@@ -59,6 +61,7 @@ pub use engine::{
 pub use meta::{SurveyCallback, TriangleMeta};
 pub use push_only::{survey_push_only, survey_push_only_with};
 pub use push_pull::{survey_push_pull, survey_push_pull_with};
-pub use service::{QueryOutcome, ResidentGraph, ResidentQuery};
+pub use service::{IngestDelta, QueryOutcome, ResidentGraph, ResidentQuery, StaleDeltaError};
 pub use simd::{simd_backend, simd_force_swar, SimdBackend, SIMD_GROUP_LANES};
+pub use surveys::delta::{SurveyDelta, SurveyDeltaSink, TriangleSample};
 pub use surveys::survey;

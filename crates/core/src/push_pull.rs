@@ -126,6 +126,13 @@ impl ResumePlan {
 ///
 /// Plans are per-rank: rank `r`'s plan is only valid on rank `r` of a
 /// world with the same rank count over the same shards.
+///
+/// "Same shards" is enforced by lifetime, not by checksum: captured
+/// plans live inside the resident tier's per-world-size cache, and
+/// `ResidentGraph::ingest_batch` drops that cache wholesale when a
+/// batch changes the storage — degrees, `d+`, and pull decisions may
+/// all shift, so the first Push-Pull query after an ingest runs a
+/// fresh dry-run and re-captures.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct DryRunPlan {
     /// Post-veto resume pointers (sealed order).

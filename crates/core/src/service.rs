@@ -30,6 +30,25 @@
 //!   versioned binary format of [`tripoll_graph::snapshot`], so a
 //!   restart is O(read) instead of re-ingest + three build rounds.
 //!
+//! # Incremental ingestion
+//!
+//! [`ResidentGraph::ingest_batch`] appends an edge batch through
+//! [`tripoll_graph::ingest`], leaving the storage bit-identical to a
+//! from-scratch build of the concatenated input. Ingest invalidates the
+//! cached world state — per-rank shards *and* captured Push-Pull
+//! dry-run plans — and bumps the graph **epoch**. The returned
+//! [`IngestDelta`] carries that epoch plus the batch's delta-wedge
+//! plan; [`ResidentGraph::survey_delta`] surveys exactly the triangles
+//! the batch added ([`crate::delta`]), rejecting a stale delta (one
+//! from a superseded epoch) with a structured [`StaleDeltaError`].
+//!
+//! Concurrent queries racing an ingest are safe by snapshotting: a
+//! query holds an `Arc` of the world state it started with, so it sees
+//! either the pre-ingest or the post-ingest graph in its entirety,
+//! never a torn mix. The epoch atomic is an advisory staleness check —
+//! actual publication of mutated storage happens under the state lock
+//! (see `docs/CONCURRENCY.md`, "ingest-epoch handoff").
+//!
 //! Environment-dependent defaults (`TRIPOLL_THREADS`, `TRIPOLL_RPN`,
 //! `TRIPOLL_OVERLAP`) are **pinned** when a [`ResidentQuery`] is
 //! constructed: each query carries fully explicit settings, so two
@@ -41,11 +60,13 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use tripoll_graph::ingest::{apply_edge_batch, apply_edge_batch_with, BatchDelta, ReverseIndex};
 use tripoll_graph::snapshot::{decode_snapshot, encode_snapshot, load_snapshot, SnapshotError};
-use tripoll_graph::{DistGraph, EdgeList, LocalShard, LocalVertex, Partition};
+use tripoll_graph::{DistGraph, EdgeList, GraphError, LocalShard, LocalVertex, Partition};
 use tripoll_ygm::wire::Wire;
-use tripoll_ygm::{Comm, CommConfig, World};
+use tripoll_ygm::{Comm, CommConfig, World, WorldOutput};
 
+use crate::delta::survey_delta_push;
 use crate::engine::{
     kernel_stats_take, EngineMode, KernelStats, Parallelism, SurveyConfig, SurveyReport,
 };
@@ -131,19 +152,102 @@ struct WorldState<VM, EM> {
     plans: OnceLock<Arc<Vec<DryRunPlan>>>,
 }
 
-/// A graph resident in memory, shared immutably across queries.
+/// The mutable resident state: storage plus everything derived from
+/// it. One lock guards all three so an ingest replaces storage and
+/// invalidates the derived caches atomically with respect to queries.
+struct ResidentState<VM, EM> {
+    /// The global vertex list (every rank's vertices), sorted by id.
+    vertices: Arc<Vec<LocalVertex<VM, EM>>>,
+    /// Shards + plans per requested world size.
+    worlds: HashMap<usize, Arc<WorldState<VM, EM>>>,
+    /// Reverse adjacency for incremental ingestion, built lazily on
+    /// the first [`ResidentGraph::ingest_batch`] and maintained across
+    /// batches.
+    rev: Option<ReverseIndex>,
+}
+
+/// The proof of one ingested batch: the graph epoch it produced and
+/// the delta-wedge plan for surveying exactly the triangles the batch
+/// added.
+///
+/// Pass it to [`ResidentGraph::survey_delta`] *before* the next
+/// ingest; the plan is index-based against the storage state its
+/// ingest produced, so a later epoch makes it stale (a structured
+/// [`StaleDeltaError`], never a wrong answer).
+#[derive(Debug, Clone)]
+pub struct IngestDelta {
+    epoch: u64,
+    plan: Arc<BatchDelta>,
+}
+
+impl IngestDelta {
+    /// The graph epoch this ingest produced.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The canonicalized `(min, max)` pairs of the genuinely-new edges
+    /// (self-loops, duplicates within the batch, and edges already
+    /// stored are dropped).
+    pub fn new_edges(&self) -> &[(u64, u64)] {
+        &self.plan.new_edges
+    }
+
+    /// True when the batch changed nothing: a delta survey of it
+    /// visits zero triangles.
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// The underlying delta-wedge plan (for direct use with
+    /// [`crate::delta::survey_delta_push`]).
+    pub fn plan(&self) -> &Arc<BatchDelta> {
+        &self.plan
+    }
+}
+
+/// A delta survey was requested against a graph that has ingested
+/// further batches since the delta was produced: the plan's entry
+/// indices no longer describe the storage.
+///
+/// Re-derive by surveying the newest [`IngestDelta`]s (each batch's
+/// delta remains valid until the *next* ingest) or fall back to a full
+/// [`ResidentGraph::survey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleDeltaError {
+    /// The epoch the delta was produced at.
+    pub delta_epoch: u64,
+    /// The graph's current epoch.
+    pub graph_epoch: u64,
+}
+
+impl std::fmt::Display for StaleDeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stale ingest delta: produced at epoch {}, graph is at epoch {}",
+            self.delta_epoch, self.graph_epoch
+        )
+    }
+}
+
+impl std::error::Error for StaleDeltaError {}
+
+/// A graph resident in memory, shared across queries.
 ///
 /// Build it once ([`ResidentGraph::build`], or O(read) from a snapshot
 /// via [`ResidentGraph::load_snapshot`]), then call
 /// [`ResidentGraph::survey`] as many times as needed — including
 /// concurrently from several threads, each query with its own world
-/// size, engine, and configuration.
+/// size, engine, and configuration. Between queries,
+/// [`ResidentGraph::ingest_batch`] appends edge batches incrementally;
+/// queries in flight keep surveying the snapshot they started with.
 pub struct ResidentGraph<VM, EM> {
-    /// The global vertex list (every rank's vertices), sorted by id.
-    vertices: Arc<Vec<LocalVertex<VM, EM>>>,
+    state: Mutex<ResidentState<VM, EM>>,
+    /// Monotone ingest counter; see the module docs ("ingest-epoch
+    /// handoff" in `docs/CONCURRENCY.md`).
+    epoch: AtomicU64,
     partition: Partition,
-    /// Shards + plans per requested world size.
-    worlds: Mutex<HashMap<usize, Arc<WorldState<VM, EM>>>>,
 }
 
 impl<VM, EM> ResidentGraph<VM, EM>
@@ -174,9 +278,13 @@ where
     pub fn from_vertices(mut vertices: Vec<LocalVertex<VM, EM>>, partition: Partition) -> Self {
         vertices.sort_by_key(|v| v.id);
         ResidentGraph {
-            vertices: Arc::new(vertices),
+            state: Mutex::new(ResidentState {
+                vertices: Arc::new(vertices),
+                worlds: HashMap::new(),
+                rev: None,
+            }),
+            epoch: AtomicU64::new(0),
             partition,
-            worlds: Mutex::new(HashMap::new()),
         }
     }
 
@@ -195,9 +303,12 @@ where
     }
 
     /// Serializes the resident storage into snapshot bytes with
-    /// `nsections` partition sections.
+    /// `nsections` partition sections. Snapshots taken after an ingest
+    /// capture the appended state — a restart resumes from the newest
+    /// batch.
     pub fn snapshot_bytes(&self, nsections: usize) -> Vec<u8> {
-        encode_snapshot(&self.vertices, self.partition, nsections)
+        let vertices = self.vertices();
+        encode_snapshot(&vertices, self.partition, nsections)
     }
 
     /// Writes a snapshot file with `nsections` partition sections.
@@ -206,7 +317,8 @@ where
         path: P,
         nsections: usize,
     ) -> Result<(), SnapshotError> {
-        tripoll_graph::snapshot::save_snapshot(path, &self.vertices, self.partition, nsections)
+        let vertices = self.vertices();
+        tripoll_graph::snapshot::save_snapshot(path, &vertices, self.partition, nsections)
     }
 
     /// The partition map the storage was built with.
@@ -216,20 +328,44 @@ where
 
     /// Number of resident vertices (with at least one incident edge).
     pub fn num_vertices(&self) -> usize {
-        self.vertices.len()
+        self.state().vertices.len()
+    }
+
+    /// The current graph epoch: 0 at build/load, +1 per
+    /// [`ResidentGraph::ingest_batch`] (even a no-op batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, ResidentState<VM, EM>> {
+        self.state.lock().expect("resident state poisoned")
+    }
+
+    /// A shared handle to the current storage.
+    fn vertices(&self) -> Arc<Vec<LocalVertex<VM, EM>>> {
+        self.state().vertices.clone()
     }
 
     /// The cached per-world-size state, sharding the resident storage
     /// on first use of a given rank count.
     fn world_state(&self, nranks: usize) -> Arc<WorldState<VM, EM>> {
-        let mut worlds = self.worlds.lock().expect("resident world cache poisoned");
-        worlds
+        Self::world_state_locked(&mut self.state(), self.partition, nranks)
+    }
+
+    fn world_state_locked(
+        state: &mut ResidentState<VM, EM>,
+        partition: Partition,
+        nranks: usize,
+    ) -> Arc<WorldState<VM, EM>> {
+        let vertices = &state.vertices;
+        state
+            .worlds
             .entry(nranks)
             .or_insert_with(|| {
                 let mut per_rank: Vec<Vec<LocalVertex<VM, EM>>> =
                     (0..nranks).map(|_| Vec::new()).collect();
-                for v in self.vertices.iter() {
-                    per_rank[self.partition.owner(v.id, nranks)].push(v.clone());
+                for v in vertices.iter() {
+                    per_rank[partition.owner(v.id, nranks)].push(v.clone());
                 }
                 Arc::new(WorldState {
                     shards: per_rank
@@ -242,6 +378,67 @@ where
             .clone()
     }
 
+    /// Appends an edge batch to the resident storage, **strict** on
+    /// vertices: every endpoint must already be resident, otherwise
+    /// the batch is rejected with [`GraphError::UnknownVertex`] and
+    /// the graph is unchanged (the epoch does not advance). See
+    /// [`ResidentGraph::ingest_batch_with`] to admit new vertices.
+    ///
+    /// On success the storage is bit-identical to a from-scratch build
+    /// of the concatenated input; cached shards and captured Push-Pull
+    /// dry-run plans are invalidated (queries in flight finish on the
+    /// snapshot they started with), and the returned [`IngestDelta`]
+    /// drives [`ResidentGraph::survey_delta`].
+    pub fn ingest_batch(&self, batch: &[(u64, u64, EM)]) -> Result<IngestDelta, GraphError> {
+        let mut state = self.state();
+        let ResidentState {
+            vertices,
+            worlds,
+            rev,
+        } = &mut *state;
+        let rev = rev.get_or_insert_with(|| ReverseIndex::build(vertices));
+        let plan = apply_edge_batch(Arc::make_mut(vertices), rev, batch)?;
+        if !plan.is_empty() {
+            worlds.clear();
+        }
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        Ok(IngestDelta {
+            epoch,
+            plan: Arc::new(plan),
+        })
+    }
+
+    /// [`ResidentGraph::ingest_batch`] that admits previously-unknown
+    /// vertices, creating their records with metadata from `vm_fn` —
+    /// which must be the same deterministic function of the vertex id
+    /// the resident storage was built with (it is consulted only for
+    /// new vertices; existing metadata is immutable under ingest).
+    pub fn ingest_batch_with<F>(
+        &self,
+        batch: &[(u64, u64, EM)],
+        vm_fn: F,
+    ) -> Result<IngestDelta, GraphError>
+    where
+        F: Fn(u64) -> VM,
+    {
+        let mut state = self.state();
+        let ResidentState {
+            vertices,
+            worlds,
+            rev,
+        } = &mut *state;
+        let rev = rev.get_or_insert_with(|| ReverseIndex::build(vertices));
+        let plan = apply_edge_batch_with(Arc::make_mut(vertices), rev, batch, vm_fn)?;
+        if !plan.is_empty() {
+            worlds.clear();
+        }
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        Ok(IngestDelta {
+            epoch,
+            plan: Arc::new(plan),
+        })
+    }
+
     /// Runs an arbitrary collective `f` in a fresh per-query world
     /// against the resident storage; returns each rank's result. The
     /// graph handle every rank receives shares the resident shards —
@@ -252,6 +449,37 @@ where
         F: Fn(&Comm, &DistGraph<VM, EM>) -> R + Sync,
     {
         let ws = self.world_state(query.nranks);
+        self.run_in_world(&ws, query, f)
+    }
+
+    /// [`ResidentGraph::run`] that also returns each rank's final
+    /// communication counters (bytes, records, flushes) — the
+    /// per-query world's [`WorldOutput`].
+    pub fn run_with_stats<R, F>(&self, query: &ResidentQuery, f: F) -> WorldOutput<R>
+    where
+        R: Send,
+        F: Fn(&Comm, &DistGraph<VM, EM>) -> R + Sync,
+    {
+        let ws = self.world_state(query.nranks);
+        World::new(query.nranks)
+            .with_config(query.comm.clone())
+            .run_with_stats(|comm| {
+                let g = DistGraph::from_parts(
+                    ws.shards[comm.rank()].clone(),
+                    self.partition,
+                    query.nranks,
+                );
+                f(comm, &g)
+            })
+    }
+
+    /// Runs `f` against an already-fetched world state (a storage
+    /// snapshot): later ingests cannot affect this world.
+    fn run_in_world<R, F>(&self, ws: &WorldState<VM, EM>, query: &ResidentQuery, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm, &DistGraph<VM, EM>) -> R + Sync,
+    {
         World::new(query.nranks)
             .with_config(query.comm.clone())
             .run(|comm| {
@@ -336,6 +564,56 @@ where
         }
     }
 
+    /// Surveys exactly the triangles `delta`'s batch added: the
+    /// callback executes once per triangle involving at least one
+    /// batch edge, with all six metadata values colocated — the
+    /// difference between full surveys of the post- and pre-ingest
+    /// graphs, generated without recounting anything old
+    /// ([`crate::delta`]).
+    ///
+    /// Accumulated additively (e.g. into
+    /// [`crate::surveys::delta::SurveyDelta`]), the results satisfy
+    /// `full(G ∪ B) == full(G) + delta(G, B)` bit-for-bit.
+    ///
+    /// The delta must be from the **current** epoch: if other batches
+    /// were ingested since, the plan no longer describes the storage
+    /// and a [`StaleDeltaError`] is returned. The epoch check and the
+    /// world-state fetch happen under one state lock, so the surveyed
+    /// snapshot is exactly the one `delta`'s ingest produced.
+    pub fn survey_delta<F>(
+        &self,
+        delta: &IngestDelta,
+        query: &ResidentQuery,
+        callback: F,
+    ) -> Result<Vec<QueryOutcome>, StaleDeltaError>
+    where
+        F: Fn(&Comm, &TriangleMeta<'_, VM, EM>) + Send + Sync + 'static,
+    {
+        let ws = {
+            let mut state = self.state();
+            let graph_epoch = self.epoch.load(Ordering::Acquire);
+            if delta.epoch != graph_epoch {
+                return Err(StaleDeltaError {
+                    delta_epoch: delta.epoch,
+                    graph_epoch,
+                });
+            }
+            Self::world_state_locked(&mut state, self.partition, query.nranks)
+        };
+        let cb = Arc::new(callback);
+        let plan = delta.plan.clone();
+        Ok(self.run_in_world(&ws, query, |comm, g| {
+            let cb = cb.clone();
+            let _ = kernel_stats_take();
+            let report =
+                survey_delta_push(comm, g, &plan, query.config, move |c: &Comm, tm| cb(c, tm));
+            QueryOutcome {
+                report,
+                kernel: kernel_stats_take(),
+            }
+        }))
+    }
+
     /// Convenience: the global triangle count of one query.
     pub fn triangle_count(&self, query: &ResidentQuery) -> u64 {
         let total = Arc::new(AtomicU64::new(0));
@@ -414,6 +692,131 @@ mod tests {
             .with_mode(EngineMode::PushOnly);
         assert_eq!(q.config.layout, BatchLayout::Interleaved);
         assert_eq!(q.mode, EngineMode::PushOnly);
+    }
+
+    #[test]
+    fn ingest_batch_matches_rebuilt_graph() {
+        // Build from the first three edges, ingest the last two; counts
+        // and Push-Pull plan recapture must match a from-scratch build.
+        let all = triangle_list().into_vec();
+        let resident = ResidentGraph::build(
+            &EdgeList::from_vec(all[..3].to_vec()),
+            |v| v * 2,
+            Partition::Hashed,
+        );
+        let full = ResidentGraph::build(&triangle_list(), |v| v * 2, Partition::Hashed);
+        assert_eq!(resident.epoch(), 0);
+        let q = ResidentQuery::new(3);
+        assert_eq!(resident.triangle_count(&q), 1, "prefix graph");
+        // (2,3)/(3,0) introduce vertex 3: admit it with the same vm_fn.
+        let delta = resident.ingest_batch_with(&all[3..], |v| v * 2).unwrap();
+        assert_eq!(resident.epoch(), 1);
+        assert_eq!(delta.epoch(), 1);
+        assert_eq!(delta.new_edges().len(), 2);
+        for nranks in [1, 2, 4] {
+            for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+                let q = ResidentQuery::new(nranks).with_mode(mode);
+                assert_eq!(resident.triangle_count(&q), full.triangle_count(&q));
+            }
+        }
+        // The delta survey sees exactly the one added triangle.
+        let found = Arc::new(AtomicU64::new(0));
+        let f = found.clone();
+        let outcomes = resident
+            .survey_delta(&delta, &ResidentQuery::new(2), move |_c, _tm| {
+                f.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(found.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stale_delta_is_a_structured_error() {
+        let resident = ResidentGraph::build(&triangle_list(), |v| v, Partition::Hashed);
+        let d1 = resident.ingest_batch_with(&[(0, 4, 9u32)], |v| v).unwrap();
+        let d2 = resident.ingest_batch_with(&[(1, 4, 9u32)], |v| v).unwrap();
+        let err = resident
+            .survey_delta(&d1, &ResidentQuery::new(2), |_c, _tm| {})
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StaleDeltaError {
+                delta_epoch: 1,
+                graph_epoch: 2
+            }
+        );
+        assert!(err.to_string().contains("epoch 1"));
+        assert!(resident
+            .survey_delta(&d2, &ResidentQuery::new(2), |_c, _tm| {})
+            .is_ok());
+    }
+
+    #[test]
+    fn ingest_strict_rejects_unknown_vertex_and_keeps_graph() {
+        let resident = ResidentGraph::build(&triangle_list(), |v| v, Partition::Hashed);
+        let err = resident.ingest_batch(&[(0, 99, 7u32)]).unwrap_err();
+        assert_eq!(err, GraphError::UnknownVertex { vertex: 99 });
+        assert_eq!(resident.epoch(), 0, "failed ingest leaves the epoch");
+        assert_eq!(resident.triangle_count(&ResidentQuery::new(2)), 2);
+    }
+
+    #[test]
+    fn noop_batch_bumps_epoch_but_keeps_worlds() {
+        let resident = ResidentGraph::build(&triangle_list(), |v| v, Partition::Hashed);
+        let q = ResidentQuery::new(3);
+        let _ = resident.survey(&q, |_c, _tm| {});
+        assert!(resident.world_state(3).plans.get().is_some());
+        // Duplicate edge: no storage change, worlds survive, epoch
+        // still advances (the delta is provably empty).
+        let delta = resident.ingest_batch(&[(0, 1, 77u32)]).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(resident.epoch(), 1);
+        assert!(
+            resident.world_state(3).plans.get().is_some(),
+            "no-op ingest keeps cached worlds and plans"
+        );
+    }
+
+    #[test]
+    fn ingest_invalidates_cached_plans() {
+        let resident = ResidentGraph::build(&triangle_list(), |v| v, Partition::Hashed);
+        let q = ResidentQuery::new(3);
+        let _ = resident.survey(&q, |_c, _tm| {});
+        assert!(resident.world_state(3).plans.get().is_some());
+        let delta = resident
+            .ingest_batch_with(&[(0, 4, 9u32), (1, 4, 9u32)], |v| v)
+            .unwrap();
+        assert!(!delta.is_empty());
+        {
+            let state = resident.state();
+            assert!(state.worlds.is_empty(), "worlds dropped on real ingest");
+        }
+        // Recapture happens transparently on the next Push-Pull query.
+        assert_eq!(resident.triangle_count(&q), 3);
+        assert!(resident.world_state(3).plans.get().is_some());
+    }
+
+    #[test]
+    fn snapshot_after_ingest_restarts_appended_state() {
+        let resident = ResidentGraph::build(&triangle_list(), |v| v * 3, Partition::Hashed);
+        resident
+            .ingest_batch_with(&[(0, 4, 9u32), (1, 4, 10u32)], |v| v * 3)
+            .unwrap();
+        let restored =
+            ResidentGraph::<u64, u32>::from_snapshot_bytes(&resident.snapshot_bytes(2)).unwrap();
+        assert_eq!(restored.num_vertices(), resident.num_vertices());
+        for nranks in [1, 2, 4] {
+            let q = ResidentQuery::new(nranks);
+            assert_eq!(resident.triangle_count(&q), restored.triangle_count(&q));
+        }
+        // A restored graph ingests further batches from epoch 0.
+        assert_eq!(restored.epoch(), 0);
+        let d = restored
+            .ingest_batch_with(&[(3, 4, 11u32)], |v| v * 3)
+            .unwrap();
+        assert_eq!(d.epoch(), 1);
+        assert_eq!(d.new_edges(), &[(3, 4)]);
     }
 
     #[test]

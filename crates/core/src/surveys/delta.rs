@@ -1,0 +1,254 @@
+//! Additive survey accumulators for incremental (delta) surveys.
+//!
+//! Full surveys and delta surveys fire the same per-triangle callback;
+//! what makes incremental maintenance work is that every published
+//! survey result is an **additive** fold over the triangle multiset:
+//! the survey of `G ∪ B` equals the survey of `G` plus the survey of
+//! the triangles `B` added. [`SurveyDelta`] packages that fold for the
+//! four results the resident tier maintains incrementally — the global
+//! `count`, per-vertex `local_counts`, the `degree_triples`
+//! distribution, and the `closure_times` histogram — with a
+//! [`SurveyDelta::merge`] that is exact (integer tallies, no floats),
+//! so
+//!
+//! ```text
+//! full(G ∪ B) == full(G) + delta(G, B)    // bit-for-bit
+//! ```
+//!
+//! One wrinkle makes permutation-invariance load-bearing: the triangle
+//! roles `(p, q, r)` are assigned by the `<+` degree order, and ingest
+//! *grows* degrees — a triangle surveyed in `G` may have its roles
+//! assigned differently than the same triangle surveyed after more
+//! batches arrive. Every accumulator here therefore folds a quantity
+//! that is invariant under role permutation: the degree-triple bucket
+//! is **sorted** before tallying (a no-op in the paper's setup, where
+//! `p <+ q <+ r` already orders the degree buckets ascending), the
+//! closure-time buckets sort the three timestamps first (as the paper's
+//! Alg. 4 does), and `count`/`local_counts` treat the triangle as a
+//! vertex set.
+//!
+//! [`SurveyDeltaSink`] is the `Send + Sync` adapter for feeding a
+//! [`SurveyDelta`] from survey callbacks across per-query world ranks.
+
+use std::sync::{Arc, Mutex};
+
+use tripoll_analysis::hist::ceil_log2;
+use tripoll_ygm::hash::FastMap;
+
+/// The permutation-invariant facts of one surveyed triangle, as fed to
+/// [`SurveyDelta::record`]: vertex ids, undirected degrees, and the
+/// three edge timestamps.
+///
+/// Build it inside a survey callback from the six colocated metadata
+/// values ([`crate::meta::TriangleMeta`]); which field of the metadata
+/// holds degrees or timestamps is the application's choice, exactly as
+/// in the full-survey entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriangleSample {
+    /// Vertex id of `p` (`<+`-minimum role).
+    pub p: u64,
+    /// Vertex id of `q`.
+    pub q: u64,
+    /// Vertex id of `r`.
+    pub r: u64,
+    /// Undirected degree of `p`.
+    pub degree_p: u64,
+    /// Undirected degree of `q`.
+    pub degree_q: u64,
+    /// Undirected degree of `r`.
+    pub degree_r: u64,
+    /// Timestamp of edge `(p, q)`.
+    pub t_pq: u64,
+    /// Timestamp of edge `(p, r)`.
+    pub t_pr: u64,
+    /// Timestamp of edge `(q, r)`.
+    pub t_qr: u64,
+}
+
+/// Additive accumulators for the incrementally-maintained survey
+/// results. `Default` is the zero of the merge monoid.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SurveyDelta {
+    count: u64,
+    local_counts: FastMap<u64, u64>,
+    degree_triples: FastMap<[u32; 3], u64>,
+    closure_times: FastMap<(u32, u32), u64>,
+}
+
+impl SurveyDelta {
+    /// Folds one triangle into every accumulator.
+    pub fn record(&mut self, s: TriangleSample) {
+        self.count += 1;
+        for v in [s.p, s.q, s.r] {
+            *self.local_counts.entry(v).or_insert(0) += 1;
+        }
+        // Sorted log2-degree buckets: invariant under role assignment.
+        let mut triple = [
+            ceil_log2(s.degree_p),
+            ceil_log2(s.degree_q),
+            ceil_log2(s.degree_r),
+        ];
+        triple.sort_unstable();
+        *self.degree_triples.entry(triple).or_insert(0) += 1;
+        // Alg. 4 buckets: sort the timestamps, log2 the two gaps.
+        let mut ts = [s.t_pq, s.t_pr, s.t_qr];
+        ts.sort_unstable();
+        let open_close = (ceil_log2(ts[1] - ts[0]), ceil_log2(ts[2] - ts[0]));
+        *self.closure_times.entry(open_close).or_insert(0) += 1;
+    }
+
+    /// Adds `other`'s tallies into `self` — exact, order-independent
+    /// integer sums, so merging per-batch deltas into a running total
+    /// reproduces a from-scratch survey bit-for-bit.
+    pub fn merge(&mut self, other: &SurveyDelta) {
+        self.count += other.count;
+        for (&v, &n) in &other.local_counts {
+            *self.local_counts.entry(v).or_insert(0) += n;
+        }
+        for (&t, &n) in &other.degree_triples {
+            *self.degree_triples.entry(t).or_insert(0) += n;
+        }
+        for (&b, &n) in &other.closure_times {
+            *self.closure_times.entry(b).or_insert(0) += n;
+        }
+    }
+
+    /// Global triangle count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Per-vertex triangle participation, sorted by vertex id.
+    pub fn local_counts(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<_> = self.local_counts.iter().map(|(&v, &n)| (v, n)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The sorted-log2-degree-triple distribution, sorted by bucket.
+    pub fn degree_triples(&self) -> Vec<([u32; 3], u64)> {
+        let mut out: Vec<_> = self.degree_triples.iter().map(|(&t, &n)| (t, n)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The `(log2 open, log2 close)` time histogram, sorted by bucket.
+    pub fn closure_times(&self) -> Vec<((u32, u32), u64)> {
+        let mut out: Vec<_> = self.closure_times.iter().map(|(&b, &n)| (b, n)).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// A shareable, thread-safe recording endpoint for survey callbacks.
+///
+/// Survey callbacks must be `Send + Sync` (per-query worlds run ranks
+/// on threads); the sink wraps a [`SurveyDelta`] in `Arc<Mutex>` so one
+/// accumulator collects across all ranks of a query. Contention is a
+/// non-issue at the tested scales — one short lock per triangle — and
+/// the tally is order-independent, so thread interleaving cannot
+/// perturb the result.
+#[derive(Debug, Clone, Default)]
+pub struct SurveyDeltaSink {
+    inner: Arc<Mutex<SurveyDelta>>,
+}
+
+impl SurveyDeltaSink {
+    /// A sink around a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one triangle in (callback-side).
+    pub fn record(&self, s: TriangleSample) {
+        self.inner.lock().expect("delta sink poisoned").record(s);
+    }
+
+    /// Takes the accumulated delta, leaving the sink zeroed.
+    pub fn take(&self) -> SurveyDelta {
+        std::mem::take(&mut *self.inner.lock().expect("delta sink poisoned"))
+    }
+
+    /// A copy of the current accumulated delta.
+    pub fn snapshot(&self) -> SurveyDelta {
+        self.inner.lock().expect("delta sink poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> TriangleSample {
+        TriangleSample {
+            p: seed % 7,
+            q: seed % 7 + 1,
+            r: seed % 7 + 2,
+            degree_p: seed % 5 + 1,
+            degree_q: seed % 9 + 1,
+            degree_r: seed % 3 + 1,
+            t_pq: seed * 13 % 101,
+            t_pr: seed * 29 % 101,
+            t_qr: seed * 43 % 101,
+        }
+    }
+
+    #[test]
+    fn split_merge_equals_one_shot() {
+        let samples: Vec<_> = (0..200u64).map(sample).collect();
+        let mut oneshot = SurveyDelta::default();
+        for &s in &samples {
+            oneshot.record(s);
+        }
+        for split in [1, 2, 7, 200] {
+            let mut merged = SurveyDelta::default();
+            for chunk in samples.chunks(samples.len().div_ceil(split)) {
+                let mut part = SurveyDelta::default();
+                for &s in chunk {
+                    part.record(s);
+                }
+                merged.merge(&part);
+            }
+            assert_eq!(merged, oneshot, "split={split}");
+            assert_eq!(merged.count(), 200);
+            assert_eq!(merged.local_counts(), oneshot.local_counts());
+            assert_eq!(merged.degree_triples(), oneshot.degree_triples());
+            assert_eq!(merged.closure_times(), oneshot.closure_times());
+        }
+    }
+
+    #[test]
+    fn degree_buckets_are_role_invariant() {
+        let mut a = SurveyDelta::default();
+        let mut b = SurveyDelta::default();
+        let s = sample(42);
+        a.record(s);
+        // The same triangle with roles rotated tallies identically.
+        b.record(TriangleSample {
+            p: s.q,
+            q: s.r,
+            r: s.p,
+            degree_p: s.degree_q,
+            degree_q: s.degree_r,
+            degree_r: s.degree_p,
+            t_pq: s.t_qr,
+            t_pr: s.t_pq,
+            t_qr: s.t_pr,
+        });
+        assert_eq!(a.degree_triples(), b.degree_triples());
+        assert_eq!(a.closure_times(), b.closure_times());
+        assert_eq!(a.count(), b.count());
+    }
+
+    #[test]
+    fn sink_collects_across_clones() {
+        let sink = SurveyDeltaSink::new();
+        let other = sink.clone();
+        sink.record(sample(1));
+        other.record(sample(2));
+        assert_eq!(sink.snapshot().count(), 2);
+        let taken = sink.take();
+        assert_eq!(taken.count(), 2);
+        assert_eq!(other.snapshot().count(), 0, "take zeroes the shared sink");
+    }
+}

@@ -13,10 +13,13 @@
 //!   FQDN analysis.
 //! * [`local_counts`] — per-vertex / per-edge triangle participation and
 //!   clustering coefficients (the §5.3 local-counting callbacks).
+//! * [`delta`] — additive accumulators for incremental surveys
+//!   (`full(G ∪ B) == full(G) + delta(G, B)`, bit-for-bit).
 
 pub mod closure_times;
 pub mod count;
 pub mod degree_triples;
+pub mod delta;
 pub mod fqdn_tuples;
 pub mod local_counts;
 pub mod max_edge_label;

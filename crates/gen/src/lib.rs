@@ -14,6 +14,8 @@
 //!   the closure-time survey (§5.7, Fig. 6).
 //! * [`datasets`] — named, size-preset stand-ins plus the suites used by
 //!   each table/figure of the evaluation.
+//! * [`stream`] — random edge lists pre-cut into ingest batches for the
+//!   incremental-survey property tests.
 
 #![warn(missing_docs)]
 
@@ -21,6 +23,7 @@ pub mod datasets;
 pub mod reddit;
 pub mod rmat;
 pub mod social;
+pub mod stream;
 pub mod webgraph;
 
 pub use datasets::{
@@ -32,4 +35,5 @@ pub use rmat::{rmat_edges, RmatConfig};
 pub use social::{
     chung_lu_edges, community_social_edges, ChungLuConfig, CommunityConfig, CrossModel,
 };
+pub use stream::{edge_batches, EdgeBatches, EdgeBatchesStrategy};
 pub use webgraph::{web_graph, WebGraph, WebGraphConfig, PLANTED_DOMAINS};

@@ -1,0 +1,122 @@
+//! Streaming-ingest workloads: random edge lists pre-cut into batches.
+//!
+//! The incremental-ingest property tests need arbitrary *partitions* of
+//! one edge list into ordered batches — including empty batches and
+//! duplicate edges that straddle a batch boundary — to check that every
+//! split converges to the same survey as one-shot ingest. The
+//! [`edge_batches`] strategy generates exactly that, built from plain
+//! vector strategies over primitives (edge pairs and cut points) so a
+//! shrinking runner reduces failures toward short lists and few cuts:
+//! the partition is *derived* in [`EdgeBatches::batches`] from raw cut
+//! points (clamped, sorted, duplicates kept as empty batches) rather
+//! than generated as nested vectors, which keeps every raw value valid
+//! and independently shrinkable.
+
+use proptest::collection::vec;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+
+/// A random edge list plus raw cut points partitioning it into ordered
+/// batches; [`EdgeBatches::batches`] derives the actual split.
+#[derive(Debug, Clone)]
+pub struct EdgeBatches {
+    /// The full edge list, in ingest order. A small vertex universe is
+    /// used deliberately so duplicate edges and self-loops occur often.
+    pub edges: Vec<(u64, u64)>,
+    /// Raw batch boundaries: indices into `edges`, unordered and
+    /// possibly out of range or duplicated (normalized when slicing).
+    pub cuts: Vec<usize>,
+}
+
+impl EdgeBatches {
+    /// The partition: `cuts.len() + 1` consecutive slices of `edges`
+    /// covering it exactly, in order. Out-of-range cuts clamp to the
+    /// end; duplicate or boundary cuts yield **empty batches** (a case
+    /// ingest must tolerate).
+    pub fn batches(&self) -> Vec<&[(u64, u64)]> {
+        let mut cuts: Vec<usize> = self.cuts.iter().map(|&c| c.min(self.edges.len())).collect();
+        cuts.sort_unstable();
+        let mut out = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0;
+        for c in cuts {
+            out.push(&self.edges[start..c]);
+            start = c;
+        }
+        out.push(&self.edges[start..]);
+        out
+    }
+}
+
+/// Strategy for [`EdgeBatches`]: up to `max_edges` edges over vertices
+/// `0..max_vertex`, split into at most `max_batches` batches.
+#[derive(Debug, Clone)]
+pub struct EdgeBatchesStrategy {
+    max_vertex: u64,
+    max_edges: usize,
+    max_batches: usize,
+}
+
+/// Random edge lists over a small vertex universe (so duplicates,
+/// reversed duplicates, and self-loops arise naturally), partitioned
+/// into random batches. See the module docs for the shrinking story.
+pub fn edge_batches(max_vertex: u64, max_edges: usize, max_batches: usize) -> EdgeBatchesStrategy {
+    assert!(max_vertex > 0 && max_edges > 0 && max_batches > 0);
+    EdgeBatchesStrategy {
+        max_vertex,
+        max_edges,
+        max_batches,
+    }
+}
+
+impl Strategy for EdgeBatchesStrategy {
+    type Value = EdgeBatches;
+
+    fn sample(&self, rng: &mut TestRng) -> EdgeBatches {
+        let edges = vec((0..self.max_vertex, 0..self.max_vertex), 0..self.max_edges).sample(rng);
+        // Cut points range over the *maximum* length, not the drawn
+        // one: overshooting cuts clamp to the end, which is how empty
+        // trailing batches get generated.
+        let cuts = vec(0..self.max_edges + 1, 0..self.max_batches).sample(rng);
+        EdgeBatches { edges, cuts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_edges_in_order() {
+        let eb = EdgeBatches {
+            edges: (0..10u64).map(|i| (i, i + 1)).collect(),
+            cuts: vec![7, 3, 99, 3],
+        };
+        let batches = eb.batches();
+        assert_eq!(batches.len(), 5);
+        assert!(batches[1].is_empty(), "duplicate cut yields empty batch");
+        assert!(batches[4].is_empty(), "clamped cut yields empty batch");
+        let recat: Vec<_> = batches.concat();
+        assert_eq!(recat, eb.edges, "batches concatenate back to the list");
+    }
+
+    #[test]
+    fn strategy_respects_bounds_and_produces_duplicates() {
+        let s = edge_batches(6, 40, 5);
+        let mut rng = TestRng::for_case("stream-bounds", 0);
+        let mut saw_dup = false;
+        for _ in 0..32 {
+            let eb = s.sample(&mut rng);
+            assert!(eb.edges.len() < 40);
+            assert!(eb.cuts.len() < 5);
+            for &(u, v) in &eb.edges {
+                assert!(u < 6 && v < 6);
+            }
+            let mut seen = std::collections::HashSet::new();
+            saw_dup |= eb
+                .edges
+                .iter()
+                .any(|&(u, v)| !seen.insert((u.min(v), u.max(v))));
+        }
+        assert!(saw_dup, "small universe must generate duplicate edges");
+    }
+}

@@ -1,0 +1,671 @@
+//! Incremental edge-batch ingestion into DODGr storage.
+//!
+//! [`apply_edge_batch`] appends a batch of undirected edges to an
+//! existing global vertex list (the resident tier's storage shape: all
+//! ranks' [`LocalVertex`] records in one id-sorted vector) and leaves
+//! the storage **bit-identical** to a from-scratch
+//! [`crate::build_dist_graph`] over the concatenated input. The update
+//! is local to the *affected record set* — degree order is re-derived
+//! only for vertices the batch touches — rather than a rebuild:
+//!
+//! 1. The batch is canonicalized exactly like the builder's scatter
+//!    round: self-loops dropped, endpoints normalized, within-batch
+//!    duplicates collapse keeping the first occurrence, and edges
+//!    already present in storage are dropped (so the *earlier* edge's
+//!    metadata survives, matching the stable-sort dedup of the
+//!    builder).
+//! 2. Undirected degrees only ever grow, so `<+` keys of touched
+//!    vertices only grow: orientation flips can only move edges *out*
+//!    of a touched vertex's out-list, never into one from an untouched
+//!    vertex. The affected records are the touched vertices, flip
+//!    receivers, new-edge sources, and — via a persistent
+//!    [`ReverseIndex`] — every apex whose stored entries need their
+//!    `key`/`dplus_v` annotations patched.
+//! 3. Each affected record is rebuilt from its old entries (patched,
+//!    minus flip-outs, plus flip-ins and new edges) and re-sorted by
+//!    key — the same canonical `sort_by_key` the builder runs, so entry
+//!    order, keys, degrees, and `d+` annotations all land exactly where
+//!    a from-scratch build would put them.
+//!
+//! Alongside the storage update, the function derives a [`BatchDelta`]:
+//! for every apex vertex, which out-entries are *new* and which
+//! entry-index pairs form a wedge *closed* by a new edge between two
+//! old entries. A delta survey generates exactly the wedges with at
+//! least one new edge from this plan (see `tripoll-core`'s delta
+//! engine), which is what makes `full(G ∪ B) == full(G) + delta(G, B)`
+//! hold exactly.
+//!
+//! Vertex metadata is immutable under ingest: existing vertices keep
+//! their stored `meta`, and the admitting variant
+//! ([`apply_edge_batch_with`]) consults `vm_fn` only for
+//! previously-unknown vertices. For the bit-identity contract the
+//! caller's `vm_fn` must be the same deterministic function of the
+//! vertex id that built the original storage (a *fixed* function — a
+//! "current degree" table would change under ingest and break both
+//! identities by design).
+
+use tripoll_ygm::hash::{FastMap, FastSet};
+
+use crate::dodgr::{AdjEntry, LocalVertex};
+use crate::error::GraphError;
+use crate::order::OrderKey;
+
+/// Reverse adjacency over DODGr storage: for each vertex `v`, the
+/// sorted apex ids `u` whose `Adjm+(u)` contains an entry for `v`.
+///
+/// Incremental ingestion needs this to find, without a full scan, every
+/// record whose stored `key`/`dplus_v` annotations a batch invalidates,
+/// and every apex that can close a wedge over a new edge. Build it once
+/// ([`ReverseIndex::build`]); [`apply_edge_batch`] keeps it consistent
+/// across batches.
+#[derive(Debug, Default, Clone)]
+pub struct ReverseIndex {
+    rev: FastMap<u64, Vec<u64>>,
+}
+
+impl ReverseIndex {
+    /// Builds the reverse index of a global vertex list (one full scan).
+    pub fn build<VM, EM>(vertices: &[LocalVertex<VM, EM>]) -> Self {
+        let mut rev: FastMap<u64, Vec<u64>> = FastMap::default();
+        for lv in vertices {
+            for e in &lv.adj {
+                rev.entry(e.v).or_default().push(lv.id);
+            }
+        }
+        for list in rev.values_mut() {
+            list.sort_unstable();
+        }
+        ReverseIndex { rev }
+    }
+
+    /// Apexes whose out-adjacency stores an entry for `v`, sorted.
+    #[inline]
+    pub fn apexes(&self, v: u64) -> &[u64] {
+        self.rev.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn insert(&mut self, target: u64, apex: u64) {
+        let list = self.rev.entry(target).or_default();
+        if let Err(pos) = list.binary_search(&apex) {
+            list.insert(pos, apex);
+        }
+    }
+
+    fn remove(&mut self, target: u64, apex: u64) {
+        if let Some(list) = self.rev.get_mut(&target) {
+            if let Ok(pos) = list.binary_search(&apex) {
+                list.remove(pos);
+            }
+        }
+    }
+}
+
+/// The delta-wedge plan for one apex vertex `p`, in terms of indices
+/// into `p`'s **post-ingest** `Adjm+(p)`.
+#[derive(Debug, Clone, Default)]
+pub struct ApexDelta {
+    /// Sorted indices of entries created by this batch (new edges
+    /// stored at `p`). A wedge with either endpoint at one of these
+    /// indices involves a new edge.
+    pub new_idx: Vec<u32>,
+    /// Sorted `(i, j)` pairs (`i < j`, both entries **old**) whose
+    /// targets are joined by a new edge of this batch — wedges the
+    /// batch *closed* without touching either of `p`'s own entries.
+    pub closing: Vec<(u32, u32)>,
+}
+
+/// Everything a delta survey needs to generate exactly the wedges that
+/// involve at least one edge of one ingested batch, keyed by apex.
+///
+/// Index-based and therefore only valid against the storage state this
+/// batch produced; the resident tier guards that with an epoch check.
+#[derive(Debug, Clone, Default)]
+pub struct BatchDelta {
+    /// Canonicalized `(min, max)` endpoint pairs of the genuinely-new
+    /// edges (self-loops, within-batch duplicates, and edges already
+    /// present in storage are dropped).
+    pub new_edges: Vec<(u64, u64)>,
+    /// Vertex ids the batch introduced (no prior record).
+    pub new_vertices: Vec<u64>,
+    /// Per-apex delta-wedge plan; apexes with no new entries and no
+    /// closing pairs are absent.
+    pub apexes: FastMap<u64, ApexDelta>,
+}
+
+impl BatchDelta {
+    /// True when the batch contributed nothing (all edges were
+    /// duplicates or self-loops): no storage change, no delta wedges.
+    pub fn is_empty(&self) -> bool {
+        self.new_edges.is_empty()
+    }
+}
+
+/// How unknown endpoint vertices are handled during ingest.
+enum Admit<'a, VM> {
+    /// Reject the whole batch with [`GraphError::UnknownVertex`]
+    /// (before any mutation) if any non-self-loop edge references a
+    /// vertex with no resident record.
+    Strict,
+    /// Create records for unknown vertices, with metadata from the
+    /// deterministic function.
+    With(&'a dyn Fn(u64) -> VM),
+}
+
+/// Appends an edge batch to resident DODGr storage, **strict** on
+/// vertices: every endpoint must already have a record, otherwise the
+/// batch is rejected with [`GraphError::UnknownVertex`] and neither
+/// `vertices` nor `rev` is modified. See the module docs for the exact
+/// canonicalization and bit-identity contract.
+///
+/// `rev` must be consistent with `vertices` (built by
+/// [`ReverseIndex::build`] or maintained by previous calls); it is
+/// updated in place alongside the storage.
+pub fn apply_edge_batch<VM, EM>(
+    vertices: &mut Vec<LocalVertex<VM, EM>>,
+    rev: &mut ReverseIndex,
+    batch: &[(u64, u64, EM)],
+) -> Result<BatchDelta, GraphError>
+where
+    VM: Clone,
+    EM: Clone,
+{
+    apply(vertices, rev, batch, Admit::<VM>::Strict)
+}
+
+/// [`apply_edge_batch`] that admits previously-unknown vertices,
+/// creating their records with metadata from `vm_fn`. `vm_fn` must be
+/// the same deterministic function used to build the original storage;
+/// it is consulted **only** for new vertices (existing metadata is
+/// immutable under ingest).
+pub fn apply_edge_batch_with<VM, EM, F>(
+    vertices: &mut Vec<LocalVertex<VM, EM>>,
+    rev: &mut ReverseIndex,
+    batch: &[(u64, u64, EM)],
+    vm_fn: F,
+) -> Result<BatchDelta, GraphError>
+where
+    VM: Clone,
+    EM: Clone,
+    F: Fn(u64) -> VM,
+{
+    apply(vertices, rev, batch, Admit::With(&vm_fn))
+}
+
+/// Index of `id` in the id-sorted global vertex list.
+#[inline]
+fn idx_of<VM, EM>(vertices: &[LocalVertex<VM, EM>], id: u64) -> Option<usize> {
+    vertices.binary_search_by_key(&id, |v| v.id).ok()
+}
+
+/// Whether the undirected edge `{a, b}` is already stored (at whichever
+/// endpoint currently has the smaller `<+` key).
+fn edge_present<VM, EM>(vertices: &[LocalVertex<VM, EM>], a: u64, b: u64) -> bool {
+    let (Some(ia), Some(ib)) = (idx_of(vertices, a), idx_of(vertices, b)) else {
+        return false;
+    };
+    let (src, target_key) = if vertices[ia].key < vertices[ib].key {
+        (&vertices[ia], vertices[ib].key)
+    } else {
+        (&vertices[ib], vertices[ia].key)
+    };
+    src.adj.binary_search_by(|e| e.key.cmp(&target_key)).is_ok()
+}
+
+fn apply<VM, EM>(
+    vertices: &mut Vec<LocalVertex<VM, EM>>,
+    rev: &mut ReverseIndex,
+    batch: &[(u64, u64, EM)],
+    admit: Admit<'_, VM>,
+) -> Result<BatchDelta, GraphError>
+where
+    VM: Clone,
+    EM: Clone,
+{
+    // ---- 1. Canonicalize + validate, before any mutation. ----------
+    // Self-loops never participate in triangles and are dropped before
+    // the unknown-vertex check (the builder never sees them either).
+    let mut new_edges: Vec<(u64, u64, EM)> = Vec::new();
+    let mut seen: FastSet<(u64, u64)> = FastSet::default();
+    for (a, b, em) in batch {
+        let (a, b) = (*a.min(b), *a.max(b));
+        if a == b {
+            continue;
+        }
+        if matches!(admit, Admit::Strict) {
+            for v in [a, b] {
+                if idx_of(vertices, v).is_none() {
+                    return Err(GraphError::UnknownVertex { vertex: v });
+                }
+            }
+        }
+        if !seen.insert((a, b)) {
+            continue; // within-batch duplicate: first occurrence wins
+        }
+        if edge_present(vertices, a, b) {
+            continue; // already stored: the earlier edge's metadata wins
+        }
+        new_edges.push((a, b, em.clone()));
+    }
+    if new_edges.is_empty() {
+        return Ok(BatchDelta::default());
+    }
+
+    // ---- 2. New degrees and keys of touched vertices. --------------
+    // Degrees only grow, so every touched key strictly grows.
+    let mut inc: FastMap<u64, u64> = FastMap::default();
+    for (a, b, _) in &new_edges {
+        *inc.entry(*a).or_insert(0) += 1;
+        *inc.entry(*b).or_insert(0) += 1;
+    }
+    let mut touched: Vec<u64> = inc.keys().copied().collect();
+    touched.sort_unstable();
+    // v -> (new degree, new key); only touched vertices appear.
+    let mut newkey: FastMap<u64, (u64, OrderKey)> = FastMap::default();
+    let mut brand_new: Vec<u64> = Vec::new();
+    for &t in &touched {
+        let old_deg = match idx_of(vertices, t) {
+            Some(i) => vertices[i].degree,
+            None => {
+                brand_new.push(t);
+                0
+            }
+        };
+        let d = old_deg + inc[&t];
+        newkey.insert(t, (d, OrderKey::new(t, d)));
+    }
+    let key_after = |vs: &[LocalVertex<VM, EM>], v: u64| -> OrderKey {
+        match newkey.get(&v) {
+            Some(&(_, k)) => k,
+            None => vs[idx_of(vs, v).expect("stored vertex")].key,
+        }
+    };
+
+    // ---- 3. Orientation flips out of touched vertices. -------------
+    // A stored edge t→w flips to w→t iff t's grown key overtakes w's
+    // (possibly also grown) key. The reverse never happens: an edge
+    // stored at an untouched u points at keys that only grow further
+    // away.
+    let mut flip_removals: FastMap<u64, FastSet<u64>> = FastMap::default(); // source -> targets out
+    let mut additions: FastMap<u64, Vec<(u64, EM)>> = FastMap::default(); // source -> (target, em)
+    let mut rev_inserts: Vec<(u64, u64)> = Vec::new(); // (target, apex)
+    let mut rev_removals: Vec<(u64, u64)> = Vec::new();
+    for &t in &touched {
+        let Some(it) = idx_of(vertices, t) else {
+            continue; // brand-new vertex: nothing stored yet
+        };
+        let kt = newkey[&t].1;
+        // Split borrows: read t's old adjacency while probing keys.
+        for e in &vertices[it].adj {
+            let kw = match newkey.get(&e.v) {
+                Some(&(_, k)) => k,
+                None => e.key,
+            };
+            if kt > kw {
+                flip_removals.entry(t).or_default().insert(e.v);
+                additions.entry(e.v).or_default().push((t, e.em.clone()));
+                rev_removals.push((e.v, t));
+                rev_inserts.push((t, e.v));
+            }
+        }
+    }
+
+    // ---- 4. Orient and stage the new edges. ------------------------
+    // apex -> targets of its new-edge entries (for the delta plan).
+    let mut new_targets: FastMap<u64, FastSet<u64>> = FastMap::default();
+    for (a, b, em) in &new_edges {
+        let (src, dst) = if newkey[a].1 < newkey[b].1 {
+            (*a, *b)
+        } else {
+            (*b, *a)
+        };
+        additions.entry(src).or_default().push((dst, em.clone()));
+        new_targets.entry(src).or_default().insert(dst);
+        rev_inserts.push((dst, src));
+    }
+
+    // ---- 5. Final d+ of every vertex whose out-degree changes. -----
+    let mut ddelta: FastMap<u64, i64> = FastMap::default();
+    for (src, list) in &additions {
+        *ddelta.entry(*src).or_insert(0) += list.len() as i64;
+    }
+    for (src, set) in &flip_removals {
+        *ddelta.entry(*src).or_insert(0) -= set.len() as i64;
+    }
+    ddelta.retain(|_, d| *d != 0);
+    let mut final_dplus: FastMap<u64, u64> = FastMap::default();
+    for (&v, &d) in &ddelta {
+        let old = match idx_of(vertices, v) {
+            Some(i) => vertices[i].adj.len() as i64,
+            None => 0,
+        };
+        final_dplus.insert(v, (old + d) as u64);
+    }
+    let dplus_after = |vs: &[LocalVertex<VM, EM>], v: u64| -> u64 {
+        match final_dplus.get(&v) {
+            Some(&d) => d,
+            None => vs[idx_of(vs, v).expect("stored vertex")].adj.len() as u64,
+        }
+    };
+
+    // ---- 6. The affected record set R. -----------------------------
+    // Touched vertices (own degree/key fields), every source of an
+    // addition or flip-out, and — via the reverse index — every apex
+    // storing an entry whose key (target touched) or dplus_v (target's
+    // d+ changed) annotation went stale.
+    let mut rset: FastSet<u64> = FastSet::default();
+    rset.extend(touched.iter().copied());
+    rset.extend(additions.keys().copied());
+    rset.extend(flip_removals.keys().copied());
+    for &t in &touched {
+        rset.extend(rev.apexes(t).iter().copied());
+    }
+    for v in ddelta.keys() {
+        rset.extend(rev.apexes(*v).iter().copied());
+    }
+    let mut rebuild: Vec<u64> = rset.into_iter().collect();
+    rebuild.sort_unstable();
+
+    // ---- 7. Create brand-new vertex records. -----------------------
+    if !brand_new.is_empty() {
+        let Admit::With(vm_fn) = &admit else {
+            unreachable!("strict mode validated every endpoint");
+        };
+        for &v in &brand_new {
+            let (degree, key) = newkey[&v];
+            vertices.push(LocalVertex {
+                id: v,
+                degree,
+                key,
+                meta: vm_fn(v),
+                adj: Vec::new(),
+            });
+        }
+        vertices.sort_by_key(|v| v.id);
+    }
+
+    // ---- 8. Rebuild each affected record (id order). ---------------
+    // Only `adj`, `degree`, and `key` of the record itself change;
+    // `meta` of *other* records is stable, so cross-record reads during
+    // the in-place sweep are safe regardless of rebuild order.
+    for &v in &rebuild {
+        let iv = idx_of(vertices, v).expect("affected vertex exists");
+        let expected_dplus = dplus_after(vertices, v);
+        let old_adj = std::mem::take(&mut vertices[iv].adj);
+        let removed = flip_removals.get(&v);
+        let added = additions.get(&v);
+        let mut out: Vec<AdjEntry<VM, EM>> =
+            Vec::with_capacity(old_adj.len() + added.map_or(0, Vec::len));
+        for mut e in old_adj {
+            if removed.is_some_and(|s| s.contains(&e.v)) {
+                continue;
+            }
+            if let Some(&(_, k)) = newkey.get(&e.v) {
+                e.key = k;
+            }
+            if final_dplus.contains_key(&e.v) {
+                e.dplus_v = dplus_after(vertices, e.v);
+            }
+            out.push(e);
+        }
+        if let Some(list) = added {
+            for (tgt, em) in list {
+                let it = idx_of(vertices, *tgt).expect("addition target exists");
+                out.push(AdjEntry {
+                    v: *tgt,
+                    key: key_after(vertices, *tgt),
+                    dplus_v: dplus_after(vertices, *tgt),
+                    em: em.clone(),
+                    vm: vertices[it].meta.clone(),
+                });
+            }
+        }
+        // The builder's canonical entry order.
+        out.sort_by_key(|e| e.key);
+        debug_assert_eq!(out.len() as u64, expected_dplus, "d+ of {v}");
+        let rec = &mut vertices[iv];
+        rec.adj = out;
+        if let Some(&(d, k)) = newkey.get(&v) {
+            rec.degree = d;
+            rec.key = k;
+        }
+    }
+
+    // ---- 9. Maintain the reverse index. ----------------------------
+    for (target, apex) in rev_removals {
+        rev.remove(target, apex);
+    }
+    for (target, apex) in rev_inserts {
+        rev.insert(target, apex);
+    }
+
+    // ---- 10. Derive the delta-wedge plan. --------------------------
+    let mut apexes: FastMap<u64, ApexDelta> = FastMap::default();
+    for (&p, targets) in &new_targets {
+        let adj = &vertices[idx_of(vertices, p).expect("apex exists")].adj;
+        let new_idx: Vec<u32> = adj
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| targets.contains(&e.v))
+            .map(|(i, _)| i as u32)
+            .collect();
+        debug_assert_eq!(new_idx.len(), targets.len(), "new entries of {p}");
+        apexes.entry(p).or_default().new_idx = new_idx;
+    }
+    // Wedges closed by a new edge {a, b}: apexes storing entries for
+    // BOTH endpoints where neither entry is itself new (those wedges
+    // are already generated by the new_idx paths).
+    for (a, b, _) in &new_edges {
+        let (la, lb) = (rev.apexes(*a), rev.apexes(*b));
+        let (mut i, mut j) = (0, 0);
+        while i < la.len() && j < lb.len() {
+            match la[i].cmp(&lb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let p = la[i];
+                    i += 1;
+                    j += 1;
+                    if new_targets
+                        .get(&p)
+                        .is_some_and(|s| s.contains(a) || s.contains(b))
+                    {
+                        continue;
+                    }
+                    let adj = &vertices[idx_of(vertices, p).expect("apex exists")].adj;
+                    let pos = |t: u64| {
+                        let k = key_after(vertices, t);
+                        adj.binary_search_by(|e| e.key.cmp(&k))
+                            .expect("closing entry present") as u32
+                    };
+                    let (ia, ib) = (pos(*a), pos(*b));
+                    let pair = (ia.min(ib), ia.max(ib));
+                    apexes.entry(p).or_default().closing.push(pair);
+                }
+            }
+        }
+    }
+    for ap in apexes.values_mut() {
+        ap.closing.sort_unstable();
+    }
+
+    Ok(BatchDelta {
+        new_edges: new_edges.into_iter().map(|(a, b, _)| (a, b)).collect(),
+        new_vertices: brand_new,
+        apexes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dodgr::build_dist_graph;
+    use crate::edge_list::EdgeList;
+    use crate::partition::Partition;
+    use tripoll_ygm::World;
+
+    type V = LocalVertex<u64, u32>;
+
+    /// From-scratch single-rank build over an edge list (the resident
+    /// tier's global-storage shape).
+    fn build(edges: &[(u64, u64, u32)]) -> Vec<V> {
+        let list = EdgeList::from_vec(edges.to_vec());
+        let mut out = World::new(1).run(|comm| {
+            let g = build_dist_graph(
+                comm,
+                list.as_slice().to_vec(),
+                |v| v * 31 + 7,
+                Partition::Hashed,
+            );
+            g.shard().vertices().to_vec()
+        });
+        let mut vs = out.pop().unwrap();
+        vs.sort_by_key(|v| v.id);
+        vs
+    }
+
+    fn em_of(u: u64, v: u64) -> u32 {
+        ((u.min(v) as u32) << 8) | (u.max(v) as u32)
+    }
+
+    /// Exact structural equality of two global vertex lists.
+    fn assert_identical(got: &[V], want: &[V]) {
+        assert_eq!(got.len(), want.len(), "vertex count");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.id, w.id);
+            assert_eq!(g.degree, w.degree, "degree of {}", g.id);
+            assert_eq!(g.key, w.key, "key of {}", g.id);
+            assert_eq!(g.meta, w.meta, "meta of {}", g.id);
+            assert_eq!(g.adj.len(), w.adj.len(), "d+ of {}", g.id);
+            for (a, b) in g.adj.iter().zip(&w.adj) {
+                assert_eq!(
+                    (a.v, a.key, a.dplus_v, a.em, a.vm),
+                    (b.v, b.key, b.dplus_v, b.em, b.vm),
+                    "entry of {}",
+                    g.id
+                );
+            }
+        }
+    }
+
+    fn meta_edges(pairs: &[(u64, u64)]) -> Vec<(u64, u64, u32)> {
+        pairs.iter().map(|&(u, v)| (u, v, em_of(u, v))).collect()
+    }
+
+    /// Ingest `batch` onto `base` and compare against a from-scratch
+    /// build of the concatenation.
+    fn check_incremental(base: &[(u64, u64)], batch: &[(u64, u64)]) {
+        let base = meta_edges(base);
+        let batch = meta_edges(batch);
+        let mut vertices = build(&base);
+        let mut rev = ReverseIndex::build(&vertices);
+        apply_edge_batch_with(&mut vertices, &mut rev, &batch, |v| v * 31 + 7).unwrap();
+        let mut all = base;
+        all.extend(batch);
+        assert_identical(&vertices, &build(&all));
+        // The maintained reverse index matches a fresh build.
+        let fresh = ReverseIndex::build(&vertices);
+        for lv in &vertices {
+            assert_eq!(rev.apexes(lv.id), fresh.apexes(lv.id), "rev[{}]", lv.id);
+        }
+    }
+
+    #[test]
+    fn append_to_empty_storage_matches_build() {
+        check_incremental(&[], &[(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn new_edges_between_existing_vertices() {
+        check_incremental(&[(0, 1), (1, 2), (2, 3), (3, 4)], &[(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn batch_introducing_new_vertices() {
+        check_incremental(&[(0, 1), (1, 2)], &[(2, 9), (9, 10), (10, 0)]);
+    }
+
+    #[test]
+    fn degree_growth_flips_orientation() {
+        // A star around 5 grows 5's degree past its neighbors', forcing
+        // previously-outgoing edges of 5 to flip toward the leaves.
+        check_incremental(
+            &[(5, 0), (5, 1), (0, 1), (1, 2)],
+            &[(5, 2), (5, 3), (5, 4), (5, 6), (5, 7)],
+        );
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_are_dropped() {
+        let base = meta_edges(&[(0, 1), (1, 2)]);
+        let mut vertices = build(&base);
+        let mut rev = ReverseIndex::build(&vertices);
+        // (1,0) duplicates (0,1) reversed; (3,3) is a self-loop; the
+        // two (1,2)-with-different-metadata records keep the stored em.
+        let batch = vec![(1u64, 0u64, 999u32), (3, 3, 999), (2, 1, 999)];
+        let delta = apply_edge_batch(&mut vertices, &mut rev, &batch).unwrap();
+        assert!(delta.is_empty());
+        assert_identical(&vertices, &build(&base));
+    }
+
+    #[test]
+    fn within_batch_duplicate_keeps_first() {
+        let mut vertices = build(&meta_edges(&[(0, 1)]));
+        let mut rev = ReverseIndex::build(&vertices);
+        let batch = vec![(1u64, 2u64, 42u32), (2, 1, 999)];
+        let delta = apply_edge_batch_with(&mut vertices, &mut rev, &batch, |v| v * 31 + 7).unwrap();
+        assert_eq!(delta.new_edges, vec![(1, 2)]);
+        let mut all = meta_edges(&[(0, 1)]);
+        all.push((1, 2, 42));
+        assert_identical(&vertices, &build(&all));
+    }
+
+    #[test]
+    fn strict_mode_rejects_unknown_vertices_without_mutating() {
+        let base = meta_edges(&[(0, 1), (1, 2)]);
+        let mut vertices = build(&base);
+        let mut rev = ReverseIndex::build(&vertices);
+        let err =
+            apply_edge_batch(&mut vertices, &mut rev, &meta_edges(&[(0, 2), (2, 77)])).unwrap_err();
+        assert_eq!(err, GraphError::UnknownVertex { vertex: 77 });
+        assert_identical(&vertices, &build(&base));
+    }
+
+    #[test]
+    fn delta_plan_indexes_new_and_closing_wedges() {
+        // Vertex 0 (degree 2) stores its higher-degree neighbors 1 and
+        // 2; the batch edge (1,2) closes the old wedge 1-0-2 without
+        // touching 0's own entries, and is itself stored as one new
+        // entry at whichever of {1, 2} has the smaller grown key.
+        let base = &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)];
+        let mut vertices = build(&meta_edges(base));
+        let mut rev = ReverseIndex::build(&vertices);
+        let delta = apply_edge_batch(&mut vertices, &mut rev, &meta_edges(&[(1, 2)])).unwrap();
+        assert_eq!(delta.new_edges, vec![(1, 2)]);
+        let closing: usize = delta.apexes.values().map(|a| a.closing.len()).sum();
+        let new_entries: usize = delta.apexes.values().map(|a| a.new_idx.len()).sum();
+        assert_eq!(new_entries, 1, "one new stored edge");
+        assert_eq!(closing, 1, "exactly one closed wedge");
+        let zero = &delta.apexes[&0];
+        assert!(zero.new_idx.is_empty(), "0's entries are all old");
+        assert_eq!(zero.closing, vec![(0, 1)], "0's two entries close");
+    }
+
+    #[test]
+    fn repeated_batches_converge_like_one_shot() {
+        let all: Vec<(u64, u64)> = (0..18u64)
+            .flat_map(|i| [(i, (i + 3) % 18), (i, (i + 7) % 18)])
+            .collect();
+        for split in [1, 3, 6] {
+            let chunks: Vec<&[(u64, u64)]> = all.chunks(all.len().div_ceil(split)).collect();
+            let mut vertices: Vec<V> = Vec::new();
+            let mut rev = ReverseIndex::default();
+            let mut prefix: Vec<(u64, u64, u32)> = Vec::new();
+            for chunk in chunks {
+                let batch = meta_edges(chunk);
+                apply_edge_batch_with(&mut vertices, &mut rev, &batch, |v| v * 31 + 7).unwrap();
+                prefix.extend(batch);
+                assert_identical(&vertices, &build(&prefix));
+            }
+        }
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`directed`] — directed-input support: collapse arcs to undirected
 //!   edges tagged with their original directionality (§4's "additional
 //!   two bits of storage").
+//! * [`ingest`] — incremental edge-batch ingestion: append a batch to
+//!   existing DODGr storage bit-identically to a from-scratch build,
+//!   and derive the delta-wedge plan for incremental surveys.
 //! * [`io`] — SNAP-style edge-list file readers/writers.
 //! * [`snapshot`] — versioned binary snapshots of DODGr storage for
 //!   O(read) restart of a resident graph.
@@ -30,6 +33,7 @@ pub mod directed;
 pub mod dodgr;
 pub mod edge_list;
 pub mod error;
+pub mod ingest;
 pub mod io;
 pub mod order;
 pub mod partition;
@@ -40,6 +44,7 @@ pub use directed::{from_directed_edges, Provenance};
 pub use dodgr::{build_dist_graph, AdjEntry, DistGraph, GraphStats, LocalShard, LocalVertex};
 pub use edge_list::EdgeList;
 pub use error::GraphError;
+pub use ingest::{apply_edge_batch, apply_edge_batch_with, ApexDelta, BatchDelta, ReverseIndex};
 pub use order::{dodgr_less, OrderKey};
 pub use partition::Partition;
 pub use snapshot::{

@@ -1,0 +1,542 @@
+//! Batch-split differential oracle for incremental ingestion.
+//!
+//! The incremental contract is bit-exactness, twice over:
+//!
+//! 1. **Storage**: after `ResidentGraph::ingest_batch` the resident
+//!    DODGr storage — and therefore every full survey of it — is
+//!    bit-identical to a from-scratch build + survey of the
+//!    concatenated prefix: same counts, same metadata seen by every
+//!    callback (checksummed), same merged [`KernelStats`] counters,
+//!    across engine × ranks {1,2,4,7} × rpn {1,2} × Serial/Threads(4).
+//! 2. **Surveys**: the delta survey of each batch, merged additively
+//!    into a running [`SurveyDelta`], equals the full survey of the
+//!    prefix: `full(G ∪ B) == full(G) + delta(G, B)` for the count,
+//!    local counts, degree triples, and closure times.
+//!
+//! The full 32-combination setting matrix is too slow to cross with
+//! every (graph, split, batch) triple, so each batch checks a rotating
+//! deterministic slice of the matrix — every combination is exercised
+//! against several prefixes across the test — and selected final
+//! prefixes sweep all 32.
+//!
+//! Hostile cases ride along: empty first batches, batches referencing
+//! unknown vertices under strict ingest (structured error, graph
+//! untouched), ingest after a snapshot restart, concurrent queries
+//! racing an ingest (old or new graph, never torn), and a proptest
+//! sweep over random partitions of random edge lists (duplicates and
+//! self-loops included) converging to the one-shot survey.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use tripoll::core::{
+    kernel_stats_take, survey_push_only_with, survey_push_pull_with, EngineMode, KernelStats,
+    Parallelism, ResidentGraph, ResidentQuery, SurveyConfig, SurveyDelta, SurveyDeltaSink,
+    TriangleMeta, TriangleSample,
+};
+use tripoll::gen::edge_batches;
+use tripoll::graph::{build_dist_graph, EdgeList, GraphError, Partition};
+use tripoll::ygm::hash::hash64;
+use tripoll::ygm::wire::Wire;
+use tripoll::ygm::{Comm, CommConfig, World};
+
+/// One run's observable outcome: global triangle count, global
+/// metadata checksum, and the globally summed kernel counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Outcome {
+    count: u64,
+    checksum: u64,
+    stats: KernelStats,
+}
+
+/// Commutative checksum over ids and all six metadata values (same
+/// folding as tests/resident.rs, generic over the metadata's byte
+/// rendering).
+fn triangle_hash<VM: std::fmt::Debug, EM: std::fmt::Debug>(tm: &TriangleMeta<'_, VM, EM>) -> u64 {
+    let mut h = hash64(tm.p) ^ hash64(tm.q).rotate_left(1) ^ hash64(tm.r).rotate_left(2);
+    for (i, m) in [
+        format!("{:?}", tm.meta_p),
+        format!("{:?}", tm.meta_q),
+        format!("{:?}", tm.meta_r),
+        format!("{:?}", tm.meta_pq),
+        format!("{:?}", tm.meta_pr),
+        format!("{:?}", tm.meta_qr),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for b in m.bytes() {
+            h = h.rotate_left(7) ^ hash64(u64::from(b) + i as u64);
+        }
+    }
+    h & 0xffff_ffff
+}
+
+fn vm_of(v: u64) -> String {
+    format!("v{v}")
+}
+
+fn em_of(u: u64, v: u64) -> String {
+    format!("e{}-{}", u.min(v), u.max(v))
+}
+
+/// Numeric metadata universe for the accumulator tests: the vertex
+/// value doubles as a pseudo-degree, the edge value as a timestamp.
+/// Both are **fixed** deterministic functions of the ids — the ingest
+/// bit-identity contract requires metadata that does not change as the
+/// graph grows.
+fn vm_num(v: u64) -> u64 {
+    v * 31 + 7
+}
+
+fn em_num(u: u64, v: u64) -> u64 {
+    hash64(u.min(v) * 2_000_003 + u.max(v)) % 997
+}
+
+fn sample_of(tm: &TriangleMeta<'_, u64, u64>) -> TriangleSample {
+    TriangleSample {
+        p: tm.p,
+        q: tm.q,
+        r: tm.r,
+        degree_p: *tm.meta_p,
+        degree_q: *tm.meta_q,
+        degree_r: *tm.meta_r,
+        t_pq: *tm.meta_pq,
+        t_pr: *tm.meta_pr,
+        t_qr: *tm.meta_qr,
+    }
+}
+
+/// The from-scratch reference: build the prefix graph inside the
+/// world, run `survey_*_with`, harvest the globally-reduced outcome.
+fn run_direct<VM, EM>(
+    list: &EdgeList<EM>,
+    nranks: usize,
+    mode: EngineMode,
+    config: SurveyConfig,
+    comm_config: CommConfig,
+    vm_fn: fn(u64) -> VM,
+) -> Outcome
+where
+    VM: Wire + Clone + Send + Sync + std::fmt::Debug + 'static,
+    EM: Wire + Clone + Send + Sync + std::fmt::Debug + 'static,
+{
+    let out = World::new(nranks).with_config(comm_config).run(|comm| {
+        let local = list.stride_for_rank(comm.rank(), comm.nranks());
+        let g = build_dist_graph(comm, local, vm_fn, Partition::Hashed);
+        let _ = kernel_stats_take();
+        let count = Rc::new(Cell::new(0u64));
+        let sum = Rc::new(Cell::new(0u64));
+        let (c2, s2) = (count.clone(), sum.clone());
+        let cb = move |_c: &Comm, tm: &TriangleMeta<'_, VM, EM>| {
+            c2.set(c2.get() + 1);
+            s2.set(s2.get() + triangle_hash(tm));
+        };
+        match mode {
+            EngineMode::PushOnly => survey_push_only_with(comm, &g, config, cb),
+            EngineMode::PushPull => survey_push_pull_with(comm, &g, config, cb),
+        };
+        let ks = kernel_stats_take();
+        Outcome {
+            count: comm.all_reduce_sum(count.get()),
+            checksum: comm.all_reduce_sum(sum.get()),
+            stats: KernelStats {
+                compares: comm.all_reduce_sum(ks.compares),
+                candidates: comm.all_reduce_sum(ks.candidates),
+                matches: comm.all_reduce_sum(ks.matches),
+                scalar_runs: comm.all_reduce_sum(ks.scalar_runs),
+                gallop_runs: comm.all_reduce_sum(ks.gallop_runs),
+                blocked_runs: comm.all_reduce_sum(ks.blocked_runs),
+                simd_runs: comm.all_reduce_sum(ks.simd_runs),
+            },
+        }
+    });
+    for o in &out {
+        assert_eq!(o, &out[0], "direct path must agree on all ranks");
+    }
+    out[0]
+}
+
+/// The incremental path: one query against the resident graph.
+fn run_resident<VM, EM>(resident: &ResidentGraph<VM, EM>, query: &ResidentQuery) -> Outcome
+where
+    VM: Wire + Clone + Send + Sync + std::fmt::Debug + 'static,
+    EM: Wire + Clone + Send + Sync + std::fmt::Debug + 'static,
+{
+    let acc = Arc::new(Mutex::new((0u64, 0u64)));
+    let acc2 = acc.clone();
+    let outcomes = resident.survey(query, move |_c, tm| {
+        let mut a = acc2.lock().unwrap();
+        a.0 += 1;
+        a.1 += triangle_hash(tm);
+    });
+    let mut stats = KernelStats::default();
+    for o in &outcomes {
+        stats += o.kernel;
+    }
+    let (count, checksum) = *acc.lock().unwrap();
+    Outcome {
+        count,
+        checksum,
+        stats,
+    }
+}
+
+fn labeled(edges: Vec<(u64, u64)>) -> Vec<(u64, u64, String)> {
+    edges
+        .into_iter()
+        .map(|(u, v)| (u, v, em_of(u, v)))
+        .collect()
+}
+
+/// A deterministic dense-ish random graph (the general case).
+fn random_edges() -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    for u in 0..32u64 {
+        for v in (u + 1)..32 {
+            if (u * 7919 + v * 104_729) % 4 == 0 {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// The shared-hub construction that forces Push-Pull's pull phase to
+/// carry triangles.
+fn hub_edges() -> Vec<(u64, u64)> {
+    let k = 24u64;
+    let (h1, h2) = (1000, 1001);
+    let mut edges = vec![(h1, h2)];
+    for sv in 0..k {
+        edges.push((sv, h1));
+        edges.push((sv, h2));
+    }
+    edges
+}
+
+fn query(nranks: usize, mode: EngineMode, rpn: usize, threads: Parallelism) -> ResidentQuery {
+    ResidentQuery::new(nranks)
+        .with_mode(mode)
+        .with_threads(threads)
+        .with_comm(
+            CommConfig {
+                ranks_per_node: rpn,
+                ..Default::default()
+            }
+            .pinned(),
+        )
+}
+
+/// The full setting matrix: engine × ranks {1,2,4,7} × rpn {1,2} ×
+/// Serial/Threads(4) — 32 combinations.
+fn combos() -> Vec<(usize, EngineMode, usize, Parallelism)> {
+    let mut out = Vec::new();
+    for &nranks in &[1usize, 2, 4, 7] {
+        for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+            for &rpn in &[1usize, 2] {
+                for threads in [Parallelism::Serial, Parallelism::Threads(4)] {
+                    out.push((nranks, mode, rpn, threads));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Satellite 1: after EVERY batch of every split, the incrementally
+/// maintained resident graph surveys bit-identically to a from-scratch
+/// build of the prefix — counts, metadata checksums, merged kernel
+/// counters.
+#[test]
+fn batch_split_differential_oracle() {
+    let combos = combos();
+    for (gname, edges) in [
+        ("random", labeled(random_edges())),
+        ("hub", labeled(hub_edges())),
+    ] {
+        for (ki, &k) in [1usize, 2, 5, 17].iter().enumerate() {
+            let chunk = edges.len().div_ceil(k);
+            let nbatches = edges.len().div_ceil(chunk);
+            let resident: ResidentGraph<String, String> =
+                ResidentGraph::from_vertices(Vec::new(), Partition::Hashed);
+            let mut prefix: Vec<(u64, u64, String)> = Vec::new();
+            for (bi, batch) in edges.chunks(chunk).enumerate() {
+                let delta = resident
+                    .ingest_batch_with(batch, vm_of)
+                    .expect("oracle batches only add known-good edges");
+                assert_eq!(delta.epoch(), bi as u64 + 1);
+                prefix.extend(batch.iter().cloned());
+                let plist = EdgeList::from_vec(prefix.clone());
+                // Rotating slice of the matrix per batch; a full sweep
+                // on the final prefix of the 5-way split (the final
+                // prefixes of all splits are the same graph).
+                let picks: Vec<usize> = if bi + 1 == nbatches && k == 5 {
+                    (0..combos.len()).collect()
+                } else {
+                    (0..3)
+                        .map(|j| (bi * 3 + j + ki * 11) % combos.len())
+                        .collect()
+                };
+                for ci in picks {
+                    let (nranks, mode, rpn, threads) = combos[ci];
+                    let q = query(nranks, mode, rpn, threads);
+                    let reference =
+                        run_direct(&plist, nranks, mode, q.config, q.comm.clone(), vm_of);
+                    let got = run_resident(&resident, &q);
+                    assert_eq!(
+                        got, reference,
+                        "incremental != from-scratch [{gname} k={k} batch={bi} \
+                         {mode} n={nranks} rpn={rpn} {threads:?}]"
+                    );
+                }
+            }
+            assert_eq!(resident.epoch(), nbatches as u64);
+        }
+    }
+}
+
+/// A full survey of the resident graph folded into a [`SurveyDelta`].
+fn full_accumulation(resident: &ResidentGraph<u64, u64>, q: &ResidentQuery) -> SurveyDelta {
+    let sink = SurveyDeltaSink::new();
+    let s2 = sink.clone();
+    resident.survey(q, move |_c, tm| s2.record(sample_of(tm)));
+    sink.take()
+}
+
+/// Tentpole acceptance: `full(G ∪ B) == full(G) + delta(G, B)` holds
+/// bit-for-bit for all four accumulators, after every batch, with the
+/// full side surveyed by both engines.
+#[test]
+fn merged_deltas_match_full_survey_accumulators() {
+    let edges: Vec<(u64, u64, u64)> = random_edges()
+        .into_iter()
+        .map(|(u, v)| (u, v, em_num(u, v)))
+        .collect();
+    for k in [1usize, 4, 9] {
+        let chunk = edges.len().div_ceil(k);
+        let resident: ResidentGraph<u64, u64> =
+            ResidentGraph::from_vertices(Vec::new(), Partition::Hashed);
+        let mut running = SurveyDelta::default();
+        for batch in edges.chunks(chunk) {
+            let delta = resident.ingest_batch_with(batch, vm_num).unwrap();
+            let sink = SurveyDeltaSink::new();
+            let s2 = sink.clone();
+            resident
+                .survey_delta(
+                    &delta,
+                    &query(2, EngineMode::PushOnly, 1, Parallelism::Serial),
+                    move |_c, tm| s2.record(sample_of(tm)),
+                )
+                .expect("delta is current");
+            running.merge(&sink.take());
+            for mode in [EngineMode::PushOnly, EngineMode::PushPull] {
+                let full =
+                    full_accumulation(&resident, &query(3, mode, 2, Parallelism::Threads(2)));
+                assert_eq!(full.count(), running.count(), "count [k={k} {mode}]");
+                assert_eq!(full, running, "accumulators diverged [k={k} {mode}]");
+                assert_eq!(full.local_counts(), running.local_counts());
+                assert_eq!(full.degree_triples(), running.degree_triples());
+                assert_eq!(full.closure_times(), running.closure_times());
+            }
+        }
+    }
+}
+
+/// Hostile: an empty first batch (and empty batches between real ones)
+/// must be a no-op that still advances the epoch and leaves every
+/// later survey exact.
+#[test]
+fn empty_first_batch_is_harmless() {
+    let resident: ResidentGraph<String, String> =
+        ResidentGraph::from_vertices(Vec::new(), Partition::Hashed);
+    let d0 = resident.ingest_batch_with(&[], vm_of).unwrap();
+    assert!(d0.is_empty());
+    assert_eq!(d0.epoch(), 1);
+    let edges = labeled(hub_edges());
+    let d1 = resident.ingest_batch_with(&edges, vm_of).unwrap();
+    assert!(!d1.is_empty());
+    let d2 = resident.ingest_batch_with(&[], vm_of).unwrap();
+    assert!(d2.is_empty());
+    assert_eq!(resident.epoch(), 3);
+    let q = query(2, EngineMode::PushPull, 1, Parallelism::Serial);
+    let reference = run_direct(
+        &EdgeList::from_vec(edges),
+        2,
+        EngineMode::PushPull,
+        q.config,
+        q.comm.clone(),
+        vm_of,
+    );
+    assert_eq!(run_resident(&resident, &q), reference);
+    // An empty delta surveys zero triangles (and is current).
+    let sink = Arc::new(Mutex::new(0u64));
+    let s2 = sink.clone();
+    resident
+        .survey_delta(&d2, &q, move |_c, _tm| *s2.lock().unwrap() += 1)
+        .expect("latest delta is current");
+    assert_eq!(*sink.lock().unwrap(), 0);
+}
+
+/// Hostile: strict ingest of a batch naming an unknown vertex is a
+/// structured [`GraphError::UnknownVertex`] — not a panic — and the
+/// graph (storage, epoch, surveys) is untouched.
+#[test]
+fn unknown_vertex_rejection_stays_structured() {
+    let edges = labeled(random_edges());
+    let resident =
+        ResidentGraph::build(&EdgeList::from_vec(edges.clone()), vm_of, Partition::Hashed);
+    let q = query(2, EngineMode::PushOnly, 1, Parallelism::Serial);
+    let before = run_resident(&resident, &q);
+    let bad = vec![
+        (0u64, 1u64, "dup".to_string()),
+        (5, 4242, "ghost".to_string()),
+    ];
+    let err = resident.ingest_batch(&bad).unwrap_err();
+    assert_eq!(err, GraphError::UnknownVertex { vertex: 4242 });
+    assert!(err.to_string().contains("4242"), "error names the vertex");
+    assert_eq!(resident.epoch(), 0, "failed ingest leaves no trace");
+    assert_eq!(run_resident(&resident, &q), before, "graph unchanged");
+}
+
+/// Hostile: a snapshot-loaded graph accepts further batches, and the
+/// result is bit-identical to a from-scratch build of the whole list.
+#[test]
+fn ingest_after_snapshot_load_is_exact() {
+    let edges = labeled(random_edges());
+    let half = edges.len() / 2;
+    let first = ResidentGraph::build(
+        &EdgeList::from_vec(edges[..half].to_vec()),
+        vm_of,
+        Partition::Hashed,
+    );
+    let restored =
+        ResidentGraph::<String, String>::from_snapshot_bytes(&first.snapshot_bytes(3)).unwrap();
+    let delta = restored.ingest_batch_with(&edges[half..], vm_of).unwrap();
+    assert_eq!(delta.epoch(), 1, "restored graph restarts its epochs");
+    let plist = EdgeList::from_vec(edges);
+    for (nranks, mode) in [(2, EngineMode::PushOnly), (4, EngineMode::PushPull)] {
+        let q = query(nranks, mode, 2, Parallelism::Threads(4));
+        let reference = run_direct(&plist, nranks, mode, q.config, q.comm.clone(), vm_of);
+        assert_eq!(
+            run_resident(&restored, &q),
+            reference,
+            "snapshot+ingest != from-scratch [{mode} n={nranks}]"
+        );
+    }
+}
+
+/// Hostile: queries racing an ingest must observe some complete graph
+/// state — the count of one of the ingested prefixes — never a torn
+/// intermediate.
+#[test]
+fn concurrent_queries_racing_ingest_see_whole_graphs() {
+    let edges = labeled(random_edges());
+    let chunk = edges.len().div_ceil(5);
+    let batches: Vec<&[(u64, u64, String)]> = edges.chunks(chunk).collect();
+
+    // Valid observable counts: every prefix of whole batches.
+    let mut valid = vec![0u64]; // before the first batch lands
+    let q = query(2, EngineMode::PushOnly, 1, Parallelism::Serial);
+    for j in 1..=batches.len() {
+        let plist = EdgeList::from_vec(edges[..(j * chunk).min(edges.len())].to_vec());
+        valid.push(
+            run_direct(
+                &plist,
+                2,
+                EngineMode::PushOnly,
+                q.config,
+                q.comm.clone(),
+                vm_of,
+            )
+            .count,
+        );
+    }
+
+    let resident: Arc<ResidentGraph<String, String>> =
+        Arc::new(ResidentGraph::from_vertices(Vec::new(), Partition::Hashed));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut joins = Vec::new();
+    for t in 0..2 {
+        let (r, stop2, valid2, q2) = (resident.clone(), stop.clone(), valid.clone(), q.clone());
+        joins.push(std::thread::spawn(move || {
+            let mut observed = Vec::new();
+            while !stop2.load(Ordering::Relaxed) {
+                let c = r.triangle_count(&q2);
+                assert!(
+                    valid2.contains(&c),
+                    "thread {t} observed torn count {c}, valid: {valid2:?}"
+                );
+                observed.push(c);
+            }
+            observed
+        }));
+    }
+    for batch in &batches {
+        resident
+            .ingest_batch_with(batch, vm_of)
+            .expect("racing ingest succeeds");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut all_observed = Vec::new();
+    for j in joins {
+        all_observed.extend(j.join().expect("query thread panicked"));
+    }
+    assert!(!all_observed.is_empty(), "raced queries actually ran");
+    // After the dust settles the final graph is complete.
+    assert_eq!(resident.triangle_count(&q), *valid.last().unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Satellite 2: ANY partition of an edge list into batches —
+    /// empty batches, duplicates and self-loops straddling boundaries —
+    /// converges to the same final survey as one-shot ingest, and the
+    /// merged per-batch deltas equal the full accumulation.
+    #[test]
+    fn any_batch_partition_converges(eb in edge_batches(10, 60, 6)) {
+        let resident: ResidentGraph<u64, u64> =
+            ResidentGraph::from_vertices(Vec::new(), Partition::Hashed);
+        let mut running = SurveyDelta::default();
+        for batch in eb.batches() {
+            let b: Vec<(u64, u64, u64)> =
+                batch.iter().map(|&(u, v)| (u, v, em_num(u, v))).collect();
+            let delta = resident.ingest_batch_with(&b, vm_num).unwrap();
+            let sink = SurveyDeltaSink::new();
+            let s2 = sink.clone();
+            resident
+                .survey_delta(
+                    &delta,
+                    &query(2, EngineMode::PushOnly, 1, Parallelism::Serial),
+                    move |_c, tm| s2.record(sample_of(tm)),
+                )
+                .expect("freshest delta is never stale");
+            running.merge(&sink.take());
+        }
+        let all: Vec<(u64, u64, u64)> = eb
+            .edges
+            .iter()
+            .map(|&(u, v)| (u, v, em_num(u, v)))
+            .collect();
+        let oneshot =
+            ResidentGraph::build(&EdgeList::from_vec(all), vm_num, Partition::Hashed);
+        prop_assert_eq!(resident.num_vertices(), oneshot.num_vertices());
+        for (nranks, mode) in [(2usize, EngineMode::PushOnly), (3, EngineMode::PushPull)] {
+            let q = query(nranks, mode, 1, Parallelism::Serial);
+            prop_assert_eq!(
+                run_resident(&resident, &q),
+                run_resident(&oneshot, &q),
+                "incremental != one-shot [{} n={}]", mode, nranks
+            );
+        }
+        let full = full_accumulation(
+            &resident,
+            &query(2, EngineMode::PushOnly, 1, Parallelism::Serial),
+        );
+        prop_assert_eq!(full, running, "merged deltas != full accumulation");
+    }
+}
